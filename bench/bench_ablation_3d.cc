@@ -1,0 +1,133 @@
+// Ablation: the 3-D BQS (paper Section V-G) — clipped-hull vs the paper's
+// <=17-significant-point scheme, exact vs fast engine, plus the
+// time-sensitive lift on a 2-D stream. Also compares 2-D vs 3-D costs.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/bqs3d_compressor.h"
+#include "core/bqs4d_compressor.h"
+#include "core/fbqs_compressor.h"
+#include "core/time_sensitive.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "simulation/datasets.h"
+#include "simulation/random_walk.h"
+
+namespace bqs {
+namespace {
+
+// Lifts the synthetic walk into 3-D with a smooth altitude profile.
+std::vector<TrackPoint3> Lift3d(const Trajectory& stream) {
+  std::vector<TrackPoint3> out;
+  out.reserve(stream.size());
+  double z = 50.0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    z += 0.4 * std::sin(static_cast<double>(i) * 0.013);
+    out.push_back(TrackPoint3{Vec3{stream[i].pos.x, stream[i].pos.y, z},
+                              stream[i].t});
+  }
+  return out;
+}
+
+int Run(double scale) {
+  bench::Banner(
+      "Ablation — 3-D BQS: hull modes, engines, and time-sensitive lift",
+      "paper Section V-G: the 3-D extension keeps constant per-point cost",
+      scale);
+  const Dataset synthetic = BuildSyntheticDataset(scale);
+  const auto walk3 = Lift3d(synthetic.stream);
+
+  TablePrinter table({"engine", "hull_mode", "rate", "max_dev_m",
+                      "bounded", "ms"});
+  for (const bool exact : {false, true}) {
+    for (const Bounds3dMode mode :
+         {Bounds3dMode::kClippedHull, Bounds3dMode::kPaperSignificant}) {
+      Bqs3dOptions options;
+      options.epsilon = 10.0;
+      options.mode = mode;
+      Bqs3dCompressor compressor(options, exact);
+      const auto start = std::chrono::steady_clock::now();
+      const CompressedTrajectory3 out = Compress3dAll(compressor, walk3);
+      const auto end = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(end - start).count();
+      const double dev =
+          Evaluate3dCompression(walk3, out, options.metric).max_deviation;
+      table.AddRow(
+          {exact ? "BQS3D" : "FBQS3D",
+           mode == Bounds3dMode::kClippedHull ? "clipped" : "paper17",
+           FmtPercent(out.CompressionRate(walk3.size()), 2),
+           FmtDouble(dev, 2),
+           dev <= 10.0 * (1 + 1e-9) ? "yes" : "NO", FmtDouble(ms, 1)});
+    }
+  }
+  table.Print(std::cout);
+
+  // Time-sensitive lift vs plain 2-D compression on the same stream.
+  std::printf("\n-- time-sensitive lift (eps = 10 m, 1 s ~ 1 m) --\n");
+  TablePrinter ts_table({"compressor", "points_kept", "rate"});
+  {
+    FbqsCompressor plain(BqsOptions{.epsilon = 10.0});
+    const CompressedTrajectory out = CompressAll(plain, synthetic.stream);
+    ts_table.AddRow({"FBQS (shape only)",
+                     FmtInt(static_cast<int64_t>(out.size())),
+                     FmtPercent(CompressionRate(out.size(),
+                                                synthetic.stream.size()),
+                                2)});
+  }
+  {
+    TimeSensitiveOptions options;
+    options.epsilon = 10.0;
+    options.time_scale = 1.0;
+    TimeSensitiveCompressor ts(options);
+    const CompressedTrajectory out = CompressAll(ts, synthetic.stream);
+    ts_table.AddRow({"TSBQS (where+when)",
+                     FmtInt(static_cast<int64_t>(out.size())),
+                     FmtPercent(CompressionRate(out.size(),
+                                                synthetic.stream.size()),
+                                2)});
+  }
+  ts_table.Print(std::cout);
+  std::printf(
+      "\nthe time-sensitive bound must keep stops (paper [20]'s metric), "
+      "so it retains more points than shape-only compression.\n");
+
+  // 4-D BQS (the paper's closing future-work item): altitude + scaled
+  // time, hyper-box corner bounds per orthant.
+  std::printf("\n-- 4-D BQS <x, y, altitude, 0.5*t> (eps = 10 m) --\n");
+  std::vector<TrackPoint4> walk4;
+  walk4.reserve(walk3.size());
+  const double t0 = walk3.empty() ? 0.0 : walk3.front().t;
+  for (const TrackPoint3& p : walk3) {
+    walk4.push_back(TrackPoint4{Vec4{p.pos, (p.t - t0) * 0.5}, p.t});
+  }
+  TablePrinter table4({"engine", "rate", "max_dev", "bounded", "ms"});
+  for (const bool exact : {false, true}) {
+    Bqs4dOptions options4;
+    options4.epsilon = 10.0;
+    Bqs4dCompressor compressor4(options4, exact);
+    const auto start = std::chrono::steady_clock::now();
+    const CompressedTrajectory4 out = Compress4dAll(compressor4, walk4);
+    const auto end = std::chrono::steady_clock::now();
+    const double dev =
+        Evaluate4dCompression(walk4, out, options4.metric).max_deviation;
+    table4.AddRow(
+        {exact ? "BQS4D" : "FBQS4D",
+         FmtPercent(out.CompressionRate(walk4.size()), 2),
+         FmtDouble(dev, 2), dev <= 10.0 * (1 + 1e-9) ? "yes" : "NO",
+         FmtDouble(std::chrono::duration<double, std::milli>(end - start)
+                       .count(),
+                   1)});
+  }
+  table4.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bqs
+
+int main(int argc, char** argv) {
+  return bqs::Run(bqs::bench::ScaleFromArgs(argc, argv, 0.15));
+}

@@ -1,0 +1,89 @@
+// Ablation: sound corrected bounds (default) vs the paper's literal
+// Eq. (8)/(10)/(11) bounds vs the loose Theorem 5.2 box-only bounds.
+// Quantifies the "soundness tax" — the compression-rate and pruning-power
+// cost of fixing the paper's bound gaps — and counts actual error-bound
+// violations of the paper-literal mode on each workload.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/bqs_compressor.h"
+#include "core/fbqs_compressor.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "simulation/datasets.h"
+#include "trajectory/deviation.h"
+
+namespace bqs {
+namespace {
+
+struct ModeResult {
+  double rate = 0.0;
+  double pruning = 0.0;
+  double max_dev = 0.0;
+};
+
+ModeResult RunMode(const Dataset& dataset, double eps, bool fast,
+                   BoundsMode mode, bool paper_trivial) {
+  BqsOptions options;
+  options.epsilon = eps;
+  options.bounds_mode = mode;
+  options.paper_trivial_include = paper_trivial;
+  ModeResult out;
+  CompressedTrajectory compressed;
+  if (fast) {
+    FbqsCompressor c(options);
+    compressed = CompressAll(c, dataset.stream);
+    out.pruning = c.stats().PruningPower();
+  } else {
+    BqsCompressor c(options);
+    compressed = CompressAll(c, dataset.stream);
+    out.pruning = c.stats().PruningPower();
+  }
+  out.rate = CompressionRate(compressed.size(), dataset.stream.size());
+  out.max_dev =
+      EvaluateCompression(dataset.stream, compressed,
+                          DistanceMetric::kPointToLine)
+          .max_deviation;
+  return out;
+}
+
+int Run(double scale) {
+  bench::Banner(
+      "Ablation — sound bounds vs paper-literal bounds (eps = 10 m)",
+      "the paper-literal mode is tighter but can exceed the error bound "
+      "(DESIGN.md, paper-faithfulness notes)",
+      scale);
+  TablePrinter table({"dataset", "engine", "mode", "rate", "pruning",
+                      "max_dev_m", "bounded"});
+  for (const Dataset& dataset : BuildAllDatasets(scale)) {
+    for (bool fast : {false, true}) {
+      const char* engine = fast ? "FBQS" : "BQS";
+      const ModeResult sound =
+          RunMode(dataset, 10.0, fast, BoundsMode::kSound, false);
+      const ModeResult paper =
+          RunMode(dataset, 10.0, fast, BoundsMode::kPaperEq8, true);
+      table.AddRow({dataset.name, engine, "sound",
+                    FmtPercent(sound.rate, 2), FmtDouble(sound.pruning, 3),
+                    FmtDouble(sound.max_dev, 1),
+                    sound.max_dev <= 10.0 * (1 + 1e-9) ? "yes" : "NO"});
+      table.AddRow({dataset.name, engine, "paper",
+                    FmtPercent(paper.rate, 2), FmtDouble(paper.pruning, 3),
+                    FmtDouble(paper.max_dev, 1),
+                    paper.max_dev <= 10.0 * (1 + 1e-9) ? "yes" : "NO"});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: 'paper' rows with bounded = NO exceeded the guaranteed "
+      "tolerance — the compression advantage of the literal algorithm is "
+      "partly obtained by violating its own bound.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bqs
+
+int main(int argc, char** argv) {
+  return bqs::Run(bqs::bench::ScaleFromArgs(argc, argv, 0.35));
+}

@@ -1,0 +1,42 @@
+// Shared glue for the figure/table benches: dataset scale handling and the
+// banner each binary prints so outputs are self-describing.
+#ifndef BQS_BENCH_BENCH_COMMON_H_
+#define BQS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace bqs {
+namespace bench {
+
+/// Dataset scale: 1.0 reproduces paper-sized workloads; benches default to
+/// a smaller scale so the full suite stays quick. Override with argv[1] or
+/// BQS_BENCH_SCALE.
+inline double ScaleFromArgs(int argc, char** argv,
+                            double default_scale = 0.35) {
+  if (argc > 1) {
+    const double v = std::atof(argv[1]);
+    if (v > 0.0) return v;
+  }
+  if (const char* env = std::getenv("BQS_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return default_scale;
+}
+
+inline void Banner(const char* experiment, const char* paper_reference,
+                   double scale) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper reference: %s\n", paper_reference);
+  std::printf("Dataset scale: %.2f (1.0 = paper-sized; pass as argv[1])\n",
+              scale);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace bqs
+
+#endif  // BQS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,94 @@
+// Fig. 7 reproduction: compression rate (lower = better) of BQS, FBQS,
+// BDP, BGD and offline DP vs error tolerance on the bat and vehicle
+// datasets, buffer = 32 points for the window baselines. Paper's shape:
+// BQS best, FBQS between BQS and DP, BDP worst; bat data compresses
+// better than vehicle data at equal tolerance; at 20 m FBQS improves on
+// BDP/BGD by ~47%/45%.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/ascii_chart.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace bqs {
+namespace {
+
+void RunDataset(const Dataset& dataset,
+                const std::vector<double>& epsilons) {
+  std::printf("\n-- %s data (%zu points) --\n", dataset.name.c_str(),
+              dataset.stream.size());
+  const std::vector<AlgorithmId> algorithms{
+      AlgorithmId::kBqs, AlgorithmId::kFbqs, AlgorithmId::kBdp,
+      AlgorithmId::kBgd, AlgorithmId::kDp};
+  std::vector<std::string> headers{"eps_m"};
+  std::vector<ChartSeries> curves;
+  for (AlgorithmId id : algorithms) {
+    headers.emplace_back(AlgorithmName(id));
+    curves.push_back(
+        ChartSeries{std::string(AlgorithmName(id)) + " rate %", {}, {}});
+  }
+  headers.emplace_back("bounded");
+  TablePrinter table(headers);
+  for (double eps : epsilons) {
+    std::vector<std::string> cells{FmtDouble(eps, 0)};
+    bool all_bounded = true;
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      const SweepRow row =
+          RunCell(algorithms[a], dataset, eps, 32, /*verify=*/true);
+      cells.push_back(FmtPercent(row.compression_rate, 2));
+      all_bounded = all_bounded && row.error_bounded;
+      curves[a].xs.push_back(eps);
+      curves[a].ys.push_back(100.0 * row.compression_rate);
+    }
+    cells.emplace_back(all_bounded ? "yes" : "NO");
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout);
+  AsciiChart chart(60, 14);
+  for (auto& c : curves) chart.Add(std::move(c));
+  chart.Print(std::cout);
+}
+
+int Run(double scale) {
+  bench::Banner(
+      "Fig. 7 — Compression rate vs error tolerance (buffer = 32)",
+      "BQS best; FBQS ~ between BQS and DP; BDP worst; bat < vehicle; "
+      "FBQS@20m beats BDP/BGD by ~47%/45%",
+      scale);
+  const Dataset bat = BuildBatDataset(scale);
+  const Dataset vehicle = BuildVehicleDataset(scale);
+  RunDataset(bat, {2, 4, 6, 8, 10, 12, 14, 16, 18, 20});
+  RunDataset(vehicle, {5, 10, 15, 20, 25, 30, 35, 40, 45, 50});
+
+  // The paper's headline deltas at the shared tolerances.
+  std::printf("\n-- headline comparisons --\n");
+  for (const Dataset* d : {&bat, &vehicle}) {
+    const SweepRow fbqs = RunCell(AlgorithmId::kFbqs, *d, 20.0);
+    const SweepRow bdp = RunCell(AlgorithmId::kBdp, *d, 20.0);
+    const SweepRow bgd = RunCell(AlgorithmId::kBgd, *d, 20.0);
+    std::printf(
+        "%s @20m: FBQS %.2f%%, BDP %.2f%% (FBQS better by %.0f%%), "
+        "BGD %.2f%% (FBQS better by %.0f%%)   [paper: 47%% / 45%% on bat]\n",
+        d->name.c_str(), 100.0 * fbqs.compression_rate,
+        100.0 * bdp.compression_rate,
+        100.0 * (1.0 - fbqs.compression_rate / bdp.compression_rate),
+        100.0 * bgd.compression_rate,
+        100.0 * (1.0 - fbqs.compression_rate / bgd.compression_rate));
+  }
+  const SweepRow bat10 = RunCell(AlgorithmId::kBqs, bat, 10.0);
+  const SweepRow veh10 = RunCell(AlgorithmId::kBqs, vehicle, 10.0);
+  std::printf(
+      "@10m: bat BQS %.2f%% vs vehicle BQS %.2f%%  "
+      "[paper: 3.9%% vs 5.4%% — bat compresses better]\n",
+      100.0 * bat10.compression_rate, 100.0 * veh10.compression_rate);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bqs
+
+int main(int argc, char** argv) {
+  return bqs::Run(bqs::bench::ScaleFromArgs(argc, argv, 0.35));
+}

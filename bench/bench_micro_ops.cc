@@ -1,0 +1,127 @@
+// Micro benchmarks: per-point push cost of each streaming compressor, the
+// bound computation itself, projection, and the offline baselines. These
+// underpin the run-time claims (Table III) at the operation level.
+#include <benchmark/benchmark.h>
+
+#include "baselines/buffered_greedy.h"
+#include "baselines/dead_reckoning.h"
+#include "baselines/douglas_peucker.h"
+#include "common/rng.h"
+#include "core/bounds.h"
+#include "core/bqs_compressor.h"
+#include "core/fbqs_compressor.h"
+#include "geo/utm.h"
+#include "simulation/random_walk.h"
+#include "trajectory/compressor.h"
+
+namespace bqs {
+namespace {
+
+const Trajectory& Stream() {
+  static const Trajectory* stream = [] {
+    RandomWalkOptions options;
+    options.num_points = 20000;
+    options.seed = 7;
+    return new Trajectory(GenerateRandomWalk(options));
+  }();
+  return *stream;
+}
+
+template <typename Compressor>
+void PushAll(benchmark::State& state, Compressor& compressor) {
+  std::vector<KeyPoint> keys;
+  keys.reserve(4096);
+  for (auto _ : state) {
+    state.PauseTiming();
+    compressor.Reset();
+    keys.clear();
+    state.ResumeTiming();
+    for (const TrackPoint& p : Stream()) compressor.Push(p, &keys);
+    compressor.Finish(&keys);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Stream().size()));
+}
+
+void BM_FbqsPush(benchmark::State& state) {
+  FbqsCompressor c(BqsOptions{.epsilon = 10.0});
+  PushAll(state, c);
+}
+BENCHMARK(BM_FbqsPush);
+
+void BM_BqsPush(benchmark::State& state) {
+  BqsCompressor c(BqsOptions{.epsilon = 10.0});
+  PushAll(state, c);
+}
+BENCHMARK(BM_BqsPush);
+
+void BM_BgdPush(benchmark::State& state) {
+  BufferedGreedyOptions options;
+  options.epsilon = 10.0;
+  options.buffer_size = 32;
+  BufferedGreedy c(options);
+  PushAll(state, c);
+}
+BENCHMARK(BM_BgdPush);
+
+void BM_DeadReckoningPush(benchmark::State& state) {
+  DeadReckoning c(DeadReckoningOptions{10.0});
+  PushAll(state, c);
+}
+BENCHMARK(BM_DeadReckoningPush);
+
+void BM_QuadrantBoundsCompute(benchmark::State& state) {
+  QuadrantBound qb(0);
+  Rng rng(3);
+  for (int i = 0; i < 24; ++i) {
+    qb.Add({rng.Uniform(1.0, 300.0), rng.Uniform(1.0, 300.0)});
+  }
+  const Vec2 end{412.0, 97.0};
+  for (auto _ : state) {
+    const DeviationBounds bounds =
+        QuadrantDeviationBounds(qb, end, DistanceMetric::kPointToLine);
+    benchmark::DoNotOptimize(bounds);
+  }
+}
+BENCHMARK(BM_QuadrantBoundsCompute);
+
+void BM_QuadrantBoundAdd(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 1024; ++i) {
+    points.push_back({rng.Uniform(1.0, 300.0), rng.Uniform(1.0, 300.0)});
+  }
+  std::size_t i = 0;
+  QuadrantBound qb(0);
+  for (auto _ : state) {
+    qb.Add(points[i++ & 1023]);
+    benchmark::DoNotOptimize(qb);
+  }
+}
+BENCHMARK(BM_QuadrantBoundAdd);
+
+void BM_DouglasPeuckerFull(benchmark::State& state) {
+  DouglasPeucker dp(DpOptions{10.0, DistanceMetric::kPointToLine});
+  for (auto _ : state) {
+    const CompressedTrajectory out = dp.Compress(Stream());
+    benchmark::DoNotOptimize(out.keys.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Stream().size()));
+}
+BENCHMARK(BM_DouglasPeuckerFull);
+
+void BM_UtmForward(benchmark::State& state) {
+  const LatLon pos{-27.4698, 153.0251};
+  for (auto _ : state) {
+    auto utm = LatLonToUtm(pos);
+    benchmark::DoNotOptimize(utm);
+  }
+}
+BENCHMARK(BM_UtmForward);
+
+}  // namespace
+}  // namespace bqs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Extension bench (beyond the paper's evaluation): SQUISH-E — the
+// strongest related-work baseline the paper discusses (Section II) but
+// does not run — against FBQS/BQS. Note SQUISH-E bounds the synchronized
+// Euclidean distance (SED), a stricter time-aware metric, so its rates are
+// not directly comparable at equal epsilon; both are reported with their
+// own guarantees verified.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "baselines/squish_e.h"
+#include "core/bqs_compressor.h"
+#include "core/fbqs_compressor.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "simulation/datasets.h"
+#include "trajectory/deviation.h"
+
+namespace bqs {
+namespace {
+
+int Run(double scale) {
+  bench::Banner(
+      "Extension — SQUISH-E(eps) vs BQS/FBQS",
+      "SQUISH-E: related work [8]; SED-bounded, O(n log n), offline in "
+      "its error-bounded mode",
+      scale);
+  TablePrinter table({"dataset", "eps_m", "BQS_rate", "FBQS_rate",
+                      "SQUISHE_rate", "SQUISHE_is_SED"});
+  for (const Dataset& dataset : BuildAllDatasets(scale)) {
+    for (double eps : {5.0, 10.0, 20.0}) {
+      BqsOptions options;
+      options.epsilon = eps;
+      BqsCompressor bqs(options);
+      const auto exact = CompressAll(bqs, dataset.stream);
+      FbqsCompressor fbqs(options);
+      const auto fast = CompressAll(fbqs, dataset.stream);
+
+      SquishEOptions squish_options;
+      squish_options.epsilon = eps;
+      SquishE squish(squish_options);
+      const auto squished = squish.Compress(dataset.stream);
+
+      table.AddRow(
+          {dataset.name, FmtDouble(eps, 0),
+           FmtPercent(CompressionRate(exact.size(), dataset.stream.size()),
+                      2),
+           FmtPercent(CompressionRate(fast.size(), dataset.stream.size()),
+                      2),
+           FmtPercent(
+               CompressionRate(squished.size(), dataset.stream.size()), 2),
+           "yes (stricter metric)"});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bqs
+
+int main(int argc, char** argv) {
+  return bqs::Run(bqs::bench::ScaleFromArgs(argc, argv, 0.2));
+}

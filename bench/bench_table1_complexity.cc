@@ -1,0 +1,128 @@
+// Table I reproduction: empirical worst-case complexity of FBQS (O(n)
+// time / O(1) space) vs BDP and BGD (O(n^2)-family behaviour exposed by
+// their buffer scans). google-benchmark fits the asymptotic complexity
+// over growing stream sizes; the adversarial stream maximizes buffer
+// pressure for the window algorithms.
+#include <benchmark/benchmark.h>
+
+#include "baselines/buffered_dp.h"
+#include "baselines/buffered_greedy.h"
+#include "core/bqs_compressor.h"
+#include "core/fbqs_compressor.h"
+#include "simulation/random_walk.h"
+#include "trajectory/compressor.h"
+
+namespace bqs {
+namespace {
+
+Trajectory MakeStream(std::size_t n) {
+  RandomWalkOptions options;
+  options.num_points = n;
+  options.seed = 99;
+  return GenerateRandomWalk(options);
+}
+
+void BM_Fbqs(benchmark::State& state) {
+  const Trajectory stream = MakeStream(static_cast<std::size_t>(state.range(0)));
+  FbqsCompressor fbqs(BqsOptions{.epsilon = 10.0});
+  for (auto _ : state) {
+    const CompressedTrajectory out = CompressAll(fbqs, stream);
+    benchmark::DoNotOptimize(out.keys.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Fbqs)->RangeMultiplier(2)->Range(2048, 65536)->Complexity();
+
+void BM_Bqs(benchmark::State& state) {
+  const Trajectory stream = MakeStream(static_cast<std::size_t>(state.range(0)));
+  BqsCompressor bqs(BqsOptions{.epsilon = 10.0});
+  for (auto _ : state) {
+    const CompressedTrajectory out = CompressAll(bqs, stream);
+    benchmark::DoNotOptimize(out.keys.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Bqs)->RangeMultiplier(2)->Range(2048, 65536)->Complexity();
+
+// The window baselines degrade with the buffer: use an unbounded-ish
+// buffer (the paper's worst-case analysis) on a straight-line stream so
+// every push scans the whole segment buffer.
+Trajectory StraightStream(std::size_t n) {
+  Trajectory t;
+  t.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back(
+        TrackPoint{{static_cast<double>(i), 0.0}, static_cast<double>(i),
+                   {1.0, 0.0}});
+  }
+  return t;
+}
+
+void BM_BgdUnbounded(benchmark::State& state) {
+  const Trajectory stream =
+      StraightStream(static_cast<std::size_t>(state.range(0)));
+  BufferedGreedyOptions options;
+  options.epsilon = 10.0;
+  options.buffer_size = 0;  // unbounded: worst-case O(n^2)
+  BufferedGreedy bgd(options);
+  for (auto _ : state) {
+    const CompressedTrajectory out = CompressAll(bgd, stream);
+    benchmark::DoNotOptimize(out.keys.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BgdUnbounded)
+    ->RangeMultiplier(2)
+    ->Range(1024, 16384)
+    ->Complexity();
+
+// A wide circular arc keeps the DP recursion busy (a straight line returns
+// after one scan): every window has interior deviation above tolerance, so
+// BDP shows its superlinear worst-case character.
+Trajectory ArcStream(std::size_t n) {
+  Trajectory t;
+  t.reserve(n);
+  const double radius = 2.0e5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 1e-3 * static_cast<double>(i);
+    t.push_back(TrackPoint{{radius * std::cos(angle),
+                            radius * std::sin(angle)},
+                           static_cast<double>(i),
+                           {0.0, 0.0}});
+  }
+  return t;
+}
+
+void BM_BdpLargeBuffer(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Trajectory stream = ArcStream(n);
+  BufferedDpOptions options;
+  options.epsilon = 10.0;
+  options.buffer_size = n;  // whole-stream buffer: offline DP cost
+  BufferedDp bdp(options);
+  for (auto _ : state) {
+    const CompressedTrajectory out = CompressAll(bdp, stream);
+    benchmark::DoNotOptimize(out.keys.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BdpLargeBuffer)
+    ->RangeMultiplier(2)
+    ->Range(1024, 16384)
+    ->Complexity();
+
+// Space claim: FBQS streaming state is constant-size (compile-time check;
+// reported here so the bench output documents Table I's space column).
+void BM_FbqsStateBytes(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sizeof(FbqsCompressor));
+  }
+  state.counters["state_bytes"] =
+      static_cast<double>(sizeof(FbqsCompressor));
+}
+BENCHMARK(BM_FbqsStateBytes);
+
+}  // namespace
+}  // namespace bqs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Table II reproduction: estimated operational days of the Camazotz
+// platform (50 KB GPS budget, 12-byte fixes, 1 fix/minute) under each
+// algorithm's average compression rate at 10 m tolerance across the two
+// empirical datasets. Paper: BQS 62, FBQS 60, BDP 45, BGD 44, DR 45 days
+// (up to 41% improvement).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "storage/energy_model.h"
+#include "storage/platform.h"
+
+namespace bqs {
+namespace {
+
+int Run(double scale) {
+  bench::Banner(
+      "Table II — Estimated operational time (days, no data loss)",
+      "BQS 62 / FBQS 60 / BDP 45 / BGD 44 / DR 45 days; eps = 10 m", scale);
+  const Dataset bat = BuildBatDataset(scale);
+  const Dataset vehicle = BuildVehicleDataset(scale);
+  const Dataset synthetic = BuildSyntheticDataset(scale);
+  const PlatformSpec spec;
+
+  const auto avg_rate = [&](AlgorithmId id) {
+    const SweepRow a = RunCell(id, bat, 10.0, 32, /*verify=*/false);
+    const SweepRow b = RunCell(id, vehicle, 10.0, 32, /*verify=*/false);
+    return 0.5 * (a.compression_rate + b.compression_rate);
+  };
+
+  struct Entry {
+    AlgorithmId id;
+    double paper_rate;
+    double paper_days;
+  };
+  const Entry entries[] = {
+      {AlgorithmId::kBqs, 0.048, 62.0},  {AlgorithmId::kFbqs, 0.050, 60.0},
+      {AlgorithmId::kBdp, 0.0665, 45.0}, {AlgorithmId::kBgd, 0.0675, 44.0},
+      {AlgorithmId::kDr, 0.0665, 45.0},
+  };
+
+  const EnergyModel energy;
+  TablePrinter table({"algorithm", "rate", "days", "paper_rate",
+                      "paper_days", "energy_days", "combined_days"});
+  double best_days = 0.0;
+  double worst_days = 1e18;
+  // The paper derives DR's rate from FBQS's: "we assume it uses 39% more
+  // points than FBQS as shown in Figure 8(b) at the same tolerance". We do
+  // the same with the ratio measured on our synthetic stream.
+  const double fbqs_synth =
+      RunCell(AlgorithmId::kFbqs, synthetic, 10.0, 32, false)
+          .compression_rate;
+  const double dr_synth =
+      RunCell(AlgorithmId::kDr, synthetic, 10.0, 32, false).compression_rate;
+  const double dr_ratio = fbqs_synth > 0.0 ? dr_synth / fbqs_synth : 1.39;
+
+  for (const Entry& e : entries) {
+    const double rate = e.id == AlgorithmId::kDr
+                            ? avg_rate(AlgorithmId::kFbqs) * dr_ratio
+                            : avg_rate(e.id);
+    const double days = EstimateOperationalDays(spec, rate);
+    best_days = std::max(best_days, days);
+    worst_days = std::min(worst_days, days);
+    table.AddRow({std::string(AlgorithmName(e.id)), FmtPercent(rate, 2),
+                  FmtDouble(days, 1), FmtPercent(e.paper_rate, 2),
+                  FmtDouble(e.paper_days, 0),
+                  EstimateEnergyLimitedDays(energy, spec, rate) > 1.0e8
+                      ? "solar-covered"
+                      : FmtDouble(
+                            EstimateEnergyLimitedDays(energy, spec, rate), 1),
+                  FmtDouble(EstimateCombinedDays(energy, spec, rate), 1)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nbest vs worst operational time: +%.0f%%  [paper: up to +41%%]\n",
+      100.0 * (best_days / worst_days - 1.0));
+  std::printf(
+      "energy_days extends Table II with the battery constraint (GPS "
+      "acquisition dominates, so compression mainly buys storage time).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bqs
+
+int main(int argc, char** argv) {
+  return bqs::Run(bqs::bench::ScaleFromArgs(argc, argv, 0.35));
+}

@@ -1,0 +1,145 @@
+// bqs_cli — command-line trajectory compression.
+//
+//   $ ./bqs_cli --algo fbqs --epsilon 10 in.csv out.csv
+//   $ ./bqs_cli --demo                       # generate + compress a demo
+//
+// Reads a trajectory CSV ("x,y,t[,vx,vy]" with header, metres/seconds, as
+// written by WriteTrajectoryCsv), compresses it with the chosen algorithm,
+// writes the retained key points as CSV, and prints verified statistics.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "eval/algorithms.h"
+#include "eval/metrics.h"
+#include "simulation/datasets.h"
+#include "trajectory/csv_io.h"
+#include "trajectory/deviation.h"
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "usage: bqs_cli [--algo bqs|fbqs|bdp|bgd|dp|dr|squish] "
+      "[--epsilon METRES]\n"
+      "               [--metric line|segment] [--buffer N] IN.csv OUT.csv\n"
+      "       bqs_cli --demo   (compress a generated synthetic stream)\n");
+}
+
+bqs::Result<bqs::AlgorithmId> ParseAlgo(const std::string& name) {
+  using bqs::AlgorithmId;
+  if (name == "bqs") return AlgorithmId::kBqs;
+  if (name == "fbqs") return AlgorithmId::kFbqs;
+  if (name == "bdp") return AlgorithmId::kBdp;
+  if (name == "bgd") return AlgorithmId::kBgd;
+  if (name == "dp") return AlgorithmId::kDp;
+  if (name == "dr") return AlgorithmId::kDr;
+  if (name == "squish") return AlgorithmId::kSquishE;
+  return bqs::Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bqs;
+
+  AlgorithmConfig config;
+  config.id = AlgorithmId::kFbqs;
+  config.epsilon = 10.0;
+  std::string in_path;
+  std::string out_path;
+  bool demo = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--algo") {
+      const char* v = next();
+      if (!v) break;
+      const auto algo = ParseAlgo(v);
+      if (!algo.ok()) {
+        std::fprintf(stderr, "%s\n", algo.status().ToString().c_str());
+        return 2;
+      }
+      config.id = algo.value();
+    } else if (arg == "--epsilon") {
+      const char* v = next();
+      if (!v) break;
+      config.epsilon = std::atof(v);
+    } else if (arg == "--metric") {
+      const char* v = next();
+      if (!v) break;
+      config.metric = std::strcmp(v, "segment") == 0
+                          ? DistanceMetric::kPointToSegment
+                          : DistanceMetric::kPointToLine;
+    } else if (arg == "--buffer") {
+      const char* v = next();
+      if (!v) break;
+      config.buffer_size = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (in_path.empty()) {
+      in_path = arg;
+    } else if (out_path.empty()) {
+      out_path = arg;
+    }
+  }
+  if (config.epsilon <= 0.0) {
+    std::fprintf(stderr, "epsilon must be positive\n");
+    return 2;
+  }
+
+  Trajectory stream;
+  if (demo) {
+    stream = BuildSyntheticDataset(0.2).stream;
+    in_path = "(generated synthetic stream)";
+    if (out_path.empty()) out_path = "compressed_demo.csv";
+  } else {
+    if (in_path.empty() || out_path.empty()) {
+      Usage();
+      return 2;
+    }
+    auto read = ReadTrajectoryCsv(in_path);
+    if (!read.ok()) {
+      std::fprintf(stderr, "read failed: %s\n",
+                   read.status().ToString().c_str());
+      return 1;
+    }
+    stream = std::move(read).value();
+  }
+  if (stream.size() < 2) {
+    std::fprintf(stderr, "input has fewer than 2 points\n");
+    return 1;
+  }
+
+  const RunOutput out = RunAlgorithm(config, stream);
+  const CompressionQuality quality = MeasureQuality(
+      stream, out.compressed, config.epsilon, config.metric);
+
+  if (const Status st = WriteCompressedCsv(out.compressed, out_path);
+      !st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("input:       %s (%zu points)\n", in_path.c_str(),
+              stream.size());
+  std::printf("algorithm:   %s, epsilon %.2f m (%s metric)\n",
+              std::string(AlgorithmName(config.id)).c_str(), config.epsilon,
+              config.metric == DistanceMetric::kPointToLine ? "line"
+                                                            : "segment");
+  std::printf("kept:        %zu points (%.2f%%)\n", quality.points_out,
+              100.0 * quality.compression_rate);
+  std::printf("max error:   %.3f m (%s)\n", quality.max_deviation,
+              quality.error_bounded ? "within bound"
+                                    : "EXCEEDS BOUND (metric differs?)");
+  std::printf("runtime:     %.2f ms\n", out.runtime_ms);
+  std::printf("output:      %s\n", out_path.c_str());
+  return 0;
+}

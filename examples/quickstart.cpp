@@ -1,0 +1,58 @@
+// Quickstart: compress a small GPS stream with FBQS in a dozen lines.
+//
+//   $ ./quickstart
+//
+// Shows the core API: build a compressor with an error tolerance, push
+// fixes as they arrive, collect the retained key points, and verify the
+// guarantee.
+#include <cstdio>
+
+#include "core/fbqs_compressor.h"
+#include "trajectory/deviation.h"
+
+int main() {
+  using namespace bqs;
+
+  // A toy stream: drive east, turn north, with a little lateral noise.
+  Trajectory stream;
+  for (int i = 0; i <= 60; ++i) {
+    const double along = i * 25.0;
+    TrackPoint p;
+    p.t = i * 10.0;
+    p.pos = (i <= 30) ? Vec2{along, (i % 3) * 1.5}
+                      : Vec2{750.0 + (i % 3) * 1.5, (i - 30) * 25.0};
+    stream.push_back(p);
+  }
+
+  // 1. Configure: every compressed segment deviates at most 10 m.
+  BqsOptions options;
+  options.epsilon = 10.0;
+
+  // 2. Stream the fixes through the compressor.
+  FbqsCompressor compressor(options);
+  std::vector<KeyPoint> keys;
+  for (const TrackPoint& fix : stream) {
+    compressor.Push(fix, &keys);  // emits key points as segments close
+  }
+  compressor.Finish(&keys);  // closes the final segment
+
+  // 3. Use the result.
+  std::printf("compressed %zu fixes to %zu key points (%.1f%%):\n",
+              stream.size(), keys.size(),
+              100.0 * static_cast<double>(keys.size()) /
+                  static_cast<double>(stream.size()));
+  for (const KeyPoint& k : keys) {
+    std::printf("  kept fix #%llu at (%.1f, %.1f) t=%.0fs\n",
+                static_cast<unsigned long long>(k.index), k.point.pos.x,
+                k.point.pos.y, k.point.t);
+  }
+
+  // 4. The guarantee, verified against the original stream.
+  CompressedTrajectory compressed;
+  compressed.keys = keys;
+  const DeviationReport report =
+      EvaluateCompression(stream, compressed, options.metric);
+  std::printf("max deviation: %.2f m (guaranteed <= %.1f m)\n",
+              report.max_deviation, options.epsilon);
+  return report.BoundedBy(options.epsilon) ? 0 : 1;
+}

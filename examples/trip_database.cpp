@@ -1,0 +1,137 @@
+// On-device trip database: the paper's maintenance procedures (Section
+// V-F) — error-bounded merging of repeated trips and error-bounded ageing
+// of old ones.
+//
+//   $ ./trip_database [days]
+//
+// A commuter drives the same two routes every day. Merging recognizes the
+// repeats and stores them as visit counts instead of new geometry; ageing
+// then re-compresses the stored polylines at a looser tolerance,
+// trading fidelity of history for flash space.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "core/fbqs_compressor.h"
+#include "core/time_sensitive.h"
+#include "storage/trajectory_store.h"
+#include "storage/waypoint_discovery.h"
+#include "trajectory/trajectory.h"
+
+namespace {
+
+// One commute: home -> work with mild GPS noise; reversed on the way back.
+bqs::Trajectory Commute(bqs::Rng& rng, bool reverse, double t0) {
+  using bqs::TrackPoint;
+  using bqs::Vec2;
+  const Vec2 waypoints[] = {{0, 0},       {1200, 60},  {2400, 30},
+                            {2500, 1400}, {2450, 2800}, {3900, 2900}};
+  bqs::Trajectory out;
+  double t = t0;
+  const int n = static_cast<int>(std::size(waypoints));
+  for (int w = 0; w + 1 < n; ++w) {
+    const Vec2 a = waypoints[reverse ? n - 1 - w : w];
+    const Vec2 b = waypoints[reverse ? n - 2 - w : w + 1];
+    const int steps = static_cast<int>(Distance(a, b) / 80.0);
+    for (int i = 0; i < steps; ++i) {
+      Vec2 p = a + (b - a) * (static_cast<double>(i) / steps);
+      p += Vec2{rng.Normal(0.0, 2.0), rng.Normal(0.0, 2.0)};
+      out.push_back(TrackPoint{p, t += 5.0, {}});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bqs;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 14;
+  Rng rng(99);
+
+  TrajectoryStoreOptions store_options;
+  store_options.merge_tolerance = 25.0;
+  TrajectoryStore store(store_options);
+
+  BqsOptions options;
+  options.epsilon = 10.0;
+  FbqsCompressor compressor(options);
+
+  std::size_t total_fixes = 0;
+  std::size_t total_merged = 0;
+  std::size_t total_stored = 0;
+  for (int day = 0; day < days; ++day) {
+    for (const bool evening : {false, true}) {
+      const Trajectory trip =
+          Commute(rng, evening, day * 86400.0 + (evening ? 64800.0 : 28800.0));
+      total_fixes += trip.size();
+      const CompressedTrajectory compressed = CompressAll(compressor, trip);
+      const auto result = store.Append(compressed);
+      total_merged += result.segments_merged;
+      total_stored += result.segments_stored;
+    }
+  }
+
+  std::printf("%d days x 2 commutes: %zu raw fixes\n", days, total_fixes);
+  std::printf("after FBQS + merging: %zu live segments "
+              "(%zu stored, %zu merged into visit counts)\n",
+              store.segment_count(), total_stored, total_merged);
+  std::printf("store footprint: %.2f KB (raw would be %.1f KB)\n",
+              store.StorageBytes() / 1000.0, total_fixes * 12.0 / 1000.0);
+  uint64_t max_visits = 0;
+  for (const auto& seg : store.segments()) {
+    if (seg.alive && seg.visits > max_visits) max_visits = seg.visits;
+  }
+  std::printf("most-travelled segment seen %llu times\n",
+              static_cast<unsigned long long>(max_visits));
+
+  // Ageing: a month later, old geometry can be coarser.
+  const double before = store.StorageBytes();
+  const std::size_t dropped = store.Age(40.0);
+  std::printf("ageing at 40 m dropped %zu key points: %.2f KB -> %.2f KB\n",
+              dropped, before / 1000.0, store.StorageBytes() / 1000.0);
+
+  // Waypoint discovery + trip prediction (the paper's future-work
+  // application). Stays must survive compression, so the discovery runs on
+  // time-sensitive output; a dwell is inserted at each commute endpoint.
+  WaypointOptions wp_options;
+  wp_options.min_dwell_s = 1200.0;
+  WaypointDiscovery discovery(wp_options);
+  TimeSensitiveOptions ts_options;
+  ts_options.epsilon = 15.0;
+  ts_options.time_scale = 0.05;
+  TimeSensitiveCompressor ts(ts_options);
+  Rng rng2(99);
+  for (int day = 0; day < days; ++day) {
+    for (const bool evening : {false, true}) {
+      Trajectory trip =
+          Commute(rng2, evening, day * 86400.0 + (evening ? 64800.0 : 28800.0));
+      // Dwell for 40 minutes at the destination before the next trip.
+      Trajectory with_dwell = trip;
+      const TrackPoint end = trip.back();
+      for (int m = 1; m <= 40; ++m) {
+        with_dwell.push_back(TrackPoint{
+            end.pos + Vec2{rng2.Normal(0, 2), rng2.Normal(0, 2)},
+            end.t + m * 60.0,
+            {}});
+      }
+      discovery.Observe(CompressAll(ts, with_dwell));
+    }
+  }
+  const auto places = discovery.Waypoints(2);
+  std::printf("\nwaypoints discovered from compressed data: %zu\n",
+              places.size());
+  for (const auto& wp : places) {
+    std::printf("  place %u at (%.0f, %.0f): %llu visits, %.1f h dwell\n",
+                wp.id, wp.center.x, wp.center.y,
+                static_cast<unsigned long long>(wp.visits),
+                wp.total_dwell_s / 3600.0);
+  }
+  if (!places.empty()) {
+    if (const auto next = discovery.PredictNext(places[0].id)) {
+      std::printf("leaving place %u, next stop is place %u (p = %.2f)\n",
+                  places[0].id, next->first, next->second);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Vehicle tracking: compare every online algorithm on a dashboard GPS
+// trace, like the paper's comparative study (Fig. 7 / Table III).
+//
+//   $ ./vehicle_tracking [trips]
+//
+// Also demonstrates the offline API (Douglas-Peucker) and temporal
+// reconstruction: querying where the car was at an arbitrary time from
+// the compressed trajectory only.
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+
+#include "baselines/douglas_peucker.h"
+#include "eval/algorithms.h"
+#include "eval/table.h"
+#include "simulation/vehicle.h"
+#include "trajectory/deviation.h"
+#include "trajectory/reconstruct.h"
+
+int main(int argc, char** argv) {
+  using namespace bqs;
+
+  VehicleOptions car;
+  car.num_trips = argc > 1 ? std::atoi(argv[1]) : 6;
+  car.seed = 2015;
+  const GeoTrace trace = GenerateVehicleTrace(car);
+  const auto projected = ProjectTrace(trace, ProjectionKind::kUtm);
+  if (!projected.ok()) {
+    std::fprintf(stderr, "projection failed: %s\n",
+                 projected.status().ToString().c_str());
+    return 1;
+  }
+  const Trajectory& stream = projected.value();
+  std::printf("%d trips, %zu fixes, %.0f km driven\n", car.num_trips,
+              stream.size(), PathLength(stream) / 1000.0);
+
+  const double epsilon = 15.0;  // metres; road-scale tolerance
+  std::printf("error tolerance: %.0f m\n\n", epsilon);
+
+  TablePrinter table({"algorithm", "kept", "rate", "max_dev_m", "runtime_ms"});
+  for (const AlgorithmId id :
+       {AlgorithmId::kBqs, AlgorithmId::kFbqs, AlgorithmId::kBdp,
+        AlgorithmId::kBgd, AlgorithmId::kDp}) {
+    AlgorithmConfig config;
+    config.id = id;
+    config.epsilon = epsilon;
+    const RunOutput out = RunAlgorithm(config, stream);
+    const DeviationReport report =
+        EvaluateCompression(stream, out.compressed, config.metric);
+    table.AddRow({std::string(AlgorithmName(id)),
+                  FmtInt(static_cast<int64_t>(out.compressed.size())),
+                  FmtPercent(out.compressed.CompressionRate(stream.size()), 2),
+                  FmtDouble(report.max_deviation, 2),
+                  FmtDouble(out.runtime_ms, 1)});
+  }
+  table.Print(std::cout);
+
+  // Temporal reconstruction from the compressed trajectory.
+  AlgorithmConfig config;
+  config.id = AlgorithmId::kFbqs;
+  config.epsilon = epsilon;
+  const RunOutput fbqs = RunAlgorithm(config, stream);
+  const double t_query = stream.front().t + Duration(stream) * 0.37;
+  const auto where = ReconstructAt(fbqs.compressed, t_query);
+  if (where.has_value()) {
+    std::printf("\nreconstruction: at t=%.0fs the car was near "
+                "(%.1f, %.1f) UTM, moving %.1f m/s\n",
+                t_query, where->pos.x, where->pos.y,
+                where->velocity.Norm());
+  }
+  return 0;
+}

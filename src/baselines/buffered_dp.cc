@@ -1,0 +1,54 @@
+#include "baselines/buffered_dp.h"
+
+namespace bqs {
+
+BufferedDp::BufferedDp(const BufferedDpOptions& options) : options_(options) {
+  buffer_.reserve(options_.buffer_size);
+  indices_.reserve(options_.buffer_size);
+}
+
+void BufferedDp::Reset() {
+  buffer_.clear();
+  indices_.clear();
+  next_index_ = 0;
+  emitted_first_ = false;
+}
+
+void BufferedDp::Push(const TrackPoint& pt, std::vector<KeyPoint>* out) {
+  const uint64_t index = next_index_++;
+  if (!emitted_first_) {
+    emitted_first_ = true;
+    out->push_back(KeyPoint{pt, index});
+  }
+  buffer_.push_back(pt);
+  indices_.push_back(index);
+  if (buffer_.size() >= options_.buffer_size) {
+    Flush(out);
+  }
+}
+
+void BufferedDp::Finish(std::vector<KeyPoint>* out) {
+  if (buffer_.size() > 1) {
+    Flush(out);
+  }
+}
+
+void BufferedDp::Flush(std::vector<KeyPoint>* out) {
+  // DP keeps both buffer endpoints. The first buffered point was already
+  // emitted (either as the stream head or as the carry-over of the
+  // previous flush), so emit from the second kept point on.
+  const auto kept =
+      DouglasPeuckerIndices(buffer_, options_.epsilon, options_.metric);
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    out->push_back(KeyPoint{buffer_[kept[i]], indices_[kept[i]]});
+  }
+  // The buffer's last point carries over as the start of the next window.
+  const TrackPoint carry = buffer_.back();
+  const uint64_t carry_index = indices_.back();
+  buffer_.clear();
+  indices_.clear();
+  buffer_.push_back(carry);
+  indices_.push_back(carry_index);
+}
+
+}  // namespace bqs

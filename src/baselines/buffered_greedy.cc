@@ -1,0 +1,81 @@
+#include "baselines/buffered_greedy.h"
+
+#include <cassert>
+
+#include "trajectory/deviation.h"
+
+namespace bqs {
+
+BufferedGreedy::BufferedGreedy(const BufferedGreedyOptions& options)
+    : options_(options) {
+  if (options_.buffer_size > 0) buffer_.reserve(options_.buffer_size);
+}
+
+void BufferedGreedy::Reset() {
+  have_first_ = false;
+  next_index_ = 0;
+  segment_start_ = TrackPoint{};
+  prev_ = TrackPoint{};
+  prev_index_ = 0;
+  last_emitted_index_ = UINT64_MAX;
+  buffer_.clear();
+  deviation_scans_ = 0;
+}
+
+void BufferedGreedy::Push(const TrackPoint& pt, std::vector<KeyPoint>* out) {
+  const uint64_t index = next_index_++;
+  if (!have_first_) {
+    have_first_ = true;
+    out->push_back(KeyPoint{pt, index});
+    last_emitted_index_ = index;
+    StartSegment(pt, index);
+    return;
+  }
+  ProcessPoint(pt, index, out, 0);
+}
+
+void BufferedGreedy::Finish(std::vector<KeyPoint>* out) {
+  if (have_first_ && prev_index_ != last_emitted_index_) {
+    out->push_back(KeyPoint{prev_, prev_index_});
+    last_emitted_index_ = prev_index_;
+  }
+}
+
+void BufferedGreedy::ProcessPoint(const TrackPoint& pt, uint64_t index,
+                                  std::vector<KeyPoint>* out, int depth) {
+  assert(depth <= 1);
+  // Full scan of the buffered interior points against line (start, pt).
+  ++deviation_scans_;
+  const double dev = BufferDeviation(buffer_, segment_start_.pos, pt.pos,
+                                     options_.metric);
+  if (dev > options_.epsilon) {
+    // The previous point closes the segment (keeping pt in this segment
+    // would break the tolerance); pt re-enters the fresh segment.
+    out->push_back(KeyPoint{prev_, prev_index_});
+    last_emitted_index_ = prev_index_;
+    StartSegment(prev_, prev_index_);
+    ProcessPoint(pt, index, out, depth + 1);
+    return;
+  }
+
+  buffer_.push_back(pt);
+  prev_ = pt;
+  prev_index_ = index;
+
+  // Bounded window: a full buffer forces a key point at the newest point,
+  // the extra-points weakness the paper attributes to window methods.
+  if (options_.buffer_size > 0 && buffer_.size() >= options_.buffer_size) {
+    out->push_back(KeyPoint{pt, index});
+    last_emitted_index_ = index;
+    StartSegment(pt, index);
+  }
+}
+
+void BufferedGreedy::StartSegment(const TrackPoint& pt, uint64_t index) {
+  segment_start_ = pt;
+  prev_ = pt;
+  prev_index_ = index;
+  buffer_.clear();
+}
+
+}  // namespace bqs

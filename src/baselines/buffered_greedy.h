@@ -1,0 +1,62 @@
+// Buffered Greedy Deviation (paper Section III-B-2): the generic
+// sliding-window algorithm. Every incoming point triggers a full deviation
+// scan of the buffered segment against the line from the segment start to
+// the incoming point — O(n * M) time overall — and the buffer cap forces
+// extra key points exactly as the paper describes.
+//
+// With buffer_size = 0 (unbounded) this is the exact online greedy
+// reference: it makes the same include/split decisions as BQS, which the
+// differential tests exploit.
+#ifndef BQS_BASELINES_BUFFERED_GREEDY_H_
+#define BQS_BASELINES_BUFFERED_GREEDY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/line2.h"
+#include "trajectory/compressor.h"
+
+namespace bqs {
+
+/// Options for Buffered Greedy Deviation.
+struct BufferedGreedyOptions {
+  double epsilon = 10.0;
+  DistanceMetric metric = DistanceMetric::kPointToLine;
+  /// Max interior points buffered per segment; 0 = unbounded (reference
+  /// greedy). Paper default 32 for the comparative study.
+  std::size_t buffer_size = 32;
+};
+
+/// Online sliding-window compressor with guaranteed error bound.
+class BufferedGreedy final : public StreamCompressor {
+ public:
+  explicit BufferedGreedy(const BufferedGreedyOptions& options = {});
+
+  void Push(const TrackPoint& pt, std::vector<KeyPoint>* out) override;
+  void Finish(std::vector<KeyPoint>* out) override;
+  void Reset() override;
+  std::string_view name() const override { return "BGD"; }
+
+  const BufferedGreedyOptions& options() const { return options_; }
+  /// Full deviation scans performed (for run-time accounting).
+  uint64_t deviation_scans() const { return deviation_scans_; }
+
+ private:
+  void ProcessPoint(const TrackPoint& pt, uint64_t index,
+                    std::vector<KeyPoint>* out, int depth);
+  void StartSegment(const TrackPoint& pt, uint64_t index);
+
+  BufferedGreedyOptions options_;
+  bool have_first_ = false;
+  uint64_t next_index_ = 0;
+  TrackPoint segment_start_{};
+  TrackPoint prev_{};
+  uint64_t prev_index_ = 0;
+  uint64_t last_emitted_index_ = UINT64_MAX;
+  std::vector<TrackPoint> buffer_;  ///< Interior points of the segment.
+  uint64_t deviation_scans_ = 0;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_BASELINES_BUFFERED_GREEDY_H_

@@ -1,0 +1,45 @@
+#include "baselines/dead_reckoning.h"
+
+namespace bqs {
+
+void DeadReckoning::Reset() {
+  have_report_ = false;
+  last_report_ = TrackPoint{};
+  prev_ = TrackPoint{};
+  prev_index_ = 0;
+  last_emitted_index_ = UINT64_MAX;
+  next_index_ = 0;
+}
+
+void DeadReckoning::Push(const TrackPoint& pt, std::vector<KeyPoint>* out) {
+  const uint64_t index = next_index_++;
+  if (!have_report_) {
+    have_report_ = true;
+    last_report_ = pt;
+    out->push_back(KeyPoint{pt, index});
+    last_emitted_index_ = index;
+    prev_ = pt;
+    prev_index_ = index;
+    return;
+  }
+  const double dt = pt.t - last_report_.t;
+  const Vec2 predicted = last_report_.pos + dt * last_report_.velocity;
+  if (Distance(predicted, pt.pos) > options_.epsilon) {
+    // Prediction broke tolerance: report the actual fix (with its current
+    // velocity) and predict from here on.
+    last_report_ = pt;
+    out->push_back(KeyPoint{pt, index});
+    last_emitted_index_ = index;
+  }
+  prev_ = pt;
+  prev_index_ = index;
+}
+
+void DeadReckoning::Finish(std::vector<KeyPoint>* out) {
+  if (next_index_ > 0 && prev_index_ != last_emitted_index_) {
+    out->push_back(KeyPoint{prev_, prev_index_});
+    last_emitted_index_ = prev_index_;
+  }
+}
+
+}  // namespace bqs

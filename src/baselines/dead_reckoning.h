@@ -1,0 +1,52 @@
+// Dead Reckoning data reduction (Trajcevski et al., MobiDE'06; paper
+// Section VI-C-3): a point is reported only when the position predicted by
+// linear extrapolation from the last report (position + velocity) drifts
+// more than epsilon from the actual fix. O(1) time and space per point,
+// like FBQS, but with markedly worse compression (Fig. 8(b)).
+//
+// DR needs instantaneous speed/heading at each report, which the paper
+// notes requires continuous high-frequency sampling — hence its evaluation
+// on the synthetic dataset, whose generator provides exact velocities.
+#ifndef BQS_BASELINES_DEAD_RECKONING_H_
+#define BQS_BASELINES_DEAD_RECKONING_H_
+
+#include <vector>
+
+#include "trajectory/compressor.h"
+
+namespace bqs {
+
+/// Options for Dead Reckoning.
+struct DeadReckoningOptions {
+  /// Max allowed distance between the predicted and actual position.
+  double epsilon = 10.0;
+};
+
+/// Online dead-reckoning reducer. The retained points (with their
+/// velocities) reconstruct the trajectory with at most epsilon error at
+/// every original sample time.
+class DeadReckoning final : public StreamCompressor {
+ public:
+  explicit DeadReckoning(const DeadReckoningOptions& options = {})
+      : options_(options) {}
+
+  void Push(const TrackPoint& pt, std::vector<KeyPoint>* out) override;
+  void Finish(std::vector<KeyPoint>* out) override;
+  void Reset() override;
+  std::string_view name() const override { return "DR"; }
+
+  const DeadReckoningOptions& options() const { return options_; }
+
+ private:
+  DeadReckoningOptions options_;
+  bool have_report_ = false;
+  TrackPoint last_report_{};
+  TrackPoint prev_{};
+  uint64_t prev_index_ = 0;
+  uint64_t last_emitted_index_ = UINT64_MAX;
+  uint64_t next_index_ = 0;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_BASELINES_DEAD_RECKONING_H_

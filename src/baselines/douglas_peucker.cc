@@ -1,0 +1,67 @@
+#include "baselines/douglas_peucker.h"
+
+#include <algorithm>
+
+#include "geometry/line2.h"
+
+namespace bqs {
+
+std::vector<std::size_t> DouglasPeuckerIndices(
+    std::span<const TrackPoint> points, double epsilon,
+    DistanceMetric metric) {
+  const std::size_t n = points.size();
+  std::vector<std::size_t> keep;
+  if (n == 0) return keep;
+  if (n <= 2) {
+    keep.push_back(0);
+    if (n == 2) keep.push_back(1);
+    return keep;
+  }
+
+  std::vector<bool> kept(n, false);
+  kept[0] = true;
+  kept[n - 1] = true;
+
+  // Each stack entry is an open range (from, to) with both ends kept.
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  stack.emplace_back(0, n - 1);
+  while (!stack.empty()) {
+    const auto [from, to] = stack.back();
+    stack.pop_back();
+    if (to <= from + 1) continue;
+
+    const Vec2 a = points[from].pos;
+    const Vec2 b = points[to].pos;
+    double worst = -1.0;
+    std::size_t worst_idx = from;
+    for (std::size_t i = from + 1; i < to; ++i) {
+      const double d = PointDeviation(points[i].pos, a, b, metric);
+      if (d > worst) {
+        worst = d;
+        worst_idx = i;
+      }
+    }
+    if (worst > epsilon) {
+      kept[worst_idx] = true;
+      stack.emplace_back(from, worst_idx);
+      stack.emplace_back(worst_idx, to);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (kept[i]) keep.push_back(i);
+  }
+  return keep;
+}
+
+CompressedTrajectory DouglasPeucker::Compress(
+    std::span<const TrackPoint> points) {
+  CompressedTrajectory out;
+  for (std::size_t idx :
+       DouglasPeuckerIndices(points, options_.epsilon, options_.metric)) {
+    out.keys.push_back(KeyPoint{points[idx], idx});
+  }
+  return out;
+}
+
+}  // namespace bqs

@@ -1,0 +1,47 @@
+// Douglas-Peucker line simplification (offline baseline, paper Section
+// III-B / VI). Iterative implementation (explicit stack) so adversarial
+// inputs cannot overflow the call stack.
+#ifndef BQS_BASELINES_DOUGLAS_PEUCKER_H_
+#define BQS_BASELINES_DOUGLAS_PEUCKER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/line2.h"
+#include "trajectory/compressor.h"
+
+namespace bqs {
+
+/// Options for Douglas-Peucker.
+struct DpOptions {
+  /// Error tolerance in metres.
+  double epsilon = 10.0;
+  /// Deviation metric (the paper's evaluation uses point-to-line).
+  DistanceMetric metric = DistanceMetric::kPointToLine;
+};
+
+/// Indices of the retained points of `points` (always includes 0 and n-1
+/// for n >= 2). Worst case O(n^2) time, O(n) space.
+std::vector<std::size_t> DouglasPeuckerIndices(
+    std::span<const TrackPoint> points, double epsilon,
+    DistanceMetric metric);
+
+/// Offline Douglas-Peucker compressor.
+class DouglasPeucker final : public OfflineCompressor {
+ public:
+  explicit DouglasPeucker(const DpOptions& options = {})
+      : options_(options) {}
+
+  CompressedTrajectory Compress(std::span<const TrackPoint> points) override;
+  std::string_view name() const override { return "DP"; }
+
+  const DpOptions& options() const { return options_; }
+
+ private:
+  DpOptions options_;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_BASELINES_DOUGLAS_PEUCKER_H_

@@ -1,0 +1,151 @@
+#include "baselines/squish_e.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace bqs {
+
+double SynchronizedEuclideanDistance(const TrackPoint& p, const TrackPoint& a,
+                                     const TrackPoint& b) {
+  const double dt = b.t - a.t;
+  double u = 0.0;
+  if (dt > 0.0) u = (p.t - a.t) / dt;
+  u = std::clamp(u, 0.0, 1.0);
+  const Vec2 synced = a.pos + u * (b.pos - a.pos);
+  return Distance(p.pos, synced);
+}
+
+namespace {
+
+// Doubly-linked buffer over indices into the original stream, with a
+// priority set ordered by (priority, index) for O(log n) min-removal and
+// re-prioritization.
+class SquishQueue {
+ public:
+  explicit SquishQueue(std::span<const TrackPoint> points)
+      : points_(points),
+        prev_(points.size(), kNone),
+        next_(points.size(), kNone),
+        pi_(points.size(), 0.0),
+        priority_(points.size(), kInf),
+        alive_(points.size(), false) {}
+
+  void Append(std::size_t idx) {
+    alive_[idx] = true;
+    prev_[idx] = tail_;
+    next_[idx] = kNone;
+    if (tail_ != kNone) next_[tail_] = idx;
+    tail_ = idx;
+    if (head_ == kNone) head_ = idx;
+    ++size_;
+    // A fresh tail is an endpoint: infinite priority until the next point
+    // arrives. Its predecessor (previous tail) becomes interior.
+    Reprioritize(idx);
+    if (prev_[idx] != kNone) Reprioritize(prev_[idx]);
+  }
+
+  /// Minimum priority among removable (interior) points; kInf when none.
+  double MinPriority() const {
+    return set_.empty() ? kInf : set_.begin()->first;
+  }
+
+  /// Removes the min-priority interior point, propagating its implied
+  /// error to the neighbours (the SQUISH-E pi update).
+  void RemoveMin() {
+    const std::size_t idx = set_.begin()->second;
+    const double p = set_.begin()->first;
+    const std::size_t l = prev_[idx];
+    const std::size_t r = next_[idx];
+    Erase(idx);
+    alive_[idx] = false;
+    next_[l] = r;
+    prev_[r] = l;
+    --size_;
+    pi_[l] = std::max(pi_[l], p);
+    pi_[r] = std::max(pi_[r], p);
+    Reprioritize(l);
+    Reprioritize(r);
+  }
+
+  std::size_t size() const { return size_; }
+
+  std::vector<std::size_t> AliveIndices() const {
+    std::vector<std::size_t> out;
+    out.reserve(size_);
+    for (std::size_t i = head_; i != kNone; i = next_[i]) out.push_back(i);
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kNone =
+      std::numeric_limits<std::size_t>::max();
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  void Reprioritize(std::size_t idx) {
+    Erase(idx);
+    const std::size_t l = prev_[idx];
+    const std::size_t r = next_[idx];
+    if (l == kNone || r == kNone) {
+      priority_[idx] = kInf;  // endpoints are never removed
+      return;
+    }
+    priority_[idx] =
+        pi_[idx] + SynchronizedEuclideanDistance(points_[idx], points_[l],
+                                                 points_[r]);
+    set_.emplace(priority_[idx], idx);
+  }
+
+  void Erase(std::size_t idx) {
+    if (priority_[idx] != kInf) {
+      set_.erase({priority_[idx], idx});
+      priority_[idx] = kInf;
+    }
+  }
+
+  std::span<const TrackPoint> points_;
+  std::vector<std::size_t> prev_;
+  std::vector<std::size_t> next_;
+  std::vector<double> pi_;        ///< Accumulated implied error.
+  std::vector<double> priority_;  ///< Current priority; kInf if not queued.
+  std::vector<bool> alive_;
+  std::set<std::pair<double, std::size_t>> set_;
+  std::size_t head_ = kNone;
+  std::size_t tail_ = kNone;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+CompressedTrajectory SquishE::Compress(std::span<const TrackPoint> points) {
+  CompressedTrajectory out;
+  const std::size_t n = points.size();
+  if (n == 0) return out;
+
+  SquishQueue queue(points);
+  for (std::size_t i = 0; i < n; ++i) {
+    queue.Append(i);
+    if (options_.lambda > 1.0) {
+      const auto capacity = static_cast<std::size_t>(std::max(
+          static_cast<double>(options_.min_capacity),
+          std::ceil(static_cast<double>(i + 1) / options_.lambda)));
+      while (queue.size() > capacity && queue.MinPriority() <
+             std::numeric_limits<double>::infinity()) {
+        queue.RemoveMin();
+      }
+    }
+  }
+  if (options_.epsilon > 0.0) {
+    while (queue.size() > 2 && queue.MinPriority() <= options_.epsilon) {
+      queue.RemoveMin();
+    }
+  }
+
+  for (std::size_t idx : queue.AliveIndices()) {
+    out.keys.push_back(KeyPoint{points[idx], idx});
+  }
+  return out;
+}
+
+}  // namespace bqs

@@ -1,0 +1,55 @@
+// SQUISH-E (Muckell et al., GeoInformatica 2013; paper Section II): a
+// priority-queue simplifier over the Synchronized Euclidean Distance (SED).
+// Removing a buffered point costs an SED error; the accumulated error a
+// removal implies is tracked so that:
+//   * SQUISH-E(lambda) caps the buffer at n/lambda points (compression-
+//     ratio bound, can run online), and
+//   * SQUISH-E(epsilon) keeps removing the cheapest point while the implied
+//     SED error stays within epsilon (error bound, offline).
+// Implemented here as the related-work baseline for the extension benches;
+// the paper's own evaluation compares BQS against DP/BDP/BGD/DR.
+#ifndef BQS_BASELINES_SQUISH_E_H_
+#define BQS_BASELINES_SQUISH_E_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "trajectory/compressor.h"
+
+namespace bqs {
+
+/// Options for SQUISH-E. Enable at least one of the two modes.
+struct SquishEOptions {
+  /// Target compression ratio N_original / N_compressed; <= 1 disables the
+  /// capacity cap. (The paper's lambda.)
+  double lambda = 0.0;
+  /// SED error budget; <= 0 disables error-driven removal.
+  double epsilon = 0.0;
+  /// Floor for the buffer capacity in lambda mode.
+  std::size_t min_capacity = 4;
+};
+
+/// Synchronized Euclidean Distance of p against the segment (a, b):
+/// distance between p and the position linearly interpolated at p.t.
+double SynchronizedEuclideanDistance(const TrackPoint& p, const TrackPoint& a,
+                                     const TrackPoint& b);
+
+/// SQUISH-E simplifier. Compress() performs the lambda-capped streaming
+/// pass over the input and then the epsilon-driven reduction.
+class SquishE final : public OfflineCompressor {
+ public:
+  explicit SquishE(const SquishEOptions& options) : options_(options) {}
+
+  CompressedTrajectory Compress(std::span<const TrackPoint> points) override;
+  std::string_view name() const override { return "SQUISH-E"; }
+
+  const SquishEOptions& options() const { return options_; }
+
+ private:
+  SquishEOptions options_;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_BASELINES_SQUISH_E_H_

@@ -1,0 +1,49 @@
+// Deterministic random number generation for simulators and property tests.
+// Every consumer takes an explicit seed so all results are reproducible;
+// nothing in the library reads wall-clock entropy.
+#ifndef BQS_COMMON_RNG_H_
+#define BQS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace bqs {
+
+/// Seeded pseudo-random source wrapping std::mt19937_64 with the handful of
+/// distributions the simulators need. Not thread-safe; use one per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Normal (Gaussian) with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Exponential with the given mean (= 1/lambda). Used for Poisson-process
+  /// event durations in the correlated random walk (paper Section VI-A).
+  double Exponential(double mean);
+
+  /// Log-normal such that the underlying normal has (mu, sigma).
+  double LogNormal(double mu, double sigma);
+
+  /// True with probability p (p clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Derives an independent child seed; lets one master seed fan out to
+  /// sub-simulators without correlated streams.
+  uint64_t Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_COMMON_RNG_H_

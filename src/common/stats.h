@@ -1,0 +1,76 @@
+// Streaming and batch statistics. RunningStats implements Welford's online
+// mean/variance update — the semi-numeric algorithm the paper cites (Knuth,
+// TAOCP vol. 2) for fitting a Gaussian interpolation distribution online.
+#ifndef BQS_COMMON_STATS_H_
+#define BQS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace bqs {
+
+/// Online mean/variance accumulator (Welford / Knuth TAOCP 4.2.2).
+/// Constant space; numerically stable for long streams.
+class RunningStats {
+ public:
+  /// Folds one observation into the accumulator.
+  void Add(double x);
+
+  /// Number of observations so far.
+  int64_t count() const { return count_; }
+  /// Mean of observations; 0 when empty.
+  double mean() const { return mean_; }
+  /// Population variance (divides by n); 0 for n < 2.
+  double variance() const;
+  /// Sample variance (divides by n-1); 0 for n < 2.
+  double sample_variance() const;
+  /// sqrt(variance()).
+  double stddev() const;
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const RunningStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch percentile over a copy of the data (nearest-rank with linear
+/// interpolation). `q` in [0, 1]. Returns 0 for empty input.
+double Percentile(std::vector<double> values, double q);
+
+/// Fixed-bin histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+  /// Count in bin i.
+  int64_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::size_t num_bins() const { return counts_.size(); }
+  int64_t total() const { return total_; }
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Fraction of mass at or below x (empirical CDF on bin granularity).
+  double CdfAt(double x) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_COMMON_STATS_H_

@@ -1,0 +1,34 @@
+// Minimal string helpers for CSV I/O and table formatting. Deliberately
+// small; no locale dependence (all numeric formatting is "C" locale).
+#ifndef BQS_COMMON_STRINGS_H_
+#define BQS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bqs {
+
+/// Splits on a single delimiter; keeps empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins with a delimiter.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Strict string->double; fails on empty / trailing garbage / inf overflow.
+Result<double> ParseDouble(std::string_view s);
+
+/// Strict string->int64.
+Result<int64_t> ParseInt(std::string_view s);
+
+/// printf-style formatting into std::string (type-checked by the compiler).
+std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace bqs
+
+#endif  // BQS_COMMON_STRINGS_H_

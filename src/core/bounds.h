@@ -1,0 +1,50 @@
+// Deviation bounds from a quadrant's significant points (paper Theorems
+// 5.2-5.5 and the Eq. 11 point-to-segment adjustment). Given a quadrant
+// bound and a candidate end point, these functions produce a pair
+// <d_lb, d_ub> sandwiching the maximum deviation of every buffered point in
+// that quadrant to the path line, without touching the buffer.
+#ifndef BQS_CORE_BOUNDS_H_
+#define BQS_CORE_BOUNDS_H_
+
+#include "core/options.h"
+#include "core/quadrant_bound.h"
+#include "geometry/line2.h"
+#include "geometry/vec2.h"
+
+namespace bqs {
+
+/// A lower/upper bound pair on the maximum deviation.
+struct DeviationBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+
+  /// Aggregates per-quadrant bounds (Algorithm 1 line 5): both the global
+  /// lower and the global upper bound are maxima over the quadrants,
+  /// because the segment deviation is the max over all buffered points.
+  void MergeMax(const DeviationBounds& other) {
+    lower = lower > other.lower ? lower : other.lower;
+    upper = upper > other.upper ? upper : other.upper;
+  }
+};
+
+/// Bounds on max deviation of the points summarized by `qb` to the path
+/// from the origin to `end` (both in the quadrant system's rotated frame).
+/// Chooses Theorem 5.3/5.4 ("line in quadrant") or Theorem 5.5 (line not
+/// in quadrant) internally; with DistanceMetric::kPointToSegment the upper
+/// bound follows Eq. (11) and the in-quadrant test is directional.
+/// `mode` selects the sound corrected bounds (default) or the paper's
+/// literal formulas (see BoundsMode).
+/// Precondition: !qb.empty() and end != origin.
+DeviationBounds QuadrantDeviationBounds(
+    const QuadrantBound& qb, Vec2 end, DistanceMetric metric,
+    BoundsMode mode = BoundsMode::kSound);
+
+/// Loose whole-box bounds of Theorem 5.2 (min/max corner distance). Used as
+/// a baseline in the bound-tightness ablation; the compressors use
+/// QuadrantDeviationBounds.
+DeviationBounds BoxDeviationBounds(const QuadrantBound& qb, Vec2 end,
+                                   DistanceMetric metric);
+
+}  // namespace bqs
+
+#endif  // BQS_CORE_BOUNDS_H_

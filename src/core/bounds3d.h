@@ -1,0 +1,43 @@
+// Deviation bounds for the 3-D BQS. The upper bound is the max distance
+// from a significant-point set to the path; with the clipped hull that set
+// provably contains every buffered point (distance-to-line is convex, so
+// its max over a convex polytope is attained at a vertex). The lower bound
+// generalizes the 2-D edge argument: every prism face carries at least one
+// buffered point, so the max deviation is at least the distance from the
+// path line to the farthest face.
+#ifndef BQS_CORE_BOUNDS3D_H_
+#define BQS_CORE_BOUNDS3D_H_
+
+#include <array>
+
+#include "core/bounds.h"
+#include "core/octant_bound.h"
+#include "geometry/line2.h"
+#include "geometry/vec3.h"
+
+namespace bqs {
+
+/// Which significant-point set the 3-D upper bound uses.
+enum class Bounds3dMode {
+  /// Exact vertices of (prism intersect wedges); provably safe. Default.
+  kClippedHull,
+  /// The paper's cheaper <= 17-point scheme (plane/prism intersections
+  /// plus the far corner). Evaluated as an ablation.
+  kPaperSignificant,
+};
+
+/// Bounds on the max deviation of the points summarized by `ob` to the
+/// 3-D path from the origin to `end` (original frame, relative to the
+/// octant system's origin). Precondition: !ob.empty() and end != 0.
+DeviationBounds OctantDeviationBounds(const OctantBound& ob, Vec3 end,
+                                      DistanceMetric metric,
+                                      Bounds3dMode mode);
+
+/// Distance from the infinite line (a, b) to a rectangle given by its four
+/// corners (coplanar); 0 when the line pierces the rectangle. Exposed for
+/// tests.
+double LineToRectDistance(Vec3 a, Vec3 b, const std::array<Vec3, 4>& rect);
+
+}  // namespace bqs
+
+#endif  // BQS_CORE_BOUNDS3D_H_

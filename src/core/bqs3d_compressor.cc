@@ -1,0 +1,186 @@
+#include "core/bqs3d_compressor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "geometry/angle.h"
+#include "geometry/line3.h"
+
+namespace bqs {
+
+Bqs3dCompressor::Bqs3dCompressor(const Bqs3dOptions& options, bool exact_mode)
+    : options_(options),
+      exact_mode_(exact_mode),
+      octants_{OctantBound(0), OctantBound(1), OctantBound(2), OctantBound(3),
+               OctantBound(4), OctantBound(5), OctantBound(6),
+               OctantBound(7)} {
+  Reset();
+}
+
+void Bqs3dCompressor::Reset() {
+  stats_ = DecisionStats{};
+  have_first_ = false;
+  next_index_ = 0;
+  prev_ = TrackPoint3{};
+  prev_index_ = 0;
+  last_emitted_index_ = UINT64_MAX;
+  StartSegment(TrackPoint3{}, 0);
+}
+
+void Bqs3dCompressor::Push(const TrackPoint3& pt,
+                           std::vector<KeyPoint3>* out) {
+  const uint64_t index = next_index_++;
+  ++stats_.points;
+  if (!have_first_) {
+    have_first_ = true;
+    EmitKey(pt, index, out);
+    StartSegment(pt, index);
+    return;
+  }
+  ProcessPoint(pt, index, out, 0);
+}
+
+void Bqs3dCompressor::Finish(std::vector<KeyPoint3>* out) {
+  if (have_first_ && prev_index_ != last_emitted_index_) {
+    EmitKey(prev_, prev_index_, out);
+  }
+}
+
+void Bqs3dCompressor::ProcessPoint(const TrackPoint3& pt, uint64_t index,
+                                   std::vector<KeyPoint3>* out, int depth) {
+  assert(depth <= 1);
+  if (Assess(pt) == Decision::kInclude) {
+    prev_ = pt;
+    prev_index_ = index;
+    return;
+  }
+  EmitKey(prev_, prev_index_, out);
+  ++stats_.segments;
+  StartSegment(prev_, prev_index_);
+  ProcessPoint(pt, index, out, depth + 1);
+}
+
+Bqs3dCompressor::Decision Bqs3dCompressor::Assess(const TrackPoint3& pt) {
+  const Vec3 rel = pt.pos - segment_start_.pos;
+  const double eps = options_.epsilon;
+
+  // Theorem 5.1 generalizes verbatim to 3-D: near-start points never enter
+  // the bounding structures. As in 2-D they must still pass the
+  // end-validity assessment unless paper-faithful mode is requested.
+  const bool trivial = rel.NormSq() <= eps * eps;
+  if (trivial && options_.paper_trivial_include) {
+    ++stats_.trivial_includes;
+    return Decision::kInclude;
+  }
+
+  const DeviationBounds bounds = AggregateBounds(rel);
+  if (bounds.upper <= eps) {
+    if (trivial) {
+      ++stats_.trivial_includes;
+    } else {
+      ++stats_.upper_bound_includes;
+      octants_[OctantOf(rel)].Add(rel);
+      if (exact_mode_) buffer_.push_back(pt);
+    }
+    return Decision::kInclude;
+  }
+  if (bounds.lower > eps) {
+    ++stats_.lower_bound_splits;
+    return Decision::kSplit;
+  }
+
+  if (!exact_mode_) {
+    ++stats_.uncertain_splits;
+    return Decision::kSplit;
+  }
+
+  ++stats_.exact_computations;
+  const double dev = BufferDeviation3(segment_start_.pos, pt.pos);
+  if (dev <= eps) {
+    if (trivial) {
+      ++stats_.trivial_includes;
+    } else {
+      ++stats_.exact_includes;
+      octants_[OctantOf(rel)].Add(rel);
+      buffer_.push_back(pt);
+    }
+    return Decision::kInclude;
+  }
+  ++stats_.exact_splits;
+  return Decision::kSplit;
+}
+
+void Bqs3dCompressor::StartSegment(const TrackPoint3& pt, uint64_t index) {
+  segment_start_ = pt;
+  prev_ = pt;
+  prev_index_ = index;
+  for (OctantBound& o : octants_) o.Reset();
+  buffer_.clear();
+}
+
+void Bqs3dCompressor::EmitKey(const TrackPoint3& pt, uint64_t index,
+                              std::vector<KeyPoint3>* out) {
+  out->push_back(KeyPoint3{pt, index});
+  last_emitted_index_ = index;
+}
+
+DeviationBounds Bqs3dCompressor::AggregateBounds(Vec3 end_rel) const {
+  DeviationBounds bounds;
+  for (const OctantBound& o : octants_) {
+    if (o.empty()) continue;
+    bounds.MergeMax(
+        OctantDeviationBounds(o, end_rel, options_.metric, options_.mode));
+  }
+  return bounds;
+}
+
+double Bqs3dCompressor::BufferDeviation3(Vec3 start_abs, Vec3 end_abs) const {
+  double dev = 0.0;
+  for (const TrackPoint3& p : buffer_) {
+    const double d = options_.metric == DistanceMetric::kPointToLine
+                         ? PointToLineDistance3(p.pos, start_abs, end_abs)
+                         : PointToSegmentDistance3(p.pos, start_abs, end_abs);
+    dev = std::max(dev, d);
+  }
+  return dev;
+}
+
+CompressedTrajectory3 Compress3dAll(Bqs3dCompressor& compressor,
+                                    std::span<const TrackPoint3> points) {
+  CompressedTrajectory3 out;
+  compressor.Reset();
+  for (const TrackPoint3& p : points) compressor.Push(p, &out.keys);
+  compressor.Finish(&out.keys);
+  return out;
+}
+
+DeviationReport Evaluate3dCompression(std::span<const TrackPoint3> original,
+                                      const CompressedTrajectory3& compressed,
+                                      DistanceMetric metric) {
+  DeviationReport report;
+  const auto& keys = compressed.keys;
+  if (keys.size() < 2) return report;
+  report.per_segment.reserve(keys.size() - 1);
+  for (std::size_t s = 0; s + 1 < keys.size(); ++s) {
+    const std::size_t from = static_cast<std::size_t>(keys[s].index);
+    std::size_t to = static_cast<std::size_t>(keys[s + 1].index);
+    if (to >= original.size()) to = original.size() - 1;
+    double dev = 0.0;
+    const Vec3 a = original[from].pos;
+    const Vec3 b = original[to].pos;
+    for (std::size_t i = from + 1; i < to; ++i) {
+      const double d = metric == DistanceMetric::kPointToLine
+                           ? PointToLineDistance3(original[i].pos, a, b)
+                           : PointToSegmentDistance3(original[i].pos, a, b);
+      dev = std::max(dev, d);
+    }
+    report.per_segment.push_back(dev);
+    if (dev > report.max_deviation) {
+      report.max_deviation = dev;
+      report.worst_segment = s;
+    }
+  }
+  return report;
+}
+
+}  // namespace bqs

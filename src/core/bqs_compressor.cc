@@ -1,0 +1,9 @@
+// BqsCompressor is header-implemented over SegmentEngine; this translation
+// unit anchors the class (keeps one out-of-line symbol for the archive).
+#include "core/bqs_compressor.h"
+
+namespace bqs {
+
+static_assert(sizeof(BqsCompressor) > 0, "anchor");
+
+}  // namespace bqs

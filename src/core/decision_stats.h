@@ -1,0 +1,54 @@
+// Per-stream decision counters. These power the paper's pruning-power
+// metric (Fig. 6) and the decision-mix analysis in EXPERIMENTS.md.
+#ifndef BQS_CORE_DECISION_STATS_H_
+#define BQS_CORE_DECISION_STATS_H_
+
+#include <cstdint>
+
+namespace bqs {
+
+/// Counts how each pushed point was decided. One counter fires per point
+/// (re-processing a point after a split does not double-count).
+struct DecisionStats {
+  uint64_t points = 0;                ///< Total points pushed.
+  uint64_t trivial_includes = 0;      ///< Theorem 5.1: d(s,e) <= epsilon.
+  uint64_t warmup_checks = 0;         ///< Exact checks over the <=W warm-up
+                                      ///< buffer before rotation is fixed.
+  uint64_t upper_bound_includes = 0;  ///< d_ub <= epsilon: include, no scan.
+  uint64_t lower_bound_splits = 0;    ///< d_lb > epsilon: split, no scan.
+  uint64_t exact_computations = 0;    ///< Full buffer scans (BQS only).
+  uint64_t exact_includes = 0;        ///< Scans that allowed inclusion.
+  uint64_t exact_splits = 0;          ///< Scans that forced a split.
+  uint64_t uncertain_splits = 0;      ///< FBQS aggressive splits when
+                                      ///< d_lb <= epsilon < d_ub.
+  uint64_t segments = 0;              ///< Segments closed (splits).
+
+  /// Paper definition: 1 - N_computed / N_total. Full-buffer scans only;
+  /// warm-up checks touch a constant-size (<=W) buffer and are reported
+  /// separately (see PruningPowerInclWarmup).
+  double PruningPower() const {
+    if (points == 0) return 1.0;
+    return 1.0 - static_cast<double>(exact_computations) /
+                     static_cast<double>(points);
+  }
+
+  /// Stricter variant counting warm-up mini-scans as computations.
+  double PruningPowerInclWarmup() const {
+    if (points == 0) return 1.0;
+    return 1.0 - static_cast<double>(exact_computations + warmup_checks) /
+                     static_cast<double>(points);
+  }
+
+  /// Fraction of points decided purely by bounds among bound-assessed ones.
+  double BoundDecisiveness() const {
+    const uint64_t assessed = upper_bound_includes + lower_bound_splits +
+                              exact_computations + uncertain_splits;
+    if (assessed == 0) return 1.0;
+    return static_cast<double>(upper_bound_includes + lower_bound_splits) /
+           static_cast<double>(assessed);
+  }
+};
+
+}  // namespace bqs
+
+#endif  // BQS_CORE_DECISION_STATS_H_

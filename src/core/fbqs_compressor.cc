@@ -1,0 +1,9 @@
+// FbqsCompressor is header-implemented over SegmentEngine; this translation
+// unit anchors the class.
+#include "core/fbqs_compressor.h"
+
+namespace bqs {
+
+static_assert(sizeof(FbqsCompressor) > 0, "anchor");
+
+}  // namespace bqs

@@ -1,0 +1,122 @@
+#include "core/octant_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+#include "geometry/polyhedron.h"
+
+namespace bqs {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+}  // namespace
+
+OctantBound::OctantBound(int octant)
+    : octant_(octant),
+      sign_{(octant & 1) ? -1.0 : 1.0, (octant & 2) ? -1.0 : 1.0,
+            (octant & 4) ? -1.0 : 1.0} {
+  Reset();
+}
+
+void OctantBound::Reset() {
+  count_ = 0;
+  box_ = Box3();
+  az_min_ = kInf;
+  az_max_ = -kInf;
+  incl_min_ = kInf;
+  incl_max_ = -kInf;
+}
+
+Vec3 OctantBound::Flip(Vec3 p) const {
+  return {p.x * sign_.x, p.y * sign_.y, p.z * sign_.z};
+}
+
+void OctantBound::Add(Vec3 p) {
+  const Vec3 c = Flip(p);  // canonical frame: all components >= 0.
+  ++count_;
+  box_.Extend(c);
+  // Azimuth about the z axis; points on the z axis contribute azimuth 0.
+  const double az = (c.x == 0.0 && c.y == 0.0) ? 0.0 : std::atan2(c.y, c.x);
+  az_min_ = std::min(az_min_, az);
+  az_max_ = std::max(az_max_, az);
+  // Inclination of the anchored plane through this point: the anchor line
+  // is the XY diagonal perpendicular to the octant's radial diagonal
+  // (paper: anchors (sign(x), -sign(y), 0) and (-sign(x), sign(y), 0)), so
+  // the dihedral angle to the XY plane is atan2(z, (x + y)/sqrt(2)).
+  const double s = (c.x + c.y) * kInvSqrt2;
+  const double incl = (s == 0.0 && c.z == 0.0) ? 0.0 : std::atan2(c.z, s);
+  incl_min_ = std::min(incl_min_, incl);
+  incl_max_ = std::max(incl_max_, incl);
+}
+
+std::vector<Plane3> OctantBound::WedgePlanes() const {
+  std::vector<Plane3> planes;
+  if (empty()) return planes;
+  planes.reserve(4);
+  // Vertical planes contain the z axis; Eval(p) = r_xy * sin(az - az_p).
+  planes.push_back(
+      Plane3{{std::sin(az_min_), -std::cos(az_min_), 0.0}, 0.0});
+  planes.push_back(
+      Plane3{{-std::sin(az_max_), std::cos(az_max_), 0.0}, 0.0});
+  // Inclined planes contain the anchor line; Eval(p) = rho * sin(incl -
+  // incl_p) up to a positive factor.
+  planes.push_back(Plane3{{std::sin(incl_min_) * kInvSqrt2,
+                           std::sin(incl_min_) * kInvSqrt2,
+                           -std::cos(incl_min_)},
+                          0.0});
+  planes.push_back(Plane3{{-std::sin(incl_max_) * kInvSqrt2,
+                           -std::sin(incl_max_) * kInvSqrt2,
+                           std::cos(incl_max_)},
+                          0.0});
+  return planes;
+}
+
+std::vector<Vec3> OctantBound::HullVertices() const {
+  if (empty()) return {};
+  // Tolerance scaled to the prism size so huge coordinates stay robust.
+  const double scale =
+      std::max({box_.max().x, box_.max().y, box_.max().z, 1.0});
+  return ClipBoxVertices(box_, WedgePlanes(), 1e-9 * scale);
+}
+
+std::vector<Vec3> OctantBound::PaperSignificantPoints() const {
+  if (empty()) return {};
+  const double scale =
+      std::max({box_.max().x, box_.max().y, box_.max().z, 1.0});
+  const double eps = 1e-9 * scale;
+  std::vector<Vec3> points;
+  const std::vector<Plane3> box_planes = BoxPlanes(box_);
+  for (const Plane3& cut : WedgePlanes()) {
+    // The section polygon of the cutting plane with the prism: constrain
+    // the plane from both sides and enumerate.
+    std::vector<Plane3> planes = box_planes;
+    planes.push_back(cut);
+    planes.push_back(Plane3{-cut.normal, -cut.offset});
+    for (const Vec3& v : EnumerateVertices(std::move(planes), eps)) {
+      bool duplicate = false;
+      for (const Vec3& u : points) {
+        if (DistanceSq(u, v) <= eps * eps) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) points.push_back(v);
+    }
+  }
+  // Plus the prism vertex farthest from the origin.
+  Vec3 far{};
+  double best = -1.0;
+  for (const Vec3& c : box_.Corners()) {
+    if (c.NormSq() > best) {
+      best = c.NormSq();
+      far = c;
+    }
+  }
+  points.push_back(far);
+  return points;
+}
+
+}  // namespace bqs

@@ -1,0 +1,79 @@
+// The per-octant bounding structure of the 3-D BQS (paper Section V-G): a
+// bounding right rectangular prism plus two pairs of bounding planes — the
+// "vertical" planes through the z axis tracking the azimuth extent, and the
+// "inclined" planes through the octant's anchor line tracking the
+// inclination extent. Their intersection is a convex polyhedron whose
+// vertices are the 3-D significant points.
+//
+// Internally every point is reflected into the canonical all-positive
+// octant (reflections are isometries, so distances to the reflected path
+// line are unchanged); this collapses the eight octant cases into one.
+#ifndef BQS_CORE_OCTANT_BOUND_H_
+#define BQS_CORE_OCTANT_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box3.h"
+#include "geometry/plane.h"
+#include "geometry/vec3.h"
+
+namespace bqs {
+
+/// One octant's bounding state. Constant-size, like the 2-D QuadrantBound.
+class OctantBound {
+ public:
+  OctantBound() : OctantBound(0) {}
+  /// `octant` in {0..7}; see OctantOf() for the sign convention.
+  explicit OctantBound(int octant);
+
+  void Reset();
+
+  /// Folds a point (relative to the origin) into the prism and the two
+  /// angular ranges. Precondition: OctantOf(p) == octant() and p != 0.
+  void Add(Vec3 p);
+
+  bool empty() const { return count_ == 0; }
+  uint64_t count() const { return count_; }
+  int octant() const { return octant_; }
+
+  /// Canonical-frame prism (all coordinates >= 0).
+  const Box3& box() const { return box_; }
+  /// Azimuth extent of the points in the canonical frame, within [0, pi/2].
+  double az_min() const { return az_min_; }
+  double az_max() const { return az_max_; }
+  /// Inclination extent (angle of the anchored inclined plane to the XY
+  /// plane), within [0, pi/2].
+  double incl_min() const { return incl_min_; }
+  double incl_max() const { return incl_max_; }
+
+  /// Reflects an original-frame vector into the canonical frame (and back:
+  /// the mapping is an involution).
+  Vec3 Flip(Vec3 p) const;
+
+  /// The four bounding half-space planes in the canonical frame (kept side
+  /// Eval <= 0). All pass through the origin.
+  std::vector<Plane3> WedgePlanes() const;
+
+  /// Vertices of (prism intersect wedge), canonical frame: the exact 3-D
+  /// significant points. The hull provably contains every added point.
+  std::vector<Vec3> HullVertices() const;
+
+  /// The paper's cheaper scheme: intersection points of each bounding
+  /// plane with the prism plus the prism vertex farthest from the origin
+  /// (<= 17 points). Slightly larger polyhedron in theory; compared against
+  /// HullVertices() in the ablation bench.
+  std::vector<Vec3> PaperSignificantPoints() const;
+
+ private:
+  int octant_;
+  Vec3 sign_;  ///< Componentwise +-1 reflection into the canonical octant.
+  uint64_t count_ = 0;
+  Box3 box_;
+  double az_min_ = 0.0, az_max_ = 0.0;
+  double incl_min_ = 0.0, incl_max_ = 0.0;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_CORE_OCTANT_BOUND_H_

@@ -1,0 +1,42 @@
+// Sample types for the 3-D BQS variant (paper Section V-G): the third axis
+// is either altitude (3-D tracking) or scaled time (time-sensitive error).
+#ifndef BQS_CORE_POINT3_H_
+#define BQS_CORE_POINT3_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec3.h"
+
+namespace bqs {
+
+/// A projected 3-D fix in metres (z already scaled if it encodes time).
+struct TrackPoint3 {
+  Vec3 pos;
+  double t = 0.0;
+
+  constexpr bool operator==(const TrackPoint3&) const = default;
+};
+
+/// A retained key point of a 3-D compression.
+struct KeyPoint3 {
+  TrackPoint3 point;
+  uint64_t index = 0;
+};
+
+/// Output of a 3-D compressor.
+struct CompressedTrajectory3 {
+  std::vector<KeyPoint3> keys;
+
+  std::size_t size() const { return keys.size(); }
+  bool empty() const { return keys.empty(); }
+  double CompressionRate(std::size_t original_points) const {
+    if (original_points == 0) return 0.0;
+    return static_cast<double>(keys.size()) /
+           static_cast<double>(original_points);
+  }
+};
+
+}  // namespace bqs
+
+#endif  // BQS_CORE_POINT3_H_

@@ -1,0 +1,81 @@
+#include "core/quadrant_bound.h"
+
+#include <cmath>
+#include <limits>
+
+#include "geometry/angle.h"
+
+namespace bqs {
+
+QuadrantBound::QuadrantBound(int quadrant) : quadrant_(quadrant) { Reset(); }
+
+void QuadrantBound::Reset() {
+  count_ = 0;
+  box_ = Box2();
+  min_angle_ = std::numeric_limits<double>::infinity();
+  max_angle_ = -std::numeric_limits<double>::infinity();
+}
+
+void QuadrantBound::Add(Vec2 p) {
+  ++count_;
+  box_.Extend(p);
+  const double theta = NormalizeAngle2Pi(std::atan2(p.y, p.x));
+  // Quadrant ranges [q*pi/2, (q+1)*pi/2) do not wrap in [0, 2*pi), so plain
+  // min/max tracks the angular extent exactly.
+  if (theta < min_angle_ || count_ == 1) {
+    min_angle_ = theta;
+    min_angle_point_ = p;
+  }
+  if (theta > max_angle_ || count_ == 1) {
+    max_angle_ = theta;
+    max_angle_point_ = p;
+  }
+}
+
+QuadrantBound::SignificantPoints QuadrantBound::Significant() const {
+  SignificantPoints sig;
+  sig.corners = box_.Corners();
+
+  // Nearest / farthest corner by distance to the origin. In a single
+  // quadrant these are diagonal opposites, but computing by distance also
+  // handles degenerate boxes exactly.
+  double best_near = std::numeric_limits<double>::infinity();
+  double best_far = -1.0;
+  for (const Vec2& c : sig.corners) {
+    const double d2 = c.NormSq();
+    if (d2 < best_near) {
+      best_near = d2;
+      sig.near_corner = c;
+    }
+    if (d2 > best_far) {
+      best_far = d2;
+      sig.far_corner = c;
+    }
+  }
+
+  // Bounding-line / box intersections. Each bounding line passes through
+  // the extreme-angle buffered point inside the box, so the ray from the
+  // origin in that point's direction always hits the box in exact
+  // arithmetic. When the extreme point grazes a box corner the slab
+  // intervals can come out empty under floating point; the extreme point
+  // itself is then the (single-point) intersection.
+  sig.min_angle_point = min_angle_point_;
+  sig.max_angle_point = max_angle_point_;
+  if (const auto hit = box_.IntersectRay({0.0, 0.0}, min_angle_point_)) {
+    sig.l1 = hit->entry;
+    sig.l2 = hit->exit;
+  } else {
+    sig.l1 = min_angle_point_;
+    sig.l2 = min_angle_point_;
+  }
+  if (const auto hit = box_.IntersectRay({0.0, 0.0}, max_angle_point_)) {
+    sig.u1 = hit->entry;
+    sig.u2 = hit->exit;
+  } else {
+    sig.u1 = max_angle_point_;
+    sig.u2 = max_angle_point_;
+  }
+  return sig;
+}
+
+}  // namespace bqs

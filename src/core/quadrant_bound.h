@@ -1,0 +1,76 @@
+// The per-quadrant bounding structure at the heart of the BQS (paper
+// Section V-B): a minimum bounding box over the quadrant's buffered points
+// plus two angular bounding lines recording the smallest and greatest angle
+// from the origin to any point. The box corners and the intersections of
+// the bounding lines with the box are the "significant points" from which
+// the deviation bounds of Theorems 5.3-5.5 are computed.
+//
+// All coordinates are relative to the segment start point (the quadrant
+// system's origin), already rotated if data-centric rotation is active.
+#ifndef BQS_CORE_QUADRANT_BOUND_H_
+#define BQS_CORE_QUADRANT_BOUND_H_
+
+#include <array>
+#include <cstdint>
+
+#include "geometry/box2.h"
+#include "geometry/vec2.h"
+
+namespace bqs {
+
+/// One quadrant's bounding state. Constant-size: a box, two angles, and a
+/// point count — this is what makes FBQS O(1) space.
+class QuadrantBound {
+ public:
+  QuadrantBound() : QuadrantBound(0) {}
+  /// `quadrant` in {0,1,2,3}; see QuadrantOf() for the angular convention.
+  explicit QuadrantBound(int quadrant);
+
+  /// Clears to the empty state (keeps the quadrant id).
+  void Reset();
+
+  /// Folds a point (relative to the origin) into the box and angular
+  /// bounds. Precondition: QuadrantOf(p) == quadrant() and p != (0,0).
+  void Add(Vec2 p);
+
+  bool empty() const { return count_ == 0; }
+  uint64_t count() const { return count_; }
+  int quadrant() const { return quadrant_; }
+  const Box2& box() const { return box_; }
+  /// Smallest/greatest angle (in [0, 2*pi), within the quadrant's range)
+  /// from the origin to any added point.
+  double min_angle() const { return min_angle_; }
+  double max_angle() const { return max_angle_; }
+
+  /// The (at most 8) significant points of this quadrant system: the four
+  /// bounding-box corners and the entry/exit intersections of each
+  /// bounding line with the box. Some may coincide (paper: "some of the
+  /// points may overlap").
+  struct SignificantPoints {
+    std::array<Vec2, 4> corners;  ///< c1..c4 (CCW from box min).
+    Vec2 l1, l2;  ///< Lower bounding line: entry (near) / exit (far).
+    Vec2 u1, u2;  ///< Upper bounding line: entry (near) / exit (far).
+    Vec2 near_corner;  ///< Corner closest to the origin (c_n).
+    Vec2 far_corner;   ///< Corner farthest from the origin (c_f).
+    /// The buffered points that realize the extreme angles. Kept so the
+    /// bound computation stays sound when a bounding ray grazes a box
+    /// corner and the ray/box intersection degenerates numerically.
+    Vec2 min_angle_point, max_angle_point;
+  };
+
+  /// Computes the significant points. Precondition: !empty().
+  SignificantPoints Significant() const;
+
+ private:
+  int quadrant_;
+  uint64_t count_ = 0;
+  Box2 box_;
+  double min_angle_ = 0.0;
+  double max_angle_ = 0.0;
+  Vec2 min_angle_point_;
+  Vec2 max_angle_point_;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_CORE_QUADRANT_BOUND_H_

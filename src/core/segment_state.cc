@@ -1,0 +1,247 @@
+#include "core/segment_state.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "geometry/angle.h"
+#include "trajectory/deviation.h"
+
+namespace bqs {
+namespace internal {
+
+SegmentEngine::SegmentEngine(const BqsOptions& options, bool exact_mode)
+    : options_(options),
+      exact_mode_(exact_mode),
+      quadrants_{QuadrantBound(0), QuadrantBound(1), QuadrantBound(2),
+                 QuadrantBound(3)} {
+  Reset();
+}
+
+void SegmentEngine::Reset() {
+  stats_ = DecisionStats{};
+  have_first_ = false;
+  next_index_ = 0;
+  segment_start_ = TrackPoint{};
+  segment_start_index_ = 0;
+  prev_ = TrackPoint{};
+  prev_index_ = 0;
+  last_emitted_index_ = UINT64_MAX;
+  StartSegment(TrackPoint{}, 0);
+}
+
+void SegmentEngine::Push(const TrackPoint& pt, std::vector<KeyPoint>* out) {
+  const uint64_t index = next_index_++;
+  ++stats_.points;
+  if (!have_first_) {
+    have_first_ = true;
+    EmitKey(pt, index, out);
+    StartSegment(pt, index);
+    return;
+  }
+  ProcessPoint(pt, index, out, 0);
+}
+
+void SegmentEngine::Finish(std::vector<KeyPoint>* out) {
+  if (have_first_ && prev_index_ != last_emitted_index_) {
+    EmitKey(prev_, prev_index_, out);
+  }
+}
+
+void SegmentEngine::ProcessPoint(const TrackPoint& pt, uint64_t index,
+                                 std::vector<KeyPoint>* out, int depth) {
+  // A point can be re-processed at most once: after a split the new segment
+  // contains no interior points, so the second assessment always includes.
+  assert(depth <= 1);
+  const Decision decision = Assess(pt, index);
+  if (decision == Decision::kInclude) {
+    prev_ = pt;
+    prev_index_ = index;
+    return;
+  }
+  // Split: the previous point becomes a key point ending the current
+  // segment; the new segment starts there and `pt` re-enters (Fig. 1(d)).
+  EmitKey(prev_, prev_index_, out);
+  ++stats_.segments;
+  StartSegment(prev_, prev_index_);
+  ProcessPoint(pt, index, out, depth + 1);
+}
+
+SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
+                                              uint64_t index) {
+  const Vec2 rel = pt.pos - segment_start_.pos;
+  const double eps = options_.epsilon;
+
+  // Theorem 5.1: a point within epsilon of the start can never *itself*
+  // deviate by more than epsilon from any path out of the start, so it
+  // never enters the bounding structures or the buffer. It may still end
+  // the segment later, so by default it must pass the same end-validity
+  // assessment as any other candidate end (see BqsOptions::
+  // paper_trivial_include for the paper's unconditional include).
+  const bool trivial = rel.NormSq() <= eps * eps;
+  if (trivial && options_.paper_trivial_include) {
+    ++stats_.trivial_includes;
+    return Decision::kInclude;
+  }
+
+  if (!rotation_established_) {
+    // Rotation warm-up (Section V-D): the first few out-of-epsilon points
+    // are kept in a tiny fixed buffer and checked exactly; this is a
+    // constant-size scan (<= rotation_warmup points).
+    if (warmup_count_ > 0) {
+      ++stats_.warmup_checks;
+      if (WarmupDeviation(pt.pos) > eps) return Decision::kSplit;
+    }
+    if (trivial) {
+      ++stats_.trivial_includes;
+      return Decision::kInclude;
+    }
+    warmup_[warmup_count_++] = pt;
+    if (exact_mode_) buffer_.push_back(pt);
+    if (warmup_count_ >= options_.rotation_warmup) EstablishRotation();
+    return Decision::kInclude;
+  }
+
+  const Vec2 rel_rot = rel.Rotated(-rotation_angle_);
+  const DeviationBounds bounds = AggregateBounds(rel_rot);
+
+  if (probe_) {
+    BoundsProbe probe;
+    probe.index = index;
+    probe.lower = bounds.lower;
+    probe.upper = bounds.upper;
+    probe.epsilon = eps;
+    probe.actual = exact_mode_
+                       ? BufferDeviation(buffer_, segment_start_.pos, pt.pos,
+                                         options_.metric)
+                       : -1.0;
+    probe_(probe);
+  }
+
+  if (bounds.upper <= eps) {
+    // Guaranteed within tolerance: include without any deviation scan.
+    if (trivial) {
+      ++stats_.trivial_includes;
+    } else {
+      ++stats_.upper_bound_includes;
+      IncludeNonTrivial(pt);
+    }
+    return Decision::kInclude;
+  }
+  if (bounds.lower > eps) {
+    // Guaranteed to break tolerance: split without any deviation scan.
+    ++stats_.lower_bound_splits;
+    return Decision::kSplit;
+  }
+
+  if (!exact_mode_) {
+    // FBQS (Section V-E): when uncertain, aggressively take the point and
+    // start a new segment — no buffer, no full deviation calculation.
+    ++stats_.uncertain_splits;
+    return Decision::kSplit;
+  }
+
+  // BQS: resolve with the exact deviation over the segment buffer.
+  ++stats_.exact_computations;
+  const double dev =
+      BufferDeviation(buffer_, segment_start_.pos, pt.pos, options_.metric);
+  if (dev <= eps) {
+    if (trivial) {
+      ++stats_.trivial_includes;
+    } else {
+      ++stats_.exact_includes;
+      IncludeNonTrivial(pt);
+    }
+    return Decision::kInclude;
+  }
+  ++stats_.exact_splits;
+  return Decision::kSplit;
+}
+
+void SegmentEngine::IncludeNonTrivial(const TrackPoint& pt) {
+  const Vec2 rel_rot =
+      (pt.pos - segment_start_.pos).Rotated(-rotation_angle_);
+  quadrants_[QuadrantOf(rel_rot)].Add(rel_rot);
+  if (exact_mode_) buffer_.push_back(pt);
+}
+
+void SegmentEngine::StartSegment(const TrackPoint& pt, uint64_t index) {
+  segment_start_ = pt;
+  segment_start_index_ = index;
+  prev_ = pt;
+  prev_index_ = index;
+  rotation_angle_ = 0.0;
+  // Without data-centric rotation the quadrant system is active (unrotated)
+  // from the first point on; with it, warm-up gathers points first.
+  rotation_established_ = !options_.data_centric_rotation;
+  warmup_count_ = 0;
+  for (QuadrantBound& q : quadrants_) q.Reset();
+  buffer_.clear();
+}
+
+void SegmentEngine::EstablishRotation() {
+  // Rotate the +x axis onto the warm-up points' principal direction so the
+  // data straddles the first and fourth quadrants, tightening both hulls
+  // (paper Section V-D / Fig. 4). The paper rotates toward the centroid;
+  // we use the total-least-squares axis through the segment start (the
+  // start is on the path by construction), which estimates the direction
+  // of a noisy straight run with far less bias — and the bound tightness
+  // of the rotated frame degrades linearly with that bias.
+  Vec2 centroid{0.0, 0.0};
+  double sxx = 0.0;
+  double syy = 0.0;
+  double sxy = 0.0;
+  for (int i = 0; i < warmup_count_; ++i) {
+    const Vec2 rel = warmup_[i].pos - segment_start_.pos;
+    centroid += rel;
+    sxx += rel.x * rel.x;
+    syy += rel.y * rel.y;
+    sxy += rel.x * rel.y;
+  }
+  if (centroid == Vec2{0.0, 0.0}) {
+    rotation_angle_ = 0.0;
+  } else {
+    double axis = 0.5 * std::atan2(2.0 * sxy, sxx - syy);
+    // The principal axis is undirected; orient it toward the data.
+    if (std::cos(axis) * centroid.x + std::sin(axis) * centroid.y < 0.0) {
+      axis += kPi;
+    }
+    rotation_angle_ = axis;
+  }
+  rotation_established_ = true;
+  for (int i = 0; i < warmup_count_; ++i) {
+    const Vec2 rel_rot =
+        (warmup_[i].pos - segment_start_.pos).Rotated(-rotation_angle_);
+    quadrants_[QuadrantOf(rel_rot)].Add(rel_rot);
+  }
+  warmup_count_ = 0;
+}
+
+void SegmentEngine::EmitKey(const TrackPoint& pt, uint64_t index,
+                            std::vector<KeyPoint>* out) {
+  out->push_back(KeyPoint{pt, index});
+  last_emitted_index_ = index;
+}
+
+double SegmentEngine::WarmupDeviation(Vec2 end_abs) const {
+  double dev = 0.0;
+  for (int i = 0; i < warmup_count_; ++i) {
+    dev = std::max(dev, PointDeviation(warmup_[i].pos, segment_start_.pos,
+                                       end_abs, options_.metric));
+  }
+  return dev;
+}
+
+DeviationBounds SegmentEngine::AggregateBounds(Vec2 end_rel_rotated) const {
+  DeviationBounds bounds;  // (0, 0): correct when every quadrant is empty.
+  for (const QuadrantBound& q : quadrants_) {
+    if (q.empty()) continue;
+    bounds.MergeMax(QuadrantDeviationBounds(q, end_rel_rotated,
+                                            options_.metric,
+                                            options_.bounds_mode));
+  }
+  return bounds;
+}
+
+}  // namespace internal
+}  // namespace bqs

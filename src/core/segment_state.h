@@ -1,0 +1,104 @@
+// The streaming engine behind BqsCompressor and FbqsCompressor: Algorithm 1
+// of the paper plus data-centric rotation (Section V-D). The two public
+// compressors differ only in how the inconclusive case
+// (d_lb <= epsilon < d_ub) is resolved: BQS scans the segment buffer for
+// the exact deviation; FBQS aggressively splits, which removes the buffer
+// entirely and makes per-point time and space O(1) (Section V-E).
+#ifndef BQS_CORE_SEGMENT_STATE_H_
+#define BQS_CORE_SEGMENT_STATE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/decision_stats.h"
+#include "core/options.h"
+#include "core/quadrant_bound.h"
+#include "trajectory/point.h"
+
+namespace bqs {
+namespace internal {
+
+/// Observation of one bound-based decision, for instrumentation (Fig. 3).
+struct BoundsProbe {
+  uint64_t index = 0;        ///< Stream index of the assessed point.
+  double lower = 0.0;        ///< Aggregated d_lb.
+  double upper = 0.0;        ///< Aggregated d_ub.
+  double actual = -1.0;      ///< Exact deviation; -1 when no buffer exists
+                             ///< (fast mode) to compute it from.
+  double epsilon = 0.0;      ///< Tolerance in force.
+};
+
+/// Single-stream state machine. Not thread-safe.
+class SegmentEngine {
+ public:
+  /// `exact_mode` selects BQS (true: keep a buffer, scan on inconclusive
+  /// bounds) or FBQS (false: constant space, split on inconclusive bounds).
+  SegmentEngine(const BqsOptions& options, bool exact_mode);
+
+  void Reset();
+  void Push(const TrackPoint& pt, std::vector<KeyPoint>* out);
+  void Finish(std::vector<KeyPoint>* out);
+
+  const DecisionStats& stats() const { return stats_; }
+  const BqsOptions& options() const { return options_; }
+  bool exact_mode() const { return exact_mode_; }
+
+  /// Instrumentation hook invoked on every bound-based assessment. Keep it
+  /// cheap or unset in production runs.
+  void SetProbe(std::function<void(const BoundsProbe&)> probe) {
+    probe_ = std::move(probe);
+  }
+
+  // --- Introspection for tests -------------------------------------------
+  bool rotation_established() const { return rotation_established_; }
+  double rotation_angle() const { return rotation_angle_; }
+  std::size_t buffer_size() const { return buffer_.size(); }
+  const QuadrantBound& quadrant(int q) const { return quadrants_[q]; }
+
+ private:
+  enum class Decision { kInclude, kSplit };
+
+  void ProcessPoint(const TrackPoint& pt, uint64_t index,
+                    std::vector<KeyPoint>* out, int depth);
+  Decision Assess(const TrackPoint& pt, uint64_t index);
+  void IncludeNonTrivial(const TrackPoint& pt);
+  void StartSegment(const TrackPoint& pt, uint64_t index);
+  void EstablishRotation();
+  void EmitKey(const TrackPoint& pt, uint64_t index,
+               std::vector<KeyPoint>* out);
+  double WarmupDeviation(Vec2 end_abs) const;
+  DeviationBounds AggregateBounds(Vec2 end_rel_rotated) const;
+
+  BqsOptions options_;
+  bool exact_mode_;
+  DecisionStats stats_;
+
+  bool have_first_ = false;
+  uint64_t next_index_ = 0;
+  TrackPoint segment_start_{};
+  uint64_t segment_start_index_ = 0;
+  TrackPoint prev_{};
+  uint64_t prev_index_ = 0;
+  uint64_t last_emitted_index_ = UINT64_MAX;
+
+  bool rotation_established_ = false;
+  double rotation_angle_ = 0.0;
+  int warmup_count_ = 0;
+  std::array<TrackPoint, BqsOptions::kMaxRotationWarmup> warmup_{};
+
+  std::array<QuadrantBound, 4> quadrants_;
+
+  /// Absolute-coordinate segment buffer; used (and non-empty) only in
+  /// exact mode. FBQS never touches it, preserving O(1) space.
+  std::vector<TrackPoint> buffer_;
+
+  std::function<void(const BoundsProbe&)> probe_;
+};
+
+}  // namespace internal
+}  // namespace bqs
+
+#endif  // BQS_CORE_SEGMENT_STATE_H_

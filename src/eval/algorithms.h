@@ -1,0 +1,61 @@
+// Uniform façade over every compressor in the library so benches and
+// examples can sweep algorithm x dataset x epsilon without bespoke glue.
+#ifndef BQS_EVAL_ALGORITHMS_H_
+#define BQS_EVAL_ALGORITHMS_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/decision_stats.h"
+#include "core/options.h"
+#include "trajectory/compressor.h"
+
+namespace bqs {
+
+/// Every algorithm the evaluation exercises.
+enum class AlgorithmId {
+  kBqs,      ///< Paper Algorithm 1 (exact fallback).
+  kFbqs,     ///< Fast BQS, O(1)/point.
+  kBdp,      ///< Buffered Douglas-Peucker.
+  kBgd,      ///< Buffered Greedy Deviation (sliding window).
+  kDp,       ///< Offline Douglas-Peucker.
+  kDr,       ///< Dead Reckoning.
+  kSquishE,  ///< SQUISH-E(epsilon) (SED metric; extension baseline).
+};
+
+/// Stable display name ("BQS", "FBQS", ...).
+std::string_view AlgorithmName(AlgorithmId id);
+
+/// One concrete algorithm instantiation.
+struct AlgorithmConfig {
+  AlgorithmId id = AlgorithmId::kFbqs;
+  double epsilon = 10.0;
+  DistanceMetric metric = DistanceMetric::kPointToLine;
+  /// Buffer size for BDP/BGD (paper default 32; 0 = unbounded BGD).
+  std::size_t buffer_size = 32;
+  /// Extra knobs for the BQS family (epsilon/metric above take precedence).
+  BqsOptions bqs;
+};
+
+/// Result of one compression run.
+struct RunOutput {
+  CompressedTrajectory compressed;
+  double runtime_ms = 0.0;
+  DecisionStats stats;     ///< Meaningful for the BQS family only.
+  bool has_stats = false;  ///< True when `stats` is populated.
+};
+
+/// Runs the configured algorithm over the stream, timing compression only
+/// (no dataset generation, no verification).
+RunOutput RunAlgorithm(const AlgorithmConfig& config,
+                       std::span<const TrackPoint> points);
+
+/// Builds a fresh streaming compressor for online algorithms; nullptr for
+/// offline ones (DP, SQUISH-E).
+std::unique_ptr<StreamCompressor> MakeStreamCompressor(
+    const AlgorithmConfig& config);
+
+}  // namespace bqs
+
+#endif  // BQS_EVAL_ALGORITHMS_H_

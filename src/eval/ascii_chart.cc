@@ -1,0 +1,78 @@
+#include "eval/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace bqs {
+
+namespace {
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+}  // namespace
+
+void AsciiChart::Print(std::ostream& os) const {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -y_min;
+  bool any = false;
+  for (const ChartSeries& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      any = true;
+      x_min = std::min(x_min, s.xs[i]);
+      x_max = std::max(x_max, s.xs[i]);
+      y_min = std::min(y_min, s.ys[i]);
+      y_max = std::max(y_max, s.ys[i]);
+    }
+  }
+  if (!any) return;
+  if (y_max - y_min < 1e-12) y_max = y_min + 1.0;
+  if (x_max - x_min < 1e-12) x_max = x_min + 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  const auto col = [&](double x) {
+    const double u = (x - x_min) / (x_max - x_min);
+    return std::min(width_ - 1,
+                    static_cast<std::size_t>(u * (width_ - 1) + 0.5));
+  };
+  const auto row = [&](double y) {
+    const double v = (y - y_min) / (y_max - y_min);
+    return height_ - 1 -
+           std::min(height_ - 1,
+                    static_cast<std::size_t>(v * (height_ - 1) + 0.5));
+  };
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const ChartSeries& s = series_[si];
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    // Connect consecutive samples with interpolated steps so sparse
+    // series still read as lines.
+    for (std::size_t i = 0; i + 1 < s.xs.size(); ++i) {
+      const int steps = static_cast<int>(width_);
+      for (int k = 0; k <= steps; ++k) {
+        const double t = static_cast<double>(k) / steps;
+        const double x = s.xs[i] + t * (s.xs[i + 1] - s.xs[i]);
+        const double y = s.ys[i] + t * (s.ys[i + 1] - s.ys[i]);
+        grid[row(y)][col(x)] = glyph;
+      }
+    }
+    if (s.xs.size() == 1) grid[row(s.ys[0])][col(s.xs[0])] = glyph;
+  }
+
+  for (std::size_t r = 0; r < height_; ++r) {
+    const double y =
+        y_max - (y_max - y_min) * static_cast<double>(r) / (height_ - 1);
+    os << StrPrintf("%9.3f |", y) << grid[r] << "\n";
+  }
+  os << StrPrintf("%9s +", "") << std::string(width_, '-') << "\n";
+  os << StrPrintf("%9s  %-10.3g%*s%10.3g\n", "", x_min,
+                  static_cast<int>(width_ - 20), "", x_max);
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = "
+       << series_[si].name << "\n";
+  }
+}
+
+}  // namespace bqs

@@ -1,0 +1,39 @@
+// Minimal ASCII line charts so the figure benches can *draw* their curves
+// next to the numeric tables (Figs. 6-8 are plots in the paper).
+#ifndef BQS_EVAL_ASCII_CHART_H_
+#define BQS_EVAL_ASCII_CHART_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bqs {
+
+/// One named series of (x, y) samples.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Renders series as a character grid with y axis labels and a shared x
+/// axis. Each series is drawn with its own glyph; a legend follows.
+class AsciiChart {
+ public:
+  AsciiChart(std::size_t width = 64, std::size_t height = 16)
+      : width_(width), height_(height) {}
+
+  void Add(ChartSeries series) { series_.push_back(std::move(series)); }
+
+  /// Draws all added series. No-op when empty.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_EVAL_ASCII_CHART_H_

@@ -1,0 +1,30 @@
+#include "eval/metrics.h"
+
+namespace bqs {
+
+double CompressionRate(std::size_t compressed_points,
+                       std::size_t original_points) {
+  if (original_points == 0) return 0.0;
+  return static_cast<double>(compressed_points) /
+         static_cast<double>(original_points);
+}
+
+double PruningPower(const DecisionStats& stats) {
+  return stats.PruningPower();
+}
+
+CompressionQuality MeasureQuality(std::span<const TrackPoint> original,
+                                  const CompressedTrajectory& compressed,
+                                  double epsilon, DistanceMetric metric) {
+  CompressionQuality q;
+  q.points_in = original.size();
+  q.points_out = compressed.size();
+  q.compression_rate = CompressionRate(q.points_out, q.points_in);
+  const DeviationReport report =
+      EvaluateCompression(original, compressed, metric);
+  q.max_deviation = report.max_deviation;
+  q.error_bounded = report.BoundedBy(epsilon);
+  return q;
+}
+
+}  // namespace bqs

@@ -1,0 +1,37 @@
+// Evaluation metrics shared by benches and tests: the paper's compression
+// rate and pruning power, plus bound-verification glue.
+#ifndef BQS_EVAL_METRICS_H_
+#define BQS_EVAL_METRICS_H_
+
+#include <cstddef>
+
+#include "core/decision_stats.h"
+#include "trajectory/deviation.h"
+#include "trajectory/trajectory.h"
+
+namespace bqs {
+
+/// N_compressed / N_original (paper Section VI-B; lower is better).
+double CompressionRate(std::size_t compressed_points,
+                       std::size_t original_points);
+
+/// 1 - N_computed / N_total (paper Section VI-B; higher is better).
+double PruningPower(const DecisionStats& stats);
+
+/// Convenience bundle of everything a bench row needs.
+struct CompressionQuality {
+  std::size_t points_in = 0;
+  std::size_t points_out = 0;
+  double compression_rate = 0.0;
+  double max_deviation = 0.0;
+  bool error_bounded = false;  ///< max_deviation <= epsilon.
+};
+
+/// Verifies a compression end to end against the original stream.
+CompressionQuality MeasureQuality(std::span<const TrackPoint> original,
+                                  const CompressedTrajectory& compressed,
+                                  double epsilon, DistanceMetric metric);
+
+}  // namespace bqs
+
+#endif  // BQS_EVAL_METRICS_H_

@@ -1,0 +1,50 @@
+#include "eval/runner.h"
+
+namespace bqs {
+
+SweepRow RunCell(AlgorithmId algorithm, const Dataset& dataset,
+                 double epsilon, std::size_t buffer_size, bool verify) {
+  AlgorithmConfig config;
+  config.id = algorithm;
+  config.epsilon = epsilon;
+  config.buffer_size = buffer_size;
+
+  const RunOutput out = RunAlgorithm(config, dataset.stream);
+
+  SweepRow row;
+  row.dataset = dataset.name;
+  row.algorithm = std::string(AlgorithmName(algorithm));
+  row.epsilon = epsilon;
+  row.points_in = dataset.stream.size();
+  row.points_out = out.compressed.size();
+  row.compression_rate = CompressionRate(row.points_out, row.points_in);
+  row.runtime_ms = out.runtime_ms;
+  if (out.has_stats) row.pruning_power = out.stats.PruningPower();
+  if (verify) {
+    const CompressionQuality q =
+        MeasureQuality(dataset.stream, out.compressed, epsilon,
+                       config.metric);
+    row.max_deviation = q.max_deviation;
+    row.error_bounded = q.error_bounded;
+  }
+  return row;
+}
+
+std::vector<SweepRow> RunSweep(std::span<const AlgorithmId> algorithms,
+                               std::span<const Dataset> datasets,
+                               std::span<const double> epsilons,
+                               std::size_t buffer_size, bool verify) {
+  std::vector<SweepRow> rows;
+  rows.reserve(algorithms.size() * datasets.size() * epsilons.size());
+  for (const Dataset& dataset : datasets) {
+    for (double epsilon : epsilons) {
+      for (AlgorithmId algorithm : algorithms) {
+        rows.push_back(
+            RunCell(algorithm, dataset, epsilon, buffer_size, verify));
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace bqs

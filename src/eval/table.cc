@@ -1,0 +1,67 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace bqs {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os.width(static_cast<std::streamsize>(widths[c]));
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule.append(widths[c], '-');
+    if (c + 1 < headers_.size()) rule.append(2, '-');
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << Join(headers_, ",") << "\n";
+  for (const auto& row : rows_) {
+    out << Join(row, ",") << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string FmtDouble(double v, int precision) {
+  return StrPrintf("%.*f", precision, v);
+}
+
+std::string FmtPercent(double ratio, int precision) {
+  return StrPrintf("%.*f%%", precision, ratio * 100.0);
+}
+
+std::string FmtInt(int64_t v) {
+  return StrPrintf("%lld", static_cast<long long>(v));
+}
+
+}  // namespace bqs

@@ -1,0 +1,39 @@
+// Fixed-width table printing and CSV export used by every bench binary so
+// the regenerated tables/figures read like the paper's.
+#ifndef BQS_EVAL_TABLE_H_
+#define BQS_EVAL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bqs {
+
+/// Collects rows and prints them right-aligned under their headers.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+  /// Writes headers+rows as CSV (for plotting scripts).
+  Status WriteCsv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Shorthands for numeric cells.
+std::string FmtDouble(double v, int precision = 3);
+std::string FmtPercent(double ratio, int precision = 2);
+std::string FmtInt(int64_t v);
+
+}  // namespace bqs
+
+#endif  // BQS_EVAL_TABLE_H_

@@ -1,0 +1,69 @@
+#include "geo/geodesy.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "geo/wgs84.h"
+#include "geometry/angle.h"
+
+namespace bqs {
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  const double phi1 = DegToRad(a.lat_deg);
+  const double phi2 = DegToRad(b.lat_deg);
+  const double dphi = phi2 - phi1;
+  const double dlam = DegToRad(b.lon_deg - a.lon_deg);
+  const double s = Sq(std::sin(dphi / 2.0)) +
+                   std::cos(phi1) * std::cos(phi2) * Sq(std::sin(dlam / 2.0));
+  return 2.0 * Wgs84::kMeanRadius * std::asin(std::sqrt(Clamp(s, 0.0, 1.0)));
+}
+
+double InitialBearing(const LatLon& a, const LatLon& b) {
+  const double phi1 = DegToRad(a.lat_deg);
+  const double phi2 = DegToRad(b.lat_deg);
+  const double dlam = DegToRad(b.lon_deg - a.lon_deg);
+  const double y = std::sin(dlam) * std::cos(phi2);
+  const double x = std::cos(phi1) * std::sin(phi2) -
+                   std::sin(phi1) * std::cos(phi2) * std::cos(dlam);
+  double bearing = std::atan2(y, x);
+  if (bearing < 0.0) bearing += kTwoPi;
+  return bearing;
+}
+
+LatLon DestinationPoint(const LatLon& origin, double bearing_rad,
+                        double distance_m) {
+  const double delta = distance_m / Wgs84::kMeanRadius;
+  const double phi1 = DegToRad(origin.lat_deg);
+  const double lam1 = DegToRad(origin.lon_deg);
+  const double sin_phi2 = std::sin(phi1) * std::cos(delta) +
+                          std::cos(phi1) * std::sin(delta) * std::cos(bearing_rad);
+  const double phi2 = std::asin(Clamp(sin_phi2, -1.0, 1.0));
+  const double y = std::sin(bearing_rad) * std::sin(delta) * std::cos(phi1);
+  const double x = std::cos(delta) - std::sin(phi1) * sin_phi2;
+  const double lam2 = lam1 + std::atan2(y, x);
+  LatLon out;
+  out.lat_deg = RadToDeg(phi2);
+  out.lon_deg = RadToDeg(NormalizeAngle(lam2));
+  return out;
+}
+
+LocalTangentPlane::LocalTangentPlane(const LatLon& origin)
+    : origin_(origin), cos_lat0_(std::cos(DegToRad(origin.lat_deg))) {}
+
+Vec2 LocalTangentPlane::Project(const LatLon& pos) const {
+  const double x = DegToRad(pos.lon_deg - origin_.lon_deg) * cos_lat0_ *
+                   Wgs84::kMeanRadius;
+  const double y =
+      DegToRad(pos.lat_deg - origin_.lat_deg) * Wgs84::kMeanRadius;
+  return {x, y};
+}
+
+LatLon LocalTangentPlane::Unproject(Vec2 xy) const {
+  LatLon out;
+  out.lat_deg = origin_.lat_deg + RadToDeg(xy.y / Wgs84::kMeanRadius);
+  out.lon_deg = origin_.lon_deg +
+                RadToDeg(xy.x / (Wgs84::kMeanRadius * cos_lat0_));
+  return out;
+}
+
+}  // namespace bqs

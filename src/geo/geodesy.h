@@ -1,0 +1,45 @@
+// Spherical-earth helpers: great-circle distance, bearings, destination
+// points, and a light local tangent-plane projection. The simulators build
+// geographic traces with these; the compressors consume projected planes.
+#ifndef BQS_GEO_GEODESY_H_
+#define BQS_GEO_GEODESY_H_
+
+#include "geo/utm.h"
+#include "geometry/vec2.h"
+
+namespace bqs {
+
+/// Great-circle (haversine) distance in metres.
+double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// Initial bearing from a to b, radians CW from true north in [0, 2*pi).
+double InitialBearing(const LatLon& a, const LatLon& b);
+
+/// Point reached from `origin` travelling `distance_m` metres along
+/// `bearing_rad` (CW from north) on the spherical earth.
+LatLon DestinationPoint(const LatLon& origin, double bearing_rad,
+                        double distance_m);
+
+/// Equirectangular local tangent-plane projection anchored at `origin`.
+/// Accurate to ~0.1% within a few tens of km — adequate for simulators and
+/// unit tests; production code paths use UTM.
+class LocalTangentPlane {
+ public:
+  explicit LocalTangentPlane(const LatLon& origin);
+
+  /// East/north metres of `pos` relative to the origin.
+  Vec2 Project(const LatLon& pos) const;
+
+  /// Inverse of Project.
+  LatLon Unproject(Vec2 xy) const;
+
+  const LatLon& origin() const { return origin_; }
+
+ private:
+  LatLon origin_;
+  double cos_lat0_;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_GEO_GEODESY_H_

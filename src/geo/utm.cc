@@ -1,0 +1,195 @@
+#include "geo/utm.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/strings.h"
+#include "geo/wgs84.h"
+
+namespace bqs {
+
+namespace {
+
+constexpr double kK0 = 0.9996;           // UTM scale on the central meridian.
+constexpr double kFalseEasting = 500000.0;
+constexpr double kFalseNorthingSouth = 10000000.0;
+
+// Third flattening and rectifying radius for WGS-84.
+constexpr double kN = Wgs84::kF / (2.0 - Wgs84::kF);
+const double kA =
+    Wgs84::kA / (1.0 + kN) *
+    (1.0 + kN * kN / 4.0 + std::pow(kN, 4) / 64.0 + std::pow(kN, 6) / 256.0);
+
+// Karney's series coefficients, order n^6.
+struct SeriesCoeffs {
+  double alpha[6];
+  double beta[6];
+  double delta[6];
+};
+
+SeriesCoeffs ComputeCoeffs() {
+  const double n1 = kN;
+  const double n2 = n1 * n1;
+  const double n3 = n2 * n1;
+  const double n4 = n3 * n1;
+  const double n5 = n4 * n1;
+  const double n6 = n5 * n1;
+  SeriesCoeffs c;
+  c.alpha[0] = n1 / 2.0 - 2.0 * n2 / 3.0 + 5.0 * n3 / 16.0 +
+               41.0 * n4 / 180.0 - 127.0 * n5 / 288.0 + 7891.0 * n6 / 37800.0;
+  c.alpha[1] = 13.0 * n2 / 48.0 - 3.0 * n3 / 5.0 + 557.0 * n4 / 1440.0 +
+               281.0 * n5 / 630.0 - 1983433.0 * n6 / 1935360.0;
+  c.alpha[2] = 61.0 * n3 / 240.0 - 103.0 * n4 / 140.0 +
+               15061.0 * n5 / 26880.0 + 167603.0 * n6 / 181440.0;
+  c.alpha[3] = 49561.0 * n4 / 161280.0 - 179.0 * n5 / 168.0 +
+               6601661.0 * n6 / 7257600.0;
+  c.alpha[4] = 34729.0 * n5 / 80640.0 - 3418889.0 * n6 / 1995840.0;
+  c.alpha[5] = 212378941.0 * n6 / 319334400.0;
+
+  c.beta[0] = n1 / 2.0 - 2.0 * n2 / 3.0 + 37.0 * n3 / 96.0 - n4 / 360.0 -
+              81.0 * n5 / 512.0 + 96199.0 * n6 / 604800.0;
+  c.beta[1] = n2 / 48.0 + n3 / 15.0 - 437.0 * n4 / 1440.0 +
+              46.0 * n5 / 105.0 - 1118711.0 * n6 / 3870720.0;
+  c.beta[2] = 17.0 * n3 / 480.0 - 37.0 * n4 / 840.0 - 209.0 * n5 / 4480.0 +
+              5569.0 * n6 / 90720.0;
+  c.beta[3] = 4397.0 * n4 / 161280.0 - 11.0 * n5 / 504.0 -
+              830251.0 * n6 / 7257600.0;
+  c.beta[4] = 4583.0 * n5 / 161280.0 - 108847.0 * n6 / 3991680.0;
+  c.beta[5] = 20648693.0 * n6 / 638668800.0;
+
+  c.delta[0] = 2.0 * n1 - 2.0 * n2 / 3.0 - 2.0 * n3 + 116.0 * n4 / 45.0 +
+               26.0 * n5 / 45.0 - 2854.0 * n6 / 675.0;
+  c.delta[1] = 7.0 * n2 / 3.0 - 8.0 * n3 / 5.0 - 227.0 * n4 / 45.0 +
+               2704.0 * n5 / 315.0 + 2323.0 * n6 / 945.0;
+  c.delta[2] = 56.0 * n3 / 15.0 - 136.0 * n4 / 35.0 - 1262.0 * n5 / 105.0 +
+               73814.0 * n6 / 2835.0;
+  c.delta[3] = 4279.0 * n4 / 630.0 - 332.0 * n5 / 35.0 -
+               399572.0 * n6 / 14175.0;
+  c.delta[4] = 4174.0 * n5 / 315.0 - 144838.0 * n6 / 6237.0;
+  c.delta[5] = 601676.0 * n6 / 22275.0;
+  return c;
+}
+
+const SeriesCoeffs& Coeffs() {
+  static const SeriesCoeffs c = ComputeCoeffs();
+  return c;
+}
+
+}  // namespace
+
+int UtmZoneFor(double lat_deg, double lon_deg) {
+  // Wrap longitude into [-180, 180).
+  double lon = std::fmod(lon_deg + 180.0, 360.0);
+  if (lon < 0.0) lon += 360.0;
+  lon -= 180.0;
+
+  int zone = static_cast<int>(std::floor((lon + 180.0) / 6.0)) + 1;
+  if (zone > 60) zone = 60;
+
+  // Norway: zone 32 extended over 3..12 E for 56..64 N.
+  if (lat_deg >= 56.0 && lat_deg < 64.0 && lon >= 3.0 && lon < 12.0) {
+    zone = 32;
+  }
+  // Svalbard bands (72..84 N).
+  if (lat_deg >= 72.0 && lat_deg < 84.0) {
+    if (lon >= 0.0 && lon < 9.0) {
+      zone = 31;
+    } else if (lon >= 9.0 && lon < 21.0) {
+      zone = 33;
+    } else if (lon >= 21.0 && lon < 33.0) {
+      zone = 35;
+    } else if (lon >= 33.0 && lon < 42.0) {
+      zone = 37;
+    }
+  }
+  return zone;
+}
+
+double UtmCentralMeridianDeg(int zone) {
+  return static_cast<double>(zone) * 6.0 - 183.0;
+}
+
+Result<UtmCoord> LatLonToUtm(const LatLon& pos) {
+  return LatLonToUtmZone(pos, UtmZoneFor(pos.lat_deg, pos.lon_deg),
+                         pos.lat_deg >= 0.0);
+}
+
+Result<UtmCoord> LatLonToUtmZone(const LatLon& pos, int zone, bool north) {
+  if (std::fabs(pos.lat_deg) > 84.0) {
+    return Status::OutOfRange(
+        StrPrintf("latitude %.4f outside UTM band (|lat| <= 84)",
+                  pos.lat_deg));
+  }
+  if (pos.lon_deg < -180.0 || pos.lon_deg > 180.0) {
+    return Status::OutOfRange(
+        StrPrintf("longitude %.4f outside [-180, 180]", pos.lon_deg));
+  }
+  if (zone < 1 || zone > 60) {
+    return Status::InvalidArgument(StrPrintf("invalid UTM zone %d", zone));
+  }
+
+  const SeriesCoeffs& c = Coeffs();
+  const double phi = DegToRad(pos.lat_deg);
+  const double dlam = DegToRad(pos.lon_deg - UtmCentralMeridianDeg(zone));
+
+  // Conformal latitude via Karney's tau form.
+  const double sin_phi = std::sin(phi);
+  const double two_sqrt_n = 2.0 * std::sqrt(kN) / (1.0 + kN);
+  const double t =
+      std::sinh(std::atanh(sin_phi) - two_sqrt_n * std::atanh(two_sqrt_n * sin_phi));
+
+  const double xi_p = std::atan2(t, std::cos(dlam));
+  const double eta_p =
+      std::asinh(std::sin(dlam) / std::hypot(t, std::cos(dlam)));
+
+  double xi = xi_p;
+  double eta = eta_p;
+  for (int j = 1; j <= 6; ++j) {
+    const double a = c.alpha[j - 1];
+    xi += a * std::sin(2.0 * j * xi_p) * std::cosh(2.0 * j * eta_p);
+    eta += a * std::cos(2.0 * j * xi_p) * std::sinh(2.0 * j * eta_p);
+  }
+
+  UtmCoord out;
+  out.zone = zone;
+  out.north = north;
+  out.easting = kFalseEasting + kK0 * kA * eta;
+  out.northing = kK0 * kA * xi + (north ? 0.0 : kFalseNorthingSouth);
+  return out;
+}
+
+Result<LatLon> UtmToLatLon(const UtmCoord& coord) {
+  if (coord.zone < 1 || coord.zone > 60) {
+    return Status::InvalidArgument(
+        StrPrintf("invalid UTM zone %d", coord.zone));
+  }
+  const SeriesCoeffs& c = Coeffs();
+  const double x = coord.easting - kFalseEasting;
+  const double y =
+      coord.northing - (coord.north ? 0.0 : kFalseNorthingSouth);
+
+  const double xi = y / (kK0 * kA);
+  const double eta = x / (kK0 * kA);
+
+  double xi_p = xi;
+  double eta_p = eta;
+  for (int j = 1; j <= 6; ++j) {
+    const double b = c.beta[j - 1];
+    xi_p -= b * std::sin(2.0 * j * xi) * std::cosh(2.0 * j * eta);
+    eta_p -= b * std::cos(2.0 * j * xi) * std::sinh(2.0 * j * eta);
+  }
+
+  const double chi = std::asin(std::sin(xi_p) / std::cosh(eta_p));
+  double phi = chi;
+  for (int j = 1; j <= 6; ++j) {
+    phi += c.delta[j - 1] * std::sin(2.0 * j * chi);
+  }
+  const double lam = std::atan2(std::sinh(eta_p), std::cos(xi_p));
+
+  LatLon out;
+  out.lat_deg = RadToDeg(phi);
+  out.lon_deg = UtmCentralMeridianDeg(coord.zone) + RadToDeg(lam);
+  return out;
+}
+
+}  // namespace bqs

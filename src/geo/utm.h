@@ -1,0 +1,52 @@
+// Universal Transverse Mercator projection (WGS-84), implemented from
+// scratch with the Karney–Krüger series (order n^6; sub-millimetre accuracy
+// within a zone). The paper projects GPS fixes to UTM x/y before building
+// quadrant systems (Section V-A step 1).
+#ifndef BQS_GEO_UTM_H_
+#define BQS_GEO_UTM_H_
+
+#include "common/status.h"
+#include "geometry/vec2.h"
+
+namespace bqs {
+
+/// A projected UTM coordinate. `easting`/`northing` are metres.
+struct UtmCoord {
+  int zone = 0;             ///< Longitudinal zone 1..60.
+  bool north = true;        ///< Hemisphere.
+  double easting = 0.0;     ///< Metres, false easting 500 km applied.
+  double northing = 0.0;    ///< Metres, false northing 10,000 km if south.
+
+  /// The planar point used by the compressors.
+  Vec2 xy() const { return {easting, northing}; }
+};
+
+/// Geodetic position in degrees.
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  constexpr bool operator==(const LatLon&) const = default;
+};
+
+/// Standard UTM zone for a position, including the Norway (32V) and
+/// Svalbard (31X/33X/35X/37X) exceptions.
+int UtmZoneFor(double lat_deg, double lon_deg);
+
+/// Central meridian of a zone, degrees.
+double UtmCentralMeridianDeg(int zone);
+
+/// Forward projection. Fails for |lat| > 84 (outside UTM's defined band)
+/// or longitude outside [-180, 180].
+Result<UtmCoord> LatLonToUtm(const LatLon& pos);
+
+/// Forward projection into an explicit zone (needed to keep a trajectory in
+/// one continuous plane when it straddles a zone boundary).
+Result<UtmCoord> LatLonToUtmZone(const LatLon& pos, int zone, bool north);
+
+/// Inverse projection.
+Result<LatLon> UtmToLatLon(const UtmCoord& coord);
+
+}  // namespace bqs
+
+#endif  // BQS_GEO_UTM_H_

@@ -1,0 +1,21 @@
+// WGS-84 ellipsoid constants. Header-only.
+#ifndef BQS_GEO_WGS84_H_
+#define BQS_GEO_WGS84_H_
+
+namespace bqs {
+
+/// WGS-84 reference ellipsoid.
+struct Wgs84 {
+  /// Semi-major axis (metres).
+  static constexpr double kA = 6378137.0;
+  /// Flattening.
+  static constexpr double kF = 1.0 / 298.257223563;
+  /// Semi-minor axis (metres).
+  static constexpr double kB = kA * (1.0 - kF);
+  /// Mean earth radius used for spherical approximations (metres), IUGG R1.
+  static constexpr double kMeanRadius = 6371008.8;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_GEO_WGS84_H_

@@ -1,0 +1,67 @@
+#include "geometry/angle.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace bqs {
+
+double NormalizeAngle(double angle) {
+  double a = std::fmod(angle, kTwoPi);
+  if (a <= -kPi) a += kTwoPi;
+  if (a > kPi) a -= kTwoPi;
+  return a;
+}
+
+double NormalizeAngle2Pi(double angle) {
+  double a = std::fmod(angle, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  // fmod can return exactly 2*pi-eps rounding to 2*pi after the add.
+  if (a >= kTwoPi) a -= kTwoPi;
+  return a;
+}
+
+double NormalizeLineAngle(double angle) {
+  double a = std::fmod(angle, kPi);
+  if (a < 0.0) a += kPi;
+  if (a >= kPi) a -= kPi;
+  return a;
+}
+
+int QuadrantOf(Vec2 v) {
+  const double theta = NormalizeAngle2Pi(std::atan2(v.y, v.x));
+  const int q = static_cast<int>(theta / kHalfPi);
+  return q > 3 ? 3 : q;  // guard against theta == 2*pi rounding.
+}
+
+QuadrantRange QuadrantAngles(int quadrant) {
+  const double start = static_cast<double>(quadrant) * kHalfPi;
+  return {start, start + kHalfPi};
+}
+
+bool LineInQuadrant(double line_angle, int quadrant) {
+  const double a = NormalizeLineAngle(line_angle);
+  // Quadrants 0 and 2 cover undirected angles [0, pi/2); 1 and 3 the rest.
+  const bool low_half = a < kHalfPi;
+  return (quadrant % 2 == 0) ? low_half : !low_half;
+}
+
+bool RayInQuadrant(double ray_angle, int quadrant) {
+  const double a = NormalizeAngle2Pi(ray_angle);
+  const QuadrantRange r = QuadrantAngles(quadrant);
+  return a >= r.start && a < r.end;
+}
+
+int OctantOf(Vec3 v) {
+  int idx = 0;
+  if (v.x < 0.0) idx |= 1;
+  if (v.y < 0.0) idx |= 2;
+  if (v.z < 0.0) idx |= 4;
+  return idx;
+}
+
+double CcwDelta(double from, double to) {
+  return NormalizeAngle2Pi(to - from);
+}
+
+}  // namespace bqs

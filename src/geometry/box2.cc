@@ -1,0 +1,84 @@
+#include "geometry/box2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bqs {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Box2::Box2() : min_(kInf, kInf), max_(-kInf, -kInf) {}
+
+Box2::Box2(Vec2 p) : min_(p), max_(p) {}
+
+Box2::Box2(Vec2 mn, Vec2 mx) : min_(mn), max_(mx) {}
+
+bool Box2::empty() const { return min_.x > max_.x || min_.y > max_.y; }
+
+void Box2::Extend(Vec2 p) {
+  min_.x = std::min(min_.x, p.x);
+  min_.y = std::min(min_.y, p.y);
+  max_.x = std::max(max_.x, p.x);
+  max_.y = std::max(max_.y, p.y);
+}
+
+void Box2::Extend(const Box2& other) {
+  if (other.empty()) return;
+  Extend(other.min_);
+  Extend(other.max_);
+}
+
+bool Box2::Contains(Vec2 p) const {
+  return p.x >= min_.x && p.x <= max_.x && p.y >= min_.y && p.y <= max_.y;
+}
+
+std::array<Vec2, 4> Box2::Corners() const {
+  return {Vec2{min_.x, min_.y}, Vec2{max_.x, min_.y}, Vec2{max_.x, max_.y},
+          Vec2{min_.x, max_.y}};
+}
+
+std::optional<Box2::RayHit> Box2::IntersectRay(Vec2 origin, Vec2 dir) const {
+  if (empty()) return std::nullopt;
+  // Slab method. Track the parametric overlap of the ray with both slabs.
+  double t0 = 0.0;
+  double t1 = kInf;
+
+  const double o[2] = {origin.x, origin.y};
+  const double d[2] = {dir.x, dir.y};
+  const double lo[2] = {min_.x, min_.y};
+  const double hi[2] = {max_.x, max_.y};
+
+  for (int axis = 0; axis < 2; ++axis) {
+    if (d[axis] == 0.0) {
+      // Ray parallel to this slab: must already be inside it.
+      if (o[axis] < lo[axis] || o[axis] > hi[axis]) return std::nullopt;
+      continue;
+    }
+    double ta = (lo[axis] - o[axis]) / d[axis];
+    double tb = (hi[axis] - o[axis]) / d[axis];
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return std::nullopt;
+  }
+  if (!std::isfinite(t1)) {
+    // Degenerate zero direction: treat as a miss unless origin is inside,
+    // in which case the "ray" is the single point origin.
+    if (dir.x == 0.0 && dir.y == 0.0) {
+      if (!Contains(origin)) return std::nullopt;
+      return RayHit{origin, origin, 0.0, 0.0};
+    }
+    return std::nullopt;
+  }
+  RayHit hit;
+  hit.t_entry = t0;
+  hit.t_exit = t1;
+  hit.entry = origin + t0 * dir;
+  hit.exit = origin + t1 * dir;
+  return hit;
+}
+
+}  // namespace bqs

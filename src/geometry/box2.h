@@ -1,0 +1,65 @@
+// Axis-aligned 2-D bounding box with the ray-intersection machinery the BQS
+// needs: each angular bounding line is a ray from the quadrant origin, and
+// its entry/exit points with the box are BQS "significant points".
+#ifndef BQS_GEOMETRY_BOX2_H_
+#define BQS_GEOMETRY_BOX2_H_
+
+#include <array>
+#include <optional>
+
+#include "geometry/vec2.h"
+
+namespace bqs {
+
+/// Closed axis-aligned rectangle [min.x, max.x] x [min.y, max.y].
+/// A default-constructed box is empty; Extend() grows it to cover points.
+class Box2 {
+ public:
+  Box2();
+  /// Box covering exactly one point (degenerate allowed).
+  explicit Box2(Vec2 p);
+  Box2(Vec2 mn, Vec2 mx);
+
+  /// True when no point has been added.
+  bool empty() const;
+
+  /// Grows the box to cover p.
+  void Extend(Vec2 p);
+
+  /// Grows the box to cover another box (no-op if `other` is empty).
+  void Extend(const Box2& other);
+
+  Vec2 min() const { return min_; }
+  Vec2 max() const { return max_; }
+  Vec2 Center() const { return (min_ + max_) * 0.5; }
+  double Width() const { return max_.x - min_.x; }
+  double Height() const { return max_.y - min_.y; }
+  double Area() const { return Width() * Height(); }
+
+  /// True when p lies inside or on the boundary. Empty boxes contain nothing.
+  bool Contains(Vec2 p) const;
+
+  /// The four corners in CCW order starting at min:
+  /// (min.x,min.y), (max.x,min.y), (max.x,max.y), (min.x,max.y).
+  std::array<Vec2, 4> Corners() const;
+
+  /// Intersection points of the ray origin + t*dir (t >= 0) with the box
+  /// boundary: entry (smaller t) and exit (larger t). Collapses to a single
+  /// repeated point when the ray grazes a corner or the box is degenerate.
+  /// nullopt when the ray misses the box entirely.
+  struct RayHit {
+    Vec2 entry;
+    Vec2 exit;
+    double t_entry;
+    double t_exit;
+  };
+  std::optional<RayHit> IntersectRay(Vec2 origin, Vec2 dir) const;
+
+ private:
+  Vec2 min_;
+  Vec2 max_;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_GEOMETRY_BOX2_H_

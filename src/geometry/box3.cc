@@ -1,0 +1,75 @@
+#include "geometry/box3.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bqs {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Box3::Box3() : min_(kInf, kInf, kInf), max_(-kInf, -kInf, -kInf) {}
+
+Box3::Box3(Vec3 p) : min_(p), max_(p) {}
+
+Box3::Box3(Vec3 mn, Vec3 mx) : min_(mn), max_(mx) {}
+
+bool Box3::empty() const {
+  return min_.x > max_.x || min_.y > max_.y || min_.z > max_.z;
+}
+
+void Box3::Extend(Vec3 p) {
+  min_.x = std::min(min_.x, p.x);
+  min_.y = std::min(min_.y, p.y);
+  min_.z = std::min(min_.z, p.z);
+  max_.x = std::max(max_.x, p.x);
+  max_.y = std::max(max_.y, p.y);
+  max_.z = std::max(max_.z, p.z);
+}
+
+double Box3::Volume() const {
+  if (empty()) return 0.0;
+  return (max_.x - min_.x) * (max_.y - min_.y) * (max_.z - min_.z);
+}
+
+bool Box3::Contains(Vec3 p) const {
+  return p.x >= min_.x && p.x <= max_.x && p.y >= min_.y && p.y <= max_.y &&
+         p.z >= min_.z && p.z <= max_.z;
+}
+
+std::array<Vec3, 8> Box3::Corners() const {
+  std::array<Vec3, 8> out;
+  for (int i = 0; i < 8; ++i) {
+    out[i] = Vec3{(i & 1) ? max_.x : min_.x, (i & 2) ? max_.y : min_.y,
+                  (i & 4) ? max_.z : min_.z};
+  }
+  return out;
+}
+
+std::array<Vec3, 4> Box3::Face(int face) const {
+  const Vec3 mn = min_;
+  const Vec3 mx = max_;
+  switch (face) {
+    case 0:  // -x
+      return {Vec3{mn.x, mn.y, mn.z}, Vec3{mn.x, mn.y, mx.z},
+              Vec3{mn.x, mx.y, mx.z}, Vec3{mn.x, mx.y, mn.z}};
+    case 1:  // +x
+      return {Vec3{mx.x, mn.y, mn.z}, Vec3{mx.x, mx.y, mn.z},
+              Vec3{mx.x, mx.y, mx.z}, Vec3{mx.x, mn.y, mx.z}};
+    case 2:  // -y
+      return {Vec3{mn.x, mn.y, mn.z}, Vec3{mx.x, mn.y, mn.z},
+              Vec3{mx.x, mn.y, mx.z}, Vec3{mn.x, mn.y, mx.z}};
+    case 3:  // +y
+      return {Vec3{mn.x, mx.y, mn.z}, Vec3{mn.x, mx.y, mx.z},
+              Vec3{mx.x, mx.y, mx.z}, Vec3{mx.x, mx.y, mn.z}};
+    case 4:  // -z
+      return {Vec3{mn.x, mn.y, mn.z}, Vec3{mn.x, mx.y, mn.z},
+              Vec3{mx.x, mx.y, mn.z}, Vec3{mx.x, mn.y, mn.z}};
+    default:  // +z
+      return {Vec3{mn.x, mn.y, mx.z}, Vec3{mx.x, mn.y, mx.z},
+              Vec3{mx.x, mx.y, mx.z}, Vec3{mn.x, mx.y, mx.z}};
+  }
+}
+
+}  // namespace bqs

@@ -1,0 +1,45 @@
+// Axis-aligned 3-D bounding box ("bounding right rectangular prism" in the
+// paper's 3-D BQS, Section V-G).
+#ifndef BQS_GEOMETRY_BOX3_H_
+#define BQS_GEOMETRY_BOX3_H_
+
+#include <array>
+
+#include "geometry/vec3.h"
+
+namespace bqs {
+
+/// Closed axis-aligned cuboid. Default-constructed box is empty.
+class Box3 {
+ public:
+  Box3();
+  explicit Box3(Vec3 p);
+  Box3(Vec3 mn, Vec3 mx);
+
+  bool empty() const;
+  void Extend(Vec3 p);
+
+  Vec3 min() const { return min_; }
+  Vec3 max() const { return max_; }
+  Vec3 Center() const { return (min_ + max_) * 0.5; }
+  double Volume() const;
+
+  /// True when p lies inside or on the boundary.
+  bool Contains(Vec3 p) const;
+
+  /// The eight corners; corner i has bit 0 -> max x, bit 1 -> max y,
+  /// bit 2 -> max z.
+  std::array<Vec3, 8> Corners() const;
+
+  /// One rectangular face as its four corner points (CCW seen from outside).
+  /// face in {0..5}: -x, +x, -y, +y, -z, +z.
+  std::array<Vec3, 4> Face(int face) const;
+
+ private:
+  Vec3 min_;
+  Vec3 max_;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_GEOMETRY_BOX3_H_

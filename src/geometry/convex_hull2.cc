@@ -1,0 +1,67 @@
+#include "geometry/convex_hull2.h"
+
+#include <algorithm>
+
+#include "geometry/line2.h"
+
+namespace bqs {
+
+std::vector<Vec2> ConvexHull(std::vector<Vec2> points) {
+  std::sort(points.begin(), points.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const std::size_t n = points.size();
+  if (n < 3) return points;
+
+  std::vector<Vec2> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           (hull[k - 1] - hull[k - 2]).Cross(points[i] - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  const std::size_t lower_size = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size &&
+           (hull[k - 1] - hull[k - 2]).Cross(points[i] - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  return hull;
+}
+
+bool ConvexPolygonContains(const std::vector<Vec2>& hull, Vec2 p, double eps) {
+  if (hull.empty()) return false;
+  if (hull.size() == 1) return Distance(hull[0], p) <= eps;
+  if (hull.size() == 2) {
+    return PointToSegmentDistance(p, hull[0], hull[1]) <= eps;
+  }
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Vec2 a = hull[i];
+    const Vec2 b = hull[(i + 1) % hull.size()];
+    const Vec2 edge = b - a;
+    const double cross = edge.Cross(p - a);
+    // For a CCW polygon the interior is on the left of every edge; allow
+    // an eps-scaled band outside.
+    if (cross < -eps * (edge.Norm() + 1.0)) return false;
+  }
+  return true;
+}
+
+double PolygonSignedArea2(const std::vector<Vec2>& polygon) {
+  double area2 = 0.0;
+  const std::size_t n = polygon.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    area2 += polygon[i].Cross(polygon[(i + 1) % n]);
+  }
+  return area2;
+}
+
+}  // namespace bqs

@@ -1,0 +1,30 @@
+// 2-D convex hull (Andrew monotone chain) and point-in-convex-polygon tests.
+// Used by property tests to validate the BQS bounding structures and by the
+// trajectory store's segment-similarity search.
+#ifndef BQS_GEOMETRY_CONVEX_HULL2_H_
+#define BQS_GEOMETRY_CONVEX_HULL2_H_
+
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace bqs {
+
+/// Convex hull of `points` in counter-clockwise order, first vertex is the
+/// lexicographically smallest point. Collinear interior points are dropped.
+/// Returns the input unchanged for fewer than 3 points (after dedup).
+std::vector<Vec2> ConvexHull(std::vector<Vec2> points);
+
+/// True when p is inside or on the boundary of the CCW convex polygon
+/// `hull`. `eps` expands the polygon by an absolute tolerance to absorb
+/// floating-point error. Hulls with fewer than 3 vertices degrade to
+/// segment/point containment.
+bool ConvexPolygonContains(const std::vector<Vec2>& hull, Vec2 p,
+                           double eps = 1e-9);
+
+/// Twice the signed area of a polygon (positive when CCW).
+double PolygonSignedArea2(const std::vector<Vec2>& polygon);
+
+}  // namespace bqs
+
+#endif  // BQS_GEOMETRY_CONVEX_HULL2_H_

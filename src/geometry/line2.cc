@@ -1,0 +1,84 @@
+#include "geometry/line2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace bqs {
+
+double PointToLineDistance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 d = b - a;
+  const double len = d.Norm();
+  if (len == 0.0) return Distance(p, a);
+  return std::fabs(d.Cross(p - a)) / len;
+}
+
+double PointToSegmentDistance(Vec2 p, Vec2 a, Vec2 b) {
+  return Distance(p, ClosestPointOnSegment(p, a, b));
+}
+
+double PointDeviation(Vec2 p, Vec2 a, Vec2 b, DistanceMetric metric) {
+  return metric == DistanceMetric::kPointToLine
+             ? PointToLineDistance(p, a, b)
+             : PointToSegmentDistance(p, a, b);
+}
+
+double ProjectParam(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 d = b - a;
+  const double den = d.NormSq();
+  if (den == 0.0) return 0.0;
+  return d.Dot(p - a) / den;
+}
+
+Vec2 ClosestPointOnSegment(Vec2 p, Vec2 a, Vec2 b) {
+  const double t = Clamp(ProjectParam(p, a, b), 0.0, 1.0);
+  return a + t * (b - a);
+}
+
+double SignedLineOffset(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 d = b - a;
+  const double len = d.Norm();
+  if (len == 0.0) return 0.0;
+  return d.Cross(p - a) / len;
+}
+
+namespace {
+
+int Orientation(Vec2 a, Vec2 b, Vec2 c) {
+  const double cr = (b - a).Cross(c - a);
+  if (cr > 0.0) return 1;
+  if (cr < 0.0) return -1;
+  return 0;
+}
+
+bool OnSegment(Vec2 a, Vec2 b, Vec2 p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+double SegmentToSegmentDistance(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  if (SegmentsIntersect(a, b, c, d)) return 0.0;
+  double best = PointToSegmentDistance(a, c, d);
+  best = std::min(best, PointToSegmentDistance(b, c, d));
+  best = std::min(best, PointToSegmentDistance(c, a, b));
+  best = std::min(best, PointToSegmentDistance(d, a, b));
+  return best;
+}
+
+bool SegmentsIntersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  const int o1 = Orientation(a, b, c);
+  const int o2 = Orientation(a, b, d);
+  const int o3 = Orientation(c, d, a);
+  const int o4 = Orientation(c, d, b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(a, b, c)) return true;
+  if (o2 == 0 && OnSegment(a, b, d)) return true;
+  if (o3 == 0 && OnSegment(c, d, a)) return true;
+  if (o4 == 0 && OnSegment(c, d, b)) return true;
+  return false;
+}
+
+}  // namespace bqs

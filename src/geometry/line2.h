@@ -1,0 +1,49 @@
+// 2-D line/segment distance primitives. The paper's deviation metric is the
+// distance from a point to the (infinite) line through the segment start and
+// end; the point-to-line-segment variant is also supported (Section V-G).
+#ifndef BQS_GEOMETRY_LINE2_H_
+#define BQS_GEOMETRY_LINE2_H_
+
+#include "geometry/vec2.h"
+
+namespace bqs {
+
+/// Which deviation metric a compressor uses.
+enum class DistanceMetric {
+  /// Distance to the infinite line through (start, end). Paper default.
+  kPointToLine,
+  /// Distance to the closed segment [start, end]. Paper Eq. (11) variant.
+  kPointToSegment,
+};
+
+/// Distance from p to the infinite line through a and b.
+/// Degenerates gracefully: when a == b it is the distance |p - a|.
+double PointToLineDistance(Vec2 p, Vec2 a, Vec2 b);
+
+/// Distance from p to the closed segment [a, b].
+double PointToSegmentDistance(Vec2 p, Vec2 a, Vec2 b);
+
+/// Dispatches on `metric`.
+double PointDeviation(Vec2 p, Vec2 a, Vec2 b, DistanceMetric metric);
+
+/// Parameter t of the orthogonal projection of p onto the line a + t*(b-a).
+/// Returns 0 when a == b.
+double ProjectParam(Vec2 p, Vec2 a, Vec2 b);
+
+/// Closest point to p on segment [a, b].
+Vec2 ClosestPointOnSegment(Vec2 p, Vec2 a, Vec2 b);
+
+/// Signed perpendicular offset of p from the directed line a->b
+/// (positive on the left of the direction of travel). 0 when a == b.
+double SignedLineOffset(Vec2 p, Vec2 a, Vec2 b);
+
+/// Intersection of segments [a,b] and [c,d] exists?  Touching counts.
+bool SegmentsIntersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
+/// Shortest distance between closed segments [a,b] and [c,d]; 0 when they
+/// intersect.
+double SegmentToSegmentDistance(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
+}  // namespace bqs
+
+#endif  // BQS_GEOMETRY_LINE2_H_

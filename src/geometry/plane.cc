@@ -1,0 +1,52 @@
+#include "geometry/plane.h"
+
+#include <cmath>
+
+namespace bqs {
+
+std::optional<Plane3> Plane3::FromPoints(Vec3 a, Vec3 b, Vec3 c) {
+  const Vec3 n = (b - a).Cross(c - a);
+  const double len = n.Norm();
+  // Collinearity threshold relative to the edge lengths involved.
+  const double scale = (b - a).Norm() * (c - a).Norm();
+  if (len <= 1e-12 * (scale > 0.0 ? scale : 1.0)) return std::nullopt;
+  Plane3 out;
+  out.normal = n / len;
+  out.offset = -out.normal.Dot(a);
+  return out;
+}
+
+Plane3 Plane3::FromPointNormal(Vec3 point, Vec3 normal) {
+  Plane3 out;
+  out.normal = normal;
+  out.offset = -normal.Dot(point);
+  return out;
+}
+
+Plane3 Plane3::Normalized() const {
+  const double len = normal.Norm();
+  if (len == 0.0) return *this;
+  return Plane3{normal / len, offset / len};
+}
+
+std::optional<Vec3> IntersectPlanes(const Plane3& p0, const Plane3& p1,
+                                    const Plane3& p2) {
+  // Solve [n0; n1; n2] x = -[d0; d1; d2] by Cramer's rule.
+  const Vec3 n0 = p0.normal;
+  const Vec3 n1 = p1.normal;
+  const Vec3 n2 = p2.normal;
+  const double det = n0.Dot(n1.Cross(n2));
+  const double scale =
+      n0.Norm() * n1.Norm() * n2.Norm();
+  if (std::fabs(det) <= 1e-10 * (scale > 0.0 ? scale : 1.0)) {
+    return std::nullopt;
+  }
+  const Vec3 b{-p0.offset, -p1.offset, -p2.offset};
+  // x = (b.x * (n1 x n2) + b.y * (n2 x n0) + b.z * (n0 x n1)) / det
+  const Vec3 x = (b.x * n1.Cross(n2) + b.y * n2.Cross(n0) +
+                  b.z * n0.Cross(n1)) /
+                 det;
+  return x;
+}
+
+}  // namespace bqs

@@ -1,0 +1,40 @@
+// 3-D plane and half-space used by the 3-D BQS bounding planes.
+#ifndef BQS_GEOMETRY_PLANE_H_
+#define BQS_GEOMETRY_PLANE_H_
+
+#include <optional>
+
+#include "geometry/vec3.h"
+
+namespace bqs {
+
+/// Plane {x : normal . x + offset = 0}. The half-space "kept" by clipping
+/// routines is {x : normal . x + offset <= 0}, i.e. the normal points out of
+/// the kept region.
+struct Plane3 {
+  Vec3 normal;
+  double offset = 0.0;
+
+  /// Signed distance times |normal|; negative/zero means inside the kept
+  /// half-space. Callers that need true distance should normalize first.
+  double Eval(Vec3 p) const { return normal.Dot(p) + offset; }
+
+  /// Plane through three points with normal (b-a) x (c-a). Returns nullopt
+  /// when the points are (near-)collinear.
+  static std::optional<Plane3> FromPoints(Vec3 a, Vec3 b, Vec3 c);
+
+  /// Plane through `point` with the given normal.
+  static Plane3 FromPointNormal(Vec3 point, Vec3 normal);
+
+  /// Same plane with |normal| == 1 (Eval then returns true signed distance).
+  Plane3 Normalized() const;
+};
+
+/// Intersection point of three planes; nullopt when the 3x3 system is
+/// singular (two planes parallel, or all three share a line).
+std::optional<Vec3> IntersectPlanes(const Plane3& p0, const Plane3& p1,
+                                    const Plane3& p2);
+
+}  // namespace bqs
+
+#endif  // BQS_GEOMETRY_PLANE_H_

@@ -1,0 +1,67 @@
+#include "geometry/polyhedron.h"
+
+#include <cmath>
+
+namespace bqs {
+
+std::vector<Plane3> BoxPlanes(const Box3& box) {
+  if (box.empty()) return {};
+  const Vec3 mn = box.min();
+  const Vec3 mx = box.max();
+  return {
+      Plane3::FromPointNormal(mn, {-1.0, 0.0, 0.0}),
+      Plane3::FromPointNormal(mx, {1.0, 0.0, 0.0}),
+      Plane3::FromPointNormal(mn, {0.0, -1.0, 0.0}),
+      Plane3::FromPointNormal(mx, {0.0, 1.0, 0.0}),
+      Plane3::FromPointNormal(mn, {0.0, 0.0, -1.0}),
+      Plane3::FromPointNormal(mx, {0.0, 0.0, 1.0}),
+  };
+}
+
+bool PolytopeContains(const std::vector<Plane3>& planes, Vec3 p, double eps) {
+  for (const Plane3& pl : planes) {
+    if (pl.Normalized().Eval(p) > eps) return false;
+  }
+  return true;
+}
+
+std::vector<Vec3> EnumerateVertices(std::vector<Plane3> planes, double eps) {
+  for (Plane3& pl : planes) pl = pl.Normalized();
+  std::vector<Vec3> vertices;
+  const std::size_t n = planes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      for (std::size_t k = j + 1; k < n; ++k) {
+        const auto pt = IntersectPlanes(planes[i], planes[j], planes[k]);
+        if (!pt.has_value()) continue;
+        bool feasible = true;
+        for (const Plane3& pl : planes) {
+          if (pl.Eval(*pt) > eps) {
+            feasible = false;
+            break;
+          }
+        }
+        if (!feasible) continue;
+        bool duplicate = false;
+        for (const Vec3& v : vertices) {
+          if (DistanceSq(v, *pt) <= eps * eps) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) vertices.push_back(*pt);
+      }
+    }
+  }
+  return vertices;
+}
+
+std::vector<Vec3> ClipBoxVertices(const Box3& box,
+                                  const std::vector<Plane3>& cuts,
+                                  double eps) {
+  std::vector<Plane3> planes = BoxPlanes(box);
+  planes.insert(planes.end(), cuts.begin(), cuts.end());
+  return EnumerateVertices(std::move(planes), eps);
+}
+
+}  // namespace bqs

@@ -1,0 +1,43 @@
+// Convex polytope support for the 3-D BQS: the bounding prism clipped by the
+// vertical/inclined bounding planes is a convex polyhedron whose vertices
+// are the "significant points" from which deviation bounds are computed.
+//
+// We use half-space representation and direct vertex enumeration (all
+// 3-plane intersections filtered by feasibility). For the BQS workload the
+// plane count is at most 10 (6 prism faces + 4 bounding planes), so the
+// cubic enumeration is both simple and fast.
+#ifndef BQS_GEOMETRY_POLYHEDRON_H_
+#define BQS_GEOMETRY_POLYHEDRON_H_
+
+#include <vector>
+
+#include "geometry/box3.h"
+#include "geometry/plane.h"
+
+namespace bqs {
+
+/// The six half-space planes of a box, normals pointing outward (kept region
+/// is Eval <= 0). Empty vector for an empty box.
+std::vector<Plane3> BoxPlanes(const Box3& box);
+
+/// True when p satisfies every half-space within an absolute tolerance
+/// `eps` (planes are normalized internally; eps is in length units).
+bool PolytopeContains(const std::vector<Plane3>& planes, Vec3 p,
+                      double eps = 1e-7);
+
+/// Vertices of the convex polytope formed by intersecting the half-spaces.
+/// Every unordered triple of planes is intersected; intersection points
+/// feasible for all half-spaces (within eps) are kept and deduplicated.
+/// Unbounded polytopes return only the vertices that exist (callers in this
+/// library always pass bounded systems: a box plus cutting planes).
+std::vector<Vec3> EnumerateVertices(std::vector<Plane3> planes,
+                                    double eps = 1e-7);
+
+/// Convenience: vertices of (box intersect cutting half-spaces).
+std::vector<Vec3> ClipBoxVertices(const Box3& box,
+                                  const std::vector<Plane3>& cuts,
+                                  double eps = 1e-7);
+
+}  // namespace bqs
+
+#endif  // BQS_GEOMETRY_POLYHEDRON_H_

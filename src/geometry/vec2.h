@@ -1,0 +1,75 @@
+// 2-D vector/point type used throughout the library. Header-only.
+// Coordinates are metres in a locally-projected plane (UTM or tangent plane).
+#ifndef BQS_GEOMETRY_VEC2_H_
+#define BQS_GEOMETRY_VEC2_H_
+
+#include <cmath>
+
+namespace bqs {
+
+/// Plain 2-D vector (also used as a point). All operations are value
+/// semantics and constexpr-friendly; no dynamic allocation anywhere.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double xx, double yy) : x(xx), y(yy) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr Vec2 operator/(double k) const { return {x / k, y / k}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2& operator*=(double k) {
+    x *= k;
+    y *= k;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Dot product.
+  constexpr double Dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// Z-component of the 3-D cross product; >0 when `o` is CCW from *this.
+  constexpr double Cross(Vec2 o) const { return x * o.y - y * o.x; }
+  /// Squared Euclidean norm.
+  constexpr double NormSq() const { return x * x + y * y; }
+  /// Euclidean norm.
+  double Norm() const { return std::hypot(x, y); }
+  /// Unit vector; returns (0,0) for the zero vector.
+  Vec2 Normalized() const {
+    const double n = Norm();
+    if (n == 0.0) return {0.0, 0.0};
+    return {x / n, y / n};
+  }
+  /// Rotated CCW by `angle` radians about the origin.
+  Vec2 Rotated(double angle) const {
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+  /// atan2 angle of this vector in (-pi, pi].
+  double Angle() const { return std::atan2(y, x); }
+};
+
+constexpr Vec2 operator*(double k, Vec2 v) { return {k * v.x, k * v.y}; }
+
+/// Euclidean distance between two points.
+inline double Distance(Vec2 a, Vec2 b) { return (a - b).Norm(); }
+
+/// Squared distance between two points.
+constexpr double DistanceSq(Vec2 a, Vec2 b) { return (a - b).NormSq(); }
+
+}  // namespace bqs
+
+#endif  // BQS_GEOMETRY_VEC2_H_

@@ -1,0 +1,66 @@
+// 3-D vector/point type for the 3-D BQS variant (altitude or scaled time as
+// the third axis). Header-only.
+#ifndef BQS_GEOMETRY_VEC3_H_
+#define BQS_GEOMETRY_VEC3_H_
+
+#include <cmath>
+
+#include "geometry/vec2.h"
+
+namespace bqs {
+
+/// Plain 3-D vector (also used as a point).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+  /// Lifts a 2-D point into the z = 0 plane.
+  constexpr explicit Vec3(Vec2 v, double zz = 0.0) : x(v.x), y(v.y), z(zz) {}
+
+  constexpr Vec3 operator+(Vec3 o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(Vec3 o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double k) const { return {x * k, y * k, z * k}; }
+  constexpr Vec3 operator/(double k) const { return {x / k, y / k, z / k}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  /// Dot product.
+  constexpr double Dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  /// Cross product.
+  constexpr Vec3 Cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  /// Squared Euclidean norm.
+  constexpr double NormSq() const { return x * x + y * y + z * z; }
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(NormSq()); }
+  /// Unit vector; returns the zero vector unchanged.
+  Vec3 Normalized() const {
+    const double n = Norm();
+    if (n == 0.0) return {0.0, 0.0, 0.0};
+    return {x / n, y / n, z / n};
+  }
+  /// Projection onto the XY plane.
+  constexpr Vec2 XY() const { return {x, y}; }
+};
+
+constexpr Vec3 operator*(double k, Vec3 v) {
+  return {k * v.x, k * v.y, k * v.z};
+}
+
+/// Euclidean distance between two points.
+inline double Distance(Vec3 a, Vec3 b) { return (a - b).Norm(); }
+
+/// Squared distance between two points.
+constexpr double DistanceSq(Vec3 a, Vec3 b) { return (a - b).NormSq(); }
+
+}  // namespace bqs
+
+#endif  // BQS_GEOMETRY_VEC3_H_

@@ -1,0 +1,71 @@
+#include "simulation/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simulation/flying_fox.h"
+#include "simulation/random_walk.h"
+#include "simulation/vehicle.h"
+
+namespace bqs {
+
+namespace {
+
+Trajectory ProjectOrDie(const GeoTrace& trace) {
+  auto projected = ProjectTrace(trace, ProjectionKind::kUtm);
+  // The simulators keep coordinates well inside UTM validity; a failure
+  // here is a programming error, not an input error.
+  return projected.ok() ? std::move(projected).value() : Trajectory{};
+}
+
+}  // namespace
+
+Dataset BuildBatDataset(double scale, uint64_t seed) {
+  const int num_bats = std::max(1, static_cast<int>(std::lround(5 * scale)));
+  const int nights =
+      std::max(2, static_cast<int>(std::lround(14 * std::sqrt(scale))));
+  std::vector<Trajectory> streams;
+  streams.reserve(num_bats);
+  for (int b = 0; b < num_bats; ++b) {
+    FlyingFoxOptions options;
+    options.num_nights = nights;
+    options.seed = seed + static_cast<uint64_t>(b) * 977;
+    // Individual variation between animals.
+    options.forage_radius_m = 6000.0 + 1500.0 * b;
+    options.heading_kappa = 2000.0 + 250.0 * b;
+    streams.push_back(ProjectOrDie(GenerateFlyingFoxTrace(options)));
+  }
+  return Dataset{"bat", ConcatenateStreams(streams)};
+}
+
+Dataset BuildVehicleDataset(double scale, uint64_t seed) {
+  VehicleOptions options;
+  options.num_trips = std::max(2, static_cast<int>(std::lround(12 * scale)));
+  options.seed = seed;
+  return Dataset{"vehicle", ProjectOrDie(GenerateVehicleTrace(options))};
+}
+
+Dataset BuildSyntheticDataset(double scale, uint64_t seed) {
+  RandomWalkOptions options;
+  options.num_points = std::max<std::size_t>(
+      500, static_cast<std::size_t>(std::lround(30000 * scale)));
+  options.seed = seed;
+  return Dataset{"synthetic", GenerateRandomWalk(options)};
+}
+
+Dataset BuildEmpiricalMergedDataset(double scale, uint64_t seed) {
+  Dataset bat = BuildBatDataset(scale, seed);
+  Dataset vehicle = BuildVehicleDataset(scale, seed + 1);
+  return Dataset{"empirical",
+                 ConcatenateStreams({bat.stream, vehicle.stream})};
+}
+
+std::vector<Dataset> BuildAllDatasets(double scale) {
+  std::vector<Dataset> out;
+  out.push_back(BuildBatDataset(scale));
+  out.push_back(BuildVehicleDataset(scale));
+  out.push_back(BuildSyntheticDataset(scale));
+  return out;
+}
+
+}  // namespace bqs

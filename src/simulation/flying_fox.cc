@@ -1,0 +1,107 @@
+#include "simulation/flying_fox.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "geo/geodesy.h"
+#include "simulation/von_mises.h"
+
+namespace bqs {
+
+namespace {
+constexpr double kDaySeconds = 86400.0;
+}  // namespace
+
+GeoTrace GenerateFlyingFoxTrace(const FlyingFoxOptions& options) {
+  Rng rng(options.seed);
+  const LocalTangentPlane plane(LatLon{options.camp_lat, options.camp_lon});
+  GeoTrace out;
+
+  Vec2 pos{0.0, 0.0};  // Camp at the tangent-plane origin.
+  double t = 0.0;      // t = 0 is dusk of the first tracked night.
+
+  // AR(1) receiver bias + white noise (see FlyingFoxOptions::gps_drift_m).
+  Vec2 bias{rng.Normal(0.0, options.gps_drift_m),
+            rng.Normal(0.0, options.gps_drift_m)};
+  const double rho = options.gps_drift_rho;
+  const double innovation =
+      options.gps_drift_m * std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  const auto emit = [&](Vec2 p) {
+    bias = bias * rho + Vec2{rng.Normal(0.0, innovation),
+                             rng.Normal(0.0, innovation)};
+    const Vec2 noisy = p + bias +
+                       Vec2{rng.Normal(0.0, options.gps_white_m),
+                            rng.Normal(0.0, options.gps_white_m)};
+    out.push_back(GeoSample{plane.Unproject(noisy), t});
+  };
+
+  // Flies towards `target` with heading wobble; emits one fix per sample
+  // interval. The iteration guard covers pathological wobble draws.
+  const auto fly_to = [&](Vec2 target) {
+    int guard = 0;
+    while (Distance(pos, target) > 150.0 && ++guard < 5000) {
+      const double desired = (target - pos).Angle();
+      const double heading =
+          desired + SampleVonMises(rng, 0.0, options.heading_kappa);
+      const double speed =
+          std::min(options.max_speed_mps,
+                   options.cruise_speed_mps *
+                       std::exp(rng.Normal(0.0, 0.2)));
+      const double step = std::min(
+          speed * options.sample_interval_s, Distance(pos, target));
+      pos += Vec2{std::cos(heading), std::sin(heading)} * step;
+      t += options.sample_interval_s;
+      emit(pos);
+    }
+  };
+
+  // Stays near `center` for `duration`, crawling tree-to-tree.
+  const auto dwell = [&](Vec2 center, double duration, double jitter) {
+    const int fixes =
+        std::max(1, static_cast<int>(duration / options.sample_interval_s));
+    for (int i = 0; i < fixes; ++i) {
+      pos = center + Vec2{rng.Normal(0.0, jitter), rng.Normal(0.0, jitter)};
+      t += options.sample_interval_s;
+      emit(pos);
+    }
+  };
+
+  for (int night = 0; night < options.num_nights; ++night) {
+    const double night_start = static_cast<double>(night) * kDaySeconds;
+    const double night_end = night_start + options.night_hours * 3600.0;
+    t = std::max(t, night_start);
+
+    // Nightly foraging loop: camp -> sites -> camp.
+    const int sites = static_cast<int>(rng.UniformInt(
+        options.forage_sites_min, options.forage_sites_max));
+    for (int s = 0; s < sites && t < night_end; ++s) {
+      const double bearing = rng.Uniform(-kPi, kPi);
+      const double range =
+          rng.Uniform(0.15 * options.forage_radius_m, options.forage_radius_m);
+      const Vec2 site =
+          Vec2{std::cos(bearing), std::sin(bearing)} * range;
+      fly_to(site);
+      dwell(site,
+            rng.Uniform(options.forage_dwell_min_s, options.forage_dwell_max_s),
+            options.roost_jitter_m * 1.5);
+    }
+    fly_to(Vec2{0.0, 0.0});
+
+    // Daytime roost: fixes at the camp until the next dusk. Time advances
+    // before emitting so timestamps stay strictly increasing across the
+    // night/day hand-over.
+    const double next_dusk = night_start + kDaySeconds;
+    while (t + options.day_fix_interval_s < next_dusk) {
+      t += options.day_fix_interval_s;
+      pos = Vec2{rng.Normal(0.0, options.roost_jitter_m),
+                 rng.Normal(0.0, options.roost_jitter_m)};
+      emit(pos);
+    }
+    t = std::max(t, next_dusk);
+  }
+  return out;
+}
+
+}  // namespace bqs

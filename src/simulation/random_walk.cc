@@ -1,0 +1,87 @@
+#include "simulation/random_walk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "geometry/angle.h"
+#include "simulation/von_mises.h"
+
+namespace bqs {
+
+namespace {
+
+// Reflects a coordinate into [0, size], flipping the matching velocity
+// component, to keep the walk inside the area (paper: "bounded by a
+// rectangular area of 10 km x 10 km").
+void ReflectAxis(double* coord, double* vel, double size) {
+  while (*coord < 0.0 || *coord > size) {
+    if (*coord < 0.0) {
+      *coord = -*coord;
+      *vel = -*vel;
+    } else {
+      *coord = 2.0 * size - *coord;
+      *vel = -*vel;
+    }
+  }
+}
+
+}  // namespace
+
+Trajectory GenerateRandomWalk(const RandomWalkOptions& options) {
+  Trajectory out;
+  out.reserve(options.num_points);
+  Rng rng(options.seed);
+
+  Vec2 pos{options.area_m / 2.0, options.area_m / 2.0};
+  double heading = rng.Uniform(-kPi, kPi);
+  double t = 0.0;
+  bool moving = false;  // Start with a waiting event, as animals roost.
+
+  while (out.size() < options.num_points) {
+    const double duration = moving ? rng.Exponential(options.mean_move_s)
+                                   : rng.Exponential(options.mean_wait_s);
+    double speed = 0.0;
+    Vec2 vel{0.0, 0.0};
+    if (moving) {
+      heading = NormalizeAngle(
+          heading + SampleVonMises(rng, 0.0, options.turn_kappa));
+      speed = std::min(options.max_speed_mps,
+                       options.speed_mode_mps *
+                           std::exp(rng.Normal(0.0, options.speed_sigma)));
+      vel = Vec2{std::cos(heading), std::sin(heading)} * speed;
+    }
+
+    double elapsed = 0.0;
+    while (elapsed < duration && out.size() < options.num_points) {
+      TrackPoint p;
+      p.t = t;
+      p.pos = pos;
+      if (options.jitter_m > 0.0 && !moving) {
+        p.pos += Vec2{rng.Normal(0.0, options.jitter_m),
+                      rng.Normal(0.0, options.jitter_m)};
+      }
+      p.velocity = vel;
+      out.push_back(p);
+
+      const double step = options.sample_interval_s;
+      pos += vel * step;
+      ReflectAxis(&pos.x, &vel.x, options.area_m);
+      ReflectAxis(&pos.y, &vel.y, options.area_m);
+      if (moving && (vel.x != 0.0 || vel.y != 0.0)) {
+        heading = vel.Angle();  // Keep heading consistent after bounces.
+        // Per-sample wobble around the event heading.
+        heading = NormalizeAngle(
+            heading + SampleVonMises(rng, 0.0, options.move_jitter_kappa));
+        vel = Vec2{std::cos(heading), std::sin(heading)} * speed;
+      }
+      t += step;
+      elapsed += step;
+    }
+    moving = !moving;
+  }
+  return out;
+}
+
+}  // namespace bqs

@@ -1,0 +1,45 @@
+// The paper's synthetic workload (Section VI-A): an event-based correlated
+// random walk. Waiting and moving events alternate; the object holds
+// position during waits and moves with a freshly drawn speed and von Mises
+// turning angle during moves. Move/wait durations are exponential (Poisson
+// process); trajectories are confined to a square area by reflection.
+// Sampling is continuous and high-frequency with exact velocities, which is
+// what makes the Dead Reckoning comparison (Fig. 8) possible.
+#ifndef BQS_SIMULATION_RANDOM_WALK_H_
+#define BQS_SIMULATION_RANDOM_WALK_H_
+
+#include <cstdint>
+
+#include "trajectory/trajectory.h"
+
+namespace bqs {
+
+/// Parameters of the correlated random walk. Defaults approximate the
+/// paper's setup: 30,000 points on a 10 km x 10 km area with bat-like
+/// speed dynamics (cruise ~35 km/h, bursts to ~50 km/h).
+struct RandomWalkOptions {
+  std::size_t num_points = 30000;
+  double area_m = 10000.0;           ///< Side of the bounding square.
+  double sample_interval_s = 2.0;    ///< High-frequency sampling.
+  double mean_wait_s = 40.0;         ///< Exponential wait duration.
+  double mean_move_s = 90.0;         ///< Exponential move duration.
+  double speed_mode_mps = 9.7;       ///< ~35 km/h cruising speed.
+  double speed_sigma = 0.35;         ///< Log-normal spread of speeds.
+  double max_speed_mps = 13.9;       ///< ~50 km/h ceiling.
+  double turn_kappa = 3.0;           ///< Heading persistence (von Mises).
+  /// Per-sample heading wobble while moving (wind drift / path texture),
+  /// von Mises concentration. Large values = nearly straight moves. This
+  /// is what makes Dead Reckoning's report count tolerance-dependent
+  /// (Fig. 8(b)): with perfectly linear moves DR would only report at
+  /// event boundaries.
+  double move_jitter_kappa = 350.0;
+  double jitter_m = 0.0;             ///< Optional stationary GPS jitter.
+  uint64_t seed = 20150415;          ///< ICDE'15 vintage.
+};
+
+/// Generates the walk. Points carry exact instantaneous velocities.
+Trajectory GenerateRandomWalk(const RandomWalkOptions& options);
+
+}  // namespace bqs
+
+#endif  // BQS_SIMULATION_RANDOM_WALK_H_

@@ -1,0 +1,101 @@
+#include "simulation/vehicle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "geo/geodesy.h"
+
+namespace bqs {
+
+GeoTrace GenerateVehicleTrace(const VehicleOptions& options) {
+  Rng rng(options.seed);
+  const LocalTangentPlane plane(
+      LatLon{options.anchor_lat, options.anchor_lon});
+  GeoTrace out;
+
+  double t = 0.0;
+  const double half_area = options.area_km * 500.0;  // km -> m, halved.
+
+  Vec2 bias{rng.Normal(0.0, options.gps_drift_m),
+            rng.Normal(0.0, options.gps_drift_m)};
+  const double rho = options.gps_drift_rho;
+  const double innovation =
+      options.gps_drift_m * std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  const auto emit = [&](Vec2 p) {
+    bias = bias * rho + Vec2{rng.Normal(0.0, innovation),
+                             rng.Normal(0.0, innovation)};
+    const Vec2 noisy = p + bias +
+                       Vec2{rng.Normal(0.0, options.gps_white_m),
+                            rng.Normal(0.0, options.gps_white_m)};
+    out.push_back(GeoSample{plane.Unproject(noisy), t});
+  };
+
+  for (int trip = 0; trip < options.num_trips; ++trip) {
+    Vec2 pos{rng.Uniform(-half_area, half_area),
+             rng.Uniform(-half_area, half_area)};
+    // Streets follow one of two orthogonal grid orientations per trip.
+    const double grid = rng.Uniform(0.0, kHalfPi);
+    double heading = grid + kHalfPi * static_cast<double>(rng.UniformInt(0, 3));
+    double trip_left_m =
+        rng.Uniform(options.min_trip_km, options.max_trip_km) * 1000.0;
+
+    emit(pos);
+    while (trip_left_m > 0.0) {
+      // One straight leg.
+      double leg = options.mean_leg_m *
+                   std::exp(rng.Normal(0.0, options.leg_sigma));
+      leg = std::min(leg, trip_left_m);
+      const bool highway = leg > 3000.0;
+      const double base_speed =
+          (highway ? options.highway_speed_kmh : options.urban_speed_kmh) /
+          3.6;
+      // A fraction of legs are gentle arcs (ring roads, bends): curvature
+      // turns the heading gradually over the leg.
+      double curvature = 0.0;  // rad per metre; sign = turn direction.
+      if (rng.Bernoulli(options.curve_probability)) {
+        const double radius = rng.Uniform(options.min_curve_radius_m,
+                                          options.max_curve_radius_m);
+        curvature = (rng.Bernoulli(0.5) ? 1.0 : -1.0) / radius;
+      }
+
+      double covered = 0.0;
+      while (covered < leg) {
+        const double speed = base_speed * rng.Uniform(0.9, 1.05);
+        const double step =
+            std::min(speed * options.sample_interval_s, leg - covered);
+        const Vec2 dir{std::cos(heading), std::sin(heading)};
+        pos += dir * step;
+        heading += curvature * step;
+        covered += step;
+        t += options.sample_interval_s;
+        emit(pos);
+      }
+      trip_left_m -= leg;
+
+      // Intersection: possible stop, then turn left/right or continue.
+      if (rng.Bernoulli(options.stop_probability)) {
+        const double wait = rng.Uniform(10.0, options.max_stop_s);
+        const int fixes =
+            static_cast<int>(wait / options.sample_interval_s);
+        for (int i = 0; i < fixes; ++i) {
+          t += options.sample_interval_s;
+          emit(pos);
+        }
+      }
+      const double turn = rng.Bernoulli(0.5) ? kHalfPi : -kHalfPi;
+      if (!rng.Bernoulli(0.45)) {  // 55%: turn; 45%: continue straight.
+        heading += turn;
+      }
+      // Steer back into the area by U-turning when out of bounds.
+      if (std::fabs(pos.x) > half_area || std::fabs(pos.y) > half_area) {
+        heading += kPi;
+      }
+    }
+    t += options.trip_gap_s;
+  }
+  return out;
+}
+
+}  // namespace bqs

@@ -1,0 +1,54 @@
+#include "simulation/von_mises.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "geometry/angle.h"
+
+namespace bqs {
+
+double SampleVonMises(Rng& rng, double mu, double kappa) {
+  if (kappa < 1e-8) {
+    return NormalizeAngle(rng.Uniform(-kPi, kPi) + mu);
+  }
+  // Best & Fisher (1979) wrapped-Cauchy envelope rejection sampling.
+  const double a = 1.0 + std::sqrt(1.0 + 4.0 * kappa * kappa);
+  const double b = (a - std::sqrt(2.0 * a)) / (2.0 * kappa);
+  const double r = (1.0 + b * b) / (2.0 * b);
+
+  while (true) {
+    const double u1 = rng.Uniform(0.0, 1.0);
+    const double u2 = rng.Uniform(0.0, 1.0);
+    const double z = std::cos(kPi * u1);
+    const double f = (1.0 + r * z) / (r + z);
+    const double c = kappa * (r - f);
+    if (c * (2.0 - c) - u2 > 0.0 ||
+        std::log(c / u2) + 1.0 - c >= 0.0) {
+      const double u3 = rng.Uniform(0.0, 1.0);
+      const double theta = (u3 > 0.5 ? 1.0 : -1.0) *
+                           std::acos(Clamp(f, -1.0, 1.0));
+      return NormalizeAngle(theta + mu);
+    }
+  }
+}
+
+double BesselI0(double x) {
+  // Power series sum_k (x/2)^(2k) / (k!)^2; converges quickly for the
+  // kappa range used by the simulators.
+  const double half_x = x / 2.0;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k < 64; ++k) {
+    term *= (half_x / k) * (half_x / k);
+    sum += term;
+    if (term < 1e-16 * sum) break;
+  }
+  return sum;
+}
+
+double VonMisesPdf(double theta, double mu, double kappa) {
+  return std::exp(kappa * std::cos(theta - mu)) /
+         (kTwoPi * BesselI0(kappa));
+}
+
+}  // namespace bqs

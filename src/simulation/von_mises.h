@@ -1,0 +1,24 @@
+// Von Mises circular distribution sampling (Best-Fisher rejection method).
+// The paper's synthetic dataset draws turning angles from a von Mises
+// distribution (Section VI-A, citing Risken's Fokker-Planck treatment).
+#ifndef BQS_SIMULATION_VON_MISES_H_
+#define BQS_SIMULATION_VON_MISES_H_
+
+#include "common/rng.h"
+
+namespace bqs {
+
+/// Draws one angle from VonMises(mu, kappa), in (-pi, pi] around mu.
+/// kappa = 0 degenerates to the uniform circular distribution; large kappa
+/// concentrates tightly around mu (stddev ~ 1/sqrt(kappa)).
+double SampleVonMises(Rng& rng, double mu, double kappa);
+
+/// Von Mises density (for tests); I0 is computed by series expansion.
+double VonMisesPdf(double theta, double mu, double kappa);
+
+/// Modified Bessel function of the first kind, order zero (series).
+double BesselI0(double x);
+
+}  // namespace bqs
+
+#endif  // BQS_SIMULATION_VON_MISES_H_

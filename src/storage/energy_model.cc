@@ -1,0 +1,38 @@
+#include "storage/energy_model.h"
+
+#include <algorithm>
+
+namespace bqs {
+
+double DailyEnergyJoules(const EnergyModel& model, const PlatformSpec& spec,
+                         double compression_rate) {
+  const double fixes_per_day = 86400.0 / spec.sample_interval_s;
+  const double stored_bytes_per_day =
+      fixes_per_day * compression_rate * spec.bytes_per_sample;
+  double joules = model.idle_j_per_day;
+  joules += fixes_per_day * model.gps_fix_j;
+  joules += fixes_per_day * model.cpu_j_per_point;
+  joules += stored_bytes_per_day * model.flash_j_per_byte;
+  // Every stored byte is eventually offloaded once.
+  joules += stored_bytes_per_day * model.radio_j_per_byte;
+  return joules;
+}
+
+double EstimateEnergyLimitedDays(const EnergyModel& model,
+                                 const PlatformSpec& spec,
+                                 double compression_rate) {
+  const double net_per_day =
+      DailyEnergyJoules(model, spec, compression_rate) -
+      model.solar_j_per_day;
+  if (net_per_day <= 0.0) return 1.0e9;  // harvest-sustained
+  return model.battery_j / net_per_day;
+}
+
+double EstimateCombinedDays(const EnergyModel& model,
+                            const PlatformSpec& spec,
+                            double compression_rate) {
+  return std::min(EstimateOperationalDays(spec, compression_rate),
+                  EstimateEnergyLimitedDays(model, spec, compression_rate));
+}
+
+}  // namespace bqs

@@ -1,0 +1,66 @@
+#include "storage/grid_index.h"
+
+#include <cmath>
+
+namespace bqs {
+
+GridIndex::GridIndex(double cell_size) : cell_size_(cell_size) {}
+
+int64_t GridIndex::CellKey(Vec2 pos) const {
+  const auto cx = static_cast<int64_t>(std::floor(pos.x / cell_size_));
+  const auto cy = static_cast<int64_t>(std::floor(pos.y / cell_size_));
+  // Interleave the two 32-bit cell coordinates into one key.
+  return (cx << 32) ^ (cy & 0xffffffffLL);
+}
+
+void GridIndex::Insert(uint64_t id, Vec2 pos) {
+  cells_[CellKey(pos)].push_back(Entry{id, pos});
+  ++size_;
+}
+
+bool GridIndex::Remove(uint64_t id, Vec2 pos) {
+  const auto it = cells_.find(CellKey(pos));
+  if (it == cells_.end()) return false;
+  auto& bucket = it->second;
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i].id == id) {
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      if (bucket.empty()) cells_.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<uint64_t> GridIndex::Query(Vec2 center, double radius) const {
+  std::vector<uint64_t> out;
+  const auto x0 = static_cast<int64_t>(
+      std::floor((center.x - radius) / cell_size_));
+  const auto x1 = static_cast<int64_t>(
+      std::floor((center.x + radius) / cell_size_));
+  const auto y0 = static_cast<int64_t>(
+      std::floor((center.y - radius) / cell_size_));
+  const auto y1 = static_cast<int64_t>(
+      std::floor((center.y + radius) / cell_size_));
+  const double r2 = radius * radius;
+  for (int64_t cx = x0; cx <= x1; ++cx) {
+    for (int64_t cy = y0; cy <= y1; ++cy) {
+      const int64_t key = (cx << 32) ^ (cy & 0xffffffffLL);
+      const auto it = cells_.find(key);
+      if (it == cells_.end()) continue;
+      for (const Entry& e : it->second) {
+        if (DistanceSq(e.pos, center) <= r2) out.push_back(e.id);
+      }
+    }
+  }
+  return out;
+}
+
+void GridIndex::Clear() {
+  cells_.clear();
+  size_ = 0;
+}
+
+}  // namespace bqs

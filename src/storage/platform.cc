@@ -1,0 +1,15 @@
+#include "storage/platform.h"
+
+namespace bqs {
+
+double EstimateOperationalDays(const PlatformSpec& spec,
+                               double compression_rate) {
+  if (compression_rate <= 0.0) compression_rate = 1e-12;
+  const double samples_per_day = 86400.0 / spec.sample_interval_s;
+  const double stored_bytes_per_day =
+      samples_per_day * compression_rate * spec.bytes_per_sample;
+  if (stored_bytes_per_day <= 0.0) return 0.0;
+  return spec.gps_budget_bytes / stored_bytes_per_day;
+}
+
+}  // namespace bqs

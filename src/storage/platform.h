@@ -1,0 +1,66 @@
+// Camazotz platform model (paper Section III-A): CC430F5137 SoC with 32 KB
+// ROM / 4 KB RAM and 1 MB external flash shared among sensor streams. The
+// operational-time estimate reproduces Table II: how many days of fixes fit
+// into the GPS storage budget at a given compression rate.
+#ifndef BQS_STORAGE_PLATFORM_H_
+#define BQS_STORAGE_PLATFORM_H_
+
+#include <cstdint>
+
+namespace bqs {
+
+/// Hardware and data-budget parameters (defaults = the paper's Table II
+/// setup: 50 KB of the 1 MB flash for GPS, 12-byte samples, 1 fix/minute).
+struct PlatformSpec {
+  double flash_bytes = 1.0e6;
+  double gps_budget_bytes = 50.0e3;
+  double bytes_per_sample = 12.0;  ///< latitude, longitude, timestamp.
+  double sample_interval_s = 60.0;
+  double ram_bytes = 4096.0;
+  double rom_bytes = 32768.0;
+};
+
+/// Days until the GPS budget fills with no data loss, given the fraction of
+/// points kept by compression (Table II). Lower rate -> longer operation.
+double EstimateOperationalDays(const PlatformSpec& spec,
+                               double compression_rate);
+
+/// Byte-level accounting of the on-flash GPS area: a tiny simulator used by
+/// the device examples to show storage exhaustion with/without compression.
+class FlashStore {
+ public:
+  explicit FlashStore(const PlatformSpec& spec) : spec_(spec) {}
+
+  /// Records one retained sample; false when the GPS budget is exhausted.
+  bool AppendSample() {
+    if (used_bytes_ + spec_.bytes_per_sample > spec_.gps_budget_bytes) {
+      return false;
+    }
+    used_bytes_ += spec_.bytes_per_sample;
+    ++samples_;
+    return true;
+  }
+
+  /// Marks the store offloaded to a base station (budget reclaimed).
+  void Offload() {
+    used_bytes_ = 0.0;
+    samples_ = 0;
+  }
+
+  double used_bytes() const { return used_bytes_; }
+  uint64_t samples() const { return samples_; }
+  double utilization() const {
+    return spec_.gps_budget_bytes > 0.0 ? used_bytes_ / spec_.gps_budget_bytes
+                                        : 1.0;
+  }
+  const PlatformSpec& spec() const { return spec_; }
+
+ private:
+  PlatformSpec spec_;
+  double used_bytes_ = 0.0;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_STORAGE_PLATFORM_H_

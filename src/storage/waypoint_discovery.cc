@@ -1,0 +1,117 @@
+#include "storage/waypoint_discovery.h"
+
+#include <algorithm>
+
+namespace bqs {
+
+WaypointDiscovery::WaypointDiscovery(const WaypointOptions& options)
+    : options_(options), index_(options.cluster_radius_m) {}
+
+uint32_t WaypointDiscovery::Assign(Vec2 pos) {
+  // Nearest existing center within the cluster radius, else a new one.
+  uint64_t best_id = 0;
+  double best_d2 = options_.cluster_radius_m * options_.cluster_radius_m;
+  bool found = false;
+  for (uint64_t id : index_.Query(pos, options_.cluster_radius_m)) {
+    const double d2 = DistanceSq(waypoints_[id].center, pos);
+    if (d2 <= best_d2) {
+      best_d2 = d2;
+      best_id = id;
+      found = true;
+    }
+  }
+  if (found) return static_cast<uint32_t>(best_id);
+
+  Waypoint wp;
+  wp.id = static_cast<uint32_t>(waypoints_.size());
+  wp.center = pos;
+  waypoints_.push_back(wp);
+  index_.Insert(wp.id, pos);
+  return wp.id;
+}
+
+void WaypointDiscovery::RecordStay(Vec2 pos, double t_start, double t_end) {
+  const uint32_t id = Assign(pos);
+  Waypoint& wp = waypoints_[id];
+  // Running-mean center update keeps the cluster honest as stays accrue;
+  // re-index when the center drifts out of its original cell.
+  const Vec2 old_center = wp.center;
+  ++wp.visits;
+  wp.total_dwell_s += t_end - t_start;
+  wp.center += (pos - wp.center) / static_cast<double>(wp.visits);
+  if (wp.visits == 1) wp.first_seen_t = t_start;
+  wp.last_seen_t = t_end;
+  if (DistanceSq(old_center, wp.center) > 0.0) {
+    index_.Remove(id, old_center);
+    index_.Insert(id, wp.center);
+  }
+
+  if (have_last_waypoint_ && last_waypoint_ != id) {
+    const uint64_t key =
+        (static_cast<uint64_t>(last_waypoint_) << 32) | id;
+    ++transitions_[key];
+    trips_.push_back(Trip{last_waypoint_, id, last_departure_t_, t_start});
+  }
+  have_last_waypoint_ = true;
+  last_waypoint_ = id;
+  last_departure_t_ = t_end;
+}
+
+void WaypointDiscovery::Observe(const CompressedTrajectory& compressed) {
+  const auto& keys = compressed.keys;
+  if (keys.size() < 2) return;
+  // A maximal run of keys within max_stay_drift_m whose total time exceeds
+  // min_dwell_s is one stay. Runs are grown greedily from each key.
+  std::size_t i = 0;
+  while (i + 1 < keys.size()) {
+    std::size_t j = i + 1;
+    while (j < keys.size() &&
+           Distance(keys[j].point.pos, keys[i].point.pos) <=
+               options_.max_stay_drift_m) {
+      ++j;
+    }
+    const double dwell = keys[j - 1].point.t - keys[i].point.t;
+    if (j - 1 > i && dwell >= options_.min_dwell_s) {
+      // Centroid of the run's keys represents the stay.
+      Vec2 center{0.0, 0.0};
+      for (std::size_t k = i; k < j; ++k) center += keys[k].point.pos;
+      center = center / static_cast<double>(j - i);
+      RecordStay(center, keys[i].point.t, keys[j - 1].point.t);
+      i = j - 1;
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::vector<Waypoint> WaypointDiscovery::Waypoints(
+    uint64_t min_visits) const {
+  std::vector<Waypoint> out;
+  for (const Waypoint& wp : waypoints_) {
+    if (wp.visits >= min_visits) out.push_back(wp);
+  }
+  std::sort(out.begin(), out.end(), [](const Waypoint& a, const Waypoint& b) {
+    return a.visits > b.visits;
+  });
+  return out;
+}
+
+std::optional<std::pair<uint32_t, double>> WaypointDiscovery::PredictNext(
+    uint32_t from) const {
+  uint64_t total = 0;
+  uint64_t best_count = 0;
+  uint32_t best_to = 0;
+  for (const auto& [key, count] : transitions_) {
+    if (static_cast<uint32_t>(key >> 32) != from) continue;
+    total += count;
+    if (count > best_count) {
+      best_count = count;
+      best_to = static_cast<uint32_t>(key & 0xffffffffu);
+    }
+  }
+  if (total == 0) return std::nullopt;
+  return std::make_pair(best_to, static_cast<double>(best_count) /
+                                     static_cast<double>(total));
+}
+
+}  // namespace bqs

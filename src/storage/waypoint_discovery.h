@@ -1,0 +1,98 @@
+// Waypoint discovery and trip prediction over compressed trajectories —
+// the paper's future-work application (Conclusion: "Individualized
+// trajectory and waypoint discovery can also be used to facilitate
+// advanced applications like real-time trip prediction").
+//
+// Works directly on compressed output: a stay reveals itself in the key
+// points as consecutive keys that are spatially close but temporally far
+// apart (the compressor collapses the dwell into one segment). Stays are
+// clustered online into waypoints; transitions between waypoints feed a
+// first-order trip model used for next-destination prediction.
+//
+// Caveat: shape-only compression can merge "long stay, then straight
+// travel" into a single segment, hiding the stay boundary entirely. Feed
+// this class the output of TimeSensitiveCompressor (which must keep a key
+// at every stop to honour its spatio-temporal bound) when stays matter —
+// examples/trip_database and the tests demonstrate the combination.
+#ifndef BQS_STORAGE_WAYPOINT_DISCOVERY_H_
+#define BQS_STORAGE_WAYPOINT_DISCOVERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/grid_index.h"
+#include "trajectory/trajectory.h"
+
+namespace bqs {
+
+/// A recurrent stay region (roost, forage site, home, work...).
+struct Waypoint {
+  uint32_t id = 0;
+  Vec2 center;                  ///< Running mean of member stays.
+  uint64_t visits = 0;          ///< Stays absorbed into this waypoint.
+  double total_dwell_s = 0.0;   ///< Accumulated stay time.
+  double first_seen_t = 0.0;
+  double last_seen_t = 0.0;
+};
+
+/// One observed transition between waypoints.
+struct Trip {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  double depart_t = 0.0;
+  double arrive_t = 0.0;
+};
+
+/// Options for detection and clustering.
+struct WaypointOptions {
+  /// A key-pair counts as a stay when the object moved less than this...
+  double max_stay_drift_m = 120.0;
+  /// ...while at least this much time passed.
+  double min_dwell_s = 600.0;
+  /// Stays within this distance of a waypoint's center join it.
+  double cluster_radius_m = 250.0;
+};
+
+/// Online waypoint discoverer. Feed compressed trajectories in order.
+class WaypointDiscovery {
+ public:
+  explicit WaypointDiscovery(const WaypointOptions& options = {});
+
+  /// Consumes one compressed trajectory (its key points in stream order).
+  void Observe(const CompressedTrajectory& compressed);
+
+  /// Waypoints with at least `min_visits` stays, most-visited first.
+  std::vector<Waypoint> Waypoints(uint64_t min_visits = 1) const;
+
+  /// All observed waypoint-to-waypoint trips, in order.
+  const std::vector<Trip>& trips() const { return trips_; }
+
+  /// Most likely next waypoint after leaving `from`, with its empirical
+  /// probability; nullopt when `from` has no outgoing trips.
+  std::optional<std::pair<uint32_t, double>> PredictNext(
+      uint32_t from) const;
+
+  std::size_t waypoint_count() const { return waypoints_.size(); }
+
+ private:
+  /// Returns the waypoint id a stay at `pos` belongs to, creating one if
+  /// no existing center is within the cluster radius.
+  uint32_t Assign(Vec2 pos);
+  void RecordStay(Vec2 pos, double t_start, double t_end);
+
+  WaypointOptions options_;
+  std::vector<Waypoint> waypoints_;
+  GridIndex index_;  ///< Waypoint centers (id -> insertion position).
+  /// Transition counts keyed by (from << 32 | to).
+  std::unordered_map<uint64_t, uint64_t> transitions_;
+  std::vector<Trip> trips_;
+  bool have_last_waypoint_ = false;
+  uint32_t last_waypoint_ = 0;
+  double last_departure_t_ = 0.0;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_STORAGE_WAYPOINT_DISCOVERY_H_

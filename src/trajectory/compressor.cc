@@ -1,0 +1,16 @@
+#include "trajectory/compressor.h"
+
+namespace bqs {
+
+CompressedTrajectory CompressAll(StreamCompressor& compressor,
+                                 std::span<const TrackPoint> points) {
+  CompressedTrajectory out;
+  compressor.Reset();
+  for (const TrackPoint& p : points) {
+    compressor.Push(p, &out.keys);
+  }
+  compressor.Finish(&out.keys);
+  return out;
+}
+
+}  // namespace bqs

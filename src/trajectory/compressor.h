@@ -1,0 +1,60 @@
+// The streaming compressor interface all algorithms implement (BQS, FBQS,
+// BDP, BGD, Dead Reckoning) plus the offline interface (Douglas-Peucker).
+//
+// Emission protocol: the compressed trajectory is the sequence of segment
+// endpoints v1, k1, k2, ..., vn. Push() emits the first point immediately
+// and one key point per segment split; Finish() emits the final point of
+// the stream (closing the open segment). Consecutive emitted key points are
+// exactly the paper's compressed segments.
+#ifndef BQS_TRAJECTORY_COMPRESSOR_H_
+#define BQS_TRAJECTORY_COMPRESSOR_H_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "trajectory/point.h"
+#include "trajectory/trajectory.h"
+
+namespace bqs {
+
+/// Push-based online compressor. Implementations are single-stream state
+/// machines; call Reset() to reuse across streams.
+class StreamCompressor {
+ public:
+  virtual ~StreamCompressor() = default;
+
+  /// Processes the next sample; appends any newly-final key points to *out.
+  virtual void Push(const TrackPoint& pt, std::vector<KeyPoint>* out) = 0;
+
+  /// Ends the stream; appends the closing key point(s) to *out.
+  virtual void Finish(std::vector<KeyPoint>* out) = 0;
+
+  /// Restores the freshly-constructed state.
+  virtual void Reset() = 0;
+
+  /// Stable short name used in benchmark tables ("BQS", "FBQS", ...).
+  virtual std::string_view name() const = 0;
+};
+
+/// Batch compressor (offline algorithms; also used to re-compress stored
+/// trajectories during ageing).
+class OfflineCompressor {
+ public:
+  virtual ~OfflineCompressor() = default;
+
+  /// Returns the retained key points of `points`, in order, including the
+  /// first and last point for non-empty input.
+  virtual CompressedTrajectory Compress(
+      std::span<const TrackPoint> points) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Runs a stream compressor over a full trajectory.
+CompressedTrajectory CompressAll(StreamCompressor& compressor,
+                                 std::span<const TrackPoint> points);
+
+}  // namespace bqs
+
+#endif  // BQS_TRAJECTORY_COMPRESSOR_H_

@@ -1,0 +1,140 @@
+#include "trajectory/csv_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace bqs {
+
+namespace {
+
+bool LooksLikeHeader(const std::string& line) {
+  // A header contains at least one alphabetic character other than the
+  // exponent marker.
+  for (char ch : line) {
+    if ((ch >= 'a' && ch <= 'z' && ch != 'e') ||
+        (ch >= 'A' && ch <= 'Z' && ch != 'E')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status WriteGeoTraceCsv(const GeoTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "lat,lon,t\n";
+  for (const GeoSample& s : trace) {
+    out << StrPrintf("%.8f,%.8f,%.3f\n", s.pos.lat_deg, s.pos.lon_deg, s.t);
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<GeoTrace> ReadGeoTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  GeoTrace trace;
+  std::string line;
+  bool first = true;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    if (first && LooksLikeHeader(line)) {
+      first = false;
+      continue;
+    }
+    first = false;
+    const auto fields = Split(line, ',');
+    if (fields.size() < 3) {
+      return Status::Corruption(
+          StrPrintf("%s:%zu: expected 3 fields", path.c_str(), line_no));
+    }
+    const auto lat = ParseDouble(fields[0]);
+    const auto lon = ParseDouble(fields[1]);
+    const auto t = ParseDouble(fields[2]);
+    if (!lat.ok()) return lat.status();
+    if (!lon.ok()) return lon.status();
+    if (!t.ok()) return t.status();
+    trace.push_back(GeoSample{{lat.value(), lon.value()}, t.value()});
+  }
+  return trace;
+}
+
+Status WriteTrajectoryCsv(const Trajectory& trajectory,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "x,y,t,vx,vy\n";
+  for (const TrackPoint& p : trajectory) {
+    out << StrPrintf("%.4f,%.4f,%.3f,%.4f,%.4f\n", p.pos.x, p.pos.y, p.t,
+                     p.velocity.x, p.velocity.y);
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Trajectory> ReadTrajectoryCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  Trajectory trajectory;
+  std::string line;
+  bool first = true;
+  bool any_velocity = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    if (first && LooksLikeHeader(line)) {
+      first = false;
+      continue;
+    }
+    first = false;
+    const auto fields = Split(line, ',');
+    if (fields.size() < 3) {
+      return Status::Corruption(
+          StrPrintf("%s:%zu: expected >= 3 fields", path.c_str(), line_no));
+    }
+    const auto x = ParseDouble(fields[0]);
+    const auto y = ParseDouble(fields[1]);
+    const auto t = ParseDouble(fields[2]);
+    if (!x.ok()) return x.status();
+    if (!y.ok()) return y.status();
+    if (!t.ok()) return t.status();
+    TrackPoint p;
+    p.pos = {x.value(), y.value()};
+    p.t = t.value();
+    if (fields.size() >= 5) {
+      const auto vx = ParseDouble(fields[3]);
+      const auto vy = ParseDouble(fields[4]);
+      if (!vx.ok()) return vx.status();
+      if (!vy.ok()) return vy.status();
+      p.velocity = {vx.value(), vy.value()};
+      any_velocity = true;
+    }
+    trajectory.push_back(p);
+  }
+  if (!any_velocity) FillVelocities(&trajectory);
+  return trajectory;
+}
+
+Status WriteCompressedCsv(const CompressedTrajectory& compressed,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "index,x,y,t\n";
+  for (const KeyPoint& k : compressed.keys) {
+    out << StrPrintf("%llu,%.4f,%.4f,%.3f\n",
+                     static_cast<unsigned long long>(k.index), k.point.pos.x,
+                     k.point.pos.y, k.point.t);
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace bqs

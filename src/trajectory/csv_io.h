@@ -1,0 +1,34 @@
+// CSV persistence for traces and compressed trajectories. The on-disk
+// formats are deliberately simple (one sample per line) so traces can be
+// exchanged with plotting scripts and external datasets.
+#ifndef BQS_TRAJECTORY_CSV_IO_H_
+#define BQS_TRAJECTORY_CSV_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "trajectory/trajectory.h"
+
+namespace bqs {
+
+/// Writes "lat,lon,t" lines (with header).
+Status WriteGeoTraceCsv(const GeoTrace& trace, const std::string& path);
+
+/// Reads a GeoTrace written by WriteGeoTraceCsv (header optional).
+Result<GeoTrace> ReadGeoTraceCsv(const std::string& path);
+
+/// Writes "x,y,t,vx,vy" lines (with header).
+Status WriteTrajectoryCsv(const Trajectory& trajectory,
+                          const std::string& path);
+
+/// Reads a Trajectory written by WriteTrajectoryCsv. Velocity columns are
+/// optional; missing velocities are recomputed by finite differences.
+Result<Trajectory> ReadTrajectoryCsv(const std::string& path);
+
+/// Writes "index,x,y,t" lines for the retained key points (with header).
+Status WriteCompressedCsv(const CompressedTrajectory& compressed,
+                          const std::string& path);
+
+}  // namespace bqs
+
+#endif  // BQS_TRAJECTORY_CSV_IO_H_

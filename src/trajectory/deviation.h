@@ -1,0 +1,47 @@
+// Exact deviation computation and compression verification. This is the
+// ground truth the BQS bounds are checked against: the paper's deviation
+// metric is the max distance from any interior point of a segment to the
+// line (or segment) through its endpoints.
+#ifndef BQS_TRAJECTORY_DEVIATION_H_
+#define BQS_TRAJECTORY_DEVIATION_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/line2.h"
+#include "trajectory/trajectory.h"
+
+namespace bqs {
+
+/// Max deviation of points[from+1 .. to-1] to the path through points[from]
+/// and points[to]. Returns 0 when the range has no interior points.
+double SegmentDeviation(std::span<const TrackPoint> points, std::size_t from,
+                        std::size_t to, DistanceMetric metric);
+
+/// Max deviation of an explicit buffer against the path (a, b). Counts every
+/// point in the buffer (used by compressors whose buffers exclude endpoints).
+double BufferDeviation(std::span<const TrackPoint> buffer, Vec2 a, Vec2 b,
+                       DistanceMetric metric);
+
+/// Result of verifying a compression against the original stream.
+struct DeviationReport {
+  double max_deviation = 0.0;       ///< Over all compressed segments.
+  std::size_t worst_segment = 0;    ///< Index into segments (key i -> i+1).
+  std::vector<double> per_segment;  ///< One entry per compressed segment.
+
+  /// True when every segment deviation is within `epsilon`.
+  bool BoundedBy(double epsilon) const { return max_deviation <= epsilon; }
+};
+
+/// Re-segments `original` by the key-point indices in `compressed` and
+/// measures every segment's exact deviation. Key points must be a
+/// subsequence of the original stream (all algorithms in this library emit
+/// original points), with strictly increasing indices.
+DeviationReport EvaluateCompression(std::span<const TrackPoint> original,
+                                    const CompressedTrajectory& compressed,
+                                    DistanceMetric metric);
+
+}  // namespace bqs
+
+#endif  // BQS_TRAJECTORY_DEVIATION_H_

@@ -1,0 +1,43 @@
+// Sample types shared by compressors, simulators and evaluation.
+// A GeoSample is what the GPS receiver produces (paper: "location point
+// v = <latitude, longitude, timestamp>"); a TrackPoint is its projection
+// into a local metric plane, which is what all compressors operate on.
+#ifndef BQS_TRAJECTORY_POINT_H_
+#define BQS_TRAJECTORY_POINT_H_
+
+#include <cstdint>
+
+#include "geo/utm.h"
+#include "geometry/vec2.h"
+
+namespace bqs {
+
+/// A raw GPS fix.
+struct GeoSample {
+  LatLon pos;
+  double t = 0.0;  ///< Seconds since an arbitrary epoch.
+
+  constexpr bool operator==(const GeoSample&) const = default;
+};
+
+/// A projected fix in metres. The velocity field is optional context used
+/// only by Dead Reckoning (the paper notes DR needs speed readings, which
+/// real Camazotz GPS fixes and the synthetic model both provide).
+struct TrackPoint {
+  Vec2 pos;
+  double t = 0.0;        ///< Seconds.
+  Vec2 velocity{0, 0};   ///< Metres/second; zero when unknown.
+
+  constexpr bool operator==(const TrackPoint&) const = default;
+};
+
+/// A retained point of the compressed trajectory, remembering its position
+/// in the original stream so evaluation can re-segment the original.
+struct KeyPoint {
+  TrackPoint point;
+  uint64_t index = 0;  ///< 0-based index in the original stream.
+};
+
+}  // namespace bqs
+
+#endif  // BQS_TRAJECTORY_POINT_H_

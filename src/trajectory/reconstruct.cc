@@ -1,0 +1,102 @@
+#include "trajectory/reconstruct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace bqs {
+
+namespace {
+
+double GaussianCdf(double x, double mu, double sigma) {
+  return 0.5 * (1.0 + std::erf((x - mu) / (sigma * std::sqrt(2.0))));
+}
+
+}  // namespace
+
+double SegmentTimeModel::Fraction(double t_start, double t_end,
+                                  double t) const {
+  if (t_end <= t_start) return 0.0;
+  const double u = Clamp((t - t_start) / (t_end - t_start), 0.0, 1.0);
+  if (kind == Kind::kUniform || sigma <= 0.0) return u;
+  const double lo = GaussianCdf(t_start, mu, sigma);
+  const double hi = GaussianCdf(t_end, mu, sigma);
+  if (hi - lo < 1e-12) return u;
+  const double p = (GaussianCdf(t, mu, sigma) - lo) / (hi - lo);
+  return Clamp(p, 0.0, 1.0);
+}
+
+SegmentTimeModel OnlineGaussianFitter::Model() const {
+  SegmentTimeModel model;
+  if (stats_.count() < 2 || stats_.stddev() <= 0.0) {
+    model.kind = SegmentTimeModel::Kind::kUniform;
+    return model;
+  }
+  model.kind = SegmentTimeModel::Kind::kGaussian;
+  model.mu = stats_.mean();
+  model.sigma = stats_.stddev();
+  return model;
+}
+
+std::vector<SegmentTimeModel> FitGaussianTimeModels(
+    std::span<const TrackPoint> original, const CompressedTrajectory& keys) {
+  std::vector<SegmentTimeModel> models;
+  if (keys.size() < 2) return models;
+  models.reserve(keys.size() - 1);
+  for (std::size_t s = 0; s + 1 < keys.keys.size(); ++s) {
+    OnlineGaussianFitter fitter;
+    const std::size_t from = static_cast<std::size_t>(keys.keys[s].index);
+    const std::size_t to = static_cast<std::size_t>(keys.keys[s + 1].index);
+    for (std::size_t i = from; i <= to && i < original.size(); ++i) {
+      fitter.Add(original[i].t);
+    }
+    models.push_back(fitter.Model());
+  }
+  return models;
+}
+
+std::optional<TrackPoint> ReconstructAt(
+    const CompressedTrajectory& compressed, double t,
+    const std::vector<SegmentTimeModel>& models) {
+  const auto& keys = compressed.keys;
+  if (keys.size() < 2) return std::nullopt;
+  if (t < keys.front().point.t || t > keys.back().point.t) {
+    return std::nullopt;
+  }
+  // Find the segment whose [start.t, end.t] covers t.
+  const auto it = std::lower_bound(
+      keys.begin(), keys.end(), t,
+      [](const KeyPoint& k, double value) { return k.point.t < value; });
+  std::size_t seg = it == keys.begin()
+                        ? 0
+                        : static_cast<std::size_t>(it - keys.begin()) - 1;
+  seg = std::min(seg, keys.size() - 2);
+
+  const TrackPoint& a = keys[seg].point;
+  const TrackPoint& b = keys[seg + 1].point;
+  SegmentTimeModel model;
+  if (seg < models.size()) model = models[seg];
+  const double p = model.Fraction(a.t, b.t, t);
+
+  TrackPoint out;
+  out.t = t;
+  out.pos = a.pos + p * (b.pos - a.pos);
+  const double dt = b.t - a.t;
+  out.velocity = dt > 0.0 ? (b.pos - a.pos) / dt : Vec2{0.0, 0.0};
+  return out;
+}
+
+std::vector<TrackPoint> ReconstructSeries(
+    const CompressedTrajectory& compressed, std::span<const double> times,
+    const std::vector<SegmentTimeModel>& models) {
+  std::vector<TrackPoint> out;
+  out.reserve(times.size());
+  for (double t : times) {
+    const auto pt = ReconstructAt(compressed, t, models);
+    if (pt.has_value()) out.push_back(*pt);
+  }
+  return out;
+}
+
+}  // namespace bqs

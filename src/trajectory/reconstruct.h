@@ -1,0 +1,63 @@
+// Temporal reconstruction of a compressed trajectory (paper Eq. 1-3): the
+// location at time t inside a compressed segment is interpolated between
+// the key points through a distribution function P. P can reconstruct the
+// uniform distribution (Eq. 2) or a Gaussian fitted online to the original
+// timestamps with the semi-numeric (Welford/Knuth) update the paper cites.
+#ifndef BQS_TRAJECTORY_RECONSTRUCT_H_
+#define BQS_TRAJECTORY_RECONSTRUCT_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "trajectory/trajectory.h"
+
+namespace bqs {
+
+/// The interpolation distribution P for one compressed segment.
+struct SegmentTimeModel {
+  enum class Kind { kUniform, kGaussian };
+  Kind kind = Kind::kUniform;
+  /// Gaussian parameters over absolute timestamps (kGaussian only).
+  double mu = 0.0;
+  double sigma = 1.0;
+
+  /// P(t): fraction of the segment's spatial path covered by time t,
+  /// monotone from 0 at `t_start` to 1 at `t_end`.
+  double Fraction(double t_start, double t_end, double t) const;
+};
+
+/// Online fitter for a segment's Gaussian time model (constant space).
+class OnlineGaussianFitter {
+ public:
+  void Add(double t) { stats_.Add(t); }
+  void Reset() { stats_ = RunningStats(); }
+  /// Falls back to uniform when fewer than 2 observations were seen.
+  SegmentTimeModel Model() const;
+
+ private:
+  RunningStats stats_;
+};
+
+/// Fits one Gaussian time model per compressed segment from the original
+/// stream (offline convenience mirroring what an online compressor would
+/// accumulate with OnlineGaussianFitter).
+std::vector<SegmentTimeModel> FitGaussianTimeModels(
+    std::span<const TrackPoint> original, const CompressedTrajectory& keys);
+
+/// Reconstructs the location at time t from the compressed trajectory.
+/// `models` may be empty (uniform interpolation) or hold one model per
+/// segment. Returns nullopt when t is outside the compressed time range.
+std::optional<TrackPoint> ReconstructAt(
+    const CompressedTrajectory& compressed, double t,
+    const std::vector<SegmentTimeModel>& models = {});
+
+/// Reconstructs the whole original sampling grid (one point per original
+/// timestamp) — used to measure reconstruction error end-to-end.
+std::vector<TrackPoint> ReconstructSeries(
+    const CompressedTrajectory& compressed, std::span<const double> times,
+    const std::vector<SegmentTimeModel>& models = {});
+
+}  // namespace bqs
+
+#endif  // BQS_TRAJECTORY_RECONSTRUCT_H_

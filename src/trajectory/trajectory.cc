@@ -1,0 +1,92 @@
+#include "trajectory/trajectory.h"
+
+#include <algorithm>
+
+namespace bqs {
+
+double CompressedTrajectory::CompressionRate(
+    std::size_t original_points) const {
+  if (original_points == 0) return 0.0;
+  return static_cast<double>(keys.size()) /
+         static_cast<double>(original_points);
+}
+
+double PathLength(std::span<const TrackPoint> points) {
+  double length = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    length += Distance(points[i - 1].pos, points[i].pos);
+  }
+  return length;
+}
+
+double Duration(std::span<const TrackPoint> points) {
+  if (points.size() < 2) return 0.0;
+  return points.back().t - points.front().t;
+}
+
+Box2 BoundsOf(std::span<const TrackPoint> points) {
+  Box2 box;
+  for (const TrackPoint& p : points) box.Extend(p.pos);
+  return box;
+}
+
+void FillVelocities(Trajectory* trajectory) {
+  Trajectory& tr = *trajectory;
+  const std::size_t n = tr.size();
+  if (n < 2) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t a = (i == 0) ? 0 : i - 1;
+    const std::size_t b = (i + 1 == n) ? i : i + 1;
+    const double dt = tr[b].t - tr[a].t;
+    if (dt > 0.0) {
+      tr[i].velocity = (tr[b].pos - tr[a].pos) / dt;
+    } else {
+      tr[i].velocity = {0.0, 0.0};
+    }
+  }
+}
+
+Result<Trajectory> ProjectTrace(const GeoTrace& trace, ProjectionKind kind) {
+  if (trace.empty()) {
+    return Status::InvalidArgument("cannot project an empty trace");
+  }
+  Trajectory out;
+  out.reserve(trace.size());
+  if (kind == ProjectionKind::kUtm) {
+    const auto first = LatLonToUtm(trace.front().pos);
+    BQS_RETURN_NOT_OK(first.status());
+    const int zone = first.value().zone;
+    const bool north = first.value().north;
+    for (const GeoSample& s : trace) {
+      auto coord = LatLonToUtmZone(s.pos, zone, north);
+      BQS_RETURN_NOT_OK(coord.status());
+      out.push_back(TrackPoint{coord.value().xy(), s.t, {0.0, 0.0}});
+    }
+  } else {
+    const LocalTangentPlane plane(trace.front().pos);
+    for (const GeoSample& s : trace) {
+      out.push_back(TrackPoint{plane.Project(s.pos), s.t, {0.0, 0.0}});
+    }
+  }
+  FillVelocities(&out);
+  return out;
+}
+
+Trajectory ConcatenateStreams(const std::vector<Trajectory>& traces,
+                              double gap_seconds) {
+  Trajectory out;
+  double t_offset = 0.0;
+  for (const Trajectory& tr : traces) {
+    if (tr.empty()) continue;
+    const double base = tr.front().t;
+    for (const TrackPoint& p : tr) {
+      TrackPoint q = p;
+      q.t = t_offset + (p.t - base);
+      out.push_back(q);
+    }
+    t_offset = out.back().t + gap_seconds;
+  }
+  return out;
+}
+
+}  // namespace bqs

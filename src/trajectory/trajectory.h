@@ -1,0 +1,69 @@
+// Trajectory containers and projection from geographic traces to the metric
+// planes the compressors run in.
+#ifndef BQS_TRAJECTORY_TRAJECTORY_H_
+#define BQS_TRAJECTORY_TRAJECTORY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/geodesy.h"
+#include "geometry/box2.h"
+#include "trajectory/point.h"
+
+namespace bqs {
+
+/// A geographic trace (ordered GPS fixes).
+using GeoTrace = std::vector<GeoSample>;
+
+/// A projected trace (ordered planar fixes). The unit of `pos` is metres.
+using Trajectory = std::vector<TrackPoint>;
+
+/// The output of a compressor: the retained key points, in stream order.
+/// Consecutive key points delimit the compressed segments.
+struct CompressedTrajectory {
+  std::vector<KeyPoint> keys;
+
+  std::size_t size() const { return keys.size(); }
+  bool empty() const { return keys.empty(); }
+
+  /// N_compressed / N_original, the paper's compression-rate definition
+  /// (lower is better). Returns 0 for an empty input.
+  double CompressionRate(std::size_t original_points) const;
+};
+
+/// Total polyline length in metres.
+double PathLength(std::span<const TrackPoint> points);
+
+/// Time covered by the trace in seconds (last.t - first.t; 0 if < 2 points).
+double Duration(std::span<const TrackPoint> points);
+
+/// Tight bounding box of the positions.
+Box2 BoundsOf(std::span<const TrackPoint> points);
+
+/// Populates per-point velocities by finite differences (central where
+/// possible). Leaves a single-point trace untouched.
+void FillVelocities(Trajectory* trajectory);
+
+/// How a GeoTrace is mapped into a plane.
+enum class ProjectionKind {
+  kUtm,           ///< UTM zone of the first fix (paper's choice).
+  kTangentPlane,  ///< Equirectangular around the first fix.
+};
+
+/// Projects a geographic trace into one continuous metric plane. All fixes
+/// use the zone/anchor of the first fix so the plane has no seams. Fails on
+/// empty input or out-of-range coordinates.
+Result<Trajectory> ProjectTrace(const GeoTrace& trace,
+                                ProjectionKind kind = ProjectionKind::kUtm);
+
+/// Concatenates traces into one stream (paper: "we combine all the data
+/// points into a single data stream"). Timestamps are shifted so streams
+/// remain monotonic with `gap_seconds` between consecutive traces.
+Trajectory ConcatenateStreams(const std::vector<Trajectory>& traces,
+                              double gap_seconds = 60.0);
+
+}  // namespace bqs
+
+#endif  // BQS_TRAJECTORY_TRAJECTORY_H_

@@ -1,0 +1,119 @@
+// Angle normalization and the quadrant/octant conventions the BQS rests on.
+#include "geometry/angle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace bqs {
+namespace {
+
+TEST(AngleTest, NormalizeAngleToHalfOpenPi) {
+  EXPECT_NEAR(NormalizeAngle(3.0 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(NormalizeAngle(-kPi), kPi, 1e-12);  // (-pi, pi]: -pi -> pi
+  EXPECT_NEAR(NormalizeAngle(kPi / 4.0 + kTwoPi), kPi / 4.0, 1e-12);
+  EXPECT_NEAR(NormalizeAngle(-kPi / 4.0 - kTwoPi), -kPi / 4.0, 1e-12);
+}
+
+TEST(AngleTest, NormalizeAngle2PiRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = NormalizeAngle2Pi(rng.Uniform(-50.0, 50.0));
+    EXPECT_GE(a, 0.0);
+    EXPECT_LT(a, kTwoPi);
+  }
+  EXPECT_DOUBLE_EQ(NormalizeAngle2Pi(0.0), 0.0);
+  EXPECT_NEAR(NormalizeAngle2Pi(-kHalfPi), 1.5 * kPi, 1e-12);
+}
+
+TEST(AngleTest, NormalizeLineAngleFoldsPi) {
+  EXPECT_NEAR(NormalizeLineAngle(kPi + 0.3), 0.3, 1e-12);
+  EXPECT_NEAR(NormalizeLineAngle(-0.3), kPi - 0.3, 1e-12);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double a = NormalizeLineAngle(rng.Uniform(-20.0, 20.0));
+    EXPECT_GE(a, 0.0);
+    EXPECT_LT(a, kPi);
+  }
+}
+
+TEST(AngleTest, QuadrantOfMatchesSigns) {
+  EXPECT_EQ(QuadrantOf({1.0, 1.0}), 0);
+  EXPECT_EQ(QuadrantOf({-1.0, 1.0}), 1);
+  EXPECT_EQ(QuadrantOf({-1.0, -1.0}), 2);
+  EXPECT_EQ(QuadrantOf({1.0, -1.0}), 3);
+}
+
+TEST(AngleTest, QuadrantOfAxesIsDeterministic) {
+  EXPECT_EQ(QuadrantOf({1.0, 0.0}), 0);   // +x -> q0
+  EXPECT_EQ(QuadrantOf({0.0, 1.0}), 1);   // +y -> q1
+  EXPECT_EQ(QuadrantOf({-1.0, 0.0}), 2);  // -x -> q2
+  EXPECT_EQ(QuadrantOf({0.0, -1.0}), 3);  // -y -> q3
+}
+
+TEST(AngleTest, QuadrantAnglesCoverCircle) {
+  double expected_start = 0.0;
+  for (int q = 0; q < 4; ++q) {
+    const QuadrantRange r = QuadrantAngles(q);
+    EXPECT_DOUBLE_EQ(r.start, expected_start);
+    EXPECT_DOUBLE_EQ(r.end, expected_start + kHalfPi);
+    expected_start = r.end;
+  }
+}
+
+TEST(AngleTest, QuadrantOfAgreesWithQuadrantAngles) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double theta = rng.Uniform(0.0, kTwoPi * 0.999999);
+    const Vec2 v{std::cos(theta), std::sin(theta)};
+    const int q = QuadrantOf(v);
+    const QuadrantRange r = QuadrantAngles(q);
+    const double a = NormalizeAngle2Pi(v.Angle());
+    EXPECT_GE(a, r.start - 1e-12);
+    EXPECT_LT(a, r.end + 1e-12);
+  }
+}
+
+TEST(AngleTest, LineInExactlyTwoOppositeQuadrants) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const double angle = rng.Uniform(-10.0, 10.0);
+    int count = 0;
+    for (int q = 0; q < 4; ++q) {
+      if (LineInQuadrant(angle, q)) ++count;
+    }
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(LineInQuadrant(angle, 0), LineInQuadrant(angle, 2));
+    EXPECT_EQ(LineInQuadrant(angle, 1), LineInQuadrant(angle, 3));
+  }
+}
+
+TEST(AngleTest, RayInExactlyOneQuadrant) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double angle = rng.Uniform(-10.0, 10.0);
+    int count = 0;
+    for (int q = 0; q < 4; ++q) {
+      if (RayInQuadrant(angle, q)) ++count;
+    }
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(AngleTest, OctantOfUsesSignBits) {
+  EXPECT_EQ(OctantOf({1.0, 1.0, 1.0}), 0);
+  EXPECT_EQ(OctantOf({-1.0, 1.0, 1.0}), 1);
+  EXPECT_EQ(OctantOf({1.0, -1.0, 1.0}), 2);
+  EXPECT_EQ(OctantOf({-1.0, -1.0, 1.0}), 3);
+  EXPECT_EQ(OctantOf({1.0, 1.0, -1.0}), 4);
+  EXPECT_EQ(OctantOf({-1.0, -1.0, -1.0}), 7);
+}
+
+TEST(AngleTest, CcwDeltaWraps) {
+  EXPECT_NEAR(CcwDelta(0.1, 0.4), 0.3, 1e-12);
+  EXPECT_NEAR(CcwDelta(0.4, 0.1), kTwoPi - 0.3, 1e-12);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,58 @@
+// ASCII chart renderer used by the figure benches.
+#include "eval/ascii_chart.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace bqs {
+namespace {
+
+TEST(AsciiChartTest, EmptyChartPrintsNothing) {
+  AsciiChart chart;
+  std::ostringstream os;
+  chart.Print(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AsciiChartTest, SingleSeriesRenders) {
+  AsciiChart chart(32, 8);
+  chart.Add(ChartSeries{"rate", {0, 1, 2, 3}, {0.0, 1.0, 4.0, 9.0}});
+  std::ostringstream os;
+  chart.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("rate"), std::string::npos);
+  // 8 grid rows + axis + labels + legend.
+  EXPECT_GE(std::count(out.begin(), out.end(), '\n'), 10);
+}
+
+TEST(AsciiChartTest, TwoSeriesUseDistinctGlyphs) {
+  AsciiChart chart(32, 8);
+  chart.Add(ChartSeries{"a", {0, 1}, {0, 1}});
+  chart.Add(ChartSeries{"b", {0, 1}, {1, 0}});
+  std::ostringstream os;
+  chart.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiChartTest, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart(16, 4);
+  chart.Add(ChartSeries{"flat", {1, 2, 3}, {5, 5, 5}});
+  std::ostringstream os;
+  chart.Print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(AsciiChartTest, SinglePointSeries) {
+  AsciiChart chart(16, 4);
+  chart.Add(ChartSeries{"dot", {2}, {3}});
+  std::ostringstream os;
+  chart.Print(os);
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,236 @@
+// Property tests for the deviation-bound theorems (5.2-5.5 + Eq. 11): the
+// computed <d_lb, d_ub> must sandwich the exact maximum deviation for any
+// point set summarized by a QuadrantBound and any end point. These bounds
+// are the entire soundness story of FBQS, so the sampling here is heavy.
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "core/quadrant_bound.h"
+#include "geometry/angle.h"
+#include "geometry/line2.h"
+
+namespace bqs {
+namespace {
+
+struct Config {
+  int quadrant;
+  std::vector<Vec2> points;
+  Vec2 end;
+};
+
+Vec2 RandomPointInQuadrant(Rng& rng, int quadrant, double lo, double hi) {
+  const QuadrantRange range = QuadrantAngles(quadrant);
+  const double theta = rng.Uniform(range.start, range.end * 0.999999);
+  const double r = rng.Uniform(lo, hi);
+  return Vec2{r * std::cos(theta), r * std::sin(theta)};
+}
+
+double ExactMax(const std::vector<Vec2>& points, Vec2 end,
+                DistanceMetric metric) {
+  double best = 0.0;
+  for (const Vec2& p : points) {
+    best = std::max(best, PointDeviation(p, {0.0, 0.0}, end, metric));
+  }
+  return best;
+}
+
+class BoundsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<DistanceMetric, int>> {};
+
+TEST_P(BoundsPropertyTest, SandwichesExactDeviation) {
+  const auto [metric, quadrant] = GetParam();
+  Rng rng(1234u + static_cast<uint64_t>(quadrant) * 7u +
+          (metric == DistanceMetric::kPointToLine ? 0u : 1000u));
+
+  int in_quadrant_cases = 0;
+  int out_quadrant_cases = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    QuadrantBound qb(quadrant);
+    std::vector<Vec2> points;
+    const int n = static_cast<int>(rng.UniformInt(1, 40));
+    for (int i = 0; i < n; ++i) {
+      const Vec2 p = RandomPointInQuadrant(rng, quadrant, 0.5, 500.0);
+      points.push_back(p);
+      qb.Add(p);
+    }
+    // End points everywhere: same quadrant, any direction, short, long.
+    Vec2 end;
+    switch (iter % 4) {
+      case 0:
+        end = RandomPointInQuadrant(rng, quadrant, 1.0, 800.0);
+        break;
+      case 1:
+        end = Vec2{rng.Uniform(-800.0, 800.0), rng.Uniform(-800.0, 800.0)};
+        break;
+      case 2:
+        end = RandomPointInQuadrant(rng, (quadrant + 2) % 4, 1.0, 800.0);
+        break;
+      default:
+        end = Vec2{rng.Uniform(-2.0, 2.0), rng.Uniform(-2.0, 2.0)};
+        break;
+    }
+    if (end == Vec2{0.0, 0.0}) end = Vec2{1.0, 1.0};
+    if (LineInQuadrant(end.Angle(), quadrant)) {
+      ++in_quadrant_cases;
+    } else {
+      ++out_quadrant_cases;
+    }
+
+    const double exact = ExactMax(points, end, metric);
+    const DeviationBounds bounds = QuadrantDeviationBounds(qb, end, metric);
+
+    const double tol = 1e-7 * (1.0 + exact);
+    EXPECT_LE(bounds.lower, exact + tol)
+        << "lower bound too high (quadrant " << quadrant << ", iter " << iter
+        << ")";
+    EXPECT_GE(bounds.upper, exact - tol)
+        << "upper bound too low (quadrant " << quadrant << ", iter " << iter
+        << ")";
+    EXPECT_LE(bounds.lower, bounds.upper + tol);
+
+    // Theorem 5.2 box bounds must sandwich as well (and be no tighter on
+    // the upper side than the significant-point bound is sound).
+    const DeviationBounds box = BoxDeviationBounds(qb, end, metric);
+    EXPECT_LE(box.lower, exact + tol);
+    EXPECT_GE(box.upper, exact - tol);
+  }
+  // The sweep must exercise both theorem branches.
+  EXPECT_GT(in_quadrant_cases, 100);
+  EXPECT_GT(out_quadrant_cases, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQuadrantsBothMetrics, BoundsPropertyTest,
+    ::testing::Combine(::testing::Values(DistanceMetric::kPointToLine,
+                                         DistanceMetric::kPointToSegment),
+                       ::testing::Values(0, 1, 2, 3)),
+    [](const auto& naming_info) {
+      const DistanceMetric metric = std::get<0>(naming_info.param);
+      const int quadrant = std::get<1>(naming_info.param);
+      return std::string(metric == DistanceMetric::kPointToLine ? "Line"
+                                                                : "Segment") +
+             "Q" + std::to_string(quadrant);
+    });
+
+TEST(BoundsTest, ThinCollinearBoxesStaySound) {
+  // Regression for the Eq. (8) soundness gap: near-collinear point runs
+  // produce hair-thin boxes whose bounding rays exit through the long side
+  // immediately; the upper bound must still cover the far corner. This is
+  // the shape data-centric rotation feeds the bounds on straight runs.
+  Rng rng(4242);
+  for (DistanceMetric metric : {DistanceMetric::kPointToLine,
+                                DistanceMetric::kPointToSegment}) {
+    for (int iter = 0; iter < 3000; ++iter) {
+      const int quadrant = static_cast<int>(rng.UniformInt(0, 3));
+      const QuadrantRange range = QuadrantAngles(quadrant);
+      const double axis =
+          rng.Uniform(range.start + 1e-4, range.end - 1e-4);
+      QuadrantBound qb(quadrant);
+      std::vector<Vec2> points;
+      const int n = static_cast<int>(rng.UniformInt(2, 25));
+      const double jitter = rng.Bernoulli(0.5) ? 1e-13 : 1e-9;
+      for (int i = 0; i < n; ++i) {
+        const double r = rng.Uniform(5.0, 450.0);
+        Vec2 p{r * std::cos(axis), r * std::sin(axis)};
+        p += Vec2{rng.Uniform(-jitter, jitter),
+                  rng.Uniform(-jitter, jitter)};
+        if (QuadrantOf(p) != quadrant) continue;
+        points.push_back(p);
+        qb.Add(p);
+      }
+      if (qb.empty()) continue;
+      // End point slightly off the run axis (the failing configuration),
+      // or far off it.
+      const double offset =
+          rng.Bernoulli(0.5) ? rng.Uniform(-0.08, 0.08)
+                             : rng.Uniform(-1.2, 1.2);
+      const double er = rng.Uniform(10.0, 600.0);
+      const Vec2 end{er * std::cos(axis + offset),
+                     er * std::sin(axis + offset)};
+      const double exact = ExactMax(points, end, metric);
+      const DeviationBounds bounds = QuadrantDeviationBounds(qb, end, metric);
+      const double tol = 1e-7 * (1.0 + exact);
+      EXPECT_LE(bounds.lower, exact + tol);
+      EXPECT_GE(bounds.upper, exact - tol);
+    }
+  }
+}
+
+TEST(BoundsTest, DegenerateEndUsesCornerBounds) {
+  // With end == origin the deviation collapses to |p - s|; the bounds must
+  // remain a valid sandwich of max |p|.
+  Rng rng(77);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int quadrant = static_cast<int>(rng.UniformInt(0, 3));
+    QuadrantBound qb(quadrant);
+    std::vector<Vec2> points;
+    const int n = static_cast<int>(rng.UniformInt(1, 20));
+    for (int i = 0; i < n; ++i) {
+      const Vec2 p = RandomPointInQuadrant(rng, quadrant, 0.5, 100.0);
+      points.push_back(p);
+      qb.Add(p);
+    }
+    const double exact = ExactMax(points, {0.0, 0.0},
+                                  DistanceMetric::kPointToLine);
+    const DeviationBounds bounds =
+        QuadrantDeviationBounds(qb, {0.0, 0.0}, DistanceMetric::kPointToLine);
+    EXPECT_LE(bounds.lower, exact + 1e-9);
+    EXPECT_GE(bounds.upper, exact - 1e-9);
+  }
+}
+
+TEST(BoundsTest, SinglePointBoundsAreExact) {
+  // One buffered point: box and lines collapse onto it, so both bounds
+  // equal its distance exactly.
+  QuadrantBound qb(0);
+  const Vec2 p{30.0, 40.0};
+  qb.Add(p);
+  const Vec2 end{100.0, 10.0};
+  const double exact =
+      PointToLineDistance(p, {0.0, 0.0}, end);
+  const DeviationBounds bounds =
+      QuadrantDeviationBounds(qb, end, DistanceMetric::kPointToLine);
+  EXPECT_NEAR(bounds.lower, exact, 1e-9);
+  EXPECT_NEAR(bounds.upper, exact, 1e-9);
+}
+
+TEST(BoundsTest, TightnessBeatsBoxBoundsOnAverage) {
+  // The significant-point bounds should be tighter (smaller gap) than the
+  // plain Theorem 5.2 box bounds on typical data — this is the reason the
+  // bounding lines exist.
+  Rng rng(99);
+  double gap_sig = 0.0;
+  double gap_box = 0.0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    QuadrantBound qb(0);
+    const int n = static_cast<int>(rng.UniformInt(3, 30));
+    for (int i = 0; i < n; ++i) {
+      qb.Add(RandomPointInQuadrant(rng, 0, 10.0, 200.0));
+    }
+    const Vec2 end = RandomPointInQuadrant(rng, 0, 50.0, 400.0);
+    const auto sig =
+        QuadrantDeviationBounds(qb, end, DistanceMetric::kPointToLine);
+    const auto box =
+        BoxDeviationBounds(qb, end, DistanceMetric::kPointToLine);
+    gap_sig += sig.upper - sig.lower;
+    gap_box += box.upper - box.lower;
+  }
+  EXPECT_LT(gap_sig, gap_box);
+}
+
+TEST(BoundsTest, MergeMaxAggregatesBothSides) {
+  DeviationBounds a{1.0, 5.0};
+  const DeviationBounds b{2.0, 3.0};
+  a.MergeMax(b);
+  EXPECT_DOUBLE_EQ(a.lower, 2.0);
+  EXPECT_DOUBLE_EQ(a.upper, 5.0);
+}
+
+}  // namespace
+}  // namespace bqs

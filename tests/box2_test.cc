@@ -1,0 +1,126 @@
+// Box2: extension, containment, and the ray-intersection machinery that
+// locates the BQS significant points.
+#include "geometry/box2.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bqs {
+namespace {
+
+TEST(Box2Test, DefaultIsEmpty) {
+  Box2 box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_FALSE(box.Contains({0.0, 0.0}));
+}
+
+TEST(Box2Test, ExtendGrowsToCover) {
+  Box2 box;
+  box.Extend({1.0, 2.0});
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains({1.0, 2.0}));
+  box.Extend({-3.0, 5.0});
+  EXPECT_EQ(box.min(), (Vec2{-3.0, 2.0}));
+  EXPECT_EQ(box.max(), (Vec2{1.0, 5.0}));
+  EXPECT_DOUBLE_EQ(box.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 3.0);
+  EXPECT_DOUBLE_EQ(box.Area(), 12.0);
+  EXPECT_EQ(box.Center(), (Vec2{-1.0, 3.5}));
+}
+
+TEST(Box2Test, ExtendWithBox) {
+  Box2 a({0, 0}, {1, 1});
+  const Box2 b({5, -2}, {6, 0});
+  a.Extend(b);
+  EXPECT_EQ(a.min(), (Vec2{0.0, -2.0}));
+  EXPECT_EQ(a.max(), (Vec2{6.0, 1.0}));
+  Box2 empty;
+  a.Extend(empty);  // no-op
+  EXPECT_EQ(a.max(), (Vec2{6.0, 1.0}));
+}
+
+TEST(Box2Test, CornersAreCcwFromMin) {
+  const Box2 box({1, 2}, {3, 5});
+  const auto c = box.Corners();
+  EXPECT_EQ(c[0], (Vec2{1, 2}));
+  EXPECT_EQ(c[1], (Vec2{3, 2}));
+  EXPECT_EQ(c[2], (Vec2{3, 5}));
+  EXPECT_EQ(c[3], (Vec2{1, 5}));
+}
+
+TEST(Box2Test, RayHitsFromOutside) {
+  const Box2 box({2, -1}, {4, 1});
+  const auto hit = box.IntersectRay({0, 0}, {1, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->entry.x, 2.0, 1e-12);
+  EXPECT_NEAR(hit->exit.x, 4.0, 1e-12);
+  EXPECT_LE(hit->t_entry, hit->t_exit);
+}
+
+TEST(Box2Test, RayStartingInsideEntersAtOrigin) {
+  const Box2 box({-1, -1}, {1, 1});
+  const auto hit = box.IntersectRay({0, 0}, {1, 1});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->t_entry, 0.0);
+  EXPECT_NEAR(hit->exit.x, 1.0, 1e-12);
+  EXPECT_NEAR(hit->exit.y, 1.0, 1e-12);
+}
+
+TEST(Box2Test, RayMisses) {
+  const Box2 box({2, 2}, {3, 3});
+  EXPECT_FALSE(box.IntersectRay({0, 0}, {1, 0}).has_value());
+  EXPECT_FALSE(box.IntersectRay({0, 0}, {-1, -1}).has_value());
+}
+
+TEST(Box2Test, RayParallelToSlab) {
+  const Box2 box({2, -1}, {4, 1});
+  // Parallel to y slab, inside it.
+  const auto hit = box.IntersectRay({0, 0.5}, {1, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->entry.x, 2.0, 1e-12);
+  // Parallel, outside the slab.
+  EXPECT_FALSE(box.IntersectRay({0, 5}, {1, 0}).has_value());
+}
+
+TEST(Box2Test, ZeroDirectionInsideIsPointHit) {
+  const Box2 box({-1, -1}, {1, 1});
+  const auto hit = box.IntersectRay({0.5, 0.5}, {0, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->entry, (Vec2{0.5, 0.5}));
+  EXPECT_FALSE(box.IntersectRay({5, 5}, {0, 0}).has_value());
+}
+
+TEST(Box2Test, RayThroughInteriorPointAlwaysHits) {
+  // Property: a ray from the origin through any point inside the box must
+  // intersect the box with entry before and exit after that point.
+  Rng rng(12);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Vec2 mn{rng.Uniform(0.5, 50), rng.Uniform(0.5, 50)};
+    const Vec2 mx{mn.x + rng.Uniform(0.01, 50), mn.y + rng.Uniform(0.01, 50)};
+    const Box2 box(mn, mx);
+    const Vec2 inside{rng.Uniform(mn.x, mx.x), rng.Uniform(mn.y, mx.y)};
+    const auto hit = box.IntersectRay({0, 0}, inside);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_LE(hit->t_entry, 1.0 + 1e-9);
+    EXPECT_GE(hit->t_exit, 1.0 - 1e-9);
+    // Entry lies on the box boundary up to floating-point slack.
+    const Box2 slack(box.min() - Vec2{1e-6, 1e-6},
+                     box.max() + Vec2{1e-6, 1e-6});
+    EXPECT_TRUE(slack.Contains(hit->entry));
+    EXPECT_TRUE(slack.Contains(hit->exit));
+  }
+}
+
+TEST(Box2Test, DegeneratePointBox) {
+  const Box2 box({3, 3}, {3, 3});
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains({3, 3}));
+  const auto hit = box.IntersectRay({0, 0}, {1, 1});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(Distance(hit->entry, {3, 3}), 0.0, 1e-9);
+  EXPECT_NEAR(Distance(hit->exit, {3, 3}), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,80 @@
+// Box3: the 3-D bounding prism.
+#include "geometry/box3.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bqs {
+namespace {
+
+TEST(Box3Test, DefaultIsEmpty) {
+  Box3 box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);
+}
+
+TEST(Box3Test, ExtendAndContain) {
+  Box3 box;
+  box.Extend({1, 2, 3});
+  box.Extend({-1, 5, 0});
+  EXPECT_EQ(box.min(), (Vec3{-1, 2, 0}));
+  EXPECT_EQ(box.max(), (Vec3{1, 5, 3}));
+  EXPECT_TRUE(box.Contains({0, 3, 1}));
+  EXPECT_FALSE(box.Contains({0, 1.9, 1}));
+  EXPECT_DOUBLE_EQ(box.Volume(), 2.0 * 3.0 * 3.0);
+  EXPECT_EQ(box.Center(), (Vec3{0, 3.5, 1.5}));
+}
+
+TEST(Box3Test, CornersBitConvention) {
+  const Box3 box({0, 0, 0}, {1, 2, 3});
+  const auto c = box.Corners();
+  EXPECT_EQ(c[0], (Vec3{0, 0, 0}));
+  EXPECT_EQ(c[1], (Vec3{1, 0, 0}));
+  EXPECT_EQ(c[2], (Vec3{0, 2, 0}));
+  EXPECT_EQ(c[4], (Vec3{0, 0, 3}));
+  EXPECT_EQ(c[7], (Vec3{1, 2, 3}));
+}
+
+TEST(Box3Test, FacesCoverAllCorners) {
+  const Box3 box({-1, -2, -3}, {4, 5, 6});
+  int corner_hits = 0;
+  for (int f = 0; f < 6; ++f) {
+    const auto face = box.Face(f);
+    for (const Vec3& v : face) {
+      EXPECT_TRUE(box.Contains(v));
+      for (const Vec3& c : box.Corners()) {
+        if (v == c) ++corner_hits;
+      }
+    }
+  }
+  // 6 faces x 4 vertices, every vertex is a box corner.
+  EXPECT_EQ(corner_hits, 24);
+}
+
+TEST(Box3Test, EachCornerOnThreeFaces) {
+  const Box3 box({0, 0, 0}, {1, 1, 1});
+  for (const Vec3& c : box.Corners()) {
+    int on = 0;
+    for (int f = 0; f < 6; ++f) {
+      for (const Vec3& v : box.Face(f)) {
+        if (v == c) ++on;
+      }
+    }
+    EXPECT_EQ(on, 3);
+  }
+}
+
+TEST(Box3Test, RandomPointsStayContained) {
+  Rng rng(13);
+  Box3 box;
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 p{rng.Uniform(-100, 100), rng.Uniform(-100, 100),
+                 rng.Uniform(-100, 100)};
+    box.Extend(p);
+    EXPECT_TRUE(box.Contains(p));
+  }
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,281 @@
+// BqsCompressor: the error-bound guarantee, differential equivalence with
+// the exact greedy reference, decision statistics, and edge cases.
+#include "core/bqs_compressor.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/buffered_greedy.h"
+#include "test_util.h"
+#include "trajectory/deviation.h"
+
+namespace bqs {
+namespace {
+
+using testing_util::JaggedWalk;
+using testing_util::NoisyLine;
+using testing_util::SmoothWalk;
+
+class BqsErrorBoundTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(BqsErrorBoundTest, CompressionIsErrorBounded) {
+  const auto [seed, epsilon] = GetParam();
+  for (const bool jagged : {false, true}) {
+    const Trajectory walk =
+        jagged ? JaggedWalk(seed, 3000) : SmoothWalk(seed, 3000);
+    BqsOptions options;
+    options.epsilon = epsilon;
+    BqsCompressor bqs(options);
+    const CompressedTrajectory compressed = CompressAll(bqs, walk);
+    const DeviationReport report =
+        EvaluateCompression(walk, compressed, options.metric);
+    EXPECT_LE(report.max_deviation, epsilon * (1.0 + 1e-9))
+        << (jagged ? "jagged" : "smooth") << " seed=" << seed
+        << " eps=" << epsilon;
+    ASSERT_GE(compressed.size(), 2u);
+    EXPECT_EQ(compressed.keys.front().index, 0u);
+    EXPECT_EQ(compressed.keys.back().index, walk.size() - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndTolerances, BqsErrorBoundTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(2.0, 5.0, 10.0, 20.0)));
+
+class BqsSegmentMetricTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BqsSegmentMetricTest, SegmentMetricIsErrorBounded) {
+  const Trajectory walk = JaggedWalk(GetParam(), 2500);
+  BqsOptions options;
+  options.epsilon = 8.0;
+  options.metric = DistanceMetric::kPointToSegment;
+  BqsCompressor bqs(options);
+  const CompressedTrajectory compressed = CompressAll(bqs, walk);
+  const DeviationReport report =
+      EvaluateCompression(walk, compressed, options.metric);
+  EXPECT_LE(report.max_deviation, options.epsilon * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BqsSegmentMetricTest,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
+TEST(BqsCompressorTest, MatchesUnboundedGreedyReferenceExactly) {
+  // BQS with exact fallback takes the same include/split decisions as the
+  // sliding-window greedy with an unbounded buffer; the bound machinery
+  // must only short-circuit scans, never change outcomes. This is also an
+  // end-to-end validity check of the bounds on organic decision sequences.
+  for (uint64_t seed : {21u, 22u, 23u, 24u, 25u}) {
+    for (double epsilon : {3.0, 10.0, 25.0}) {
+      const Trajectory walk = JaggedWalk(seed, 2000);
+
+      BqsOptions bqs_options;
+      bqs_options.epsilon = epsilon;
+      BqsCompressor bqs(bqs_options);
+      const CompressedTrajectory via_bqs = CompressAll(bqs, walk);
+
+      BufferedGreedyOptions greedy_options;
+      greedy_options.epsilon = epsilon;
+      greedy_options.buffer_size = 0;  // unbounded reference
+      BufferedGreedy greedy(greedy_options);
+      const CompressedTrajectory via_greedy = CompressAll(greedy, walk);
+
+      ASSERT_EQ(via_bqs.size(), via_greedy.size())
+          << "seed=" << seed << " eps=" << epsilon;
+      for (std::size_t i = 0; i < via_bqs.size(); ++i) {
+        EXPECT_EQ(via_bqs.keys[i].index, via_greedy.keys[i].index)
+            << "key " << i << " seed=" << seed << " eps=" << epsilon;
+      }
+    }
+  }
+}
+
+TEST(BqsCompressorTest, MatchesGreedyReferenceUnderSegmentMetric) {
+  // Same differential as above but under the point-to-segment metric,
+  // exercising the Eq. (11) upper bound and the corrected edge-distance
+  // lower bound on organic decision sequences.
+  for (uint64_t seed : {26u, 27u, 28u}) {
+    const Trajectory walk = JaggedWalk(seed, 1500);
+    BqsOptions bqs_options;
+    bqs_options.epsilon = 8.0;
+    bqs_options.metric = DistanceMetric::kPointToSegment;
+    BqsCompressor bqs(bqs_options);
+    const CompressedTrajectory via_bqs = CompressAll(bqs, walk);
+
+    BufferedGreedyOptions greedy_options;
+    greedy_options.epsilon = 8.0;
+    greedy_options.metric = DistanceMetric::kPointToSegment;
+    greedy_options.buffer_size = 0;
+    BufferedGreedy greedy(greedy_options);
+    const CompressedTrajectory via_greedy = CompressAll(greedy, walk);
+
+    ASSERT_EQ(via_bqs.size(), via_greedy.size()) << "seed=" << seed;
+    for (std::size_t i = 0; i < via_bqs.size(); ++i) {
+      EXPECT_EQ(via_bqs.keys[i].index, via_greedy.keys[i].index)
+          << "key " << i << " seed=" << seed;
+    }
+  }
+}
+
+TEST(BqsCompressorTest, EmptyStreamYieldsNothing) {
+  BqsCompressor bqs;
+  std::vector<KeyPoint> keys;
+  bqs.Finish(&keys);
+  EXPECT_TRUE(keys.empty());
+}
+
+TEST(BqsCompressorTest, SinglePointYieldsSingleKey) {
+  BqsCompressor bqs;
+  std::vector<KeyPoint> keys;
+  bqs.Push(TrackPoint{{1.0, 2.0}, 0.0, {}}, &keys);
+  bqs.Finish(&keys);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].index, 0u);
+}
+
+TEST(BqsCompressorTest, StationaryNoiseCompressesToTwoPoints) {
+  const Trajectory walk = NoisyLine(31, 500, 0.0);
+  BqsOptions options;
+  options.epsilon = 5.0;
+  BqsCompressor bqs(options);
+  const CompressedTrajectory compressed = CompressAll(bqs, walk);
+  EXPECT_EQ(compressed.size(), 2u);
+}
+
+TEST(BqsCompressorTest, SubToleranceNoisyLineCompressesToTwoPoints) {
+  const Trajectory walk = NoisyLine(32, 500, 1.5);
+  BqsOptions options;
+  options.epsilon = 5.0;
+  BqsCompressor bqs(options);
+  const CompressedTrajectory compressed = CompressAll(bqs, walk);
+  EXPECT_EQ(compressed.size(), 2u)
+      << "a line with noise < epsilon must keep only its endpoints";
+}
+
+TEST(BqsCompressorTest, AllDuplicatePointsCompressToTwo) {
+  Trajectory walk(300, TrackPoint{{7.0, 7.0}, 0.0, {}});
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    walk[i].t = static_cast<double>(i);
+  }
+  BqsCompressor bqs;
+  const CompressedTrajectory compressed = CompressAll(bqs, walk);
+  EXPECT_EQ(compressed.size(), 2u);
+}
+
+TEST(BqsCompressorTest, StatsAccountForEveryPoint) {
+  const Trajectory walk = SmoothWalk(41, 4000);
+  BqsOptions options;
+  options.epsilon = 10.0;
+  BqsCompressor bqs(options);
+  CompressAll(bqs, walk);
+  const DecisionStats& stats = bqs.stats();
+  EXPECT_EQ(stats.points, walk.size());
+  EXPECT_GE(stats.PruningPower(), 0.0);
+  EXPECT_LE(stats.PruningPower(), 1.0);
+  EXPECT_GE(stats.PruningPowerInclWarmup(), 0.0);
+  // On smooth data the bounds should prune the vast majority of scans.
+  EXPECT_GT(stats.PruningPower(), 0.8);
+}
+
+TEST(BqsCompressorTest, ResetClearsState) {
+  const Trajectory walk = SmoothWalk(42, 500);
+  BqsCompressor bqs;
+  const CompressedTrajectory first = CompressAll(bqs, walk);
+  const CompressedTrajectory second = CompressAll(bqs, walk);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first.keys[i].index, second.keys[i].index);
+  }
+}
+
+TEST(BqsCompressorTest, ProbeObservesSandwichedBounds) {
+  const Trajectory walk = SmoothWalk(43, 2000);
+  BqsOptions options;
+  options.epsilon = 8.0;
+  BqsCompressor bqs(options);
+  int violations = 0;
+  int observations = 0;
+  bqs.SetProbe([&](const internal::BoundsProbe& probe) {
+    ++observations;
+    if (probe.actual >= 0.0) {
+      const double tol = 1e-7 * (1.0 + probe.actual);
+      if (probe.lower > probe.actual + tol ||
+          probe.upper < probe.actual - tol) {
+        ++violations;
+      }
+    }
+  });
+  CompressAll(bqs, walk);
+  EXPECT_GT(observations, 100);
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(BqsCompressorTest, PaperTrivialIncludeCanViolateTheBound) {
+  // Documents the Algorithm-1 soundness gap the safe default closes: fly
+  // out 10 m, come back next to the start, end the stream there. The
+  // paper-faithful mode ends the segment at the near-start point without
+  // ever validating the earlier excursion against that end.
+  Trajectory walk;
+  walk.push_back(TrackPoint{{0.0, 0.0}, 0.0, {}});
+  walk.push_back(TrackPoint{{10.0, 0.0}, 1.0, {}});
+  walk.push_back(TrackPoint{{0.1, 0.5}, 2.0, {}});
+
+  BqsOptions paper;
+  paper.epsilon = 1.0;
+  paper.paper_trivial_include = true;
+  paper.data_centric_rotation = false;
+  BqsCompressor paper_bqs(paper);
+  const CompressedTrajectory paper_out = CompressAll(paper_bqs, walk);
+  const double paper_dev =
+      EvaluateCompression(walk, paper_out, paper.metric).max_deviation;
+  EXPECT_GT(paper_dev, paper.epsilon)
+      << "expected the documented paper-mode violation on this input";
+
+  BqsOptions safe = paper;
+  safe.paper_trivial_include = false;
+  BqsCompressor safe_bqs(safe);
+  const CompressedTrajectory safe_out = CompressAll(safe_bqs, walk);
+  const double safe_dev =
+      EvaluateCompression(walk, safe_out, safe.metric).max_deviation;
+  EXPECT_LE(safe_dev, safe.epsilon * (1.0 + 1e-9));
+}
+
+TEST(BqsCompressorTest, RotationTogglePreservesTheBound) {
+  for (const bool rotate : {false, true}) {
+    const Trajectory walk = JaggedWalk(55, 2000);
+    BqsOptions options;
+    options.epsilon = 6.0;
+    options.data_centric_rotation = rotate;
+    BqsCompressor bqs(options);
+    const CompressedTrajectory compressed = CompressAll(bqs, walk);
+    const DeviationReport report =
+        EvaluateCompression(walk, compressed, options.metric);
+    EXPECT_LE(report.max_deviation, options.epsilon * (1.0 + 1e-9))
+        << "rotation=" << rotate;
+  }
+}
+
+TEST(BqsCompressorTest, KeyIndicesStrictlyIncrease) {
+  const Trajectory walk = JaggedWalk(60, 1500);
+  BqsCompressor bqs(BqsOptions{.epsilon = 4.0});
+  const CompressedTrajectory compressed = CompressAll(bqs, walk);
+  for (std::size_t i = 1; i < compressed.size(); ++i) {
+    EXPECT_LT(compressed.keys[i - 1].index, compressed.keys[i].index);
+  }
+}
+
+TEST(BqsCompressorTest, InvalidOptionsAreReported) {
+  BqsOptions options;
+  options.epsilon = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.epsilon = 5.0;
+  options.rotation_warmup = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.rotation_warmup = BqsOptions::kMaxRotationWarmup + 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options.rotation_warmup = 5;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,112 @@
+// Buffered Douglas-Peucker: online semantics, buffer-full overhead, bound.
+#include "baselines/buffered_dp.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "trajectory/deviation.h"
+
+namespace bqs {
+namespace {
+
+using testing_util::JaggedWalk;
+using testing_util::NoisyLine;
+
+TEST(BufferedDpTest, ErrorBounded) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (double eps : {3.0, 10.0}) {
+      const Trajectory walk = JaggedWalk(seed, 2000);
+      BufferedDpOptions options;
+      options.epsilon = eps;
+      options.buffer_size = 32;
+      BufferedDp bdp(options);
+      const CompressedTrajectory c = CompressAll(bdp, walk);
+      const DeviationReport report =
+          EvaluateCompression(walk, c, DistanceMetric::kPointToLine);
+      EXPECT_LE(report.max_deviation, eps * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(BufferedDpTest, StraightLinePaysFloorNOverM) {
+  // The paper's analysis: a straight line costs ~floor(N/M)+1 points
+  // because both buffer endpoints are kept at every flush.
+  const std::size_t n = 320;
+  const std::size_t m = 32;
+  const Trajectory walk = NoisyLine(1, n, 0.0);
+  BufferedDpOptions options;
+  options.epsilon = 5.0;
+  options.buffer_size = m;
+  BufferedDp bdp(options);
+  const CompressedTrajectory c = CompressAll(bdp, walk);
+  // Every flush keeps its window end and carries it over, so windows
+  // advance by m-1 points and the partial tail adds one more key:
+  // ceil((n-1)/(m-1)) + 1 keys in total — the paper's floor(N/M)+1
+  // analysis up to boundary handling.
+  const std::size_t expected = (n - 1 + (m - 2)) / (m - 1) + 1;
+  EXPECT_EQ(c.size(), expected);
+  EXPECT_GT(c.size(), 2u) << "the windowing overhead must be visible";
+}
+
+TEST(BufferedDpTest, MatchesPlainDpWhenBufferCoversStream) {
+  const Trajectory walk = JaggedWalk(9, 500);
+  BufferedDpOptions options;
+  options.epsilon = 8.0;
+  options.buffer_size = 4096;  // larger than the stream
+  BufferedDp bdp(options);
+  const CompressedTrajectory via_bdp = CompressAll(bdp, walk);
+  DouglasPeucker dp(DpOptions{8.0, DistanceMetric::kPointToLine});
+  const CompressedTrajectory via_dp = dp.Compress(walk);
+  ASSERT_EQ(via_bdp.size(), via_dp.size());
+  for (std::size_t i = 0; i < via_dp.size(); ++i) {
+    EXPECT_EQ(via_bdp.keys[i].index, via_dp.keys[i].index);
+  }
+}
+
+TEST(BufferedDpTest, EmitsFirstPointImmediately) {
+  BufferedDp bdp(BufferedDpOptions{});
+  std::vector<KeyPoint> keys;
+  bdp.Push(TrackPoint{{1, 1}, 0, {}}, &keys);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].index, 0u);
+}
+
+TEST(BufferedDpTest, FinishFlushesPartialBuffer) {
+  BufferedDp bdp(BufferedDpOptions{.epsilon = 5.0, .buffer_size = 32});
+  std::vector<KeyPoint> keys;
+  for (int i = 0; i < 10; ++i) {
+    bdp.Push(TrackPoint{{i * 10.0, 0.0}, static_cast<double>(i), {}}, &keys);
+  }
+  bdp.Finish(&keys);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys.back().index, 9u);
+}
+
+TEST(BufferedDpTest, ResetIsClean) {
+  const Trajectory walk = JaggedWalk(10, 300);
+  BufferedDp bdp(BufferedDpOptions{.epsilon = 5.0, .buffer_size = 16});
+  const auto first = CompressAll(bdp, walk);
+  const auto second = CompressAll(bdp, walk);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first.keys[i].index, second.keys[i].index);
+  }
+}
+
+TEST(BufferedDpTest, SmallerBuffersNeverHelpCompression) {
+  const Trajectory walk = JaggedWalk(11, 2000);
+  std::size_t with_small;
+  std::size_t with_large;
+  {
+    BufferedDp bdp(BufferedDpOptions{.epsilon = 10.0, .buffer_size = 16});
+    with_small = CompressAll(bdp, walk).size();
+  }
+  {
+    BufferedDp bdp(BufferedDpOptions{.epsilon = 10.0, .buffer_size = 256});
+    with_large = CompressAll(bdp, walk).size();
+  }
+  EXPECT_GE(with_small, with_large);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,103 @@
+// Buffered Greedy Deviation (sliding window): bound, buffer-cap overhead.
+#include "baselines/buffered_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "trajectory/deviation.h"
+
+namespace bqs {
+namespace {
+
+using testing_util::JaggedWalk;
+using testing_util::NoisyLine;
+
+TEST(BufferedGreedyTest, ErrorBounded) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (double eps : {3.0, 10.0}) {
+      const Trajectory walk = JaggedWalk(seed, 2000);
+      BufferedGreedyOptions options;
+      options.epsilon = eps;
+      options.buffer_size = 32;
+      BufferedGreedy bgd(options);
+      const CompressedTrajectory c = CompressAll(bgd, walk);
+      const DeviationReport report =
+          EvaluateCompression(walk, c, DistanceMetric::kPointToLine);
+      EXPECT_LE(report.max_deviation, eps * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(BufferedGreedyTest, UnboundedBufferOnStraightLineKeepsTwo) {
+  const Trajectory walk = NoisyLine(2, 400, 0.5);
+  BufferedGreedyOptions options;
+  options.epsilon = 5.0;
+  options.buffer_size = 0;  // unbounded
+  BufferedGreedy bgd(options);
+  EXPECT_EQ(CompressAll(bgd, walk).size(), 2u);
+}
+
+TEST(BufferedGreedyTest, BufferCapForcesExtraKeys) {
+  const Trajectory walk = NoisyLine(3, 400, 0.5);
+  BufferedGreedyOptions options;
+  options.epsilon = 5.0;
+  options.buffer_size = 32;
+  BufferedGreedy bgd(options);
+  const std::size_t n = CompressAll(bgd, walk).size();
+  // Roughly one forced key every 32 points.
+  EXPECT_GE(n, 400u / 32u);
+  EXPECT_LE(n, 400u / 32u + 3u);
+}
+
+TEST(BufferedGreedyTest, LargerBuffersCompressBetter) {
+  const Trajectory walk = JaggedWalk(4, 3000);
+  std::size_t prev = SIZE_MAX;
+  for (std::size_t buffer : {16u, 64u, 256u}) {
+    BufferedGreedyOptions options;
+    options.epsilon = 10.0;
+    options.buffer_size = buffer;
+    BufferedGreedy bgd(options);
+    const std::size_t n = CompressAll(bgd, walk).size();
+    EXPECT_LE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(BufferedGreedyTest, ScanCountMatchesComplexityModel) {
+  // One full scan per pushed point plus one per re-processed split point.
+  const Trajectory walk = JaggedWalk(5, 1000);
+  BufferedGreedyOptions options;
+  options.epsilon = 5.0;
+  options.buffer_size = 0;
+  BufferedGreedy bgd(options);
+  const CompressedTrajectory c = CompressAll(bgd, walk);
+  const uint64_t splits = c.size() - 2;
+  EXPECT_EQ(bgd.deviation_scans(), (walk.size() - 1) + splits);
+}
+
+TEST(BufferedGreedyTest, SegmentMetricBounded) {
+  const Trajectory walk = JaggedWalk(6, 1500);
+  BufferedGreedyOptions options;
+  options.epsilon = 7.0;
+  options.metric = DistanceMetric::kPointToSegment;
+  options.buffer_size = 0;
+  BufferedGreedy bgd(options);
+  const CompressedTrajectory c = CompressAll(bgd, walk);
+  const DeviationReport report =
+      EvaluateCompression(walk, c, DistanceMetric::kPointToSegment);
+  EXPECT_LE(report.max_deviation, 7.0 * (1.0 + 1e-9));
+}
+
+TEST(BufferedGreedyTest, EdgeCases) {
+  BufferedGreedy bgd(BufferedGreedyOptions{});
+  std::vector<KeyPoint> keys;
+  bgd.Finish(&keys);
+  EXPECT_TRUE(keys.empty());
+  bgd.Reset();
+  bgd.Push(TrackPoint{{1, 1}, 0, {}}, &keys);
+  bgd.Finish(&keys);
+  ASSERT_EQ(keys.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,91 @@
+// Monotone-chain convex hull and point-in-polygon tests.
+#include "geometry/convex_hull2.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bqs {
+namespace {
+
+TEST(ConvexHullTest, SmallInputsPassThrough) {
+  EXPECT_TRUE(ConvexHull({}).empty());
+  EXPECT_EQ(ConvexHull({{1, 1}}).size(), 1u);
+  EXPECT_EQ(ConvexHull({{1, 1}, {2, 2}}).size(), 2u);
+  // Duplicates collapse.
+  EXPECT_EQ(ConvexHull({{1, 1}, {1, 1}, {1, 1}}).size(), 1u);
+}
+
+TEST(ConvexHullTest, SquareWithInteriorPoints) {
+  const auto hull = ConvexHull(
+      {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}, {3, 1}});
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_GT(PolygonSignedArea2(hull), 0.0);  // CCW
+  EXPECT_DOUBLE_EQ(PolygonSignedArea2(hull), 32.0);  // 2 * area(16)
+}
+
+TEST(ConvexHullTest, CollinearPointsDrop) {
+  const auto hull = ConvexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_EQ(hull.size(), 2u);
+}
+
+TEST(ConvexHullTest, HullContainsAllInputPoints) {
+  Rng rng(21);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<Vec2> points;
+    const int n = static_cast<int>(rng.UniformInt(3, 60));
+    for (int i = 0; i < n; ++i) {
+      points.push_back({rng.Uniform(-50, 50), rng.Uniform(-50, 50)});
+    }
+    const auto hull = ConvexHull(points);
+    for (const Vec2& p : points) {
+      EXPECT_TRUE(ConvexPolygonContains(hull, p, 1e-7))
+          << "point (" << p.x << "," << p.y << ") escaped its hull";
+    }
+  }
+}
+
+TEST(ConvexHullTest, HullIsConvex) {
+  Rng rng(22);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.Uniform(-10, 10), rng.Uniform(-10, 10)});
+  }
+  const auto hull = ConvexHull(points);
+  ASSERT_GE(hull.size(), 3u);
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Vec2 a = hull[i];
+    const Vec2 b = hull[(i + 1) % hull.size()];
+    const Vec2 c = hull[(i + 2) % hull.size()];
+    EXPECT_GT((b - a).Cross(c - b), 0.0) << "non-left turn at vertex " << i;
+  }
+}
+
+TEST(ConvexPolygonContainsTest, BoundaryAndOutside) {
+  const std::vector<Vec2> square{{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  EXPECT_TRUE(ConvexPolygonContains(square, {2, 2}));
+  EXPECT_TRUE(ConvexPolygonContains(square, {0, 0}));
+  EXPECT_TRUE(ConvexPolygonContains(square, {4, 2}));
+  EXPECT_FALSE(ConvexPolygonContains(square, {4.1, 2}));
+  EXPECT_FALSE(ConvexPolygonContains(square, {-0.1, -0.1}));
+}
+
+TEST(ConvexPolygonContainsTest, DegenerateHulls) {
+  EXPECT_FALSE(ConvexPolygonContains({}, {0, 0}));
+  EXPECT_TRUE(ConvexPolygonContains({{1, 1}}, {1, 1}));
+  EXPECT_FALSE(ConvexPolygonContains({{1, 1}}, {2, 2}));
+  const std::vector<Vec2> seg{{0, 0}, {10, 0}};
+  EXPECT_TRUE(ConvexPolygonContains(seg, {5, 0}));
+  EXPECT_FALSE(ConvexPolygonContains(seg, {5, 1}));
+}
+
+TEST(PolygonAreaTest, OrientationSign) {
+  const std::vector<Vec2> ccw{{0, 0}, {1, 0}, {1, 1}};
+  const std::vector<Vec2> cw{{0, 0}, {1, 1}, {1, 0}};
+  EXPECT_GT(PolygonSignedArea2(ccw), 0.0);
+  EXPECT_LT(PolygonSignedArea2(cw), 0.0);
+  EXPECT_DOUBLE_EQ(PolygonSignedArea2(ccw), 1.0);
+}
+
+}  // namespace
+}  // namespace bqs

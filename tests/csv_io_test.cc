@@ -1,0 +1,113 @@
+// CSV persistence round trips and error handling.
+#include "trajectory/csv_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace bqs {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvIoTest, GeoTraceRoundTrip) {
+  GeoTrace trace;
+  trace.push_back(GeoSample{{-27.4698, 153.0251}, 0.0});
+  trace.push_back(GeoSample{{-27.4700, 153.0300}, 60.0});
+  const std::string path = TempPath("geo.csv");
+  ASSERT_TRUE(WriteGeoTraceCsv(trace, path).ok());
+  const auto read = ReadGeoTraceCsv(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().size(), 2u);
+  EXPECT_NEAR(read.value()[0].pos.lat_deg, -27.4698, 1e-7);
+  EXPECT_NEAR(read.value()[1].pos.lon_deg, 153.0300, 1e-7);
+  EXPECT_NEAR(read.value()[1].t, 60.0, 1e-6);
+}
+
+TEST(CsvIoTest, TrajectoryRoundTripWithVelocity) {
+  Trajectory t;
+  t.push_back(TrackPoint{{1.5, -2.25}, 10.0, {3.0, 4.0}});
+  t.push_back(TrackPoint{{100.0, 50.0}, 70.0, {-1.0, 0.5}});
+  const std::string path = TempPath("traj.csv");
+  ASSERT_TRUE(WriteTrajectoryCsv(t, path).ok());
+  const auto read = ReadTrajectoryCsv(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().size(), 2u);
+  EXPECT_NEAR(read.value()[0].pos.x, 1.5, 1e-3);
+  EXPECT_NEAR(read.value()[0].velocity.x, 3.0, 1e-3);
+  EXPECT_NEAR(read.value()[1].velocity.y, 0.5, 1e-3);
+}
+
+TEST(CsvIoTest, ReadWithoutVelocityFillsFiniteDifferences) {
+  const std::string path = TempPath("novel.csv");
+  {
+    std::ofstream out(path);
+    out << "x,y,t\n0,0,0\n10,0,1\n20,0,2\n";
+  }
+  const auto read = ReadTrajectoryCsv(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().size(), 3u);
+  EXPECT_NEAR(read.value()[1].velocity.x, 10.0, 1e-9);
+}
+
+TEST(CsvIoTest, HeaderOptional) {
+  const std::string path = TempPath("nohdr.csv");
+  {
+    std::ofstream out(path);
+    out << "-27.5,153.0,0\n-27.6,153.1,60\n";
+  }
+  const auto read = ReadGeoTraceCsv(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().size(), 2u);
+}
+
+TEST(CsvIoTest, SkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  {
+    std::ofstream out(path);
+    out << "lat,lon,t\n\n-27.5,153.0,0\n\n";
+  }
+  const auto read = ReadGeoTraceCsv(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().size(), 1u);
+}
+
+TEST(CsvIoTest, CorruptRowsFail) {
+  const std::string path = TempPath("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "lat,lon,t\n-27.5,abc,0\n";
+  }
+  EXPECT_FALSE(ReadGeoTraceCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "lat,lon,t\n-27.5\n";
+  }
+  EXPECT_FALSE(ReadGeoTraceCsv(path).ok());
+}
+
+TEST(CsvIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadGeoTraceCsv("/nonexistent/nope.csv").ok());
+  EXPECT_FALSE(ReadTrajectoryCsv("/nonexistent/nope.csv").ok());
+  EXPECT_FALSE(WriteGeoTraceCsv({}, "/nonexistent/dir/out.csv").ok());
+}
+
+TEST(CsvIoTest, CompressedCsvWrites) {
+  CompressedTrajectory c;
+  c.keys.push_back(KeyPoint{TrackPoint{{1, 2}, 3.0, {}}, 7});
+  const std::string path = TempPath("comp.csv");
+  ASSERT_TRUE(WriteCompressedCsv(c, path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "index,x,y,t");
+  EXPECT_EQ(row.substr(0, 2), "7,");
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,69 @@
+// Canned dataset builders used by every bench.
+#include "simulation/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace bqs {
+namespace {
+
+TEST(DatasetsTest, BatDatasetShape) {
+  const Dataset d = BuildBatDataset(0.2);
+  EXPECT_EQ(d.name, "bat");
+  EXPECT_GT(d.stream.size(), 1000u);
+  for (std::size_t i = 1; i < d.stream.size(); ++i) {
+    EXPECT_GT(d.stream[i].t, d.stream[i - 1].t);
+  }
+}
+
+TEST(DatasetsTest, VehicleDatasetShape) {
+  const Dataset d = BuildVehicleDataset(0.2);
+  EXPECT_EQ(d.name, "vehicle");
+  EXPECT_GT(d.stream.size(), 500u);
+}
+
+TEST(DatasetsTest, SyntheticMatchesPaperSizeAtScaleOne) {
+  const Dataset d = BuildSyntheticDataset(1.0);
+  EXPECT_EQ(d.name, "synthetic");
+  EXPECT_EQ(d.stream.size(), 30000u);  // paper Section VI-A
+}
+
+TEST(DatasetsTest, ScaleShrinksWorkload) {
+  const Dataset small = BuildSyntheticDataset(0.1);
+  const Dataset large = BuildSyntheticDataset(0.5);
+  EXPECT_LT(small.stream.size(), large.stream.size());
+}
+
+TEST(DatasetsTest, EmpiricalMergedCombinesBoth) {
+  // The merged builder derives its component seeds from its own seed.
+  const uint64_t seed = 3003;
+  const Dataset bat = BuildBatDataset(0.1, seed);
+  const Dataset vehicle = BuildVehicleDataset(0.1, seed + 1);
+  const Dataset merged = BuildEmpiricalMergedDataset(0.1, seed);
+  EXPECT_EQ(merged.stream.size(),
+            bat.stream.size() + vehicle.stream.size());
+}
+
+TEST(DatasetsTest, AllDatasetsDistinctAndDeterministic) {
+  const auto all = BuildAllDatasets(0.1);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "bat");
+  EXPECT_EQ(all[1].name, "vehicle");
+  EXPECT_EQ(all[2].name, "synthetic");
+  const auto again = BuildAllDatasets(0.1);
+  for (std::size_t d = 0; d < all.size(); ++d) {
+    ASSERT_EQ(all[d].stream.size(), again[d].stream.size());
+    EXPECT_EQ(all[d].stream[10], again[d].stream[10]);
+  }
+}
+
+TEST(DatasetsTest, VelocitiesArePopulated) {
+  const Dataset d = BuildSyntheticDataset(0.05);
+  bool any_moving = false;
+  for (const TrackPoint& p : d.stream) {
+    if (p.velocity.Norm() > 0.0) any_moving = true;
+  }
+  EXPECT_TRUE(any_moving);
+}
+
+}  // namespace
+}  // namespace bqs

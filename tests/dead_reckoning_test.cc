@@ -1,0 +1,117 @@
+// Dead Reckoning: prediction-error bound and its compression behaviour.
+#include "baselines/dead_reckoning.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fbqs_compressor.h"
+#include "simulation/random_walk.h"
+#include "test_util.h"
+
+namespace bqs {
+namespace {
+
+// Replays the DR reconstruction: position at each original sample time is
+// extrapolated from the last report before it.
+double MaxPredictionError(const Trajectory& walk,
+                          const CompressedTrajectory& reports) {
+  double worst = 0.0;
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    while (r + 1 < reports.size() && reports.keys[r + 1].index <= i) ++r;
+    const TrackPoint& anchor = reports.keys[r].point;
+    const double dt = walk[i].t - anchor.t;
+    const Vec2 predicted = anchor.pos + dt * anchor.velocity;
+    worst = std::max(worst, Distance(predicted, walk[i].pos));
+  }
+  return worst;
+}
+
+TEST(DeadReckoningTest, PredictionErrorBounded) {
+  RandomWalkOptions options;
+  options.num_points = 5000;
+  options.seed = 71;
+  const Trajectory walk = GenerateRandomWalk(options);
+  DeadReckoning dr(DeadReckoningOptions{10.0});
+  const CompressedTrajectory reports = CompressAll(dr, walk);
+  // Every sample time: the DR-predicted position is within epsilon of the
+  // true fix (the final point is reported by Finish, so all anchors hold).
+  EXPECT_LE(MaxPredictionError(walk, reports), 10.0 * (1.0 + 1e-9));
+}
+
+TEST(DeadReckoningTest, StationaryStreamReportsTwice) {
+  Trajectory walk;
+  for (int i = 0; i < 100; ++i) {
+    walk.push_back(TrackPoint{{5.0, 5.0}, static_cast<double>(i), {0, 0}});
+  }
+  DeadReckoning dr(DeadReckoningOptions{5.0});
+  const CompressedTrajectory reports = CompressAll(dr, walk);
+  EXPECT_EQ(reports.size(), 2u);  // first report + Finish
+}
+
+TEST(DeadReckoningTest, ConstantVelocityNeedsNoMidReports) {
+  Trajectory walk;
+  for (int i = 0; i < 200; ++i) {
+    walk.push_back(
+        TrackPoint{{i * 8.0, i * 6.0}, static_cast<double>(i), {8.0, 6.0}});
+  }
+  DeadReckoning dr(DeadReckoningOptions{5.0});
+  EXPECT_EQ(CompressAll(dr, walk).size(), 2u);
+}
+
+TEST(DeadReckoningTest, TurnsForceReports) {
+  Trajectory walk;
+  double t = 0.0;
+  // East then north at constant speed; the turn must produce a report.
+  for (int i = 0; i < 50; ++i) {
+    walk.push_back(TrackPoint{{i * 10.0, 0.0}, t, {10.0, 0.0}});
+    t += 1.0;
+  }
+  for (int i = 1; i <= 50; ++i) {
+    walk.push_back(TrackPoint{{490.0, i * 10.0}, t, {0.0, 10.0}});
+    t += 1.0;
+  }
+  DeadReckoning dr(DeadReckoningOptions{5.0});
+  const CompressedTrajectory reports = CompressAll(dr, walk);
+  EXPECT_GE(reports.size(), 3u);
+  EXPECT_LE(reports.size(), 6u);
+}
+
+TEST(DeadReckoningTest, UsesMorePointsThanFbqsOnSyntheticData) {
+  // Fig. 8(b): DR needs ~40-50% more points than FBQS at equal tolerance.
+  RandomWalkOptions options;
+  options.num_points = 10000;
+  options.seed = 72;
+  const Trajectory walk = GenerateRandomWalk(options);
+  DeadReckoning dr(DeadReckoningOptions{10.0});
+  FbqsCompressor fbqs(BqsOptions{.epsilon = 10.0});
+  const std::size_t dr_points = CompressAll(dr, walk).size();
+  const std::size_t fbqs_points = CompressAll(fbqs, walk).size();
+  EXPECT_GT(dr_points, fbqs_points);
+}
+
+TEST(DeadReckoningTest, TighterToleranceMoreReports) {
+  RandomWalkOptions options;
+  options.num_points = 4000;
+  options.seed = 73;
+  const Trajectory walk = GenerateRandomWalk(options);
+  std::size_t prev = 0;
+  for (double eps : {20.0, 10.0, 5.0, 2.0}) {
+    DeadReckoning dr(DeadReckoningOptions{eps});
+    const std::size_t n = CompressAll(dr, walk).size();
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(DeadReckoningTest, EdgeCases) {
+  DeadReckoning dr(DeadReckoningOptions{});
+  std::vector<KeyPoint> keys;
+  dr.Finish(&keys);
+  EXPECT_TRUE(keys.empty());
+  dr.Push(TrackPoint{{0, 0}, 0, {1, 1}}, &keys);
+  dr.Finish(&keys);
+  EXPECT_EQ(keys.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bqs

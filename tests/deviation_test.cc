@@ -1,0 +1,85 @@
+// Exact deviation evaluation — the ground truth for every error-bound test.
+#include "trajectory/deviation.h"
+
+#include <gtest/gtest.h>
+
+namespace bqs {
+namespace {
+
+Trajectory MakePath(std::initializer_list<Vec2> points) {
+  Trajectory t;
+  double time = 0.0;
+  for (const Vec2& p : points) {
+    t.push_back(TrackPoint{p, time, {}});
+    time += 1.0;
+  }
+  return t;
+}
+
+TEST(DeviationTest, SegmentDeviationInteriorOnly) {
+  const Trajectory t = MakePath({{0, 0}, {5, 3}, {10, 0}});
+  EXPECT_DOUBLE_EQ(
+      SegmentDeviation(t, 0, 2, DistanceMetric::kPointToLine), 3.0);
+  // No interior points.
+  EXPECT_DOUBLE_EQ(
+      SegmentDeviation(t, 0, 1, DistanceMetric::kPointToLine), 0.0);
+}
+
+TEST(DeviationTest, SegmentDeviationClampsRange) {
+  const Trajectory t = MakePath({{0, 0}, {5, 3}, {10, 0}});
+  EXPECT_DOUBLE_EQ(
+      SegmentDeviation(t, 0, 99, DistanceMetric::kPointToLine), 3.0);
+}
+
+TEST(DeviationTest, BufferDeviation) {
+  const Trajectory t = MakePath({{1, 4}, {2, -7}, {3, 2}});
+  EXPECT_DOUBLE_EQ(
+      BufferDeviation(t, {0, 0}, {10, 0}, DistanceMetric::kPointToLine),
+      7.0);
+  EXPECT_DOUBLE_EQ(
+      BufferDeviation({}, {0, 0}, {10, 0}, DistanceMetric::kPointToLine),
+      0.0);
+}
+
+TEST(DeviationTest, EvaluateCompressionPerSegment) {
+  const Trajectory t =
+      MakePath({{0, 0}, {5, 2}, {10, 0}, {15, -6}, {20, 0}});
+  CompressedTrajectory c;
+  c.keys.push_back(KeyPoint{t[0], 0});
+  c.keys.push_back(KeyPoint{t[2], 2});
+  c.keys.push_back(KeyPoint{t[4], 4});
+  const DeviationReport report =
+      EvaluateCompression(t, c, DistanceMetric::kPointToLine);
+  ASSERT_EQ(report.per_segment.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.per_segment[0], 2.0);
+  EXPECT_DOUBLE_EQ(report.per_segment[1], 6.0);
+  EXPECT_DOUBLE_EQ(report.max_deviation, 6.0);
+  EXPECT_EQ(report.worst_segment, 1u);
+  EXPECT_TRUE(report.BoundedBy(6.0));
+  EXPECT_FALSE(report.BoundedBy(5.9));
+}
+
+TEST(DeviationTest, EvaluateEmptyAndSingle) {
+  const Trajectory t = MakePath({{0, 0}, {1, 1}});
+  CompressedTrajectory c;
+  EXPECT_DOUBLE_EQ(
+      EvaluateCompression(t, c, DistanceMetric::kPointToLine).max_deviation,
+      0.0);
+  c.keys.push_back(KeyPoint{t[0], 0});
+  EXPECT_DOUBLE_EQ(
+      EvaluateCompression(t, c, DistanceMetric::kPointToLine).max_deviation,
+      0.0);
+}
+
+TEST(DeviationTest, SegmentMetricDiffersFromLineMetric) {
+  // Point beyond the end deviates more under the segment metric.
+  const Trajectory t = MakePath({{0, 0}, {15, 0}, {10, 0}});
+  const double line = SegmentDeviation(t, 0, 2, DistanceMetric::kPointToLine);
+  const double seg =
+      SegmentDeviation(t, 0, 2, DistanceMetric::kPointToSegment);
+  EXPECT_DOUBLE_EQ(line, 0.0);
+  EXPECT_DOUBLE_EQ(seg, 5.0);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,103 @@
+// Douglas-Peucker: error bound, minimality on simple shapes, edge cases.
+#include "baselines/douglas_peucker.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "trajectory/deviation.h"
+
+namespace bqs {
+namespace {
+
+using testing_util::JaggedWalk;
+using testing_util::NoisyLine;
+
+TEST(DouglasPeuckerTest, SmallInputs) {
+  DouglasPeucker dp(DpOptions{1.0, DistanceMetric::kPointToLine});
+  EXPECT_TRUE(dp.Compress({}).empty());
+  Trajectory one{TrackPoint{{0, 0}, 0, {}}};
+  EXPECT_EQ(dp.Compress(one).size(), 1u);
+  Trajectory two{TrackPoint{{0, 0}, 0, {}}, TrackPoint{{5, 5}, 1, {}}};
+  EXPECT_EQ(dp.Compress(two).size(), 2u);
+}
+
+TEST(DouglasPeuckerTest, StraightLineKeepsEndpointsOnly) {
+  const Trajectory walk = NoisyLine(1, 300, 0.5);
+  DouglasPeucker dp(DpOptions{5.0, DistanceMetric::kPointToLine});
+  const CompressedTrajectory c = dp.Compress(walk);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.keys.front().index, 0u);
+  EXPECT_EQ(c.keys.back().index, walk.size() - 1);
+}
+
+TEST(DouglasPeuckerTest, KnownZigZag) {
+  // Triangle wave of amplitude 4: kept at eps >= 4, split below.
+  Trajectory t;
+  for (int i = 0; i <= 8; ++i) {
+    t.push_back(TrackPoint{{i * 10.0, (i % 2 == 0) ? 0.0 : 4.0},
+                           static_cast<double>(i), {}});
+  }
+  DouglasPeucker loose(DpOptions{4.5, DistanceMetric::kPointToLine});
+  EXPECT_EQ(loose.Compress(t).size(), 2u);
+  DouglasPeucker tight(DpOptions{1.0, DistanceMetric::kPointToLine});
+  EXPECT_EQ(tight.Compress(t).size(), t.size());
+}
+
+class DpErrorBoundTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DpErrorBoundTest, ErrorBounded) {
+  const double epsilon = GetParam();
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const Trajectory walk = JaggedWalk(seed, 2000);
+    DouglasPeucker dp(DpOptions{epsilon, DistanceMetric::kPointToLine});
+    const CompressedTrajectory c = dp.Compress(walk);
+    const DeviationReport report =
+        EvaluateCompression(walk, c, DistanceMetric::kPointToLine);
+    EXPECT_LE(report.max_deviation, epsilon * (1.0 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, DpErrorBoundTest,
+                         ::testing::Values(2.0, 5.0, 10.0, 25.0));
+
+TEST(DouglasPeuckerTest, SegmentMetricErrorBounded) {
+  const Trajectory walk = JaggedWalk(4, 1500);
+  DouglasPeucker dp(DpOptions{6.0, DistanceMetric::kPointToSegment});
+  const CompressedTrajectory c = dp.Compress(walk);
+  const DeviationReport report =
+      EvaluateCompression(walk, c, DistanceMetric::kPointToSegment);
+  EXPECT_LE(report.max_deviation, 6.0 * (1.0 + 1e-9));
+}
+
+TEST(DouglasPeuckerTest, IdempotentOnOwnOutput) {
+  const Trajectory walk = JaggedWalk(5, 1000);
+  DouglasPeucker dp(DpOptions{8.0, DistanceMetric::kPointToLine});
+  const CompressedTrajectory once = dp.Compress(walk);
+  Trajectory kept;
+  for (const KeyPoint& k : once.keys) kept.push_back(k.point);
+  const CompressedTrajectory twice = dp.Compress(kept);
+  EXPECT_EQ(twice.size(), once.size());
+}
+
+TEST(DouglasPeuckerTest, MonotoneInEpsilon) {
+  const Trajectory walk = JaggedWalk(6, 1500);
+  std::size_t prev = SIZE_MAX;
+  for (double eps : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+    DouglasPeucker dp(DpOptions{eps, DistanceMetric::kPointToLine});
+    const std::size_t n = dp.Compress(walk).size();
+    EXPECT_LE(n, prev) << "more points kept at looser tolerance " << eps;
+    prev = n;
+  }
+}
+
+TEST(DouglasPeuckerTest, IndicesAreStrictlyIncreasing) {
+  const Trajectory walk = JaggedWalk(7, 800);
+  DouglasPeucker dp(DpOptions{3.0, DistanceMetric::kPointToLine});
+  const CompressedTrajectory c = dp.Compress(walk);
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LT(c.keys[i - 1].index, c.keys[i].index);
+  }
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,94 @@
+// Flying-fox behavioural model: the statistics the compression evaluation
+// relies on (camp stays, ~10 km trips, bounded speeds).
+#include "simulation/flying_fox.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.h"
+
+namespace bqs {
+namespace {
+
+FlyingFoxOptions SmallOptions() {
+  FlyingFoxOptions options;
+  options.num_nights = 3;
+  options.seed = 77;
+  return options;
+}
+
+TEST(FlyingFoxTest, ProducesMonotonicTimestamps) {
+  const GeoTrace trace = GenerateFlyingFoxTrace(SmallOptions());
+  ASSERT_GT(trace.size(), 500u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].t, trace[i - 1].t);
+  }
+}
+
+TEST(FlyingFoxTest, StaysWithinForageRadius) {
+  const FlyingFoxOptions options = SmallOptions();
+  const GeoTrace trace = GenerateFlyingFoxTrace(options);
+  const LatLon camp{options.camp_lat, options.camp_lon};
+  for (const GeoSample& s : trace) {
+    EXPECT_LT(HaversineMeters(camp, s.pos),
+              options.forage_radius_m * 1.3 + 500.0);
+  }
+}
+
+TEST(FlyingFoxTest, FlightSpeedsBounded) {
+  const FlyingFoxOptions options = SmallOptions();
+  const GeoTrace trace = GenerateFlyingFoxTrace(options);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double dt = trace[i].t - trace[i - 1].t;
+    if (dt <= 0.0 || dt > options.sample_interval_s * 1.5) continue;
+    const double speed =
+        HaversineMeters(trace[i - 1].pos, trace[i].pos) / dt;
+    // Max speed plus GPS noise slack.
+    EXPECT_LT(speed, options.max_speed_mps + 2.0);
+  }
+}
+
+TEST(FlyingFoxTest, HasBothRoostingAndFlight) {
+  const FlyingFoxOptions options = SmallOptions();
+  const GeoTrace trace = GenerateFlyingFoxTrace(options);
+  std::size_t slow = 0;
+  std::size_t fast = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double dt = trace[i].t - trace[i - 1].t;
+    if (dt <= 0.0) continue;
+    const double speed =
+        HaversineMeters(trace[i - 1].pos, trace[i].pos) / dt;
+    if (speed < 1.0) ++slow;
+    if (speed > 5.0) ++fast;
+  }
+  EXPECT_GT(slow, trace.size() / 10) << "roosting must dominate daytime";
+  EXPECT_GT(fast, 50u) << "nightly flights must exist";
+}
+
+TEST(FlyingFoxTest, ReturnsToCampByDay) {
+  const FlyingFoxOptions options = SmallOptions();
+  const GeoTrace trace = GenerateFlyingFoxTrace(options);
+  const LatLon camp{options.camp_lat, options.camp_lon};
+  // Mid-day samples (roosting) are near the camp.
+  std::size_t checked = 0;
+  for (const GeoSample& s : trace) {
+    const double day_phase = std::fmod(s.t, 86400.0);
+    if (day_phase > options.night_hours * 3600.0 + 7200.0 &&
+        day_phase < 82800.0) {
+      EXPECT_LT(HaversineMeters(camp, s.pos), 400.0);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(FlyingFoxTest, DeterministicPerSeed) {
+  const GeoTrace a = GenerateFlyingFoxTrace(SmallOptions());
+  const GeoTrace b = GenerateFlyingFoxTrace(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[100], b[100]);
+}
+
+}  // namespace
+}  // namespace bqs

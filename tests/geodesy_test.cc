@@ -1,0 +1,92 @@
+// Spherical geodesy helpers and the local tangent plane.
+#include "geo/geodesy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace bqs {
+namespace {
+
+TEST(GeodesyTest, HaversineKnownDistances) {
+  // One degree of longitude at the equator ~ 111.2 km.
+  EXPECT_NEAR(HaversineMeters({0, 0}, {0, 1}), 111195.0, 200.0);
+  // One degree of latitude anywhere ~ 111.2 km.
+  EXPECT_NEAR(HaversineMeters({-27, 153}, {-26, 153}), 111195.0, 200.0);
+  EXPECT_DOUBLE_EQ(HaversineMeters({10, 20}, {10, 20}), 0.0);
+}
+
+TEST(GeodesyTest, HaversineSymmetric) {
+  const LatLon a{-27.5, 153.0};
+  const LatLon b{-26.9, 152.4};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(GeodesyTest, InitialBearingCardinals) {
+  EXPECT_NEAR(InitialBearing({0, 0}, {1, 0}), 0.0, 1e-9);          // north
+  EXPECT_NEAR(InitialBearing({0, 0}, {0, 1}), kHalfPi, 1e-9);      // east
+  EXPECT_NEAR(InitialBearing({0, 0}, {-1, 0}), kPi, 1e-9);         // south
+  EXPECT_NEAR(InitialBearing({0, 0}, {0, -1}), 1.5 * kPi, 1e-9);   // west
+}
+
+TEST(GeodesyTest, DestinationRoundTrip) {
+  Rng rng(61);
+  for (int i = 0; i < 500; ++i) {
+    const LatLon origin{rng.Uniform(-60, 60), rng.Uniform(-179, 179)};
+    const double bearing = rng.Uniform(0.0, kTwoPi);
+    const double dist = rng.Uniform(10.0, 50000.0);
+    const LatLon dest = DestinationPoint(origin, bearing, dist);
+    EXPECT_NEAR(HaversineMeters(origin, dest), dist, dist * 1e-9 + 1e-6);
+    EXPECT_NEAR(InitialBearing(origin, dest), bearing, 0.02);
+  }
+}
+
+TEST(TangentPlaneTest, ProjectUnprojectRoundTrip) {
+  const LocalTangentPlane plane({-27.47, 153.02});
+  Rng rng(62);
+  for (int i = 0; i < 500; ++i) {
+    const LatLon pos{-27.47 + rng.Uniform(-0.2, 0.2),
+                     153.02 + rng.Uniform(-0.2, 0.2)};
+    const Vec2 xy = plane.Project(pos);
+    const LatLon back = plane.Unproject(xy);
+    EXPECT_NEAR(back.lat_deg, pos.lat_deg, 1e-12);
+    EXPECT_NEAR(back.lon_deg, pos.lon_deg, 1e-12);
+  }
+}
+
+TEST(TangentPlaneTest, OriginMapsToZero) {
+  const LocalTangentPlane plane({-27.47, 153.02});
+  const Vec2 xy = plane.Project({-27.47, 153.02});
+  EXPECT_NEAR(xy.x, 0.0, 1e-9);
+  EXPECT_NEAR(xy.y, 0.0, 1e-9);
+}
+
+TEST(TangentPlaneTest, DistancesMatchHaversineNearby) {
+  const LatLon origin{-27.47, 153.02};
+  const LocalTangentPlane plane(origin);
+  Rng rng(63);
+  for (int i = 0; i < 200; ++i) {
+    const LatLon a{origin.lat_deg + rng.Uniform(-0.05, 0.05),
+                   origin.lon_deg + rng.Uniform(-0.05, 0.05)};
+    const LatLon b{origin.lat_deg + rng.Uniform(-0.05, 0.05),
+                   origin.lon_deg + rng.Uniform(-0.05, 0.05)};
+    const double planar = Distance(plane.Project(a), plane.Project(b));
+    const double geodesic = HaversineMeters(a, b);
+    if (geodesic < 5.0) continue;
+    EXPECT_NEAR(planar / geodesic, 1.0, 0.002);
+  }
+}
+
+TEST(TangentPlaneTest, AxesPointEastAndNorth) {
+  const LocalTangentPlane plane({-27.47, 153.02});
+  const Vec2 east = plane.Project({-27.47, 153.03});
+  EXPECT_GT(east.x, 0.0);
+  EXPECT_NEAR(east.y, 0.0, 1e-9);
+  const Vec2 north = plane.Project({-27.46, 153.02});
+  EXPECT_GT(north.y, 0.0);
+  EXPECT_NEAR(north.x, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,149 @@
+// Cross-module integration: every error-bounded algorithm, on every
+// dataset, at every tolerance, must respect the bound end to end; the
+// paper's qualitative orderings must hold on the simulated workloads.
+#include <gtest/gtest.h>
+
+#include "core/bqs_compressor.h"
+#include "core/fbqs_compressor.h"
+#include "eval/runner.h"
+#include "storage/platform.h"
+#include "storage/trajectory_store.h"
+#include "trajectory/deviation.h"
+
+namespace bqs {
+namespace {
+
+const std::vector<Dataset>& SmallDatasets() {
+  static const std::vector<Dataset>* datasets =
+      new std::vector<Dataset>(BuildAllDatasets(0.08));
+  return *datasets;
+}
+
+class ErrorBoundMatrixTest
+    : public ::testing::TestWithParam<std::tuple<AlgorithmId, double>> {};
+
+TEST_P(ErrorBoundMatrixTest, EveryCellIsBounded) {
+  const auto [algorithm, epsilon] = GetParam();
+  for (const Dataset& dataset : SmallDatasets()) {
+    const SweepRow row = RunCell(algorithm, dataset, epsilon);
+    EXPECT_TRUE(row.error_bounded)
+        << row.algorithm << " on " << row.dataset << " at eps=" << epsilon
+        << " deviated " << row.max_deviation;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsByTolerance, ErrorBoundMatrixTest,
+    ::testing::Combine(::testing::Values(AlgorithmId::kBqs,
+                                         AlgorithmId::kFbqs,
+                                         AlgorithmId::kBdp,
+                                         AlgorithmId::kBgd, AlgorithmId::kDp),
+                       ::testing::Values(5.0, 10.0, 20.0)),
+    [](const auto& naming_info) {
+      const AlgorithmId id = std::get<0>(naming_info.param);
+      const double eps = std::get<1>(naming_info.param);
+      std::string name(AlgorithmName(id));
+      name += "Eps" + std::to_string(static_cast<int>(eps));
+      // '-' is not allowed in test names.
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(IntegrationTest, PaperOrderingBqsBestThenFbqs) {
+  // Fig. 7's headline ordering: BQS ~ FBQS << BDP/BGD on compressed size.
+  // BQS <= FBQS is a strong tendency, not a theorem (greedy inclusion can
+  // occasionally cost points later), so the pairwise check carries slack.
+  for (const Dataset& dataset : SmallDatasets()) {
+    const SweepRow bqs = RunCell(AlgorithmId::kBqs, dataset, 10.0);
+    const SweepRow fbqs = RunCell(AlgorithmId::kFbqs, dataset, 10.0);
+    const SweepRow bdp = RunCell(AlgorithmId::kBdp, dataset, 10.0);
+    const SweepRow bgd = RunCell(AlgorithmId::kBgd, dataset, 10.0);
+    EXPECT_LE(bqs.points_out,
+              static_cast<std::size_t>(fbqs.points_out * 1.15) + 5)
+        << dataset.name;
+    EXPECT_LT(fbqs.points_out, bdp.points_out) << dataset.name;
+    EXPECT_LT(bqs.points_out, bdp.points_out) << dataset.name;
+    // FBQS < BGD holds on the empirical-style datasets (Fig. 7); on the
+    // heavily jittered synthetic walk the sound bounds make FBQS split
+    // conservatively, so only BQS is asserted against BGD there.
+    if (dataset.name != "synthetic") {
+      EXPECT_LT(fbqs.points_out, bgd.points_out) << dataset.name;
+    }
+    EXPECT_LE(bqs.points_out, bgd.points_out) << dataset.name;
+  }
+}
+
+TEST(IntegrationTest, PruningPowerIsHighOnRealisticData) {
+  // Fig. 6: pruning power generally above 0.9 on the empirical datasets.
+  // The synthetic walk carries heavy per-step jitter (for the DR study) so
+  // a weaker floor applies there.
+  for (const Dataset& dataset : SmallDatasets()) {
+    const SweepRow bqs = RunCell(AlgorithmId::kBqs, dataset, 10.0);
+    const double floor = dataset.name == "synthetic" ? 0.70 : 0.90;
+    EXPECT_GT(bqs.pruning_power, floor) << dataset.name;
+  }
+}
+
+TEST(IntegrationTest, CompressionImprovesWithTolerance) {
+  for (const Dataset& dataset : SmallDatasets()) {
+    std::size_t prev = SIZE_MAX;
+    for (double eps : {2.0, 5.0, 10.0, 20.0}) {
+      const SweepRow row =
+          RunCell(AlgorithmId::kBqs, dataset, eps, 32, /*verify=*/false);
+      EXPECT_LE(row.points_out, prev) << dataset.name << " eps=" << eps;
+      prev = row.points_out;
+    }
+  }
+}
+
+TEST(IntegrationTest, EndToEndDevicePipeline) {
+  // Stream a bat dataset through FBQS into the flash store, then merge and
+  // age in the trajectory store — the full on-device life cycle.
+  const Dataset& bat = SmallDatasets()[0];
+  FbqsCompressor fbqs(BqsOptions{.epsilon = 10.0});
+  const CompressedTrajectory compressed = CompressAll(fbqs, bat.stream);
+
+  PlatformSpec spec;
+  FlashStore flash(spec);
+  std::size_t stored = 0;
+  for (std::size_t i = 0; i < compressed.size(); ++i) {
+    if (!flash.AppendSample()) break;
+    ++stored;
+  }
+  EXPECT_GT(stored, 0u);
+
+  TrajectoryStore store;
+  const auto append = store.Append(compressed);
+  EXPECT_EQ(append.segments_in, compressed.size() - 1);
+  EXPECT_GT(store.segment_count(), 0u);
+
+  const std::size_t before = store.segment_count();
+  store.Age(40.0);
+  EXPECT_LE(store.segment_count(), before);
+}
+
+TEST(IntegrationTest, OperationalTimeRanksByCompressionRate) {
+  // Table II's logic: better compression -> longer operational time.
+  const Dataset& bat = SmallDatasets()[0];
+  const SweepRow bqs = RunCell(AlgorithmId::kBqs, bat, 10.0);
+  const SweepRow bdp = RunCell(AlgorithmId::kBdp, bat, 10.0);
+  const PlatformSpec spec;
+  EXPECT_GT(EstimateOperationalDays(spec, bqs.compression_rate),
+            EstimateOperationalDays(spec, bdp.compression_rate));
+}
+
+TEST(IntegrationTest, FbqsRuntimeIndependentOfBufferKnob) {
+  // Table III: FBQS has no buffer; its results must not change with the
+  // buffer_size parameter that reconfigures BDP/BGD.
+  const Dataset& dataset = SmallDatasets()[2];
+  const SweepRow a =
+      RunCell(AlgorithmId::kFbqs, dataset, 10.0, 32, /*verify=*/false);
+  const SweepRow b =
+      RunCell(AlgorithmId::kFbqs, dataset, 10.0, 256, /*verify=*/false);
+  EXPECT_EQ(a.points_out, b.points_out);
+}
+
+}  // namespace
+}  // namespace bqs

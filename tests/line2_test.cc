@@ -1,0 +1,117 @@
+// 2-D distance primitives — the ground-truth metric of the whole library.
+#include "geometry/line2.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace bqs {
+namespace {
+
+TEST(Line2Test, PointToLineBasics) {
+  // Horizontal line through (0,0)-(10,0): distance is |y|.
+  EXPECT_DOUBLE_EQ(PointToLineDistance({5.0, 3.0}, {0, 0}, {10, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(PointToLineDistance({-5.0, -2.0}, {0, 0}, {10, 0}), 2.0);
+  // Points on the line.
+  EXPECT_DOUBLE_EQ(PointToLineDistance({42.0, 0.0}, {0, 0}, {10, 0}), 0.0);
+}
+
+TEST(Line2Test, PointToLineDegenerateLineIsPointDistance) {
+  EXPECT_DOUBLE_EQ(PointToLineDistance({3.0, 4.0}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(Line2Test, PointToSegmentClampsToEndpoints) {
+  // Beyond the far end: distance to the endpoint.
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance({13.0, 4.0}, {0, 0}, {10, 0}), 5.0);
+  // Before the start.
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance({-3.0, 4.0}, {0, 0}, {10, 0}), 5.0);
+  // Between: perpendicular.
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance({5.0, 4.0}, {0, 0}, {10, 0}), 4.0);
+}
+
+TEST(Line2Test, SegmentDistanceDominatesLineDistance) {
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec2 p{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const Vec2 a{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const Vec2 b{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    EXPECT_GE(PointToSegmentDistance(p, a, b) + 1e-12,
+              PointToLineDistance(p, a, b));
+  }
+}
+
+TEST(Line2Test, ProjectParamIsAffine) {
+  EXPECT_DOUBLE_EQ(ProjectParam({0, 5}, {0, 0}, {10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ProjectParam({10, -3}, {0, 0}, {10, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(ProjectParam({25, 7}, {0, 0}, {10, 0}), 2.5);
+  EXPECT_DOUBLE_EQ(ProjectParam({1, 1}, {2, 2}, {2, 2}), 0.0);
+}
+
+TEST(Line2Test, ClosestPointOnSegment) {
+  const Vec2 c = ClosestPointOnSegment({5.0, 4.0}, {0, 0}, {10, 0});
+  EXPECT_NEAR(c.x, 5.0, 1e-12);
+  EXPECT_NEAR(c.y, 0.0, 1e-12);
+  const Vec2 e = ClosestPointOnSegment({99.0, 1.0}, {0, 0}, {10, 0});
+  EXPECT_EQ(e, (Vec2{10.0, 0.0}));
+}
+
+TEST(Line2Test, SignedOffsetSideConvention) {
+  // Left of the direction of travel is positive.
+  EXPECT_GT(SignedLineOffset({5.0, 1.0}, {0, 0}, {10, 0}), 0.0);
+  EXPECT_LT(SignedLineOffset({5.0, -1.0}, {0, 0}, {10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(SignedLineOffset({5.0, 0.0}, {0, 0}, {10, 0}), 0.0);
+}
+
+TEST(Line2Test, PointDeviationDispatch) {
+  const Vec2 p{13.0, 4.0};
+  EXPECT_DOUBLE_EQ(
+      PointDeviation(p, {0, 0}, {10, 0}, DistanceMetric::kPointToLine), 4.0);
+  EXPECT_DOUBLE_EQ(
+      PointDeviation(p, {0, 0}, {10, 0}, DistanceMetric::kPointToSegment),
+      5.0);
+}
+
+TEST(Line2Test, SegmentsIntersectCases) {
+  // Crossing.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {10, 10}, {0, 10}, {10, 0}));
+  // Touching at an endpoint.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {5, 5}, {5, 5}, {9, 1}));
+  // Collinear overlapping.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {10, 0}, {5, 0}, {15, 0}));
+  // Collinear disjoint.
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {4, 0}, {5, 0}, {9, 0}));
+  // Parallel.
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {10, 0}, {0, 1}, {10, 1}));
+}
+
+TEST(Line2Test, SegmentToSegmentDistance) {
+  EXPECT_DOUBLE_EQ(
+      SegmentToSegmentDistance({0, 0}, {10, 0}, {0, 1}, {10, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      SegmentToSegmentDistance({0, 0}, {10, 10}, {0, 10}, {10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      SegmentToSegmentDistance({0, 0}, {1, 0}, {4, 0}, {9, 0}), 3.0);
+}
+
+TEST(Line2Test, SegmentToSegmentMatchesSampledMinimum) {
+  Rng rng(7);
+  for (int iter = 0; iter < 300; ++iter) {
+    const Vec2 a{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    const Vec2 b{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    const Vec2 c{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    const Vec2 d{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    const double computed = SegmentToSegmentDistance(a, b, c, d);
+    double sampled = 1e100;
+    for (int i = 0; i <= 50; ++i) {
+      const Vec2 p = a + (i / 50.0) * (b - a);
+      sampled = std::min(sampled, PointToSegmentDistance(p, c, d));
+    }
+    EXPECT_LE(computed, sampled + 1e-9);
+    // Sampling is an upper bound on the true minimum but within grid error.
+    EXPECT_GE(computed, sampled - 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace bqs

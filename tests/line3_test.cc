@@ -1,0 +1,89 @@
+// 3-D distance primitives used by the 3-D BQS.
+#include "geometry/line3.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bqs {
+namespace {
+
+TEST(Line3Test, PointToLineBasics) {
+  // Line along x axis.
+  EXPECT_DOUBLE_EQ(
+      PointToLineDistance3({5, 3, 4}, {0, 0, 0}, {10, 0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(
+      PointToLineDistance3({-7, 0, 2}, {0, 0, 0}, {10, 0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(
+      PointToLineDistance3({42, 0, 0}, {0, 0, 0}, {10, 0, 0}), 0.0);
+}
+
+TEST(Line3Test, PointToLineDegenerate) {
+  EXPECT_DOUBLE_EQ(
+      PointToLineDistance3({1, 2, 2}, {0, 0, 0}, {0, 0, 0}), 3.0);
+}
+
+TEST(Line3Test, PointToSegmentClamps) {
+  EXPECT_DOUBLE_EQ(
+      PointToSegmentDistance3({13, 0, 4}, {0, 0, 0}, {10, 0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(
+      PointToSegmentDistance3({5, 0, 4}, {0, 0, 0}, {10, 0, 0}), 4.0);
+}
+
+TEST(Line3Test, ProjectParam3) {
+  EXPECT_DOUBLE_EQ(ProjectParam3({5, 9, 9}, {0, 0, 0}, {10, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(ProjectParam3({1, 1, 1}, {2, 2, 2}, {2, 2, 2}), 0.0);
+}
+
+TEST(Line3Test, LineToSegmentKnownCases) {
+  // Skew perpendicular lines: x axis vs segment along y at z = 2.
+  EXPECT_DOUBLE_EQ(LineToSegmentDistance3({0, 0, 0}, {10, 0, 0},
+                                          {0, -5, 2}, {0, 5, 2}),
+                   2.0);
+  // Segment crossing the line.
+  EXPECT_NEAR(LineToSegmentDistance3({0, 0, 0}, {10, 0, 0}, {5, -1, 0},
+                                     {5, 1, 0}),
+              0.0, 1e-12);
+  // Parallel segment offset by 3.
+  EXPECT_DOUBLE_EQ(LineToSegmentDistance3({0, 0, 0}, {10, 0, 0},
+                                          {2, 3, 0}, {8, 3, 0}),
+                   3.0);
+}
+
+TEST(Line3Test, LineToSegmentMatchesSampledMinimum) {
+  Rng rng(11);
+  for (int iter = 0; iter < 500; ++iter) {
+    const auto rand_vec = [&] {
+      return Vec3{rng.Uniform(-40, 40), rng.Uniform(-40, 40),
+                  rng.Uniform(-40, 40)};
+    };
+    const Vec3 a = rand_vec();
+    const Vec3 b = rand_vec();
+    const Vec3 c = rand_vec();
+    const Vec3 d = rand_vec();
+    const double computed = LineToSegmentDistance3(a, b, c, d);
+    double sampled = 1e100;
+    for (int i = 0; i <= 200; ++i) {
+      const Vec3 p = c + (i / 200.0) * (d - c);
+      sampled = std::min(sampled, PointToLineDistance3(p, a, b));
+    }
+    // The computed exact minimum must never exceed any sampled distance,
+    // and must be close to the sampled minimum.
+    EXPECT_LE(computed, sampled + 1e-9);
+    EXPECT_GE(computed, sampled - 0.5);
+  }
+}
+
+TEST(Line3Test, LineToSegmentDegenerateInputs) {
+  // Zero-length "line": falls back to point-to-segment.
+  EXPECT_DOUBLE_EQ(LineToSegmentDistance3({0, 0, 3}, {0, 0, 3},
+                                          {-5, 0, 0}, {5, 0, 0}),
+                   3.0);
+  // Zero-length segment: point-to-line.
+  EXPECT_DOUBLE_EQ(LineToSegmentDistance3({0, 0, 0}, {10, 0, 0},
+                                          {4, 0, 7}, {4, 0, 7}),
+                   7.0);
+}
+
+}  // namespace
+}  // namespace bqs

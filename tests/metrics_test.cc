@@ -1,0 +1,52 @@
+// Evaluation metric helpers.
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fbqs_compressor.h"
+#include "test_util.h"
+
+namespace bqs {
+namespace {
+
+TEST(MetricsTest, CompressionRate) {
+  EXPECT_DOUBLE_EQ(CompressionRate(5, 100), 0.05);
+  EXPECT_DOUBLE_EQ(CompressionRate(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(CompressionRate(5, 0), 0.0);
+}
+
+TEST(MetricsTest, PruningPowerFromStats) {
+  DecisionStats stats;
+  stats.points = 100;
+  stats.exact_computations = 8;
+  EXPECT_DOUBLE_EQ(PruningPower(stats), 0.92);
+  stats.warmup_checks = 12;
+  EXPECT_DOUBLE_EQ(stats.PruningPowerInclWarmup(), 0.80);
+  EXPECT_DOUBLE_EQ(PruningPower(DecisionStats{}), 1.0);
+}
+
+TEST(MetricsTest, BoundDecisiveness) {
+  DecisionStats stats;
+  EXPECT_DOUBLE_EQ(stats.BoundDecisiveness(), 1.0);
+  stats.upper_bound_includes = 90;
+  stats.lower_bound_splits = 5;
+  stats.exact_computations = 5;
+  EXPECT_DOUBLE_EQ(stats.BoundDecisiveness(), 0.95);
+}
+
+TEST(MetricsTest, MeasureQualityEndToEnd) {
+  const Trajectory walk = testing_util::SmoothWalk(3, 2000);
+  FbqsCompressor fbqs(BqsOptions{.epsilon = 10.0});
+  const CompressedTrajectory c = CompressAll(fbqs, walk);
+  const CompressionQuality q =
+      MeasureQuality(walk, c, 10.0, DistanceMetric::kPointToLine);
+  EXPECT_EQ(q.points_in, walk.size());
+  EXPECT_EQ(q.points_out, c.size());
+  EXPECT_GT(q.compression_rate, 0.0);
+  EXPECT_LT(q.compression_rate, 1.0);
+  EXPECT_TRUE(q.error_bounded);
+  EXPECT_LE(q.max_deviation, 10.0 * (1.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace bqs

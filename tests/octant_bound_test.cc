@@ -1,0 +1,138 @@
+// OctantBound invariants: the canonical reflection, the wedge half-spaces,
+// and — critically — that the clipped hull contains every added point.
+#include "core/octant_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "geometry/angle.h"
+#include "geometry/polyhedron.h"
+
+namespace bqs {
+namespace {
+
+Vec3 RandomPointInOctant(Rng& rng, int octant, double lo, double hi) {
+  Vec3 p{rng.Uniform(lo, hi), rng.Uniform(lo, hi), rng.Uniform(lo, hi)};
+  if (octant & 1) p.x = -p.x;
+  if (octant & 2) p.y = -p.y;
+  if (octant & 4) p.z = -p.z;
+  return p;
+}
+
+TEST(OctantBoundTest, FlipIsAnInvolutionIntoTheCanonicalOctant) {
+  Rng rng(3);
+  for (int octant = 0; octant < 8; ++octant) {
+    OctantBound ob(octant);
+    for (int i = 0; i < 50; ++i) {
+      const Vec3 p = RandomPointInOctant(rng, octant, 0.1, 100.0);
+      const Vec3 c = ob.Flip(p);
+      EXPECT_GE(c.x, 0.0);
+      EXPECT_GE(c.y, 0.0);
+      EXPECT_GE(c.z, 0.0);
+      EXPECT_EQ(ob.Flip(c), p);
+      EXPECT_NEAR(c.Norm(), p.Norm(), 1e-12);
+    }
+  }
+}
+
+TEST(OctantBoundTest, WedgePlanesContainEveryAddedPoint) {
+  Rng rng(4);
+  for (int octant = 0; octant < 8; ++octant) {
+    OctantBound ob(octant);
+    std::vector<Vec3> canonical;
+    for (int i = 0; i < 60; ++i) {
+      const Vec3 p = RandomPointInOctant(rng, octant, 0.1, 200.0);
+      ob.Add(p);
+      canonical.push_back(ob.Flip(p));
+    }
+    const auto planes = ob.WedgePlanes();
+    ASSERT_EQ(planes.size(), 4u);
+    for (const Vec3& c : canonical) {
+      EXPECT_TRUE(PolytopeContains(planes, c, 1e-6 * (1.0 + c.Norm())));
+    }
+  }
+}
+
+TEST(OctantBoundTest, ClippedHullContainsEveryAddedPoint) {
+  // The hull vertices define (prism intersect wedges); every added point
+  // must satisfy all of its half-spaces. This is the soundness core of the
+  // 3-D upper bound.
+  Rng rng(5);
+  for (int octant = 0; octant < 8; ++octant) {
+    OctantBound ob(octant);
+    std::vector<Vec3> canonical;
+    const int n = static_cast<int>(rng.UniformInt(1, 40));
+    for (int i = 0; i < n; ++i) {
+      const Vec3 p = RandomPointInOctant(rng, octant, 0.1, 150.0);
+      ob.Add(p);
+      canonical.push_back(ob.Flip(p));
+    }
+    std::vector<Plane3> all = BoxPlanes(ob.box());
+    const auto wedge = ob.WedgePlanes();
+    all.insert(all.end(), wedge.begin(), wedge.end());
+    for (const Vec3& c : canonical) {
+      EXPECT_TRUE(PolytopeContains(all, c, 1e-6 * (1.0 + c.Norm())));
+    }
+    const auto hull = ob.HullVertices();
+    EXPECT_FALSE(hull.empty());
+    // Hull vertices themselves are feasible for all half-spaces.
+    for (const Vec3& v : hull) {
+      EXPECT_TRUE(PolytopeContains(all, v, 1e-5 * (1.0 + v.Norm())));
+    }
+  }
+}
+
+TEST(OctantBoundTest, PaperSignificantPointsAreAtMost17) {
+  Rng rng(6);
+  for (int octant = 0; octant < 8; ++octant) {
+    OctantBound ob(octant);
+    for (int i = 0; i < 30; ++i) {
+      ob.Add(RandomPointInOctant(rng, octant, 0.5, 80.0));
+    }
+    const auto sig = ob.PaperSignificantPoints();
+    EXPECT_FALSE(sig.empty());
+    EXPECT_LE(sig.size(), 17u)
+        << "paper: <= 4 intersections per bounding plane + far vertex";
+  }
+}
+
+TEST(OctantBoundTest, SinglePointCollapses) {
+  OctantBound ob(0);
+  const Vec3 p{3.0, 4.0, 5.0};
+  ob.Add(p);
+  EXPECT_DOUBLE_EQ(ob.az_min(), ob.az_max());
+  EXPECT_DOUBLE_EQ(ob.incl_min(), ob.incl_max());
+  const auto hull = ob.HullVertices();
+  ASSERT_FALSE(hull.empty());
+  for (const Vec3& v : hull) {
+    EXPECT_NEAR(Distance(v, p), 0.0, 1e-6);
+  }
+}
+
+TEST(OctantBoundTest, ResetRestoresEmpty) {
+  OctantBound ob(3);
+  Rng rng(9);
+  ob.Add(RandomPointInOctant(rng, 3, 1.0, 10.0));
+  EXPECT_FALSE(ob.empty());
+  ob.Reset();
+  EXPECT_TRUE(ob.empty());
+  EXPECT_EQ(ob.octant(), 3);
+}
+
+TEST(OctantBoundTest, AnglesStayInCanonicalRanges) {
+  Rng rng(10);
+  for (int octant = 0; octant < 8; ++octant) {
+    OctantBound ob(octant);
+    for (int i = 0; i < 40; ++i) {
+      ob.Add(RandomPointInOctant(rng, octant, 0.1, 60.0));
+    }
+    EXPECT_GE(ob.az_min(), 0.0);
+    EXPECT_LE(ob.az_max(), kHalfPi + 1e-12);
+    EXPECT_GE(ob.incl_min(), 0.0);
+    EXPECT_LE(ob.incl_max(), kHalfPi + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace bqs

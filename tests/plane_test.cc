@@ -1,0 +1,83 @@
+// Plane3 and three-plane intersection.
+#include "geometry/plane.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bqs {
+namespace {
+
+TEST(PlaneTest, FromPointsNormalAndOffset) {
+  const auto plane = Plane3::FromPoints({0, 0, 1}, {1, 0, 1}, {0, 1, 1});
+  ASSERT_TRUE(plane.has_value());
+  // z = 1 plane, unit normal +z.
+  EXPECT_NEAR(plane->normal.z, 1.0, 1e-12);
+  EXPECT_NEAR(plane->Eval({5, -3, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(plane->Eval({0, 0, 3}), 2.0, 1e-12);
+  EXPECT_NEAR(plane->Eval({0, 0, 0}), -1.0, 1e-12);
+}
+
+TEST(PlaneTest, FromPointsRejectsCollinear) {
+  EXPECT_FALSE(
+      Plane3::FromPoints({0, 0, 0}, {1, 1, 1}, {2, 2, 2}).has_value());
+  EXPECT_FALSE(
+      Plane3::FromPoints({1, 2, 3}, {1, 2, 3}, {4, 5, 6}).has_value());
+}
+
+TEST(PlaneTest, FromPointNormal) {
+  const Plane3 plane = Plane3::FromPointNormal({0, 0, 5}, {0, 0, 2});
+  EXPECT_DOUBLE_EQ(plane.Eval({0, 0, 5}), 0.0);
+  EXPECT_GT(plane.Eval({0, 0, 9}), 0.0);
+  EXPECT_LT(plane.Eval({0, 0, 1}), 0.0);
+}
+
+TEST(PlaneTest, NormalizedGivesSignedDistance) {
+  const Plane3 plane = Plane3::FromPointNormal({0, 0, 5}, {0, 0, 2});
+  const Plane3 unit = plane.Normalized();
+  EXPECT_NEAR(unit.normal.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(unit.Eval({0, 0, 8}), 3.0, 1e-12);
+}
+
+TEST(PlaneTest, IntersectAxisPlanes) {
+  const Plane3 px = Plane3::FromPointNormal({1, 0, 0}, {1, 0, 0});
+  const Plane3 py = Plane3::FromPointNormal({0, 2, 0}, {0, 1, 0});
+  const Plane3 pz = Plane3::FromPointNormal({0, 0, 3}, {0, 0, 1});
+  const auto p = IntersectPlanes(px, py, pz);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(Distance(*p, {1, 2, 3}), 0.0, 1e-12);
+}
+
+TEST(PlaneTest, IntersectRejectsParallel) {
+  const Plane3 a = Plane3::FromPointNormal({0, 0, 0}, {0, 0, 1});
+  const Plane3 b = Plane3::FromPointNormal({0, 0, 5}, {0, 0, 1});
+  const Plane3 c = Plane3::FromPointNormal({0, 0, 0}, {1, 0, 0});
+  EXPECT_FALSE(IntersectPlanes(a, b, c).has_value());
+}
+
+TEST(PlaneTest, IntersectionSatisfiesAllThreePlanes) {
+  Rng rng(31);
+  int found = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto rand_plane = [&] {
+      Vec3 n{rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      if (n.Norm() < 1e-3) n = {1, 0, 0};
+      return Plane3::FromPointNormal(
+          {rng.Uniform(-10, 10), rng.Uniform(-10, 10), rng.Uniform(-10, 10)},
+          n.Normalized());
+    };
+    const Plane3 p0 = rand_plane();
+    const Plane3 p1 = rand_plane();
+    const Plane3 p2 = rand_plane();
+    const auto x = IntersectPlanes(p0, p1, p2);
+    if (!x.has_value()) continue;
+    ++found;
+    EXPECT_NEAR(p0.Eval(*x), 0.0, 1e-6);
+    EXPECT_NEAR(p1.Eval(*x), 0.0, 1e-6);
+    EXPECT_NEAR(p2.Eval(*x), 0.0, 1e-6);
+  }
+  EXPECT_GT(found, 250);
+}
+
+}  // namespace
+}  // namespace bqs

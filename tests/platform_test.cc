@@ -1,0 +1,67 @@
+// Camazotz platform model: the Table II operational-time arithmetic.
+#include "storage/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace bqs {
+namespace {
+
+TEST(PlatformTest, DefaultsMatchPaperHardware) {
+  const PlatformSpec spec;
+  EXPECT_DOUBLE_EQ(spec.flash_bytes, 1.0e6);
+  EXPECT_DOUBLE_EQ(spec.gps_budget_bytes, 50.0e3);
+  EXPECT_DOUBLE_EQ(spec.bytes_per_sample, 12.0);
+  EXPECT_DOUBLE_EQ(spec.sample_interval_s, 60.0);
+  EXPECT_DOUBLE_EQ(spec.ram_bytes, 4096.0);
+}
+
+TEST(PlatformTest, UncompressedBaseline) {
+  // 1440 fixes/day * 12 B = 17,280 B/day -> ~2.9 days on 50 KB.
+  const PlatformSpec spec;
+  EXPECT_NEAR(EstimateOperationalDays(spec, 1.0), 2.894, 0.01);
+}
+
+TEST(PlatformTest, TableTwoMagnitudes) {
+  // Paper Table II: BQS at 4.8% -> 62 days; BDP at 6.65% -> 45 days.
+  const PlatformSpec spec;
+  EXPECT_NEAR(EstimateOperationalDays(spec, 0.048), 60.3, 1.5);
+  EXPECT_NEAR(EstimateOperationalDays(spec, 0.0665), 43.5, 1.5);
+  // Ratio between the best and worst (the paper's 41% headline) holds.
+  const double ratio = EstimateOperationalDays(spec, 0.048) /
+                       EstimateOperationalDays(spec, 0.0675);
+  EXPECT_NEAR(ratio, 1.41, 0.03);
+}
+
+TEST(PlatformTest, DegenerateRatesClamp) {
+  const PlatformSpec spec;
+  EXPECT_GT(EstimateOperationalDays(spec, 0.0), 1e6);
+  EXPECT_GT(EstimateOperationalDays(spec, 1e-9), 1e6);
+}
+
+TEST(FlashStoreTest, FillsAndRefuses) {
+  PlatformSpec spec;
+  spec.gps_budget_bytes = 120.0;
+  spec.bytes_per_sample = 12.0;
+  FlashStore store(spec);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(store.AppendSample()) << "sample " << i;
+  }
+  EXPECT_FALSE(store.AppendSample());
+  EXPECT_EQ(store.samples(), 10u);
+  EXPECT_DOUBLE_EQ(store.utilization(), 1.0);
+}
+
+TEST(FlashStoreTest, OffloadReclaims) {
+  PlatformSpec spec;
+  spec.gps_budget_bytes = 24.0;
+  FlashStore store(spec);
+  EXPECT_TRUE(store.AppendSample());
+  EXPECT_TRUE(store.AppendSample());
+  EXPECT_FALSE(store.AppendSample());
+  store.Offload();
+  EXPECT_EQ(store.samples(), 0u);
+  EXPECT_TRUE(store.AppendSample());
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,119 @@
+// Half-space vertex enumeration for the 3-D significant points.
+#include "geometry/polyhedron.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bqs {
+namespace {
+
+TEST(PolyhedronTest, BoxPlanesKeepInterior) {
+  const Box3 box({0, 0, 0}, {2, 3, 4});
+  const auto planes = BoxPlanes(box);
+  ASSERT_EQ(planes.size(), 6u);
+  EXPECT_TRUE(PolytopeContains(planes, {1, 1, 1}));
+  EXPECT_TRUE(PolytopeContains(planes, {0, 0, 0}));   // corner
+  EXPECT_TRUE(PolytopeContains(planes, {2, 3, 4}));   // corner
+  EXPECT_FALSE(PolytopeContains(planes, {2.1, 1, 1}));
+  EXPECT_FALSE(PolytopeContains(planes, {1, -0.1, 1}));
+}
+
+TEST(PolyhedronTest, BoxVerticesAreItsCorners) {
+  const Box3 box({-1, -2, -3}, {4, 5, 6});
+  const auto vertices = EnumerateVertices(BoxPlanes(box));
+  EXPECT_EQ(vertices.size(), 8u);
+  for (const Vec3& c : box.Corners()) {
+    bool found = false;
+    for (const Vec3& v : vertices) {
+      if (Distance(v, c) < 1e-9) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(PolyhedronTest, CornerCutProducesTenVertices) {
+  // Cutting one corner of a cube off replaces 1 vertex with 3.
+  const Box3 box({0, 0, 0}, {1, 1, 1});
+  const Plane3 cut = Plane3::FromPointNormal({0.25, 0, 0},
+                                             Vec3{-1, -1, -1}.Normalized());
+  const auto vertices = ClipBoxVertices(box, {cut});
+  EXPECT_EQ(vertices.size(), 10u);
+}
+
+TEST(PolyhedronTest, HalfBoxKeepsExpectedVertices) {
+  const Box3 box({0, 0, 0}, {2, 2, 2});
+  // Keep z <= 1.
+  const Plane3 cut = Plane3::FromPointNormal({0, 0, 1}, {0, 0, 1});
+  const auto vertices = ClipBoxVertices(box, {cut});
+  EXPECT_EQ(vertices.size(), 8u);
+  for (const Vec3& v : vertices) {
+    EXPECT_LE(v.z, 1.0 + 1e-9);
+  }
+}
+
+TEST(PolyhedronTest, VerticesSatisfyAllHalfSpaces) {
+  Rng rng(41);
+  for (int iter = 0; iter < 100; ++iter) {
+    Box3 box;
+    box.Extend({rng.Uniform(0, 5), rng.Uniform(0, 5), rng.Uniform(0, 5)});
+    box.Extend({rng.Uniform(5, 15), rng.Uniform(5, 15), rng.Uniform(5, 15)});
+    std::vector<Plane3> cuts;
+    const int k = static_cast<int>(rng.UniformInt(1, 4));
+    for (int i = 0; i < k; ++i) {
+      Vec3 n{rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      if (n.Norm() < 1e-3) n = {0, 0, 1};
+      // Through the box center so the region stays non-empty.
+      cuts.push_back(Plane3::FromPointNormal(box.Center(), n.Normalized()));
+    }
+    std::vector<Plane3> all = BoxPlanes(box);
+    all.insert(all.end(), cuts.begin(), cuts.end());
+    const auto vertices = ClipBoxVertices(box, cuts);
+    EXPECT_FALSE(vertices.empty());
+    for (const Vec3& v : vertices) {
+      EXPECT_TRUE(PolytopeContains(all, v, 1e-5));
+      EXPECT_TRUE(box.Contains(Vec3{v.x + 1e-9, v.y + 1e-9, v.z + 1e-9}) ||
+                  box.Contains(v) ||
+                  PolytopeContains(BoxPlanes(box), v, 1e-5));
+    }
+  }
+}
+
+TEST(PolyhedronTest, ContainedPointsStayInsideClippedHull) {
+  // Points satisfying all half-spaces must lie inside the hull of the
+  // enumerated vertices (checked via max coordinate extents as a cheap
+  // necessary condition, plus all-plane containment which is exact).
+  Rng rng(42);
+  const Box3 box({0, 0, 0}, {10, 10, 10});
+  const Plane3 cut =
+      Plane3::FromPointNormal({5, 5, 5}, Vec3{1, 1, 1}.Normalized());
+  std::vector<Plane3> all = BoxPlanes(box);
+  all.push_back(cut);
+  const auto vertices = ClipBoxVertices(box, {cut});
+  ASSERT_FALSE(vertices.empty());
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 p{rng.Uniform(0, 10), rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    if (!PolytopeContains(all, p, 0.0)) continue;
+    // p must be dominated by the vertex extents on every axis.
+    double max_x = -1e100;
+    for (const Vec3& v : vertices) max_x = std::max(max_x, v.x);
+    EXPECT_LE(p.x, max_x + 1e-9);
+  }
+}
+
+TEST(PolyhedronTest, EmptyBoxYieldsNothing) {
+  EXPECT_TRUE(BoxPlanes(Box3()).empty());
+  EXPECT_TRUE(EnumerateVertices({}).empty());
+}
+
+TEST(PolyhedronTest, DegeneratePointBox) {
+  const Box3 box({3, 3, 3}, {3, 3, 3});
+  const auto vertices = EnumerateVertices(BoxPlanes(box));
+  ASSERT_GE(vertices.size(), 1u);
+  for (const Vec3& v : vertices) {
+    EXPECT_NEAR(Distance(v, {3, 3, 3}), 0.0, 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace bqs

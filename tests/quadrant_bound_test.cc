@@ -1,0 +1,135 @@
+// Invariants of the per-quadrant bounding structure (paper Section V-B).
+#include "core/quadrant_bound.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "geometry/angle.h"
+
+namespace bqs {
+namespace {
+
+Vec2 PointAt(double r, double theta) {
+  return {r * std::cos(theta), r * std::sin(theta)};
+}
+
+TEST(QuadrantBoundTest, StartsEmptyAndResets) {
+  QuadrantBound qb(2);
+  EXPECT_TRUE(qb.empty());
+  EXPECT_EQ(qb.quadrant(), 2);
+  qb.Add({-3.0, -4.0});
+  EXPECT_FALSE(qb.empty());
+  EXPECT_EQ(qb.count(), 1u);
+  qb.Reset();
+  EXPECT_TRUE(qb.empty());
+  EXPECT_EQ(qb.quadrant(), 2);
+}
+
+TEST(QuadrantBoundTest, BoxCoversAllAddedPoints) {
+  Rng rng(5);
+  QuadrantBound qb(0);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 p{rng.Uniform(0.1, 100.0), rng.Uniform(0.1, 100.0)};
+    qb.Add(p);
+    EXPECT_TRUE(qb.box().Contains(p));
+  }
+}
+
+TEST(QuadrantBoundTest, AnglesBoundAllAddedPoints) {
+  Rng rng(6);
+  for (int quadrant = 0; quadrant < 4; ++quadrant) {
+    QuadrantBound qb(quadrant);
+    const QuadrantRange range = QuadrantAngles(quadrant);
+    for (int i = 0; i < 100; ++i) {
+      const double theta =
+          rng.Uniform(range.start, range.end - 1e-9);
+      qb.Add(PointAt(rng.Uniform(1.0, 50.0), theta));
+      EXPECT_LE(qb.min_angle(), theta + 1e-12);
+      EXPECT_GE(qb.max_angle(), theta - 1e-12);
+      EXPECT_GE(qb.min_angle(), range.start - 1e-12);
+      EXPECT_LT(qb.max_angle(), range.end + 1e-12);
+    }
+  }
+}
+
+TEST(QuadrantBoundTest, SignificantPointsLieOnTheBox) {
+  Rng rng(7);
+  for (int quadrant = 0; quadrant < 4; ++quadrant) {
+    QuadrantBound qb(quadrant);
+    const QuadrantRange range = QuadrantAngles(quadrant);
+    for (int i = 0; i < 30; ++i) {
+      qb.Add(PointAt(rng.Uniform(1.0, 80.0),
+                     rng.Uniform(range.start, range.end - 1e-9)));
+    }
+    const auto sig = qb.Significant();
+    const Box2& box = qb.box();
+    const auto on_boundary = [&](Vec2 p) {
+      const bool inside = box.Contains(p);
+      const bool on_edge = ApproxEqual(p.x, box.min().x, 1e-6) ||
+                           ApproxEqual(p.x, box.max().x, 1e-6) ||
+                           ApproxEqual(p.y, box.min().y, 1e-6) ||
+                           ApproxEqual(p.y, box.max().y, 1e-6);
+      return inside && on_edge;
+    };
+    EXPECT_TRUE(on_boundary(sig.l1));
+    EXPECT_TRUE(on_boundary(sig.l2));
+    EXPECT_TRUE(on_boundary(sig.u1));
+    EXPECT_TRUE(on_boundary(sig.u2));
+    // Entry point is nearer the origin than the exit point.
+    EXPECT_LE(sig.l1.NormSq(), sig.l2.NormSq() + 1e-9);
+    EXPECT_LE(sig.u1.NormSq(), sig.u2.NormSq() + 1e-9);
+    // Near/far corners really are the extreme corners.
+    for (const Vec2& c : sig.corners) {
+      EXPECT_LE(sig.near_corner.NormSq(), c.NormSq() + 1e-9);
+      EXPECT_GE(sig.far_corner.NormSq(), c.NormSq() - 1e-9);
+    }
+  }
+}
+
+TEST(QuadrantBoundTest, SinglePointCollapsesEverything) {
+  QuadrantBound qb(0);
+  const Vec2 p{10.0, 20.0};
+  qb.Add(p);
+  const auto sig = qb.Significant();
+  EXPECT_EQ(sig.near_corner, p);
+  EXPECT_EQ(sig.far_corner, p);
+  EXPECT_NEAR(Distance(sig.l1, p), 0.0, 1e-9);
+  EXPECT_NEAR(Distance(sig.l2, p), 0.0, 1e-9);
+  EXPECT_NEAR(Distance(sig.u1, p), 0.0, 1e-9);
+  EXPECT_NEAR(Distance(sig.u2, p), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(qb.min_angle(), qb.max_angle());
+}
+
+TEST(QuadrantBoundTest, BoundingLinesPassThroughExtremeAnglePoints) {
+  // The min-angle and max-angle points must lie on their bounding lines'
+  // segments [entry, exit] (the ray passes through them).
+  QuadrantBound qb(0);
+  const Vec2 low = PointAt(50.0, 0.1);
+  const Vec2 high = PointAt(30.0, 1.4);
+  const Vec2 mid = PointAt(40.0, 0.7);
+  qb.Add(low);
+  qb.Add(high);
+  qb.Add(mid);
+  const auto sig = qb.Significant();
+  // low sits on the lower bounding ray within the box.
+  const double cross_l = (sig.l2 - sig.l1).Cross(low - sig.l1);
+  EXPECT_NEAR(cross_l, 0.0, 1e-6);
+  const double cross_u = (sig.u2 - sig.u1).Cross(high - sig.u1);
+  EXPECT_NEAR(cross_u, 0.0, 1e-6);
+}
+
+TEST(QuadrantBoundTest, PointsOnAxesClassifyAndBound) {
+  // Points exactly on the +x axis belong to quadrant 0 by convention and
+  // give min_angle == 0.
+  QuadrantBound qb(0);
+  qb.Add({5.0, 0.0});
+  qb.Add({3.0, 3.0});
+  EXPECT_DOUBLE_EQ(qb.min_angle(), 0.0);
+  EXPECT_NEAR(qb.max_angle(), kPi / 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,113 @@
+// The paper's synthetic correlated-random-walk workload.
+#include "simulation/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace bqs {
+namespace {
+
+TEST(RandomWalkTest, GeneratesRequestedCount) {
+  RandomWalkOptions options;
+  options.num_points = 5000;
+  const Trajectory walk = GenerateRandomWalk(options);
+  EXPECT_EQ(walk.size(), 5000u);
+}
+
+TEST(RandomWalkTest, StaysInsideArea) {
+  RandomWalkOptions options;
+  options.num_points = 20000;
+  options.area_m = 2000.0;
+  options.seed = 5;
+  const Trajectory walk = GenerateRandomWalk(options);
+  for (const TrackPoint& p : walk) {
+    EXPECT_GE(p.pos.x, -1e-9);
+    EXPECT_LE(p.pos.x, 2000.0 + 1e-9);
+    EXPECT_GE(p.pos.y, -1e-9);
+    EXPECT_LE(p.pos.y, 2000.0 + 1e-9);
+  }
+}
+
+TEST(RandomWalkTest, SpeedsRespectCeiling) {
+  RandomWalkOptions options;
+  options.num_points = 10000;
+  options.max_speed_mps = 13.9;
+  const Trajectory walk = GenerateRandomWalk(options);
+  for (const TrackPoint& p : walk) {
+    EXPECT_LE(p.velocity.Norm(), 13.9 + 1e-9);
+  }
+}
+
+TEST(RandomWalkTest, TimeIsUniformlySampled) {
+  RandomWalkOptions options;
+  options.num_points = 1000;
+  options.sample_interval_s = 2.0;
+  const Trajectory walk = GenerateRandomWalk(options);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    EXPECT_DOUBLE_EQ(walk[i].t - walk[i - 1].t, 2.0);
+  }
+}
+
+TEST(RandomWalkTest, AlternatesWaitingAndMoving) {
+  RandomWalkOptions options;
+  options.num_points = 20000;
+  options.seed = 6;
+  const Trajectory walk = GenerateRandomWalk(options);
+  std::size_t stationary = 0;
+  std::size_t moving = 0;
+  for (const TrackPoint& p : walk) {
+    if (p.velocity.Norm() == 0.0) {
+      ++stationary;
+    } else {
+      ++moving;
+    }
+  }
+  // Both event types must be well represented.
+  EXPECT_GT(stationary, walk.size() / 10);
+  EXPECT_GT(moving, walk.size() / 10);
+}
+
+TEST(RandomWalkTest, VelocityConsistentWithDisplacement) {
+  RandomWalkOptions options;
+  options.num_points = 5000;
+  options.seed = 7;
+  const Trajectory walk = GenerateRandomWalk(options);
+  // During a move step without a bounce, displacement = v * dt.
+  int checked = 0;
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    const Vec2 step = walk[i + 1].pos - walk[i].pos;
+    const Vec2 predicted =
+        walk[i].velocity * (walk[i + 1].t - walk[i].t);
+    if (walk[i].velocity.Norm() > 0.0 &&
+        Distance(step, predicted) < 1e-9) {
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 1000);
+}
+
+TEST(RandomWalkTest, DeterministicPerSeed) {
+  RandomWalkOptions options;
+  options.num_points = 500;
+  options.seed = 8;
+  const Trajectory a = GenerateRandomWalk(options);
+  const Trajectory b = GenerateRandomWalk(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+  options.seed = 9;
+  const Trajectory c = GenerateRandomWalk(options);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == c[i])) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace bqs

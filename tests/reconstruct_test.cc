@@ -1,0 +1,136 @@
+// Temporal reconstruction: uniform and Gaussian-fitted interpolation.
+#include "trajectory/reconstruct.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bqs {
+namespace {
+
+CompressedTrajectory TwoKeySegment() {
+  CompressedTrajectory c;
+  c.keys.push_back(KeyPoint{TrackPoint{{0, 0}, 0.0, {}}, 0});
+  c.keys.push_back(KeyPoint{TrackPoint{{100, 0}, 100.0, {}}, 100});
+  return c;
+}
+
+TEST(ReconstructTest, UniformFractionIsLinear) {
+  SegmentTimeModel model;  // uniform
+  EXPECT_DOUBLE_EQ(model.Fraction(0, 100, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Fraction(0, 100, 50), 0.5);
+  EXPECT_DOUBLE_EQ(model.Fraction(0, 100, 100), 1.0);
+  EXPECT_DOUBLE_EQ(model.Fraction(0, 100, 150), 1.0);  // clamps
+  EXPECT_DOUBLE_EQ(model.Fraction(0, 100, -10), 0.0);
+  EXPECT_DOUBLE_EQ(model.Fraction(5, 5, 5), 0.0);  // degenerate segment
+}
+
+TEST(ReconstructTest, GaussianFractionIsMonotoneAndAnchored) {
+  SegmentTimeModel model;
+  model.kind = SegmentTimeModel::Kind::kGaussian;
+  model.mu = 50.0;
+  model.sigma = 20.0;
+  EXPECT_DOUBLE_EQ(model.Fraction(0, 100, 0), 0.0);
+  EXPECT_NEAR(model.Fraction(0, 100, 100), 1.0, 1e-12);
+  double prev = -1.0;
+  for (double t = 0.0; t <= 100.0; t += 5.0) {
+    const double f = model.Fraction(0, 100, t);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  // Symmetric Gaussian centered mid-segment crosses 1/2 at the middle.
+  EXPECT_NEAR(model.Fraction(0, 100, 50), 0.5, 1e-9);
+}
+
+TEST(ReconstructTest, OnlineFitterFallsBackToUniform) {
+  OnlineGaussianFitter fitter;
+  EXPECT_EQ(fitter.Model().kind, SegmentTimeModel::Kind::kUniform);
+  fitter.Add(1.0);
+  EXPECT_EQ(fitter.Model().kind, SegmentTimeModel::Kind::kUniform);
+  fitter.Add(2.0);
+  fitter.Add(3.0);
+  const SegmentTimeModel model = fitter.Model();
+  EXPECT_EQ(model.kind, SegmentTimeModel::Kind::kGaussian);
+  EXPECT_NEAR(model.mu, 2.0, 1e-12);
+}
+
+TEST(ReconstructTest, ReconstructAtEndpointsAndMidpoint) {
+  const CompressedTrajectory c = TwoKeySegment();
+  const auto start = ReconstructAt(c, 0.0);
+  ASSERT_TRUE(start.has_value());
+  EXPECT_NEAR(start->pos.x, 0.0, 1e-12);
+  const auto mid = ReconstructAt(c, 50.0);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_NEAR(mid->pos.x, 50.0, 1e-12);
+  const auto end = ReconstructAt(c, 100.0);
+  ASSERT_TRUE(end.has_value());
+  EXPECT_NEAR(end->pos.x, 100.0, 1e-12);
+}
+
+TEST(ReconstructTest, OutsideRangeIsNullopt) {
+  const CompressedTrajectory c = TwoKeySegment();
+  EXPECT_FALSE(ReconstructAt(c, -1.0).has_value());
+  EXPECT_FALSE(ReconstructAt(c, 101.0).has_value());
+  CompressedTrajectory tiny;
+  tiny.keys.push_back(c.keys[0]);
+  EXPECT_FALSE(ReconstructAt(tiny, 0.0).has_value());
+}
+
+TEST(ReconstructTest, MultiSegmentPicksRightSegment) {
+  CompressedTrajectory c;
+  c.keys.push_back(KeyPoint{TrackPoint{{0, 0}, 0.0, {}}, 0});
+  c.keys.push_back(KeyPoint{TrackPoint{{10, 0}, 10.0, {}}, 10});
+  c.keys.push_back(KeyPoint{TrackPoint{{10, 20}, 30.0, {}}, 30});
+  const auto p1 = ReconstructAt(c, 5.0);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_NEAR(p1->pos.x, 5.0, 1e-12);
+  EXPECT_NEAR(p1->pos.y, 0.0, 1e-12);
+  const auto p2 = ReconstructAt(c, 20.0);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_NEAR(p2->pos.x, 10.0, 1e-12);
+  EXPECT_NEAR(p2->pos.y, 10.0, 1e-12);
+}
+
+TEST(ReconstructTest, GaussianModelImprovesNonUniformMotion) {
+  // The object dwells near the segment start and sprints at the end; its
+  // timestamps cluster early. A Gaussian P fitted to the timestamps places
+  // mid-time reconstruction nearer the dwell than uniform interpolation.
+  Trajectory original;
+  for (int i = 0; i <= 80; ++i) {  // 81 samples crawling over 10 m
+    original.push_back(
+        TrackPoint{{i * 0.125, 0.0}, static_cast<double>(i), {}});
+  }
+  for (int i = 1; i <= 20; ++i) {  // 20 samples sprinting over 90 m
+    original.push_back(
+        TrackPoint{{10.0 + i * 4.5, 0.0}, 80.0 + i, {}});
+  }
+  CompressedTrajectory c;
+  c.keys.push_back(KeyPoint{original.front(), 0});
+  c.keys.push_back(KeyPoint{original.back(), original.size() - 1});
+
+  const auto models = FitGaussianTimeModels(original, c);
+  ASSERT_EQ(models.size(), 1u);
+
+  double err_uniform = 0.0;
+  double err_gauss = 0.0;
+  for (const TrackPoint& truth : original) {
+    const auto u = ReconstructAt(c, truth.t);
+    const auto g = ReconstructAt(c, truth.t, models);
+    ASSERT_TRUE(u.has_value());
+    ASSERT_TRUE(g.has_value());
+    err_uniform += Distance(u->pos, truth.pos);
+    err_gauss += Distance(g->pos, truth.pos);
+  }
+  EXPECT_LT(err_gauss, err_uniform);
+}
+
+TEST(ReconstructTest, SeriesCoversSampledTimes) {
+  const CompressedTrajectory c = TwoKeySegment();
+  const std::vector<double> times{0.0, 25.0, 50.0, 75.0, 100.0, 200.0};
+  const auto series = ReconstructSeries(c, times);
+  EXPECT_EQ(series.size(), 5u);  // 200 is outside
+  EXPECT_NEAR(series[1].pos.x, 25.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bqs

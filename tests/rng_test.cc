@@ -1,0 +1,82 @@
+// Deterministic RNG wrapper.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace bqs {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0.0, 1.0), b.Uniform(0.0, 1.0));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-2.5, 7.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.5);
+    const int64_t k = rng.UniformInt(3, 9);
+    EXPECT_GE(k, 3);
+    EXPECT_LE(k, 9);
+  }
+}
+
+TEST(RngTest, NormalMatchesMoments) {
+  Rng rng(7);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.Normal(4.0, 3.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMatchesMean) {
+  Rng rng(8);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.Exponential(12.0));
+  EXPECT_NEAR(s.mean(), 12.0, 0.5);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(11);
+  Rng child1(parent.Fork());
+  Rng child2(parent.Fork());
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child1.UniformInt(0, 1000000) == child2.UniformInt(0, 1000000)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,62 @@
+// Sweep runner: one verified row per algorithm x dataset x epsilon cell.
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace bqs {
+namespace {
+
+TEST(RunnerTest, RunCellProducesVerifiedRow) {
+  const Dataset dataset = BuildSyntheticDataset(0.05);
+  const SweepRow row = RunCell(AlgorithmId::kFbqs, dataset, 10.0);
+  EXPECT_EQ(row.dataset, "synthetic");
+  EXPECT_EQ(row.algorithm, "FBQS");
+  EXPECT_DOUBLE_EQ(row.epsilon, 10.0);
+  EXPECT_EQ(row.points_in, dataset.stream.size());
+  EXPECT_GT(row.points_out, 1u);
+  EXPECT_LT(row.compression_rate, 1.0);
+  EXPECT_TRUE(row.error_bounded);
+  EXPECT_GE(row.pruning_power, 0.0);  // populated for the BQS family
+}
+
+TEST(RunnerTest, SweepShape) {
+  const std::vector<Dataset> datasets{BuildSyntheticDataset(0.02)};
+  const std::vector<AlgorithmId> algorithms{
+      AlgorithmId::kFbqs, AlgorithmId::kBdp, AlgorithmId::kDp};
+  const std::vector<double> epsilons{5.0, 10.0};
+  const auto rows = RunSweep(algorithms, datasets, epsilons);
+  ASSERT_EQ(rows.size(), 6u);
+  // Every error-bounded algorithm verifies.
+  for (const SweepRow& row : rows) {
+    EXPECT_TRUE(row.error_bounded)
+        << row.algorithm << " at eps=" << row.epsilon;
+  }
+  // Non-BQS algorithms report no pruning power.
+  for (const SweepRow& row : rows) {
+    if (row.algorithm == "BDP" || row.algorithm == "DP") {
+      EXPECT_LT(row.pruning_power, 0.0);
+    }
+  }
+}
+
+TEST(RunnerTest, AllAlgorithmIdsRun) {
+  const Dataset dataset = BuildSyntheticDataset(0.02);
+  for (AlgorithmId id :
+       {AlgorithmId::kBqs, AlgorithmId::kFbqs, AlgorithmId::kBdp,
+        AlgorithmId::kBgd, AlgorithmId::kDp, AlgorithmId::kDr,
+        AlgorithmId::kSquishE}) {
+    const SweepRow row = RunCell(id, dataset, 10.0, 32, /*verify=*/false);
+    EXPECT_GT(row.points_out, 0u) << AlgorithmName(id);
+    EXPECT_GE(row.runtime_ms, 0.0);
+  }
+}
+
+TEST(RunnerTest, TighterEpsilonKeepsMorePoints) {
+  const Dataset dataset = BuildSyntheticDataset(0.05);
+  const SweepRow tight = RunCell(AlgorithmId::kFbqs, dataset, 2.0);
+  const SweepRow loose = RunCell(AlgorithmId::kFbqs, dataset, 20.0);
+  EXPECT_GT(tight.points_out, loose.points_out);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,119 @@
+// SQUISH-E: SED helper, ratio mode, error mode.
+#include "baselines/squish_e.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace bqs {
+namespace {
+
+using testing_util::JaggedWalk;
+using testing_util::NoisyLine;
+
+double MaxSedError(const Trajectory& original,
+                   const CompressedTrajectory& compressed) {
+  double worst = 0.0;
+  std::size_t seg = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    while (seg + 1 < compressed.size() &&
+           compressed.keys[seg + 1].index < i) {
+      ++seg;
+    }
+    const TrackPoint& a = compressed.keys[seg].point;
+    const TrackPoint& b = compressed.keys[seg + 1].point;
+    worst = std::max(worst,
+                     SynchronizedEuclideanDistance(original[i], a, b));
+  }
+  return worst;
+}
+
+TEST(SquishETest, SedBasics) {
+  const TrackPoint a{{0, 0}, 0.0, {}};
+  const TrackPoint b{{10, 0}, 10.0, {}};
+  // On time and on path: zero.
+  EXPECT_DOUBLE_EQ(
+      SynchronizedEuclideanDistance({{5, 0}, 5.0, {}}, a, b), 0.0);
+  // On path but late: synchronized point is ahead.
+  EXPECT_DOUBLE_EQ(
+      SynchronizedEuclideanDistance({{5, 0}, 7.0, {}}, a, b), 2.0);
+  // Off-path.
+  EXPECT_DOUBLE_EQ(
+      SynchronizedEuclideanDistance({{5, 3}, 5.0, {}}, a, b), 3.0);
+  // Degenerate time range clamps.
+  EXPECT_DOUBLE_EQ(
+      SynchronizedEuclideanDistance({{3, 4}, 5.0, {}}, a,
+                                    TrackPoint{{0, 0}, 0.0, {}}),
+      5.0);
+}
+
+TEST(SquishETest, LambdaModeHitsTargetRatio) {
+  const Trajectory walk = JaggedWalk(1, 3000);
+  SquishEOptions options;
+  options.lambda = 10.0;  // keep ~10%
+  SquishE squish(options);
+  const CompressedTrajectory c = squish.Compress(walk);
+  EXPECT_LE(c.size(), walk.size() / 10 + 2);
+  EXPECT_GE(c.size(), 4u);
+}
+
+TEST(SquishETest, EpsilonModeBoundsSed) {
+  // The priority of a removed point upper-bounds its SED error (SQUISH-E
+  // invariant), so compressing with epsilon keeps SED error <= epsilon.
+  for (uint64_t seed : {2u, 3u}) {
+    const Trajectory walk = JaggedWalk(seed, 1500);
+    SquishEOptions options;
+    options.epsilon = 15.0;
+    SquishE squish(options);
+    const CompressedTrajectory c = squish.Compress(walk);
+    ASSERT_GE(c.size(), 2u);
+    EXPECT_LE(MaxSedError(walk, c), 15.0 * (1.0 + 1e-9));
+  }
+}
+
+TEST(SquishETest, EpsilonModeCompressesStraightLine) {
+  const Trajectory walk = NoisyLine(4, 300, 0.5);
+  SquishEOptions options;
+  options.epsilon = 5.0;
+  SquishE squish(options);
+  const CompressedTrajectory c = squish.Compress(walk);
+  EXPECT_LE(c.size(), 4u);
+}
+
+TEST(SquishETest, KeepsEndpoints) {
+  const Trajectory walk = JaggedWalk(5, 500);
+  SquishEOptions options;
+  options.lambda = 20.0;
+  options.epsilon = 10.0;
+  SquishE squish(options);
+  const CompressedTrajectory c = squish.Compress(walk);
+  ASSERT_GE(c.size(), 2u);
+  EXPECT_EQ(c.keys.front().index, 0u);
+  EXPECT_EQ(c.keys.back().index, walk.size() - 1);
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LT(c.keys[i - 1].index, c.keys[i].index);
+  }
+}
+
+TEST(SquishETest, EmptyAndTinyInputs) {
+  SquishE squish(SquishEOptions{.lambda = 5.0});
+  EXPECT_TRUE(squish.Compress({}).empty());
+  Trajectory two{TrackPoint{{0, 0}, 0, {}}, TrackPoint{{1, 1}, 1, {}}};
+  EXPECT_EQ(squish.Compress(two).size(), 2u);
+}
+
+TEST(SquishETest, TighterLambdaKeepsFewerPoints) {
+  const Trajectory walk = JaggedWalk(6, 2000);
+  std::size_t prev = SIZE_MAX;
+  for (double lambda : {4.0, 10.0, 40.0}) {
+    SquishEOptions options;
+    options.lambda = lambda;
+    SquishE squish(options);
+    const std::size_t n = squish.Compress(walk).size();
+    EXPECT_LE(n, prev);
+    prev = n;
+  }
+}
+
+}  // namespace
+}  // namespace bqs

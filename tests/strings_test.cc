@@ -1,0 +1,65 @@
+// String helpers: splitting, trimming, strict numeric parsing, printf.
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace bqs {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("plain"), "plain");
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts{"1", "2", "3"};
+  EXPECT_EQ(Join(parts, ","), "1,2,3");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, ParseDoubleAcceptsNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -1e3 ").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("0").value(), 0.0);
+}
+
+TEST(StringsTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("1e99999").ok());
+}
+
+TEST(StringsTest, ParseIntStrict) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt(" -7 ").value(), -7);
+  EXPECT_FALSE(ParseInt("4.2").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("99999999999999999999999").ok());
+}
+
+TEST(StringsTest, StrPrintfFormats) {
+  EXPECT_EQ(StrPrintf("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrPrintf("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(StrPrintf("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,61 @@
+// Table printing and CSV export used by the bench harness.
+#include "eval/table.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace bqs {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  TablePrinter table({"algo", "rate"});
+  table.AddRow({"BQS", "4.8%"});
+  table.AddRow({"FBQS", "5.0%"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("algo"), std::string::npos);
+  EXPECT_NE(out.find("FBQS"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(TableTest, WritesCsv) {
+  TablePrinter table({"x", "y"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  const std::string path = std::string(::testing::TempDir()) + "/t.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+TEST(TableTest, CsvToBadPathFails) {
+  TablePrinter table({"x"});
+  EXPECT_FALSE(table.WriteCsv("/nonexistent/dir/t.csv").ok());
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(FmtDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FmtDouble(2.0, 0), "2");
+  EXPECT_EQ(FmtPercent(0.048, 1), "4.8%");
+  EXPECT_EQ(FmtInt(-42), "-42");
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,82 @@
+// Shared helpers for the test suite: deterministic stream generators that
+// exercise compressors with realistic and adversarial shapes.
+#ifndef BQS_TESTS_TEST_UTIL_H_
+#define BQS_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "simulation/random_walk.h"
+#include "trajectory/trajectory.h"
+
+namespace bqs {
+namespace testing_util {
+
+/// Smooth-ish correlated random walk (the paper's synthetic model, small).
+inline Trajectory SmoothWalk(uint64_t seed, std::size_t n) {
+  RandomWalkOptions options;
+  options.num_points = n;
+  options.seed = seed;
+  options.area_m = 4000.0;
+  return GenerateRandomWalk(options);
+}
+
+/// Adversarially jagged stream: mixes stationary clusters, spikes, exact
+/// duplicates, and backtracking through the segment start — the shapes that
+/// stress the bound logic and the trivial-include end-validity handling.
+inline Trajectory JaggedWalk(uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  Trajectory out;
+  out.reserve(n);
+  Vec2 pos{0.0, 0.0};
+  double t = 0.0;
+  while (out.size() < n) {
+    const int mode = static_cast<int>(rng.UniformInt(0, 4));
+    const int burst = static_cast<int>(rng.UniformInt(1, 12));
+    for (int i = 0; i < burst && out.size() < n; ++i) {
+      switch (mode) {
+        case 0:  // drift
+          pos += Vec2{rng.Normal(0.0, 6.0), rng.Normal(0.0, 6.0)};
+          break;
+        case 1:  // stationary / duplicates
+          if (rng.Bernoulli(0.5)) {
+            pos += Vec2{rng.Normal(0.0, 0.5), rng.Normal(0.0, 0.5)};
+          }
+          break;
+        case 2:  // spike out and back
+          pos += Vec2{rng.Uniform(-80.0, 80.0), rng.Uniform(-80.0, 80.0)};
+          break;
+        case 3:  // straight run
+          pos += Vec2{12.0, 5.0};
+          break;
+        default:  // jump back near origin (backtrack through starts)
+          pos = Vec2{rng.Normal(0.0, 2.0), rng.Normal(0.0, 2.0)};
+          break;
+      }
+      t += 1.0;
+      out.push_back(TrackPoint{pos, t, {0.0, 0.0}});
+    }
+  }
+  return out;
+}
+
+/// Straight line with sub-tolerance lateral noise; the optimal compression
+/// is the two endpoints.
+inline Trajectory NoisyLine(uint64_t seed, std::size_t n, double noise) {
+  Rng rng(seed);
+  Trajectory out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) * 10.0;
+    out.push_back(TrackPoint{{x, rng.Uniform(-noise, noise)},
+                             static_cast<double>(i), {10.0, 0.0}});
+  }
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace bqs
+
+#endif  // BQS_TESTS_TEST_UTIL_H_

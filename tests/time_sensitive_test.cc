@@ -1,0 +1,119 @@
+// Time-sensitive compression: the error bound holds in the lifted
+// (x, y, scaled-t) space, which is the paper's Section V-G use case.
+#include "core/time_sensitive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fbqs_compressor.h"
+#include "geometry/line3.h"
+#include "test_util.h"
+
+namespace bqs {
+namespace {
+
+using testing_util::SmoothWalk;
+
+// Lifts the original stream the same way the compressor does and measures
+// the exact 3-D deviation against the compressed keys.
+double LiftedMaxDeviation(const Trajectory& walk,
+                          const CompressedTrajectory& keys,
+                          double time_scale) {
+  if (keys.size() < 2 || walk.empty()) return 0.0;
+  const double t0 = walk.front().t;
+  const auto lift = [&](const TrackPoint& p) {
+    return Vec3{p.pos.x, p.pos.y, (p.t - t0) * time_scale};
+  };
+  double worst = 0.0;
+  for (std::size_t s = 0; s + 1 < keys.size(); ++s) {
+    const std::size_t from = static_cast<std::size_t>(keys.keys[s].index);
+    const std::size_t to = static_cast<std::size_t>(keys.keys[s + 1].index);
+    const Vec3 a = lift(walk[from]);
+    const Vec3 b = lift(walk[to]);
+    for (std::size_t i = from + 1; i < to; ++i) {
+      worst = std::max(worst, PointToLineDistance3(lift(walk[i]), a, b));
+    }
+  }
+  return worst;
+}
+
+TEST(TimeSensitiveTest, LiftedDeviationIsBounded) {
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    const Trajectory walk = SmoothWalk(seed, 2500);
+    TimeSensitiveOptions options;
+    options.epsilon = 12.0;
+    options.time_scale = 1.0;
+    TimeSensitiveCompressor compressor(options);
+    const CompressedTrajectory compressed = CompressAll(compressor, walk);
+    EXPECT_LE(LiftedMaxDeviation(walk, compressed, options.time_scale),
+              options.epsilon * (1.0 + 1e-9));
+  }
+}
+
+TEST(TimeSensitiveTest, PenalizesStopsThatPlainBqsDiscards) {
+  // An object that runs, waits, then runs on the same straight line: shape-
+  // only compression keeps 2 points, but a time-sensitive bound must keep a
+  // key near the stop or the reconstructed position at stop time is wrong.
+  Trajectory walk;
+  double t = 0.0;
+  for (int i = 0; i < 50; ++i) {  // run east 500 m
+    walk.push_back(TrackPoint{{i * 10.0, 0.0}, t, {10.0, 0.0}});
+    t += 1.0;
+  }
+  for (int i = 0; i < 100; ++i) {  // wait at x = 500 for 100 s
+    walk.push_back(TrackPoint{{500.0, 0.0}, t, {0.0, 0.0}});
+    t += 1.0;
+  }
+  for (int i = 1; i <= 50; ++i) {  // run east again
+    walk.push_back(TrackPoint{{500.0 + i * 10.0, 0.0}, t, {10.0, 0.0}});
+    t += 1.0;
+  }
+
+  TimeSensitiveOptions options;
+  options.epsilon = 15.0;
+  options.time_scale = 1.0;  // 1 s of temporal error == 1 m
+  TimeSensitiveCompressor ts(options);
+  const CompressedTrajectory via_ts = CompressAll(ts, walk);
+  EXPECT_GE(via_ts.size(), 4u)
+      << "the stop must survive time-sensitive compression";
+
+  FbqsCompressor plain(BqsOptions{.epsilon = 15.0});
+  const CompressedTrajectory via_plain = CompressAll(plain, walk);
+  EXPECT_EQ(via_plain.size(), 2u)
+      << "shape-only compression collapses the whole run";
+}
+
+TEST(TimeSensitiveTest, ZeroTimeScaleDegeneratesToShapeOnly) {
+  const Trajectory walk = SmoothWalk(9, 1500);
+  TimeSensitiveOptions options;
+  options.epsilon = 10.0;
+  options.time_scale = 0.0;
+  TimeSensitiveCompressor ts(options);
+  const CompressedTrajectory compressed = CompressAll(ts, walk);
+  // With z identically 0 the lifted bound equals the planar bound.
+  EXPECT_LE(LiftedMaxDeviation(walk, compressed, 0.0),
+            options.epsilon * (1.0 + 1e-9));
+}
+
+TEST(TimeSensitiveTest, ResetAllowsReuse) {
+  const Trajectory walk = SmoothWalk(10, 800);
+  TimeSensitiveCompressor ts(TimeSensitiveOptions{});
+  const auto first = CompressAll(ts, walk);
+  const auto second = CompressAll(ts, walk);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first.keys[i].index, second.keys[i].index);
+  }
+}
+
+TEST(TimeSensitiveTest, OptionsValidate) {
+  TimeSensitiveOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.epsilon = -1.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.epsilon = 5.0;
+  options.time_scale = -0.1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+}  // namespace
+}  // namespace bqs

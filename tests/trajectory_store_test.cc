@@ -1,0 +1,179 @@
+// Trajectory store: merging dedup and error-bounded ageing (Section V-F).
+#include "storage/trajectory_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "trajectory/deviation.h"
+
+namespace bqs {
+namespace {
+
+CompressedTrajectory MakeCompressed(std::initializer_list<Vec2> points,
+                                    double t0 = 0.0) {
+  CompressedTrajectory c;
+  uint64_t index = 0;
+  double t = t0;
+  for (const Vec2& p : points) {
+    c.keys.push_back(KeyPoint{TrackPoint{p, t, {}}, index});
+    index += 10;
+    t += 60.0;
+  }
+  return c;
+}
+
+TEST(SegmentHausdorffTest, BasicProperties) {
+  // Identical segments.
+  EXPECT_DOUBLE_EQ(SegmentHausdorff({0, 0}, {10, 0}, {0, 0}, {10, 0}), 0.0);
+  // Reversed orientation is still the same path.
+  EXPECT_DOUBLE_EQ(SegmentHausdorff({0, 0}, {10, 0}, {10, 0}, {0, 0}), 0.0);
+  // Parallel offset.
+  EXPECT_DOUBLE_EQ(SegmentHausdorff({0, 0}, {10, 0}, {0, 3}, {10, 3}), 3.0);
+  // Sub-segment: distance is the uncovered overhang.
+  EXPECT_DOUBLE_EQ(SegmentHausdorff({0, 0}, {10, 0}, {0, 0}, {5, 0}), 5.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(SegmentHausdorff({0, 0}, {4, 2}, {1, 7}, {-3, 2}),
+                   SegmentHausdorff({1, 7}, {-3, 2}, {0, 0}, {4, 2}));
+}
+
+TEST(TrajectoryStoreTest, AppendStoresSegments) {
+  TrajectoryStore store;
+  const auto result =
+      store.Append(MakeCompressed({{0, 0}, {100, 0}, {200, 50}}));
+  EXPECT_EQ(result.segments_in, 2u);
+  EXPECT_EQ(result.segments_stored, 2u);
+  EXPECT_EQ(result.segments_merged, 0u);
+  EXPECT_EQ(store.segment_count(), 2u);
+  EXPECT_EQ(store.visit_total(), 2u);
+  EXPECT_GT(store.StorageBytes(), 0.0);
+}
+
+TEST(TrajectoryStoreTest, RepeatTripMergesInsteadOfStoring) {
+  // The paper's motivating pattern: the same commute every day.
+  TrajectoryStoreOptions options;
+  options.merge_tolerance = 15.0;
+  TrajectoryStore store(options);
+  store.Append(MakeCompressed({{0, 0}, {500, 0}, {500, 400}}));
+  const std::size_t before = store.segment_count();
+
+  // Same trip again with ~5 m GPS wobble.
+  const auto result = store.Append(
+      MakeCompressed({{3, 4}, {504, -3}, {498, 405}}, 86400.0));
+  EXPECT_EQ(result.segments_merged, 2u);
+  EXPECT_EQ(result.segments_stored, 0u);
+  EXPECT_EQ(store.segment_count(), before);
+  // Visits accumulate on the stored segments.
+  uint64_t max_visits = 0;
+  for (const auto& seg : store.segments()) {
+    if (seg.alive) max_visits = std::max<uint64_t>(max_visits, seg.visits);
+  }
+  EXPECT_EQ(max_visits, 2u);
+}
+
+TEST(TrajectoryStoreTest, DifferentTripStoresNewSegments) {
+  TrajectoryStore store;
+  store.Append(MakeCompressed({{0, 0}, {500, 0}}));
+  const auto result =
+      store.Append(MakeCompressed({{0, 200}, {500, 200}}, 86400.0));
+  EXPECT_EQ(result.segments_merged, 0u);
+  EXPECT_EQ(result.segments_stored, 1u);
+  EXPECT_EQ(store.segment_count(), 2u);
+}
+
+TEST(TrajectoryStoreTest, FindSimilarRespectsTolerance) {
+  TrajectoryStore store;
+  store.Append(MakeCompressed({{0, 0}, {100, 0}}));
+  EXPECT_EQ(store.FindSimilar({0, 5}, {100, 5}, 10.0).size(), 1u);
+  EXPECT_TRUE(store.FindSimilar({0, 50}, {100, 50}, 10.0).empty());
+}
+
+TEST(TrajectoryStoreTest, AgeingDropsPointsAndStaysBounded) {
+  // Store a wiggly polyline compressed at a tight tolerance, then age it
+  // with a looser one: points must drop and the old key points must stay
+  // within the new tolerance of the aged polyline.
+  TrajectoryStoreOptions options;
+  options.merge_tolerance = 0.5;  // keep merging out of the way
+  TrajectoryStore store(options);
+
+  Rng rng(5);
+  std::vector<Vec2> keys;
+  Trajectory original_keys;
+  for (int i = 0; i <= 40; ++i) {
+    const Vec2 p{i * 25.0, rng.Uniform(-8.0, 8.0)};
+    keys.push_back(p);
+    original_keys.push_back(TrackPoint{p, i * 60.0, {}});
+  }
+  CompressedTrajectory c;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    c.keys.push_back(KeyPoint{original_keys[i], i});
+  }
+  store.Append(c);
+  const std::size_t before = store.segment_count();
+
+  const std::size_t dropped = store.Age(40.0);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_LT(store.segment_count(), before);
+
+  // Rebuild the aged polyline and verify the old keys against it.
+  Trajectory aged;
+  for (const auto& seg : store.segments()) {
+    if (!seg.alive) continue;
+    if (aged.empty()) aged.push_back(TrackPoint{seg.a, seg.t_start, {}});
+    aged.push_back(TrackPoint{seg.b, seg.t_end, {}});
+  }
+  ASSERT_GE(aged.size(), 2u);
+  // Every original key point is within the ageing tolerance of the aged
+  // polyline (checked against the nearest aged segment).
+  for (const TrackPoint& p : original_keys) {
+    double best = 1e100;
+    for (std::size_t i = 0; i + 1 < aged.size(); ++i) {
+      best = std::min(best, PointToSegmentDistance(p.pos, aged[i].pos,
+                                                   aged[i + 1].pos));
+    }
+    EXPECT_LE(best, 40.0 * (1.0 + 1e-9));
+  }
+}
+
+TEST(TrajectoryStoreTest, AgeingIsIdempotentAtSameTolerance) {
+  TrajectoryStore store(TrajectoryStoreOptions{.merge_tolerance = 0.5});
+  Rng rng(6);
+  CompressedTrajectory c;
+  for (int i = 0; i <= 30; ++i) {
+    c.keys.push_back(KeyPoint{
+        TrackPoint{{i * 30.0, rng.Uniform(-10.0, 10.0)}, i * 60.0, {}},
+        static_cast<uint64_t>(i)});
+  }
+  store.Append(c);
+  store.Age(50.0);
+  const std::size_t after_first = store.segment_count();
+  const std::size_t dropped_again = store.Age(50.0);
+  EXPECT_EQ(dropped_again, 0u);
+  EXPECT_EQ(store.segment_count(), after_first);
+}
+
+TEST(TrajectoryStoreTest, StorageBytesShrinkWithAgeing) {
+  TrajectoryStore store(TrajectoryStoreOptions{.merge_tolerance = 0.5});
+  Rng rng(7);
+  CompressedTrajectory c;
+  for (int i = 0; i <= 50; ++i) {
+    c.keys.push_back(KeyPoint{
+        TrackPoint{{i * 20.0, rng.Uniform(-5.0, 5.0)}, i * 60.0, {}},
+        static_cast<uint64_t>(i)});
+  }
+  store.Append(c);
+  const double before = store.StorageBytes();
+  store.Age(30.0);
+  EXPECT_LT(store.StorageBytes(), before);
+}
+
+TEST(TrajectoryStoreTest, TinyInputsAreSafe) {
+  TrajectoryStore store;
+  const auto r1 = store.Append(CompressedTrajectory{});
+  EXPECT_EQ(r1.segments_in, 0u);
+  const auto r2 = store.Append(MakeCompressed({{1, 1}}));
+  EXPECT_EQ(r2.segments_in, 0u);
+  EXPECT_EQ(store.Age(100.0), 0u);
+}
+
+}  // namespace
+}  // namespace bqs

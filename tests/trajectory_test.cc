@@ -1,0 +1,128 @@
+// Trajectory containers, projection and stream utilities.
+#include "trajectory/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.h"
+
+namespace bqs {
+namespace {
+
+Trajectory Line(int n, double step) {
+  Trajectory t;
+  for (int i = 0; i < n; ++i) {
+    t.push_back(TrackPoint{{i * step, 0.0}, static_cast<double>(i), {}});
+  }
+  return t;
+}
+
+TEST(TrajectoryTest, PathLengthAndDuration) {
+  const Trajectory t = Line(11, 5.0);
+  EXPECT_DOUBLE_EQ(PathLength(t), 50.0);
+  EXPECT_DOUBLE_EQ(Duration(t), 10.0);
+  EXPECT_DOUBLE_EQ(PathLength({}), 0.0);
+  EXPECT_DOUBLE_EQ(Duration({}), 0.0);
+  EXPECT_DOUBLE_EQ(Duration(std::span<const TrackPoint>(t.data(), 1)), 0.0);
+}
+
+TEST(TrajectoryTest, BoundsOf) {
+  Trajectory t;
+  t.push_back(TrackPoint{{1, 5}, 0, {}});
+  t.push_back(TrackPoint{{-2, 3}, 1, {}});
+  const Box2 box = BoundsOf(t);
+  EXPECT_EQ(box.min(), (Vec2{-2, 3}));
+  EXPECT_EQ(box.max(), (Vec2{1, 5}));
+}
+
+TEST(TrajectoryTest, CompressionRate) {
+  CompressedTrajectory c;
+  c.keys.resize(5);
+  EXPECT_DOUBLE_EQ(c.CompressionRate(100), 0.05);
+  EXPECT_DOUBLE_EQ(c.CompressionRate(0), 0.0);
+}
+
+TEST(TrajectoryTest, FillVelocitiesCentralDifferences) {
+  Trajectory t = Line(5, 10.0);  // 10 m/s along x
+  FillVelocities(&t);
+  for (const TrackPoint& p : t) {
+    EXPECT_NEAR(p.velocity.x, 10.0, 1e-12);
+    EXPECT_NEAR(p.velocity.y, 0.0, 1e-12);
+  }
+}
+
+TEST(TrajectoryTest, FillVelocitiesHandlesZeroDt) {
+  Trajectory t;
+  t.push_back(TrackPoint{{0, 0}, 5.0, {}});
+  t.push_back(TrackPoint{{10, 0}, 5.0, {}});  // same timestamp
+  FillVelocities(&t);
+  EXPECT_EQ(t[0].velocity, (Vec2{0, 0}));
+  Trajectory single;
+  single.push_back(TrackPoint{{0, 0}, 0, {3, 4}});
+  FillVelocities(&single);  // untouched
+  EXPECT_EQ(single[0].velocity, (Vec2{3, 4}));
+}
+
+TEST(TrajectoryTest, ProjectTraceEmptyFails) {
+  EXPECT_FALSE(ProjectTrace({}).ok());
+}
+
+TEST(TrajectoryTest, ProjectTraceUtmPreservesDistances) {
+  GeoTrace trace;
+  for (int i = 0; i < 20; ++i) {
+    trace.push_back(GeoSample{{-27.47 + i * 0.001, 153.02}, i * 60.0});
+  }
+  const auto projected = ProjectTrace(trace, ProjectionKind::kUtm);
+  ASSERT_TRUE(projected.ok());
+  const Trajectory& t = projected.value();
+  ASSERT_EQ(t.size(), trace.size());
+  const double step = Distance(t[1].pos, t[0].pos);
+  const double geo = HaversineMeters(trace[0].pos, trace[1].pos);
+  EXPECT_NEAR(step / geo, 1.0, 0.01);
+  // Velocities are filled.
+  EXPECT_GT(t[1].velocity.Norm(), 0.0);
+}
+
+TEST(TrajectoryTest, ProjectTraceSingleZoneAcrossBoundary) {
+  // Fixes straddling a UTM zone boundary stay in one continuous plane.
+  GeoTrace trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.push_back(GeoSample{{10.0, 11.95 + i * 0.02}, i * 1.0});
+  }
+  const auto projected = ProjectTrace(trace, ProjectionKind::kUtm);
+  ASSERT_TRUE(projected.ok());
+  const Trajectory& t = projected.value();
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t[i].pos.x, t[i - 1].pos.x) << "seam at fix " << i;
+  }
+}
+
+TEST(TrajectoryTest, ProjectTraceTangentPlane) {
+  GeoTrace trace;
+  trace.push_back(GeoSample{{-27.47, 153.02}, 0.0});
+  trace.push_back(GeoSample{{-27.47, 153.03}, 60.0});
+  const auto projected = ProjectTrace(trace, ProjectionKind::kTangentPlane);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_NEAR(projected.value()[0].pos.x, 0.0, 1e-9);
+  EXPECT_GT(projected.value()[1].pos.x, 900.0);
+}
+
+TEST(TrajectoryTest, ConcatenateStreamsKeepsMonotonicTime) {
+  const Trajectory a = Line(5, 1.0);
+  Trajectory b = Line(5, 1.0);
+  for (auto& p : b) p.t += 1000.0;  // different epoch
+  const Trajectory merged = ConcatenateStreams({a, b}, 30.0);
+  ASSERT_EQ(merged.size(), 10u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_GT(merged[i].t, merged[i - 1].t);
+  }
+  // Gap between streams is exactly 30 s.
+  EXPECT_DOUBLE_EQ(merged[5].t - merged[4].t, 30.0);
+}
+
+TEST(TrajectoryTest, ConcatenateSkipsEmpty) {
+  const Trajectory merged = ConcatenateStreams({{}, Line(3, 1.0), {}});
+  EXPECT_EQ(merged.size(), 3u);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,138 @@
+// UTM projection: round-trip accuracy and projection invariants that hold
+// independently of any reference implementation.
+#include "geo/utm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/geodesy.h"
+
+namespace bqs {
+namespace {
+
+TEST(UtmTest, ZoneComputation) {
+  EXPECT_EQ(UtmZoneFor(0.0, -177.0), 1);
+  EXPECT_EQ(UtmZoneFor(0.0, 177.0), 60);
+  EXPECT_EQ(UtmZoneFor(-27.47, 153.03), 56);  // Brisbane
+  EXPECT_EQ(UtmZoneFor(40.7, -74.0), 18);     // New York
+  EXPECT_EQ(UtmZoneFor(0.0, 0.0), 31);
+}
+
+TEST(UtmTest, NorwaySvalbardExceptions) {
+  EXPECT_EQ(UtmZoneFor(60.0, 4.0), 32);   // Norway: 32V extended
+  EXPECT_EQ(UtmZoneFor(55.0, 4.0), 31);   // below 56N: standard
+  EXPECT_EQ(UtmZoneFor(75.0, 8.0), 31);   // Svalbard bands
+  EXPECT_EQ(UtmZoneFor(75.0, 10.0), 33);
+  EXPECT_EQ(UtmZoneFor(75.0, 25.0), 35);
+  EXPECT_EQ(UtmZoneFor(75.0, 35.0), 37);
+}
+
+TEST(UtmTest, CentralMeridian) {
+  EXPECT_DOUBLE_EQ(UtmCentralMeridianDeg(31), 3.0);
+  EXPECT_DOUBLE_EQ(UtmCentralMeridianDeg(56), 153.0);
+  EXPECT_DOUBLE_EQ(UtmCentralMeridianDeg(1), -177.0);
+}
+
+TEST(UtmTest, CentralMeridianMapsToFalseEasting) {
+  const auto utm = LatLonToUtm({45.0, UtmCentralMeridianDeg(33)});
+  ASSERT_TRUE(utm.ok());
+  EXPECT_NEAR(utm.value().easting, 500000.0, 1e-6);
+}
+
+TEST(UtmTest, EquatorMapsToZeroNorthing) {
+  const auto utm = LatLonToUtm({0.0, 9.0});
+  ASSERT_TRUE(utm.ok());
+  EXPECT_NEAR(utm.value().northing, 0.0, 1e-6);
+  EXPECT_TRUE(utm.value().north);
+}
+
+TEST(UtmTest, SouthernHemisphereFalseNorthing) {
+  const auto utm = LatLonToUtm({-27.47, 153.03});
+  ASSERT_TRUE(utm.ok());
+  EXPECT_FALSE(utm.value().north);
+  // Southern northings are below 10,000 km and positive.
+  EXPECT_GT(utm.value().northing, 6.0e6);
+  EXPECT_LT(utm.value().northing, 10.0e6);
+}
+
+TEST(UtmTest, ScaleFactorOnCentralMeridianIsK0) {
+  // A small northward step on the central meridian must scale by 0.9996.
+  const double lon = UtmCentralMeridianDeg(56);
+  const auto a = LatLonToUtm({-27.0, lon});
+  const auto b = LatLonToUtm({-27.001, lon});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const double grid = std::fabs(a.value().northing - b.value().northing);
+  const double true_dist = HaversineMeters({-27.0, lon}, {-27.001, lon});
+  // Haversine uses the spherical earth, so allow a few parts in 1e3.
+  EXPECT_NEAR(grid / true_dist, 0.9996, 0.004);
+}
+
+TEST(UtmTest, RoundTripSubMillimetre) {
+  Rng rng(51);
+  for (int i = 0; i < 2000; ++i) {
+    LatLon pos;
+    pos.lat_deg = rng.Uniform(-80.0, 80.0);
+    pos.lon_deg = rng.Uniform(-180.0, 180.0);
+    const auto utm = LatLonToUtm(pos);
+    ASSERT_TRUE(utm.ok());
+    const auto back = UtmToLatLon(utm.value());
+    ASSERT_TRUE(back.ok());
+    const double err = HaversineMeters(pos, back.value());
+    EXPECT_LT(err, 1e-3) << "lat=" << pos.lat_deg << " lon=" << pos.lon_deg;
+  }
+}
+
+TEST(UtmTest, ExplicitZoneKeepsPlaneContinuous) {
+  // Project two points straddling a zone boundary into one zone: eastings
+  // must be monotone (no seam).
+  const auto west = LatLonToUtmZone({10.0, 11.9}, 32, true);
+  const auto east = LatLonToUtmZone({10.0, 12.1}, 32, true);
+  ASSERT_TRUE(west.ok());
+  ASSERT_TRUE(east.ok());
+  EXPECT_LT(west.value().easting, east.value().easting);
+  const double dist = east.value().easting - west.value().easting;
+  const double true_dist =
+      HaversineMeters({10.0, 11.9}, {10.0, 12.1});
+  EXPECT_NEAR(dist / true_dist, 1.0, 0.01);
+}
+
+TEST(UtmTest, RejectsOutOfRange) {
+  EXPECT_FALSE(LatLonToUtm({85.5, 0.0}).ok());
+  EXPECT_FALSE(LatLonToUtm({-86.0, 0.0}).ok());
+  EXPECT_FALSE(LatLonToUtm({0.0, 181.0}).ok());
+  EXPECT_FALSE(LatLonToUtmZone({0.0, 0.0}, 0, true).ok());
+  EXPECT_FALSE(LatLonToUtmZone({0.0, 0.0}, 61, true).ok());
+  UtmCoord bad;
+  bad.zone = 99;
+  EXPECT_FALSE(UtmToLatLon(bad).ok());
+}
+
+TEST(UtmTest, DistancePreservationWithinZone) {
+  // Projected distances should match geodesic distances to ~0.1% within a
+  // zone (UTM distortion bound).
+  Rng rng(52);
+  for (int i = 0; i < 200; ++i) {
+    const double lat = rng.Uniform(-60.0, 60.0);
+    const double lon0 = UtmCentralMeridianDeg(56);
+    const double lon = lon0 + rng.Uniform(-2.5, 2.5);
+    const LatLon a{lat, lon};
+    const LatLon b{lat + rng.Uniform(-0.05, 0.05),
+                   lon + rng.Uniform(-0.05, 0.05)};
+    const auto ua = LatLonToUtmZone(a, 56, lat < 0);
+    const auto ub = LatLonToUtmZone(b, 56, lat < 0);
+    ASSERT_TRUE(ua.ok());
+    ASSERT_TRUE(ub.ok());
+    const double projected = Distance(ua.value().xy(), ub.value().xy());
+    const double geodesic = HaversineMeters(a, b);
+    if (geodesic < 10.0) continue;
+    // Budget: UTM scale distortion (<= ~0.1% within the zone) plus the
+    // spherical-vs-ellipsoidal error of the haversine reference (~0.5%).
+    EXPECT_NEAR(projected / geodesic, 1.0, 0.007);
+  }
+}
+
+}  // namespace
+}  // namespace bqs

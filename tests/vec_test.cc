@@ -1,0 +1,91 @@
+// Vec2 / Vec3 arithmetic and geometry helpers.
+#include "geometry/vec2.h"
+#include "geometry/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+
+namespace bqs {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, -2.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2Test, DotCrossNorm) {
+  const Vec2 a{3.0, 4.0};
+  const Vec2 b{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 3.0);
+  EXPECT_DOUBLE_EQ(b.Cross(a), 4.0);   // a is CCW from b
+  EXPECT_DOUBLE_EQ(a.Cross(b), -4.0);
+  EXPECT_DOUBLE_EQ(a.NormSq(), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), std::hypot(2.0, 4.0));
+}
+
+TEST(Vec2Test, NormalizedHandlesZero) {
+  EXPECT_EQ((Vec2{0.0, 0.0}).Normalized(), (Vec2{0.0, 0.0}));
+  const Vec2 n = Vec2{0.0, 5.0}.Normalized();
+  EXPECT_NEAR(n.x, 0.0, 1e-15);
+  EXPECT_NEAR(n.y, 1.0, 1e-15);
+}
+
+TEST(Vec2Test, RotationPreservesNormAndComposes) {
+  const Vec2 v{3.0, 1.0};
+  const Vec2 r = v.Rotated(kHalfPi);
+  EXPECT_NEAR(r.x, -1.0, 1e-12);
+  EXPECT_NEAR(r.y, 3.0, 1e-12);
+  EXPECT_NEAR(r.Norm(), v.Norm(), 1e-12);
+  const Vec2 back = r.Rotated(-kHalfPi);
+  EXPECT_NEAR(back.x, v.x, 1e-12);
+  EXPECT_NEAR(back.y, v.y, 1e-12);
+}
+
+TEST(Vec2Test, AngleAgreesWithAtan2) {
+  EXPECT_DOUBLE_EQ((Vec2{1.0, 0.0}).Angle(), 0.0);
+  EXPECT_NEAR((Vec2{0.0, 2.0}).Angle(), kHalfPi, 1e-15);
+  EXPECT_NEAR((Vec2{-1.0, 0.0}).Angle(), kPi, 1e-15);
+}
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  EXPECT_EQ(a + b, (Vec3{0.0, 2.5, 5.0}));
+  EXPECT_EQ(a - b, (Vec3{2.0, 1.5, 1.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(3.0 * b, (Vec3{-3.0, 1.5, 6.0}));
+}
+
+TEST(Vec3Test, CrossIsOrthogonalAndRightHanded) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_EQ(x.Cross(y), (Vec3{0.0, 0.0, 1.0}));
+  const Vec3 a{2.0, -1.0, 3.0};
+  const Vec3 b{0.5, 4.0, -2.0};
+  const Vec3 c = a.Cross(b);
+  EXPECT_NEAR(c.Dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.Dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3Test, LiftAndProject) {
+  const Vec2 p{4.0, -2.0};
+  const Vec3 lifted(p, 7.0);
+  EXPECT_DOUBLE_EQ(lifted.z, 7.0);
+  EXPECT_EQ(lifted.XY(), p);
+}
+
+TEST(Vec3Test, NormalizedHandlesZero) {
+  EXPECT_EQ((Vec3{}).Normalized(), (Vec3{}));
+  EXPECT_NEAR((Vec3{2.0, 3.0, 6.0}).Norm(), 7.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bqs

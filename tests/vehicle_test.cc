@@ -1,0 +1,106 @@
+// Vehicle road-grid model: straight legs, orthogonal turns, bounded speeds.
+#include "simulation/vehicle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "geo/geodesy.h"
+#include "geometry/angle.h"
+
+namespace bqs {
+namespace {
+
+VehicleOptions SmallOptions() {
+  VehicleOptions options;
+  options.num_trips = 3;
+  options.seed = 88;
+  return options;
+}
+
+TEST(VehicleTest, MonotonicTime) {
+  const GeoTrace trace = GenerateVehicleTrace(SmallOptions());
+  ASSERT_GT(trace.size(), 300u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].t, trace[i - 1].t);
+  }
+}
+
+TEST(VehicleTest, SpeedsBoundedByHighwayLimit) {
+  const VehicleOptions options = SmallOptions();
+  const GeoTrace trace = GenerateVehicleTrace(options);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double dt = trace[i].t - trace[i - 1].t;
+    if (dt <= 0.0 || dt > options.sample_interval_s * 1.5) continue;
+    const double speed =
+        HaversineMeters(trace[i - 1].pos, trace[i].pos) / dt;
+    EXPECT_LT(speed, options.highway_speed_kmh / 3.6 * 1.1 + 3.0);
+  }
+}
+
+TEST(VehicleTest, ContainsStops) {
+  const VehicleOptions options = SmallOptions();
+  const GeoTrace trace = GenerateVehicleTrace(options);
+  std::size_t stopped = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double dt = trace[i].t - trace[i - 1].t;
+    if (dt <= 0.0 || dt > options.sample_interval_s * 1.5) continue;
+    if (HaversineMeters(trace[i - 1].pos, trace[i].pos) / dt < 1.0) {
+      ++stopped;
+    }
+  }
+  EXPECT_GT(stopped, 5u) << "traffic stops must appear in the trace";
+}
+
+TEST(VehicleTest, HeadingChangesShowRoadSignature) {
+  // Road-network signature: between intersections the heading changes only
+  // gently (straight runs and wide arcs), with occasional sharp ~90-degree
+  // jumps at turns — unlike an unconstrained random walk.
+  const VehicleOptions options = SmallOptions();
+  const GeoTrace trace = GenerateVehicleTrace(options);
+  const LocalTangentPlane plane(
+      LatLon{options.anchor_lat, options.anchor_lon});
+  std::size_t gentle = 0;
+  std::size_t sharp = 0;
+  std::size_t total = 0;
+  Vec2 prev_dir{0, 0};
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const Vec2 a = plane.Project(trace[i - 1].pos);
+    const Vec2 b = plane.Project(trace[i].pos);
+    if (Distance(a, b) < 30.0) continue;  // skip stops/noise
+    const Vec2 dir = (b - a).Normalized();
+    if (prev_dir.NormSq() > 0.0) {
+      const double delta =
+          std::fabs(NormalizeAngle(dir.Angle() - prev_dir.Angle()));
+      ++total;
+      if (delta < 0.12) ++gentle;
+      if (delta > 1.2) ++sharp;
+    }
+    prev_dir = dir;
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(gentle, total * 55 / 100)
+      << "most consecutive steps follow the road";
+  EXPECT_GT(sharp, 3u) << "grid turns must appear";
+}
+
+TEST(VehicleTest, TripsAreSeparatedByGaps) {
+  const VehicleOptions options = SmallOptions();
+  const GeoTrace trace = GenerateVehicleTrace(options);
+  int gaps = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].t - trace[i - 1].t > options.trip_gap_s * 0.9) ++gaps;
+  }
+  EXPECT_EQ(gaps, options.num_trips - 1);
+}
+
+TEST(VehicleTest, Deterministic) {
+  const GeoTrace a = GenerateVehicleTrace(SmallOptions());
+  const GeoTrace b = GenerateVehicleTrace(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[50], b[50]);
+}
+
+}  // namespace
+}  // namespace bqs

@@ -1,0 +1,95 @@
+// Von Mises sampling: circular moments, concentration behaviour, pdf.
+#include "simulation/von_mises.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "geometry/angle.h"
+
+namespace bqs {
+namespace {
+
+struct CircularStats {
+  double mean;
+  double resultant;  // R in [0,1]; higher = more concentrated.
+};
+
+CircularStats Sample(double mu, double kappa, int n, uint64_t seed) {
+  Rng rng(seed);
+  double sx = 0.0;
+  double sy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double theta = SampleVonMises(rng, mu, kappa);
+    EXPECT_GT(theta, -kPi - 1e-12);
+    EXPECT_LE(theta, kPi + 1e-12);
+    sx += std::cos(theta);
+    sy += std::sin(theta);
+  }
+  CircularStats out;
+  out.mean = std::atan2(sy, sx);
+  out.resultant = std::hypot(sx, sy) / n;
+  return out;
+}
+
+TEST(VonMisesTest, CircularMeanMatchesMu) {
+  for (double mu : {0.0, 1.0, -2.5}) {
+    const CircularStats s = Sample(mu, 4.0, 20000, 91);
+    EXPECT_NEAR(NormalizeAngle(s.mean - mu), 0.0, 0.05);
+  }
+}
+
+TEST(VonMisesTest, ConcentrationGrowsWithKappa) {
+  const double r1 = Sample(0.0, 0.5, 20000, 92).resultant;
+  const double r2 = Sample(0.0, 3.0, 20000, 93).resultant;
+  const double r3 = Sample(0.0, 12.0, 20000, 94).resultant;
+  EXPECT_LT(r1, r2);
+  EXPECT_LT(r2, r3);
+  // Known mean resultant length: R = I1(k)/I0(k); spot check k = 3 -> .80.
+  EXPECT_NEAR(r2, 0.801, 0.02);
+}
+
+TEST(VonMisesTest, ZeroKappaIsUniform) {
+  const CircularStats s = Sample(1.0, 0.0, 20000, 95);
+  EXPECT_NEAR(s.resultant, 0.0, 0.02);
+}
+
+TEST(VonMisesTest, PdfIntegratesToOne) {
+  for (double kappa : {0.1, 1.0, 5.0, 20.0}) {
+    double sum = 0.0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+      const double theta = -kPi + kTwoPi * (i + 0.5) / n;
+      sum += VonMisesPdf(theta, 0.7, kappa) * (kTwoPi / n);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6) << "kappa=" << kappa;
+  }
+}
+
+TEST(VonMisesTest, PdfPeaksAtMu) {
+  const double mu = 0.9;
+  const double at_mu = VonMisesPdf(mu, mu, 4.0);
+  for (double offset : {0.5, 1.0, 2.0}) {
+    EXPECT_GT(at_mu, VonMisesPdf(mu + offset, mu, 4.0));
+    EXPECT_GT(at_mu, VonMisesPdf(mu - offset, mu, 4.0));
+  }
+}
+
+TEST(VonMisesTest, BesselI0KnownValues) {
+  EXPECT_NEAR(BesselI0(0.0), 1.0, 1e-14);
+  EXPECT_NEAR(BesselI0(1.0), 1.2660658777520084, 1e-12);
+  EXPECT_NEAR(BesselI0(5.0), 27.239871823604442, 1e-9);
+}
+
+TEST(VonMisesTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(SampleVonMises(a, 0.3, 2.0),
+                     SampleVonMises(b, 0.3, 2.0));
+  }
+}
+
+}  // namespace
+}  // namespace bqs

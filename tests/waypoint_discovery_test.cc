@@ -1,0 +1,132 @@
+// Waypoint discovery and trip prediction over compressed trajectories.
+#include "storage/waypoint_discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/fbqs_compressor.h"
+#include "core/time_sensitive.h"
+#include "trajectory/compressor.h"
+
+namespace bqs {
+namespace {
+
+// A day: home (long stay) -> work (long stay) -> cafe or gym -> home.
+Trajectory Day(Rng& rng, double t0, bool to_cafe) {
+  const Vec2 home{0, 0};
+  const Vec2 work{5000, 200};
+  const Vec2 cafe{5200, 2200};
+  const Vec2 gym{-1800, 2600};
+
+  Trajectory out;
+  double t = t0;
+  const auto stay = [&](Vec2 where, double duration) {
+    for (double s = 0.0; s < duration; s += 60.0) {
+      out.push_back(TrackPoint{
+          where + Vec2{rng.Normal(0, 3), rng.Normal(0, 3)}, t += 60.0, {}});
+    }
+  };
+  const auto travel = [&](Vec2 from, Vec2 to) {
+    const int steps = 30;
+    for (int i = 1; i <= steps; ++i) {
+      out.push_back(TrackPoint{
+          from + (to - from) * (i / double(steps)), t += 60.0, {}});
+    }
+  };
+  stay(home, 3600.0);
+  travel(home, work);
+  stay(work, 4.0 * 3600.0);
+  const Vec2 third = to_cafe ? cafe : gym;
+  travel(work, third);
+  stay(third, 1800.0);
+  travel(third, home);
+  stay(home, 3600.0);
+  return out;
+}
+
+// Stays must survive compression for discovery to see them; the
+// time-sensitive compressor guarantees exactly that (shape-only FBQS may
+// legally merge "stay + straight travel" into one segment).
+TimeSensitiveCompressor MakeStayPreservingCompressor() {
+  TimeSensitiveOptions options;
+  options.epsilon = 15.0;
+  options.time_scale = 0.05;  // 300 s of timing error ~ 15 m
+  return TimeSensitiveCompressor(options);
+}
+
+TEST(WaypointDiscoveryTest, FindsTheRecurrentPlaces) {
+  Rng rng(1);
+  WaypointOptions options;
+  options.min_dwell_s = 900.0;
+  WaypointDiscovery discovery(options);
+  TimeSensitiveCompressor compressor = MakeStayPreservingCompressor();
+  for (int day = 0; day < 10; ++day) {
+    const Trajectory trip = Day(rng, day * 86400.0, day % 3 != 0);
+    discovery.Observe(CompressAll(compressor, trip));
+  }
+
+  // Home, work and two occasional third places.
+  const auto all = discovery.Waypoints(1);
+  ASSERT_GE(all.size(), 3u);
+  ASSERT_LE(all.size(), 6u);
+
+  const auto recurrent = discovery.Waypoints(8);
+  ASSERT_GE(recurrent.size(), 2u);
+  // The two most-visited places are home-like and work-like.
+  EXPECT_LT(Distance(recurrent[0].center, {0, 0}), 300.0);
+  bool work_found = false;
+  for (const auto& wp : recurrent) {
+    if (Distance(wp.center, {5000, 200}) < 300.0) work_found = true;
+  }
+  EXPECT_TRUE(work_found);
+  // Dwell accounting: home's accumulated dwell dominates.
+  EXPECT_GT(recurrent[0].total_dwell_s, 10 * 3600.0);
+}
+
+TEST(WaypointDiscoveryTest, TripsAndPrediction) {
+  Rng rng(2);
+  WaypointOptions options;
+  options.min_dwell_s = 900.0;
+  WaypointDiscovery discovery(options);
+  TimeSensitiveCompressor compressor = MakeStayPreservingCompressor();
+  for (int day = 0; day < 12; ++day) {
+    discovery.Observe(
+        CompressAll(compressor, Day(rng, day * 86400.0, day % 3 != 0)));
+  }
+  EXPECT_GE(discovery.trips().size(), 30u);
+
+  // From home the next stop is overwhelmingly work.
+  const auto home = discovery.Waypoints(10);
+  ASSERT_FALSE(home.empty());
+  const auto prediction = discovery.PredictNext(home[0].id);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_GT(prediction->second, 0.5);
+
+  // Trips carry sensible timestamps.
+  for (const Trip& trip : discovery.trips()) {
+    EXPECT_LT(trip.depart_t, trip.arrive_t);
+    EXPECT_NE(trip.from, trip.to);
+  }
+}
+
+TEST(WaypointDiscoveryTest, NoStaysNoWaypoints) {
+  WaypointDiscovery discovery;
+  FbqsCompressor compressor(BqsOptions{.epsilon = 10.0});
+  Trajectory line;
+  for (int i = 0; i < 500; ++i) {
+    line.push_back(TrackPoint{{i * 50.0, 0.0}, i * 10.0, {}});
+  }
+  discovery.Observe(CompressAll(compressor, line));
+  EXPECT_EQ(discovery.waypoint_count(), 0u);
+  EXPECT_FALSE(discovery.PredictNext(0).has_value());
+}
+
+TEST(WaypointDiscoveryTest, EmptyInputIsSafe) {
+  WaypointDiscovery discovery;
+  discovery.Observe(CompressedTrajectory{});
+  EXPECT_EQ(discovery.waypoint_count(), 0u);
+  EXPECT_TRUE(discovery.Waypoints().empty());
+}
+
+}  // namespace
+}  // namespace bqs
