@@ -77,7 +77,8 @@ int main(int argc, char** argv) {
               "(%zu stored, %zu merged into visit counts)\n",
               store.segment_count(), total_stored, total_merged);
   std::printf("store footprint: %.2f KB (raw would be %.1f KB)\n",
-              store.StorageBytes() / 1000.0, total_fixes * 12.0 / 1000.0);
+              static_cast<double>(store.StorageBytes()) / 1000.0,
+              static_cast<double>(total_fixes) * 12.0 / 1000.0);
   uint64_t max_visits = 0;
   for (const auto& seg : store.segments()) {
     if (seg.alive && seg.visits > max_visits) max_visits = seg.visits;

@@ -59,7 +59,7 @@ DeviationBounds QuadrantDeviationBounds(const QuadrantBound& qb, Vec2 end,
   {
     const Vec2 pmin = sig.min_angle_point;
     const Vec2 pmax = sig.max_angle_point;
-    for (int i = 0; i < 4; ++i) {
+    for (std::size_t i = 0; i < 4; ++i) {
       const Vec2 c = sig.corners[i];
       const double slack_min = 1e-9 * pmin.Norm() * c.Norm();
       const double slack_max = 1e-9 * pmax.Norm() * c.Norm();
@@ -111,7 +111,7 @@ DeviationBounds QuadrantDeviationBounds(const QuadrantBound& qb, Vec2 end,
     const auto& c = sig.corners;
     const Vec2 s{0.0, 0.0};
     double edge_lb = 0.0;
-    for (int i = 0; i < 4; ++i) {
+    for (std::size_t i = 0; i < 4; ++i) {
       edge_lb = std::max(
           edge_lb, SegmentToSegmentDistance(c[i], c[(i + 1) % 4], s, end));
     }
@@ -158,7 +158,7 @@ DeviationBounds BoxDeviationBounds(const QuadrantBound& qb, Vec2 end,
   DeviationBounds bounds;
   double mn = PathDistance(corners[0], end, metric);
   double mx = mn;
-  for (int i = 1; i < 4; ++i) {
+  for (std::size_t i = 1; i < 4; ++i) {
     const double d = PathDistance(corners[i], end, metric);
     mn = std::min(mn, d);
     mx = std::max(mx, d);
@@ -168,7 +168,7 @@ DeviationBounds BoxDeviationBounds(const QuadrantBound& qb, Vec2 end,
     // the segment metric the valid form is the exact distance from the
     // path segment to each (point-carrying) box edge.
     mn = 0.0;
-    for (int i = 0; i < 4; ++i) {
+    for (std::size_t i = 0; i < 4; ++i) {
       mn = std::max(mn, SegmentToSegmentDistance(corners[i],
                                                  corners[(i + 1) % 4],
                                                  Vec2{0.0, 0.0}, end));

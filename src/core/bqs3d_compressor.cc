@@ -79,7 +79,7 @@ Bqs3dCompressor::Decision Bqs3dCompressor::Assess(const TrackPoint3& pt) {
       ++stats_.trivial_includes;
     } else {
       ++stats_.upper_bound_includes;
-      octants_[OctantOf(rel)].Add(rel);
+      octants_[static_cast<std::size_t>(OctantOf(rel))].Add(rel);
       if (exact_mode_) buffer_.push_back(pt);
     }
     return Decision::kInclude;
@@ -101,7 +101,7 @@ Bqs3dCompressor::Decision Bqs3dCompressor::Assess(const TrackPoint3& pt) {
       ++stats_.trivial_includes;
     } else {
       ++stats_.exact_includes;
-      octants_[OctantOf(rel)].Add(rel);
+      octants_[static_cast<std::size_t>(OctantOf(rel))].Add(rel);
       buffer_.push_back(pt);
     }
     return Decision::kInclude;

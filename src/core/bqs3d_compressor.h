@@ -59,7 +59,9 @@ class Bqs3dCompressor {
   std::string_view name() const { return exact_mode_ ? "BQS3D" : "FBQS3D"; }
   const DecisionStats& stats() const { return stats_; }
   const Bqs3dOptions& options() const { return options_; }
-  const OctantBound& octant(int i) const { return octants_[i]; }
+  const OctantBound& octant(int i) const {
+    return octants_[static_cast<std::size_t>(i)];
+  }
 
  private:
   enum class Decision { kInclude, kSplit };

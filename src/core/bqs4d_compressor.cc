@@ -30,7 +30,7 @@ void OrthantBound4::Add(Vec4 p) {
   const double pv[4] = {p.x, p.y, p.z, p.w};
   double mn[4] = {min_.x, min_.y, min_.z, min_.w};
   double mx[4] = {max_.x, max_.y, max_.z, max_.w};
-  for (int axis = 0; axis < 4; ++axis) {
+  for (std::size_t axis = 0; axis < 4; ++axis) {
     if (pv[axis] < mn[axis]) {
       mn[axis] = pv[axis];
       extremes_[axis * 2] = p;
@@ -46,7 +46,7 @@ void OrthantBound4::Add(Vec4 p) {
 
 std::array<Vec4, 16> OrthantBound4::Corners() const {
   std::array<Vec4, 16> out;
-  for (int i = 0; i < 16; ++i) {
+  for (std::size_t i = 0; i < 16; ++i) {
     out[i] = Vec4{(i & 1) ? max_.x : min_.x, (i & 2) ? max_.y : min_.y,
                   (i & 4) ? max_.z : min_.z, (i & 8) ? max_.w : min_.w};
   }
@@ -126,7 +126,7 @@ Bqs4dCompressor::Decision Bqs4dCompressor::Assess(const TrackPoint4& pt) {
       ++stats_.trivial_includes;
     } else {
       ++stats_.upper_bound_includes;
-      orthants_[OrthantOf4(rel)].Add(rel);
+      orthants_[static_cast<std::size_t>(OrthantOf4(rel))].Add(rel);
       if (exact_mode_) buffer_.push_back(pt);
     }
     return Decision::kInclude;
@@ -155,7 +155,7 @@ Bqs4dCompressor::Decision Bqs4dCompressor::Assess(const TrackPoint4& pt) {
       ++stats_.trivial_includes;
     } else {
       ++stats_.exact_includes;
-      orthants_[OrthantOf4(rel)].Add(rel);
+      orthants_[static_cast<std::size_t>(OrthantOf4(rel))].Add(rel);
       buffer_.push_back(pt);
     }
     return Decision::kInclude;

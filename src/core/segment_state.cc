@@ -1,5 +1,6 @@
 #include "core/segment_state.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -15,6 +16,14 @@ SegmentEngine::SegmentEngine(const BqsOptions& options, bool exact_mode)
       exact_mode_(exact_mode),
       quadrants_{QuadrantBound(0), QuadrantBound(1), QuadrantBound(2),
                  QuadrantBound(3)} {
+  // Misconfiguration is a caller bug (BqsOptions::Validate() rejects it),
+  // but nothing forces callers through Validate() and an out-of-range
+  // warm-up length would index past the fixed warm-up buffer — so assert
+  // in debug and clamp as a release-mode backstop. options() reports the
+  // clamped value actually in force.
+  assert(options_.Validate().ok());
+  options_.rotation_warmup = std::clamp(options_.rotation_warmup, 1,
+                                        BqsOptions::kMaxRotationWarmup);
   Reset();
 }
 
@@ -98,7 +107,9 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
     }
     warmup_[warmup_count_++] = pt;
     if (exact_mode_) buffer_.push_back(pt);
-    if (warmup_count_ >= options_.rotation_warmup) EstablishRotation();
+    if (warmup_count_ >= static_cast<std::size_t>(options_.rotation_warmup)) {
+      EstablishRotation();
+    }
     return Decision::kInclude;
   }
 
@@ -161,7 +172,7 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
 void SegmentEngine::IncludeNonTrivial(const TrackPoint& pt) {
   const Vec2 rel_rot =
       (pt.pos - segment_start_.pos).Rotated(-rotation_angle_);
-  quadrants_[QuadrantOf(rel_rot)].Add(rel_rot);
+  quadrants_[static_cast<std::size_t>(QuadrantOf(rel_rot))].Add(rel_rot);
   if (exact_mode_) buffer_.push_back(pt);
 }
 
@@ -191,7 +202,7 @@ void SegmentEngine::EstablishRotation() {
   double sxx = 0.0;
   double syy = 0.0;
   double sxy = 0.0;
-  for (int i = 0; i < warmup_count_; ++i) {
+  for (std::size_t i = 0; i < warmup_count_; ++i) {
     const Vec2 rel = warmup_[i].pos - segment_start_.pos;
     centroid += rel;
     sxx += rel.x * rel.x;
@@ -209,10 +220,10 @@ void SegmentEngine::EstablishRotation() {
     rotation_angle_ = axis;
   }
   rotation_established_ = true;
-  for (int i = 0; i < warmup_count_; ++i) {
+  for (std::size_t i = 0; i < warmup_count_; ++i) {
     const Vec2 rel_rot =
         (warmup_[i].pos - segment_start_.pos).Rotated(-rotation_angle_);
-    quadrants_[QuadrantOf(rel_rot)].Add(rel_rot);
+    quadrants_[static_cast<std::size_t>(QuadrantOf(rel_rot))].Add(rel_rot);
   }
   warmup_count_ = 0;
 }
@@ -225,7 +236,7 @@ void SegmentEngine::EmitKey(const TrackPoint& pt, uint64_t index,
 
 double SegmentEngine::WarmupDeviation(Vec2 end_abs) const {
   double dev = 0.0;
-  for (int i = 0; i < warmup_count_; ++i) {
+  for (std::size_t i = 0; i < warmup_count_; ++i) {
     dev = std::max(dev, PointDeviation(warmup_[i].pos, segment_start_.pos,
                                        end_abs, options_.metric));
   }

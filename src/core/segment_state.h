@@ -56,7 +56,9 @@ class SegmentEngine {
   bool rotation_established() const { return rotation_established_; }
   double rotation_angle() const { return rotation_angle_; }
   std::size_t buffer_size() const { return buffer_.size(); }
-  const QuadrantBound& quadrant(int q) const { return quadrants_[q]; }
+  const QuadrantBound& quadrant(int q) const {
+    return quadrants_[static_cast<std::size_t>(q)];
+  }
 
  private:
   enum class Decision { kInclude, kSplit };
@@ -86,7 +88,7 @@ class SegmentEngine {
 
   bool rotation_established_ = false;
   double rotation_angle_ = 0.0;
-  int warmup_count_ = 0;
+  std::size_t warmup_count_ = 0;
   std::array<TrackPoint, BqsOptions::kMaxRotationWarmup> warmup_{};
 
   std::array<QuadrantBound, 4> quadrants_;

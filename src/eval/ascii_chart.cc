@@ -34,14 +34,16 @@ void AsciiChart::Print(std::ostream& os) const {
   std::vector<std::string> grid(height_, std::string(width_, ' '));
   const auto col = [&](double x) {
     const double u = (x - x_min) / (x_max - x_min);
-    return std::min(width_ - 1,
-                    static_cast<std::size_t>(u * (width_ - 1) + 0.5));
+    return std::min(
+        width_ - 1,
+        static_cast<std::size_t>(u * static_cast<double>(width_ - 1) + 0.5));
   };
   const auto row = [&](double y) {
     const double v = (y - y_min) / (y_max - y_min);
     return height_ - 1 -
            std::min(height_ - 1,
-                    static_cast<std::size_t>(v * (height_ - 1) + 0.5));
+                    static_cast<std::size_t>(
+                        v * static_cast<double>(height_ - 1) + 0.5));
   };
 
   for (std::size_t si = 0; si < series_.size(); ++si) {
@@ -63,7 +65,8 @@ void AsciiChart::Print(std::ostream& os) const {
 
   for (std::size_t r = 0; r < height_; ++r) {
     const double y =
-        y_max - (y_max - y_min) * static_cast<double>(r) / (height_ - 1);
+        y_max - (y_max - y_min) * static_cast<double>(r) /
+                    static_cast<double>(height_ - 1);
     os << StrPrintf("%9.3f |", y) << grid[r] << "\n";
   }
   os << StrPrintf("%9s +", "") << std::string(width_, '-') << "\n";

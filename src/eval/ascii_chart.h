@@ -3,6 +3,7 @@
 #ifndef BQS_EVAL_ASCII_CHART_H_
 #define BQS_EVAL_ASCII_CHART_H_
 
+#include <algorithm>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -20,8 +21,11 @@ struct ChartSeries {
 /// axis. Each series is drawn with its own glyph; a legend follows.
 class AsciiChart {
  public:
+  /// Dimensions below the minimum are clamped: the renderer needs
+  /// width > 20 for the x-axis label row and height > 1 for the y scale.
   AsciiChart(std::size_t width = 64, std::size_t height = 16)
-      : width_(width), height_(height) {}
+      : width_(std::max<std::size_t>(width, 21)),
+        height_(std::max<std::size_t>(height, 2)) {}
 
   void Add(ChartSeries series) { series_.push_back(std::move(series)); }
 

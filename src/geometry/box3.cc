@@ -40,7 +40,7 @@ bool Box3::Contains(Vec3 p) const {
 
 std::array<Vec3, 8> Box3::Corners() const {
   std::array<Vec3, 8> out;
-  for (int i = 0; i < 8; ++i) {
+  for (std::size_t i = 0; i < 8; ++i) {
     out[i] = Vec3{(i & 1) ? max_.x : min_.x, (i & 2) ? max_.y : min_.y,
                   (i & 4) ? max_.z : min_.z};
   }

@@ -25,7 +25,7 @@ Dataset BuildBatDataset(double scale, uint64_t seed) {
   const int nights =
       std::max(2, static_cast<int>(std::lround(14 * std::sqrt(scale))));
   std::vector<Trajectory> streams;
-  streams.reserve(num_bats);
+  streams.reserve(static_cast<std::size_t>(num_bats));
   for (int b = 0; b < num_bats; ++b) {
     FlyingFoxOptions options;
     options.num_nights = nights;

@@ -54,5 +54,18 @@ TEST(AsciiChartTest, SinglePointSeries) {
   EXPECT_NE(os.str().find('*'), std::string::npos);
 }
 
+TEST(AsciiChartTest, DegenerateDimensionsAreClamped) {
+  // width <= 20 used to wrap the x-axis printf field width negative, and
+  // height <= 1 divided by zero when scaling rows; both are clamped now.
+  AsciiChart chart(1, 1);
+  chart.Add(ChartSeries{"tiny", {0, 1, 2}, {0, 4, 8}});
+  std::ostringstream os;
+  chart.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace bqs

@@ -1,0 +1,80 @@
+// Tests for the bench harness glue: ScaleFromArgs argv/env precedence and
+// rejection of non-positive or malformed scales.
+#include "bench_common.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+
+namespace bqs {
+namespace bench {
+namespace {
+
+// Helper owning a mutable argv array (ScaleFromArgs takes char**).
+class ScaleFromArgsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { unsetenv("BQS_BENCH_SCALE"); }
+  void TearDown() override { unsetenv("BQS_BENCH_SCALE"); }
+
+  static double Run(const char* arg1, double default_scale = 0.35) {
+    static char prog[] = "bench";
+    static char buf[64];
+    char* argv[3] = {prog, nullptr, nullptr};
+    int argc = 1;
+    if (arg1 != nullptr) {
+      std::snprintf(buf, sizeof(buf), "%s", arg1);
+      argv[1] = buf;
+      argc = 2;
+    }
+    return ScaleFromArgs(argc, argv, default_scale);
+  }
+};
+
+TEST_F(ScaleFromArgsTest, DefaultWhenNoArgvNoEnv) {
+  EXPECT_DOUBLE_EQ(Run(nullptr), 0.35);
+  EXPECT_DOUBLE_EQ(Run(nullptr, 2.0), 2.0);
+}
+
+TEST_F(ScaleFromArgsTest, ArgvOverridesDefault) {
+  EXPECT_DOUBLE_EQ(Run("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(Run("0.05"), 0.05);
+}
+
+TEST_F(ScaleFromArgsTest, EnvOverridesDefault) {
+  setenv("BQS_BENCH_SCALE", "0.7", 1);
+  EXPECT_DOUBLE_EQ(Run(nullptr), 0.7);
+}
+
+TEST_F(ScaleFromArgsTest, ArgvTakesPrecedenceOverEnv) {
+  setenv("BQS_BENCH_SCALE", "0.7", 1);
+  EXPECT_DOUBLE_EQ(Run("1.25"), 1.25);
+}
+
+TEST_F(ScaleFromArgsTest, NonPositiveArgvFallsThroughToEnv) {
+  setenv("BQS_BENCH_SCALE", "0.9", 1);
+  EXPECT_DOUBLE_EQ(Run("0"), 0.9);
+  EXPECT_DOUBLE_EQ(Run("-3.5"), 0.9);
+}
+
+TEST_F(ScaleFromArgsTest, NonPositiveEverywhereFallsBackToDefault) {
+  setenv("BQS_BENCH_SCALE", "-1", 1);
+  EXPECT_DOUBLE_EQ(Run("0"), 0.35);
+  setenv("BQS_BENCH_SCALE", "0", 1);
+  EXPECT_DOUBLE_EQ(Run(nullptr, 0.5), 0.5);
+}
+
+TEST_F(ScaleFromArgsTest, MalformedInputsAreRejected) {
+  // std::atof returns 0.0 on parse failure, which counts as non-positive.
+  EXPECT_DOUBLE_EQ(Run("fast"), 0.35);
+  setenv("BQS_BENCH_SCALE", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(Run(nullptr), 0.35);
+}
+
+TEST_F(ScaleFromArgsTest, LeadingNumberParsesLikeAtof) {
+  // atof semantics: trailing junk after a valid prefix is ignored.
+  EXPECT_DOUBLE_EQ(Run("2.5x"), 2.5);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bqs

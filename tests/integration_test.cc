@@ -61,7 +61,9 @@ TEST(IntegrationTest, PaperOrderingBqsBestThenFbqs) {
     const SweepRow bdp = RunCell(AlgorithmId::kBdp, dataset, 10.0);
     const SweepRow bgd = RunCell(AlgorithmId::kBgd, dataset, 10.0);
     EXPECT_LE(bqs.points_out,
-              static_cast<std::size_t>(fbqs.points_out * 1.15) + 5)
+              static_cast<std::size_t>(
+                  static_cast<double>(fbqs.points_out) * 1.15) +
+                  5)
         << dataset.name;
     EXPECT_LT(fbqs.points_out, bdp.points_out) << dataset.name;
     EXPECT_LT(bqs.points_out, bdp.points_out) << dataset.name;
