@@ -1,22 +1,37 @@
-// Shared glue for the figure/table benches: dataset scale handling and the
-// banner each binary prints so outputs are self-describing.
+// Shared glue for the figure/table benches: dataset scale handling, the
+// banner each binary prints so outputs are self-describing, and the
+// streaming JSON emitter behind the machine-readable BENCH_*.json reports.
 #ifndef BQS_BENCH_BENCH_COMMON_H_
 #define BQS_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace bqs {
 namespace bench {
 
 /// Dataset scale: 1.0 reproduces paper-sized workloads; benches default to
-/// a smaller scale so the full suite stays quick. Override with argv[1] or
-/// BQS_BENCH_SCALE.
+/// a smaller scale so the full suite stays quick. Accepted spellings, in
+/// precedence order: a bare positional number ("0.5"), "--scale 0.5" or
+/// "--scale=0.5" anywhere in argv, then the BQS_BENCH_SCALE environment
+/// variable, then the per-bench default. Non-positive and malformed values
+/// fall through to the next source.
 inline double ScaleFromArgs(int argc, char** argv,
                             double default_scale = 0.35) {
-  if (argc > 1) {
-    const double v = std::atof(argv[1]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    double v = 0.0;
+    if (arg == "--scale" && i + 1 < argc) {
+      v = std::atof(argv[i + 1]);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      v = std::atof(argv[i] + 8);
+    } else if (i == 1 && arg.rfind("--", 0) != 0) {
+      v = std::atof(argv[1]);
+    }
     if (v > 0.0) return v;
   }
   if (const char* env = std::getenv("BQS_BENCH_SCALE")) {
@@ -24,6 +39,20 @@ inline double ScaleFromArgs(int argc, char** argv,
     if (v > 0.0) return v;
   }
   return default_scale;
+}
+
+/// Value of "--flag PATH" / "--flag=PATH" in argv, or `fallback`.
+inline std::string StringFlag(int argc, char** argv, std::string_view flag,
+                              std::string_view fallback) {
+  const std::string with_eq = std::string(flag) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(with_eq, 0) == 0) {
+      return std::string(arg.substr(with_eq.size()));
+    }
+  }
+  return std::string(fallback);
 }
 
 inline void Banner(const char* experiment, const char* paper_reference,
@@ -35,6 +64,143 @@ inline void Banner(const char* experiment, const char* paper_reference,
               scale);
   std::printf("==============================================================\n");
 }
+
+/// Minimal streaming JSON writer for the BENCH_*.json machine-readable
+/// reports. Call order mirrors the document structure; commas and key/value
+/// separators are inserted automatically. No escaping surprises: strings
+/// are escaped per RFC 8259, doubles use shortest-ish %.10g, and integers
+/// wider than 2^53 should be emitted as hex strings by the caller.
+///
+///   JsonReport json;
+///   json.BeginObject();
+///   json.Key("scale"), json.Value(0.05);
+///   json.Key("streams"), json.BeginArray();
+///   ...
+///   json.EndArray();
+///   json.EndObject();
+///   json.WriteFile("BENCH_throughput.json");
+class JsonReport {
+ public:
+  JsonReport& BeginObject() { return Open('{'); }
+  JsonReport& EndObject() { return Close('}'); }
+  JsonReport& BeginArray() { return Open('['); }
+  JsonReport& EndArray() { return Close(']'); }
+
+  JsonReport& Key(std::string_view key) {
+    Element();
+    Escaped(key);
+    out_ += ':';
+    key_pending_ = true;
+    return *this;
+  }
+
+  JsonReport& Value(std::string_view s) {
+    Element();
+    Escaped(s);
+    return *this;
+  }
+  JsonReport& Value(const char* s) { return Value(std::string_view(s)); }
+  JsonReport& Value(double v) {
+    Element();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonReport& Value(uint64_t v) {
+    Element();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  JsonReport& Value(int64_t v) {
+    Element();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  JsonReport& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonReport& Value(bool v) {
+    Element();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document plus a trailing newline. False on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::size_t n = std::fwrite(out_.data(), 1, out_.size(), f);
+    const bool ok = n == out_.size() && std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  JsonReport& Open(char c) {
+    Element();
+    out_ += c;
+    fresh_.push_back(1);
+    return *this;
+  }
+  JsonReport& Close(char c) {
+    out_ += c;
+    fresh_.pop_back();
+    return *this;
+  }
+  /// Comma bookkeeping: the first element at a level gets no comma; a value
+  /// directly after its key gets no comma either.
+  void Element() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;
+    }
+    if (!fresh_.empty()) {
+      if (fresh_.back() == 0) out_ += ',';
+      fresh_.back() = 0;
+    }
+  }
+  void Escaped(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<char> fresh_;  ///< 1 = level still awaits its first element.
+  bool key_pending_ = false;
+};
 
 }  // namespace bench
 }  // namespace bqs

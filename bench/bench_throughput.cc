@@ -1,0 +1,289 @@
+// Throughput bench + machine-readable perf baseline (BENCH_throughput.json).
+//
+// Measures points/sec of the BQS family through the batched ingest path on
+// (a) the merged empirical stream (the paper's Table III workload) and
+// (b) an adversarial slowly-drifting stream engineered to maximize the
+// inconclusive band d_lb <= eps < d_ub — the regime where the paper admits
+// BQS degrades to O(n^2) (Table I). BQS runs under both exact resolvers:
+// the Melkman-hull path and the seed's brute-force whole-buffer rescan,
+// which doubles as the reference implementation. The run FAILS (exit 1, so
+// CI fails) unless the hull path's key-point output is byte-identical to
+// the brute-force reference on every stream; it also verifies the error
+// bound end to end.
+//
+// Usage: bench_throughput [scale | --scale S] [--out PATH] [--reps N]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/bqs_compressor.h"
+#include "core/fbqs_compressor.h"
+#include "baselines/douglas_peucker.h"
+#include "eval/table.h"
+#include "simulation/datasets.h"
+#include "trajectory/compressor.h"
+#include "trajectory/deviation.h"
+
+namespace bqs {
+namespace {
+
+constexpr double kEpsilon = 10.0;  // Paper's evaluation tolerance (metres).
+
+uint64_t Fnv1aMix(uint64_t h, const void* data, std::size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Byte-exact fingerprint of a compressed output: indices and every field
+/// of every retained point participate.
+uint64_t ChecksumKeys(const CompressedTrajectory& compressed) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const KeyPoint& k : compressed.keys) {
+    h = Fnv1aMix(h, &k.index, sizeof(k.index));
+    h = Fnv1aMix(h, &k.point.pos.x, sizeof(double));
+    h = Fnv1aMix(h, &k.point.pos.y, sizeof(double));
+    h = Fnv1aMix(h, &k.point.t, sizeof(double));
+    h = Fnv1aMix(h, &k.point.velocity.x, sizeof(double));
+    h = Fnv1aMix(h, &k.point.velocity.y, sizeof(double));
+  }
+  return h;
+}
+
+std::string HexChecksum(uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+struct MeasuredRun {
+  std::string name;
+  double best_ms = 0.0;
+  double points_per_sec = 0.0;
+  std::size_t keys = 0;
+  uint64_t checksum = 0;
+  bool error_bounded = true;
+  bool has_stats = false;
+  DecisionStats stats;
+};
+
+/// Shared post-measurement tail: derived metrics from the retained output
+/// and the best repetition time, identical for every algorithm row.
+void FinishRun(MeasuredRun* run, const CompressedTrajectory& out,
+               const Trajectory& stream) {
+  run->keys = out.size();
+  run->checksum = ChecksumKeys(out);
+  run->points_per_sec = run->best_ms > 0.0
+                            ? static_cast<double>(stream.size()) /
+                                  (run->best_ms / 1000.0)
+                            : 0.0;
+  run->error_bounded =
+      EvaluateCompression(stream, out, DistanceMetric::kPointToLine)
+          .BoundedBy(kEpsilon * (1.0 + 1e-9));
+}
+
+template <typename MakeCompressor>
+MeasuredRun MeasureStream(const std::string& name, MakeCompressor make,
+                          const Trajectory& stream, int reps) {
+  MeasuredRun run;
+  run.name = name;
+  CompressedTrajectory out;
+  for (int r = 0; r < reps; ++r) {
+    auto compressor = make();
+    const auto start = std::chrono::steady_clock::now();
+    out = CompressAll(*compressor, stream);
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    if (r == 0 || ms < run.best_ms) run.best_ms = ms;
+    if (r == 0) {
+      run.stats = compressor->stats();
+      run.has_stats = true;
+    }
+  }
+  FinishRun(&run, out, stream);
+  return run;
+}
+
+MeasuredRun MeasureDp(const Trajectory& stream, int reps) {
+  MeasuredRun run;
+  run.name = "DP";
+  CompressedTrajectory out;
+  for (int r = 0; r < reps; ++r) {
+    DouglasPeucker dp(DpOptions{kEpsilon, DistanceMetric::kPointToLine});
+    const auto start = std::chrono::steady_clock::now();
+    out = dp.Compress(stream);
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    if (r == 0 || ms < run.best_ms) run.best_ms = ms;
+  }
+  FinishRun(&run, out, stream);
+  return run;
+}
+
+void EmitRun(bench::JsonReport& json, const MeasuredRun& run) {
+  json.BeginObject();
+  json.Key("name").Value(run.name);
+  json.Key("best_ms").Value(run.best_ms);
+  json.Key("points_per_sec").Value(run.points_per_sec);
+  json.Key("keys").Value(static_cast<uint64_t>(run.keys));
+  json.Key("checksum").Value(HexChecksum(run.checksum));
+  json.Key("error_bounded").Value(run.error_bounded);
+  if (run.has_stats) {
+    json.Key("exact_scans").Value(run.stats.exact_computations);
+    json.Key("exact_points_scanned").Value(run.stats.exact_points_scanned);
+    json.Key("peak_exact_state").Value(run.stats.peak_exact_state);
+    json.Key("pruning_power").Value(run.stats.PruningPower());
+  }
+  json.EndObject();
+}
+
+int Run(int argc, char** argv) {
+  const double scale = bench::ScaleFromArgs(argc, argv, 1.0);
+  const std::string out_path =
+      bench::StringFlag(argc, argv, "--out", "BENCH_throughput.json");
+  // A run with zero repetitions would "pass" the checksum gate on empty
+  // outputs and write a bogus baseline, so clamp to a sane range.
+  const int reps = std::clamp(
+      std::atoi(bench::StringFlag(argc, argv, "--reps", "5").c_str()), 1,
+      1000);
+
+  bench::Banner(
+      "Throughput — points/sec through PushBatch, hull vs brute-force "
+      "exact path (eps = 10 m)",
+      "Table I: BQS worst case O(n^2) from whole-buffer rescans; the "
+      "Melkman hull makes the exact resolve O(h)",
+      scale);
+
+  struct StreamCase {
+    Dataset dataset;
+    const char* note;
+  };
+  std::vector<StreamCase> cases;
+  cases.push_back({BuildEmpiricalMergedDataset(scale),
+                   "merged empirical stream (paper Table III workload)"});
+  cases.push_back({BuildAdversarialDriftDataset(scale, kEpsilon),
+                   "adversarial drift: bounds inconclusive on most points"});
+
+  bench::JsonReport json;
+  json.BeginObject();
+  json.Key("schema").Value("bqs-bench-throughput-v1");
+  json.Key("scale").Value(scale);
+  json.Key("epsilon").Value(kEpsilon);
+  json.Key("reps").Value(reps);
+  json.Key("streams").BeginArray();
+
+  bool all_identical = true;
+  bool all_bounded = true;
+  for (const StreamCase& c : cases) {
+    const Trajectory& stream = c.dataset.stream;
+    std::printf("\n-- %s: %zu points (%s) --\n", c.dataset.name.c_str(),
+                stream.size(), c.note);
+
+    BqsOptions hull_options;
+    hull_options.epsilon = kEpsilon;
+    BqsOptions brute_options = hull_options;
+    brute_options.exact_resolver = ExactResolver::kBruteForce;
+
+    std::vector<MeasuredRun> runs;
+    runs.push_back(MeasureStream(
+        "BQS",
+        [&] { return std::make_unique<BqsCompressor>(hull_options); },
+        stream, reps));
+    runs.push_back(MeasureStream(
+        "BQS_bruteforce",
+        [&] { return std::make_unique<BqsCompressor>(brute_options); },
+        stream, reps));
+    runs.push_back(MeasureStream(
+        "FBQS", [&] { return std::make_unique<FbqsCompressor>(hull_options); },
+        stream, reps));
+    runs.push_back(MeasureDp(stream, reps));
+
+    const MeasuredRun& hull = runs[0];
+    const MeasuredRun& brute = runs[1];
+    const double speedup =
+        hull.best_ms > 0.0 ? brute.best_ms / hull.best_ms : 0.0;
+    const bool identical = hull.checksum == brute.checksum &&
+                           hull.keys == brute.keys;
+    all_identical = all_identical && identical;
+    for (const MeasuredRun& run : runs) {
+      // DP and the BQS family all promise the epsilon guarantee; a
+      // violation anywhere fails the run (and the CI gate) even when both
+      // resolvers agree on the same wrong output.
+      all_bounded = all_bounded && run.error_bounded;
+    }
+
+    TablePrinter table({"algorithm", "points/sec", "best_ms", "keys",
+                        "exact_scans", "pts_scanned", "peak_state"});
+    for (const MeasuredRun& run : runs) {
+      table.AddRow(
+          {run.name, FmtDouble(run.points_per_sec, 0),
+           FmtDouble(run.best_ms, 2), FmtInt(static_cast<int64_t>(run.keys)),
+           run.has_stats
+               ? FmtInt(static_cast<int64_t>(run.stats.exact_computations))
+               : "-",
+           run.has_stats
+               ? FmtInt(static_cast<int64_t>(run.stats.exact_points_scanned))
+               : "-",
+           run.has_stats
+               ? FmtInt(static_cast<int64_t>(run.stats.peak_exact_state))
+               : "-"});
+    }
+    table.Print(std::cout);
+    std::printf("BQS hull-vs-bruteforce: %.2fx faster, output %s (%s)\n",
+                speedup, identical ? "byte-identical" : "DIVERGED",
+                HexChecksum(hull.checksum).c_str());
+
+    json.BeginObject();
+    json.Key("name").Value(c.dataset.name);
+    json.Key("points").Value(static_cast<uint64_t>(stream.size()));
+    json.Key("note").Value(c.note);
+    json.Key("algorithms").BeginArray();
+    for (const MeasuredRun& run : runs) EmitRun(json, run);
+    json.EndArray();
+    json.Key("bqs_speedup_vs_bruteforce").Value(speedup);
+    json.Key("byte_identical").Value(identical);
+    json.EndObject();
+  }
+
+  json.EndArray();
+  json.Key("all_byte_identical").Value(all_identical);
+  json.EndObject();
+
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "FAILED to write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: hull-resolver output diverged from the brute-force "
+                 "reference checksum\n");
+    return 1;
+  }
+  if (!all_bounded) {
+    std::fprintf(stderr,
+                 "FAIL: a compression violated the epsilon error bound\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bqs
+
+int main(int argc, char** argv) { return bqs::Run(argc, argv); }

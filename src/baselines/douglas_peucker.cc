@@ -1,6 +1,7 @@
 #include "baselines/douglas_peucker.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "geometry/line2.h"
 
@@ -22,8 +23,12 @@ std::vector<std::size_t> DouglasPeuckerIndices(
   kept[0] = true;
   kept[n - 1] = true;
 
-  // Each stack entry is an open range (from, to) with both ends kept.
+  // Each stack entry is an open range (from, to) with both ends kept. The
+  // explicit stack (not recursion) is load-bearing: adversarial streams can
+  // force maximally unbalanced splits, and a call stack n frames deep would
+  // overflow long before the heap notices (see the deep-zigzag test).
   std::vector<std::pair<std::size_t, std::size_t>> stack;
+  stack.reserve(64);
   stack.emplace_back(0, n - 1);
   while (!stack.empty()) {
     const auto [from, to] = stack.back();
@@ -34,11 +39,30 @@ std::vector<std::size_t> DouglasPeuckerIndices(
     const Vec2 b = points[to].pos;
     double worst = -1.0;
     std::size_t worst_idx = from;
-    for (std::size_t i = from + 1; i < to; ++i) {
-      const double d = PointDeviation(points[i].pos, a, b, metric);
-      if (d > worst) {
-        worst = d;
-        worst_idx = i;
+    const Vec2 chord = b - a;
+    const double chord_len = chord.Norm();
+    if (metric == DistanceMetric::kPointToLine && chord_len > 0.0) {
+      // Hot inner loop: scan the cross products and divide by the chord
+      // length once at the end instead of per point. Deliberate tradeoff:
+      // max(c_i)/len can differ from max(c_i/len) by an ulp, so a deviation
+      // within rounding distance of epsilon (or a quotient tie) may pick a
+      // different — equally valid, still within-epsilon — simplification
+      // than the per-point division would.
+      for (std::size_t i = from + 1; i < to; ++i) {
+        const double d = std::fabs(chord.Cross(points[i].pos - a));
+        if (d > worst) {
+          worst = d;
+          worst_idx = i;
+        }
+      }
+      worst /= chord_len;
+    } else {
+      for (std::size_t i = from + 1; i < to; ++i) {
+        const double d = PointDeviation(points[i].pos, a, b, metric);
+        if (d > worst) {
+          worst = d;
+          worst_idx = i;
+        }
       }
     }
     if (worst > epsilon) {

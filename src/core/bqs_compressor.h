@@ -27,6 +27,10 @@ class BqsCompressor final : public StreamCompressor {
   void Push(const TrackPoint& pt, std::vector<KeyPoint>* out) override {
     engine_.Push(pt, out);
   }
+  void PushBatch(std::span<const TrackPoint> points,
+                 std::vector<KeyPoint>* out) override {
+    engine_.PushBatch(points, out);
+  }
   void Finish(std::vector<KeyPoint>* out) override { engine_.Finish(out); }
   void Reset() override { engine_.Reset(); }
   std::string_view name() const override { return "BQS"; }

@@ -22,6 +22,14 @@ struct DecisionStats {
   uint64_t uncertain_splits = 0;      ///< FBQS aggressive splits when
                                       ///< d_lb <= epsilon < d_ub.
   uint64_t segments = 0;              ///< Segments closed (splits).
+  uint64_t exact_points_scanned = 0;  ///< Points examined across all exact
+                                      ///< resolves: hull vertices with
+                                      ///< ExactResolver::kHull, whole-buffer
+                                      ///< points with kBruteForce. The
+                                      ///< O(n^2)-vs-O(nh) story in one number.
+  uint64_t peak_exact_state = 0;      ///< Largest per-segment exact-resolve
+                                      ///< structure (hull vertices or
+                                      ///< buffered points) seen so far.
 
   /// Paper definition: 1 - N_computed / N_total. Full-buffer scans only;
   /// warm-up checks touch a constant-size (<=W) buffer and are reported

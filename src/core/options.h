@@ -22,6 +22,20 @@ enum class BoundsMode {
   kPaperEq8,
 };
 
+/// How BQS resolves the inconclusive case (d_lb <= epsilon < d_ub) exactly.
+enum class ExactResolver {
+  /// Scan the vertices of an incrementally-maintained convex hull of the
+  /// segment buffer (Melkman). O(h) per resolve, O(h) space, h << n; the
+  /// maximum deviation from a chord is attained at a hull vertex, so the
+  /// result matches the full scan. Default.
+  kHull,
+  /// The paper's literal Table I behaviour: rescan the whole segment
+  /// buffer. O(n) per resolve, O(n) space — worst-case O(n^2) streams.
+  /// Kept as the reference implementation the hull path is checksummed
+  /// against (tests and bench_throughput).
+  kBruteForce,
+};
+
 /// Options for BqsCompressor / FbqsCompressor (and the 3-D variants, which
 /// reuse epsilon/metric). Defaults follow the paper's evaluation setup.
 struct BqsOptions {
@@ -63,6 +77,11 @@ struct BqsOptions {
   /// Bound formulas; see BoundsMode. kPaperEq8 + paper_trivial_include
   /// together reproduce the paper's Algorithm 1 verbatim.
   BoundsMode bounds_mode = BoundsMode::kSound;
+
+  /// Exact-deviation resolver for BQS (FBQS never resolves exactly after
+  /// warm-up). kBruteForce reproduces the seed implementation bit-for-bit
+  /// and exists for differential tests and the bench reference.
+  ExactResolver exact_resolver = ExactResolver::kHull;
 
   /// Validates ranges; returns InvalidArgument with an explanation if bad.
   Status Validate() const {

@@ -14,6 +14,7 @@ namespace internal {
 SegmentEngine::SegmentEngine(const BqsOptions& options, bool exact_mode)
     : options_(options),
       exact_mode_(exact_mode),
+      use_hull_(options.exact_resolver == ExactResolver::kHull),
       quadrants_{QuadrantBound(0), QuadrantBound(1), QuadrantBound(2),
                  QuadrantBound(3)} {
   // Misconfiguration is a caller bug (BqsOptions::Validate() rejects it),
@@ -48,7 +49,39 @@ void SegmentEngine::Push(const TrackPoint& pt, std::vector<KeyPoint>* out) {
     StartSegment(pt, index);
     return;
   }
-  ProcessPoint(pt, index, out, 0);
+  if (probe_) {
+    ProcessPoint<true>(pt, index, out, 0);
+  } else {
+    ProcessPoint<false>(pt, index, out, 0);
+  }
+}
+
+void SegmentEngine::PushBatch(std::span<const TrackPoint> pts,
+                              std::vector<KeyPoint>* out) {
+  if (pts.empty()) return;
+  if (!have_first_) {
+    have_first_ = true;
+    const uint64_t index = next_index_++;
+    ++stats_.points;
+    EmitKey(pts.front(), index, out);
+    StartSegment(pts.front(), index);
+    pts = pts.subspan(1);
+    if (pts.empty()) return;
+  }
+  stats_.points += pts.size();
+  if (probe_) {
+    RunBatch<true>(pts, out);
+  } else {
+    RunBatch<false>(pts, out);
+  }
+}
+
+template <bool kProbed>
+void SegmentEngine::RunBatch(std::span<const TrackPoint> pts,
+                             std::vector<KeyPoint>* out) {
+  for (const TrackPoint& pt : pts) {
+    ProcessPoint<kProbed>(pt, next_index_++, out, 0);
+  }
 }
 
 void SegmentEngine::Finish(std::vector<KeyPoint>* out) {
@@ -57,12 +90,13 @@ void SegmentEngine::Finish(std::vector<KeyPoint>* out) {
   }
 }
 
+template <bool kProbed>
 void SegmentEngine::ProcessPoint(const TrackPoint& pt, uint64_t index,
                                  std::vector<KeyPoint>* out, int depth) {
   // A point can be re-processed at most once: after a split the new segment
   // contains no interior points, so the second assessment always includes.
   assert(depth <= 1);
-  const Decision decision = Assess(pt, index);
+  const Decision decision = Assess<kProbed>(pt, index);
   if (decision == Decision::kInclude) {
     prev_ = pt;
     prev_index_ = index;
@@ -73,9 +107,10 @@ void SegmentEngine::ProcessPoint(const TrackPoint& pt, uint64_t index,
   EmitKey(prev_, prev_index_, out);
   ++stats_.segments;
   StartSegment(prev_, prev_index_);
-  ProcessPoint(pt, index, out, depth + 1);
+  ProcessPoint<kProbed>(pt, index, out, depth + 1);
 }
 
+template <bool kProbed>
 SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
                                               uint64_t index) {
   const Vec2 rel = pt.pos - segment_start_.pos;
@@ -96,7 +131,7 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
   if (!rotation_established_) {
     // Rotation warm-up (Section V-D): the first few out-of-epsilon points
     // are kept in a tiny fixed buffer and checked exactly; this is a
-    // constant-size scan (<= rotation_warmup points).
+    // constant-size scan (<= rotation_warmup points, or their hull).
     if (warmup_count_ > 0) {
       ++stats_.warmup_checks;
       if (WarmupDeviation(pt.pos) > eps) return Decision::kSplit;
@@ -106,27 +141,37 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
       return Decision::kInclude;
     }
     warmup_[warmup_count_++] = pt;
-    if (exact_mode_) buffer_.push_back(pt);
+    if (exact_mode_) {
+      // Warm-up points are segment-buffer points: they must be visible to
+      // every later exact resolve. FBQS has no exact state at all — its
+      // warm-up checks scan the warmup_ array directly.
+      if (use_hull_) {
+        AddHullPoint(pt.pos);
+      } else {
+        buffer_.push_back(pt);
+        stats_.peak_exact_state =
+            std::max<uint64_t>(stats_.peak_exact_state, buffer_.size());
+      }
+    }
     if (warmup_count_ >= static_cast<std::size_t>(options_.rotation_warmup)) {
       EstablishRotation();
     }
     return Decision::kInclude;
   }
 
-  const Vec2 rel_rot = rel.Rotated(-rotation_angle_);
+  const Vec2 rel_rot = ToRotatedFrame(rel);
   const DeviationBounds bounds = AggregateBounds(rel_rot);
 
-  if (probe_) {
-    BoundsProbe probe;
-    probe.index = index;
-    probe.lower = bounds.lower;
-    probe.upper = bounds.upper;
-    probe.epsilon = eps;
-    probe.actual = exact_mode_
-                       ? BufferDeviation(buffer_, segment_start_.pos, pt.pos,
-                                         options_.metric)
-                       : -1.0;
-    probe_(probe);
+  if constexpr (kProbed) {
+    if (probe_) {
+      BoundsProbe probe;
+      probe.index = index;
+      probe.lower = bounds.lower;
+      probe.upper = bounds.upper;
+      probe.epsilon = eps;
+      probe.actual = exact_mode_ ? ExactDeviation(pt.pos) : -1.0;
+      probe_(probe);
+    }
   }
 
   if (bounds.upper <= eps) {
@@ -135,7 +180,7 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
       ++stats_.trivial_includes;
     } else {
       ++stats_.upper_bound_includes;
-      IncludeNonTrivial(pt);
+      IncludeNonTrivial(pt, rel_rot);
     }
     return Decision::kInclude;
   }
@@ -152,16 +197,18 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
     return Decision::kSplit;
   }
 
-  // BQS: resolve with the exact deviation over the segment buffer.
+  // BQS: resolve exactly — over the hull vertices of the segment buffer
+  // (O(h), the deviation maximum is attained there) or, as the reference
+  // implementation, over the whole buffer (O(n)).
   ++stats_.exact_computations;
-  const double dev =
-      BufferDeviation(buffer_, segment_start_.pos, pt.pos, options_.metric);
+  const double dev = ExactDeviation(pt.pos);  // drains the pending batch
+  stats_.exact_points_scanned += use_hull_ ? hull_.size() : buffer_.size();
   if (dev <= eps) {
     if (trivial) {
       ++stats_.trivial_includes;
     } else {
       ++stats_.exact_includes;
-      IncludeNonTrivial(pt);
+      IncludeNonTrivial(pt, rel_rot);
     }
     return Decision::kInclude;
   }
@@ -169,11 +216,28 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
   return Decision::kSplit;
 }
 
-void SegmentEngine::IncludeNonTrivial(const TrackPoint& pt) {
-  const Vec2 rel_rot =
-      (pt.pos - segment_start_.pos).Rotated(-rotation_angle_);
+void SegmentEngine::IncludeNonTrivial(const TrackPoint& pt, Vec2 rel_rot) {
   quadrants_[static_cast<std::size_t>(QuadrantOf(rel_rot))].Add(rel_rot);
-  if (exact_mode_) buffer_.push_back(pt);
+  if (!exact_mode_) return;
+  if (use_hull_) {
+    AddHullPoint(pt.pos);
+  } else {
+    buffer_.push_back(pt);
+    stats_.peak_exact_state =
+        std::max<uint64_t>(stats_.peak_exact_state, buffer_.size());
+  }
+}
+
+void SegmentEngine::AddHullPoint(Vec2 pos) {
+  hull_pending_.push_back(pos);
+  if (hull_pending_.size() >= kHullDrainBatch) DrainPendingHull();
+  stats_.peak_exact_state = std::max<uint64_t>(
+      stats_.peak_exact_state, hull_.size() + hull_pending_.size());
+}
+
+void SegmentEngine::DrainPendingHull() {
+  for (const Vec2 p : hull_pending_) hull_.Add(p);
+  hull_pending_.clear();
 }
 
 void SegmentEngine::StartSegment(const TrackPoint& pt, uint64_t index) {
@@ -182,12 +246,21 @@ void SegmentEngine::StartSegment(const TrackPoint& pt, uint64_t index) {
   prev_ = pt;
   prev_index_ = index;
   rotation_angle_ = 0.0;
+  rot_cos_ = 1.0;
+  rot_sin_ = 0.0;
   // Without data-centric rotation the quadrant system is active (unrotated)
   // from the first point on; with it, warm-up gathers points first.
   rotation_established_ = !options_.data_centric_rotation;
   warmup_count_ = 0;
   for (QuadrantBound& q : quadrants_) q.Reset();
+  hull_.Clear();
+  hull_pending_.clear();
   buffer_.clear();
+  if (exact_mode_ && !use_hull_) {
+    // The warm-up points land here before any split can happen; reserving
+    // them up front avoids the first few reallocations of every segment.
+    buffer_.reserve(static_cast<std::size_t>(options_.rotation_warmup));
+  }
 }
 
 void SegmentEngine::EstablishRotation() {
@@ -219,10 +292,11 @@ void SegmentEngine::EstablishRotation() {
     }
     rotation_angle_ = axis;
   }
+  rot_cos_ = std::cos(rotation_angle_);
+  rot_sin_ = std::sin(rotation_angle_);
   rotation_established_ = true;
   for (std::size_t i = 0; i < warmup_count_; ++i) {
-    const Vec2 rel_rot =
-        (warmup_[i].pos - segment_start_.pos).Rotated(-rotation_angle_);
+    const Vec2 rel_rot = ToRotatedFrame(warmup_[i].pos - segment_start_.pos);
     quadrants_[static_cast<std::size_t>(QuadrantOf(rel_rot))].Add(rel_rot);
   }
   warmup_count_ = 0;
@@ -234,7 +308,20 @@ void SegmentEngine::EmitKey(const TrackPoint& pt, uint64_t index,
   last_emitted_index_ = index;
 }
 
+double SegmentEngine::ExactDeviation(Vec2 end_abs) {
+  if (use_hull_) {
+    DrainPendingHull();
+    return hull_.MaxDeviation(segment_start_.pos, end_abs, options_.metric);
+  }
+  return BufferDeviation(buffer_, segment_start_.pos, end_abs,
+                         options_.metric);
+}
+
 double SegmentEngine::WarmupDeviation(Vec2 end_abs) const {
+  // The warm-up window is a constant <= kMaxRotationWarmup points, so the
+  // flat scan is already O(1) and beats paying hull maintenance this early;
+  // the hull (fed the same points) takes over for every post-rotation
+  // exact resolve.
   double dev = 0.0;
   for (std::size_t i = 0; i < warmup_count_; ++i) {
     dev = std::max(dev, PointDeviation(warmup_[i].pos, segment_start_.pos,

@@ -1,21 +1,30 @@
 // The streaming engine behind BqsCompressor and FbqsCompressor: Algorithm 1
 // of the paper plus data-centric rotation (Section V-D). The two public
 // compressors differ only in how the inconclusive case
-// (d_lb <= epsilon < d_ub) is resolved: BQS scans the segment buffer for
-// the exact deviation; FBQS aggressively splits, which removes the buffer
-// entirely and makes per-point time and space O(1) (Section V-E).
+// (d_lb <= epsilon < d_ub) is resolved: BQS computes the exact deviation;
+// FBQS aggressively splits, which removes all per-point state and makes
+// per-point time and space O(1) (Section V-E).
+//
+// BQS's exact resolve is driven by ExactResolver: the default maintains a
+// Melkman convex hull of the segment buffer incrementally and scans only its
+// vertices (O(h) per resolve, amortized O(1) maintenance per point — the max
+// deviation from a chord is attained at a hull vertex), while kBruteForce
+// keeps the paper's O(n)-per-resolve whole-buffer rescan as the reference
+// implementation the hull path is verified against.
 #ifndef BQS_CORE_SEGMENT_STATE_H_
 #define BQS_CORE_SEGMENT_STATE_H_
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/bounds.h"
 #include "core/decision_stats.h"
 #include "core/options.h"
 #include "core/quadrant_bound.h"
+#include "geometry/melkman_hull.h"
 #include "trajectory/point.h"
 
 namespace bqs {
@@ -26,20 +35,25 @@ struct BoundsProbe {
   uint64_t index = 0;        ///< Stream index of the assessed point.
   double lower = 0.0;        ///< Aggregated d_lb.
   double upper = 0.0;        ///< Aggregated d_ub.
-  double actual = -1.0;      ///< Exact deviation; -1 when no buffer exists
-                             ///< (fast mode) to compute it from.
+  double actual = -1.0;      ///< Exact deviation; -1 when no exact state
+                             ///< exists (fast mode) to compute it from.
   double epsilon = 0.0;      ///< Tolerance in force.
 };
 
 /// Single-stream state machine. Not thread-safe.
 class SegmentEngine {
  public:
-  /// `exact_mode` selects BQS (true: keep a buffer, scan on inconclusive
-  /// bounds) or FBQS (false: constant space, split on inconclusive bounds).
+  /// `exact_mode` selects BQS (true: keep exact per-segment state, resolve
+  /// inconclusive bounds) or FBQS (false: constant space, split on
+  /// inconclusive bounds).
   SegmentEngine(const BqsOptions& options, bool exact_mode);
 
   void Reset();
   void Push(const TrackPoint& pt, std::vector<KeyPoint>* out);
+  /// Batched ingest: identical decisions to per-point Push, but hoists the
+  /// first-point setup, the probe dispatch and the per-point stats updates
+  /// out of the loop. This is the hot path CompressAll and the benches use.
+  void PushBatch(std::span<const TrackPoint> pts, std::vector<KeyPoint>* out);
   void Finish(std::vector<KeyPoint>* out);
 
   const DecisionStats& stats() const { return stats_; }
@@ -55,7 +69,10 @@ class SegmentEngine {
   // --- Introspection for tests -------------------------------------------
   bool rotation_established() const { return rotation_established_; }
   double rotation_angle() const { return rotation_angle_; }
+  /// Brute-force-resolver buffer size; 0 under the (default) hull resolver.
   std::size_t buffer_size() const { return buffer_.size(); }
+  /// Hull vertex count of the current segment (hull resolver only).
+  std::size_t hull_size() const { return hull_.size(); }
   const QuadrantBound& quadrant(int q) const {
     return quadrants_[static_cast<std::size_t>(q)];
   }
@@ -63,19 +80,44 @@ class SegmentEngine {
  private:
   enum class Decision { kInclude, kSplit };
 
+  template <bool kProbed>
   void ProcessPoint(const TrackPoint& pt, uint64_t index,
                     std::vector<KeyPoint>* out, int depth);
+  template <bool kProbed>
+  void RunBatch(std::span<const TrackPoint> pts, std::vector<KeyPoint>* out);
+  template <bool kProbed>
   Decision Assess(const TrackPoint& pt, uint64_t index);
-  void IncludeNonTrivial(const TrackPoint& pt);
+  void IncludeNonTrivial(const TrackPoint& pt, Vec2 rel_rot);
   void StartSegment(const TrackPoint& pt, uint64_t index);
   void EstablishRotation();
   void EmitKey(const TrackPoint& pt, uint64_t index,
                std::vector<KeyPoint>* out);
+  /// rel mapped into the rotated quadrant frame; bit-identical to
+  /// rel.Rotated(-rotation_angle_) but reuses the cached cos/sin instead of
+  /// re-deriving them per point.
+  Vec2 ToRotatedFrame(Vec2 rel) const {
+    return {rot_cos_ * rel.x + rot_sin_ * rel.y,
+            -rot_sin_ * rel.x + rot_cos_ * rel.y};
+  }
+  /// Stages a buffered point for the hull. Hull maintenance is lazy: the
+  /// point lands in a small pending batch (cap kHullDrainBatch, so space
+  /// stays O(h)) and is only folded in when an exact resolve needs the
+  /// hull — streams whose bounds stay conclusive never pay for hull
+  /// construction at all.
+  void AddHullPoint(Vec2 pos);
+  void DrainPendingHull();
+  /// Exact deviation of the current segment's interior points against the
+  /// path (segment start, end_abs), via the configured resolver. Non-const:
+  /// drains the pending hull batch.
+  double ExactDeviation(Vec2 end_abs);
+  /// Exact deviation of the warm-up points (pre-rotation segment prefix).
   double WarmupDeviation(Vec2 end_abs) const;
   DeviationBounds AggregateBounds(Vec2 end_rel_rotated) const;
 
   BqsOptions options_;
   bool exact_mode_;
+  /// Exact state is a Melkman hull (default) instead of the flat buffer.
+  bool use_hull_;
   DecisionStats stats_;
 
   bool have_first_ = false;
@@ -88,13 +130,22 @@ class SegmentEngine {
 
   bool rotation_established_ = false;
   double rotation_angle_ = 0.0;
+  double rot_cos_ = 1.0;
+  double rot_sin_ = 0.0;
   std::size_t warmup_count_ = 0;
   std::array<TrackPoint, BqsOptions::kMaxRotationWarmup> warmup_{};
 
   std::array<QuadrantBound, 4> quadrants_;
 
-  /// Absolute-coordinate segment buffer; used (and non-empty) only in
-  /// exact mode. FBQS never touches it, preserving O(1) space.
+  /// Incremental hull of the segment buffer (hull resolver). BQS-only:
+  /// FBQS keeps no exact state of any kind (O(1) space).
+  MelkmanHull hull_;
+  /// Points staged for the hull but not yet folded in (lazy maintenance).
+  static constexpr std::size_t kHullDrainBatch = 256;
+  std::vector<Vec2> hull_pending_;
+
+  /// Absolute-coordinate segment buffer; used (and non-empty) only by BQS
+  /// under ExactResolver::kBruteForce.
   std::vector<TrackPoint> buffer_;
 
   std::function<void(const BoundsProbe&)> probe_;

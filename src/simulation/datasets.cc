@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/math_utils.h"
+#include "common/rng.h"
 #include "simulation/flying_fox.h"
 #include "simulation/random_walk.h"
 #include "simulation/vehicle.h"
@@ -58,6 +60,31 @@ Dataset BuildEmpiricalMergedDataset(double scale, uint64_t seed) {
   Dataset vehicle = BuildVehicleDataset(scale, seed + 1);
   return Dataset{"empirical",
                  ConcatenateStreams({bat.stream, vehicle.stream})};
+}
+
+Dataset BuildAdversarialDriftDataset(double scale, double epsilon_hint,
+                                     uint64_t seed) {
+  const std::size_t n = std::max<std::size_t>(
+      2000, static_cast<std::size_t>(std::lround(40000 * scale)));
+  Rng rng(seed);
+  Trajectory out;
+  out.reserve(n);
+  // Amplitude a hair under the tolerance keeps the exact deviation in the
+  // include range, while the noise keeps the aggregated upper bound above
+  // it; the slow phase drift eventually forces a split, so segment length
+  // stays in the thousands rather than covering the whole stream.
+  const double step = 5.0;
+  const double amplitude = 0.93 * epsilon_hint;
+  const double noise = 0.06 * epsilon_hint;
+  const double period_points = 4000.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase =
+        kTwoPi * static_cast<double>(i) / period_points;
+    const double x = static_cast<double>(i) * step;
+    const double y = amplitude * std::sin(phase) + rng.Normal(0.0, noise);
+    out.push_back(TrackPoint{{x, y}, static_cast<double>(i), {step, 0.0}});
+  }
+  return Dataset{"adversarial_drift", std::move(out)};
 }
 
 std::vector<Dataset> BuildAllDatasets(double scale) {

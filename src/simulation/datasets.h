@@ -34,6 +34,17 @@ Dataset BuildSyntheticDataset(double scale = 1.0, uint64_t seed = 20150415);
 /// feeds 87,704 empirical points as one stream).
 Dataset BuildEmpiricalMergedDataset(double scale = 1.0, uint64_t seed = 3003);
 
+/// Worst-case stream for the BQS exact path: a slow drift whose lateral
+/// oscillation hovers just under `epsilon_hint`, so the quadrant bounds are
+/// inconclusive (d_lb <= eps < d_ub) on a large fraction of points while
+/// segments grow thousands of points long. Under the brute-force resolver
+/// every inconclusive point rescans that huge buffer (the paper's Table I
+/// O(n^2) degradation); the hull resolver scans a few dozen vertices.
+/// scale = 1.0 gives 40,000 points.
+Dataset BuildAdversarialDriftDataset(double scale = 1.0,
+                                     double epsilon_hint = 10.0,
+                                     uint64_t seed = 4004);
+
 /// All datasets used across the benches.
 std::vector<Dataset> BuildAllDatasets(double scale = 1.0);
 

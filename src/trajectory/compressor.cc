@@ -6,9 +6,7 @@ CompressedTrajectory CompressAll(StreamCompressor& compressor,
                                  std::span<const TrackPoint> points) {
   CompressedTrajectory out;
   compressor.Reset();
-  for (const TrackPoint& p : points) {
-    compressor.Push(p, &out.keys);
-  }
+  compressor.PushBatch(points, &out.keys);
   compressor.Finish(&out.keys);
   return out;
 }

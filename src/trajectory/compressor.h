@@ -27,6 +27,15 @@ class StreamCompressor {
   /// Processes the next sample; appends any newly-final key points to *out.
   virtual void Push(const TrackPoint& pt, std::vector<KeyPoint>* out) = 0;
 
+  /// Processes a batch of consecutive samples. Semantically identical to
+  /// pushing each point, but overridable so implementations can hoist
+  /// per-point dispatch out of their hot loop (SegmentEngine does). This is
+  /// what CompressAll and the benches feed whole streams through.
+  virtual void PushBatch(std::span<const TrackPoint> points,
+                         std::vector<KeyPoint>* out) {
+    for (const TrackPoint& pt : points) Push(pt, out);
+  }
+
   /// Ends the stream; appends the closing key point(s) to *out.
   virtual void Finish(std::vector<KeyPoint>* out) = 0;
 

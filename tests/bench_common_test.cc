@@ -1,8 +1,13 @@
 // Tests for the bench harness glue: ScaleFromArgs argv/env precedence and
-// rejection of non-positive or malformed scales.
+// rejection of non-positive or malformed scales, flag parsing, and the
+// JsonReport emitter.
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -73,6 +78,113 @@ TEST_F(ScaleFromArgsTest, MalformedInputsAreRejected) {
 TEST_F(ScaleFromArgsTest, LeadingNumberParsesLikeAtof) {
   // atof semantics: trailing junk after a valid prefix is ignored.
   EXPECT_DOUBLE_EQ(Run("2.5x"), 2.5);
+}
+
+// --scale flag forms (what the CI smoke run passes), incl. mixed with
+// other flags anywhere in argv.
+class FlagArgsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { unsetenv("BQS_BENCH_SCALE"); }
+  void TearDown() override { unsetenv("BQS_BENCH_SCALE"); }
+
+  /// Owns the argv storage, so several packs can coexist in one test.
+  struct ArgvPack {
+    std::vector<std::string> storage;
+    std::vector<char*> argv;
+    int argc() const { return static_cast<int>(argv.size()); }
+    char** data() { return argv.data(); }
+  };
+
+  static ArgvPack Argv(std::initializer_list<const char*> args) {
+    ArgvPack pack;
+    pack.storage.emplace_back("bench");
+    pack.storage.insert(pack.storage.end(), args.begin(), args.end());
+    // Pointers are taken only after storage stops growing; moving the pack
+    // moves the vectors' heap buffers, leaving the strings in place.
+    for (std::string& s : pack.storage) pack.argv.push_back(s.data());
+    return pack;
+  }
+};
+
+TEST_F(FlagArgsTest, ScaleFlagWithSeparateValue) {
+  auto argv = Argv({"--scale", "0.05"});
+  EXPECT_DOUBLE_EQ(ScaleFromArgs(argv.argc(), argv.data()), 0.05);
+}
+
+TEST_F(FlagArgsTest, ScaleFlagWithEquals) {
+  auto argv = Argv({"--scale=1.25"});
+  EXPECT_DOUBLE_EQ(ScaleFromArgs(argv.argc(), argv.data()), 1.25);
+}
+
+TEST_F(FlagArgsTest, ScaleFlagAfterOtherFlags) {
+  auto argv = Argv({"--out", "x.json", "--scale", "0.7"});
+  EXPECT_DOUBLE_EQ(ScaleFromArgs(argv.argc(), argv.data()), 0.7);
+}
+
+TEST_F(FlagArgsTest, MalformedScaleFlagFallsBack) {
+  auto argv = Argv({"--scale", "zero"});
+  EXPECT_DOUBLE_EQ(ScaleFromArgs(argv.argc(), argv.data(), 0.4), 0.4);
+}
+
+TEST_F(FlagArgsTest, StringFlagForms) {
+  auto argv = Argv({"--scale", "0.1", "--out", "a.json"});
+  auto argv2 = Argv({"--out=b.json"});
+  auto argv3 = Argv({"0.5"});
+  EXPECT_EQ(StringFlag(argv.argc(), argv.data(), "--out", "default.json"),
+            "a.json");
+  EXPECT_EQ(StringFlag(argv2.argc(), argv2.data(), "--out", "default.json"),
+            "b.json");
+  EXPECT_EQ(StringFlag(argv3.argc(), argv3.data(), "--out", "default.json"),
+            "default.json");
+}
+
+TEST(JsonReportTest, NestedDocumentStructure) {
+  JsonReport json;
+  json.BeginObject();
+  json.Key("schema").Value("bqs-bench-v1");
+  json.Key("scale").Value(0.05);
+  json.Key("count").Value(uint64_t{12});
+  json.Key("delta").Value(-3);
+  json.Key("ok").Value(true);
+  json.Key("streams").BeginArray();
+  json.BeginObject();
+  json.Key("name").Value("empirical");
+  json.Key("values").BeginArray();
+  json.Value(1).Value(2).Value(3);
+  json.EndArray();
+  json.EndObject();
+  json.BeginObject().EndObject();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"schema\":\"bqs-bench-v1\",\"scale\":0.05,\"count\":12,"
+            "\"delta\":-3,\"ok\":true,\"streams\":[{\"name\":\"empirical\","
+            "\"values\":[1,2,3]},{}]}");
+}
+
+TEST(JsonReportTest, EscapesStrings) {
+  JsonReport json;
+  json.BeginObject();
+  json.Key("text").Value("a\"b\\c\nd\te\x01");
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"text\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+}
+
+TEST(JsonReportTest, WriteFileRoundTrips) {
+  JsonReport json;
+  json.BeginObject();
+  json.Key("x").Value(7);
+  json.EndObject();
+  const std::string path = ::testing::TempDir() + "/bqs_json_report_test.json";
+  ASSERT_TRUE(json.WriteFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "{\"x\":7}\n");
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "baselines/buffered_greedy.h"
 #include "test_util.h"
 #include "trajectory/deviation.h"
@@ -262,6 +265,130 @@ TEST(BqsCompressorTest, KeyIndicesStrictlyIncrease) {
   for (std::size_t i = 1; i < compressed.size(); ++i) {
     EXPECT_LT(compressed.keys[i - 1].index, compressed.keys[i].index);
   }
+}
+
+void ExpectByteIdenticalKeys(const CompressedTrajectory& a,
+                             const CompressedTrajectory& b,
+                             const char* context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.keys[i].index, b.keys[i].index) << context << " key " << i;
+    // TrackPoint::operator== compares every double exactly, so this is a
+    // byte-for-byte check (all emitted points are original stream points).
+    ASSERT_TRUE(a.keys[i].point == b.keys[i].point) << context << " key "
+                                                    << i;
+  }
+}
+
+TEST(BqsCompressorTest, HullResolverIsByteIdenticalToBruteForce) {
+  // The tentpole guarantee: the Melkman-hull exact path takes exactly the
+  // decisions of the seed's whole-buffer rescan, over random_walk and
+  // von Mises streams, both metrics, a range of tolerances.
+  for (uint64_t seed : {71u, 72u, 73u}) {
+    const Trajectory walks[] = {SmoothWalk(seed, 2500),
+                                JaggedWalk(seed, 2500),
+                                testing_util::VonMisesWalk(seed, 2500, 2.0)};
+    for (const Trajectory& walk : walks) {
+      for (double epsilon : {2.0, 5.0, 10.0, 25.0}) {
+        for (DistanceMetric metric : {DistanceMetric::kPointToLine,
+                                      DistanceMetric::kPointToSegment}) {
+          BqsOptions hull_options;
+          hull_options.epsilon = epsilon;
+          hull_options.metric = metric;
+          hull_options.exact_resolver = ExactResolver::kHull;
+          BqsOptions brute_options = hull_options;
+          brute_options.exact_resolver = ExactResolver::kBruteForce;
+
+          BqsCompressor via_hull(hull_options);
+          BqsCompressor via_brute(brute_options);
+          const CompressedTrajectory hull_out = CompressAll(via_hull, walk);
+          const CompressedTrajectory brute_out = CompressAll(via_brute, walk);
+          ExpectByteIdenticalKeys(hull_out, brute_out, "resolver diff");
+
+          // Same decisions imply the same decision mix.
+          EXPECT_EQ(via_hull.stats().exact_computations,
+                    via_brute.stats().exact_computations);
+          EXPECT_EQ(via_hull.stats().segments, via_brute.stats().segments);
+          EXPECT_EQ(via_hull.stats().upper_bound_includes,
+                    via_brute.stats().upper_bound_includes);
+          EXPECT_EQ(via_hull.stats().lower_bound_splits,
+                    via_brute.stats().lower_bound_splits);
+          // And the hull must never scan more than the buffer would.
+          EXPECT_LE(via_hull.stats().exact_points_scanned,
+                    via_brute.stats().exact_points_scanned);
+        }
+      }
+    }
+  }
+}
+
+TEST(BqsCompressorTest, HullProbeActualMatchesBruteForce) {
+  // The BoundsProbe `actual` field is resolver-provided; both resolvers
+  // must report the same exact deviation at every assessed point.
+  const Trajectory walk = JaggedWalk(81, 2000);
+  struct Obs {
+    uint64_t index;
+    double actual;
+  };
+  auto run = [&](ExactResolver resolver) {
+    BqsOptions options;
+    options.epsilon = 6.0;
+    options.exact_resolver = resolver;
+    BqsCompressor bqs(options);
+    std::vector<Obs> observations;
+    bqs.SetProbe([&](const internal::BoundsProbe& probe) {
+      observations.push_back(Obs{probe.index, probe.actual});
+    });
+    CompressAll(bqs, walk);
+    return observations;
+  };
+  const std::vector<Obs> via_hull = run(ExactResolver::kHull);
+  const std::vector<Obs> via_brute = run(ExactResolver::kBruteForce);
+  ASSERT_EQ(via_hull.size(), via_brute.size());
+  ASSERT_GT(via_hull.size(), 100u);
+  for (std::size_t i = 0; i < via_hull.size(); ++i) {
+    ASSERT_EQ(via_hull[i].index, via_brute[i].index) << "probe " << i;
+    EXPECT_NEAR(via_hull[i].actual, via_brute[i].actual,
+                1e-9 * (1.0 + via_brute[i].actual))
+        << "probe " << i;
+  }
+}
+
+TEST(BqsCompressorTest, PushBatchMatchesPushExactly) {
+  const Trajectory walk = JaggedWalk(91, 3000);
+  BqsOptions options;
+  options.epsilon = 5.0;
+
+  BqsCompressor one_by_one(options);
+  CompressedTrajectory single;
+  one_by_one.Reset();
+  for (const TrackPoint& pt : walk) one_by_one.Push(pt, &single.keys);
+  one_by_one.Finish(&single.keys);
+
+  BqsCompressor batched(options);
+  const CompressedTrajectory whole = CompressAll(batched, walk);
+  ExpectByteIdenticalKeys(single, whole, "whole batch");
+  EXPECT_EQ(one_by_one.stats().points, batched.stats().points);
+  EXPECT_EQ(one_by_one.stats().exact_computations,
+            batched.stats().exact_computations);
+  EXPECT_EQ(one_by_one.stats().segments, batched.stats().segments);
+
+  // Chunked batches (including empty ones) must behave identically too.
+  BqsCompressor chunked(options);
+  chunked.Reset();
+  CompressedTrajectory chunks;
+  const std::span<const TrackPoint> span(walk);
+  std::size_t at = 0;
+  std::size_t step = 1;
+  while (at < span.size()) {
+    const std::size_t take = std::min(step, span.size() - at);
+    chunked.PushBatch(span.subspan(at, take), &chunks.keys);
+    chunked.PushBatch(span.subspan(at + take, 0), &chunks.keys);
+    at += take;
+    step = step * 2 + 1;
+  }
+  chunked.Finish(&chunks.keys);
+  ExpectByteIdenticalKeys(single, chunks, "chunked batch");
 }
 
 TEST(BqsCompressorTest, InvalidOptionsAreReported) {

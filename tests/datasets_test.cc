@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 namespace bqs {
 namespace {
 
@@ -54,6 +57,25 @@ TEST(DatasetsTest, AllDatasetsDistinctAndDeterministic) {
     ASSERT_EQ(all[d].stream.size(), again[d].stream.size());
     EXPECT_EQ(all[d].stream[10], again[d].stream[10]);
   }
+}
+
+TEST(DatasetsTest, AdversarialDriftIsDeterministicAndScaled) {
+  const Dataset d = BuildAdversarialDriftDataset(0.1);
+  EXPECT_EQ(d.name, "adversarial_drift");
+  EXPECT_EQ(d.stream.size(), 4000u);
+  const Dataset again = BuildAdversarialDriftDataset(0.1);
+  ASSERT_EQ(again.stream.size(), d.stream.size());
+  EXPECT_EQ(d.stream[123], again.stream[123]);
+  // The lateral excursion must hover under the hinted tolerance: large
+  // enough to keep the bounds inconclusive, small enough to keep including.
+  double max_abs_y = 0.0;
+  for (const TrackPoint& p : d.stream) {
+    max_abs_y = std::max(max_abs_y, std::fabs(p.pos.y));
+  }
+  EXPECT_GT(max_abs_y, 5.0);
+  EXPECT_LT(max_abs_y, 12.0);
+  // Tiny inputs still produce a workable stream.
+  EXPECT_GE(BuildAdversarialDriftDataset(0.0001).stream.size(), 2000u);
 }
 
 TEST(DatasetsTest, VelocitiesArePopulated) {

@@ -90,6 +90,30 @@ TEST(DouglasPeuckerTest, MonotoneInEpsilon) {
   }
 }
 
+TEST(DouglasPeuckerTest, DeepAdversarialZigZagDoesNotOverflow) {
+  // Alternating spikes with decreasing amplitude force maximally unbalanced
+  // splits: each level peels a point or two off the front, so a recursive
+  // implementation would nest thousands of frames deep. The explicit stack
+  // must walk it to completion, and at a tolerance below every local spike
+  // nothing is droppable.
+  constexpr std::size_t n = 6000;
+  Trajectory t;
+  t.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+    t.push_back(TrackPoint{{static_cast<double>(i),
+                            sign * 10.0 * static_cast<double>(n - i)},
+                           static_cast<double>(i),
+                           {}});
+  }
+  DouglasPeucker dp(DpOptions{1.0, DistanceMetric::kPointToLine});
+  const CompressedTrajectory c = dp.Compress(t);
+  EXPECT_EQ(c.size(), n) << "every zigzag vertex deviates far beyond eps";
+  const DeviationReport report =
+      EvaluateCompression(t, c, DistanceMetric::kPointToLine);
+  EXPECT_LE(report.max_deviation, 1.0);
+}
+
 TEST(DouglasPeuckerTest, IndicesAreStrictlyIncreasing) {
   const Trajectory walk = JaggedWalk(7, 800);
   DouglasPeucker dp(DpOptions{3.0, DistanceMetric::kPointToLine});

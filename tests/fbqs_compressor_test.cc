@@ -48,6 +48,9 @@ TEST(FbqsCompressorTest, NeverUsesTheSegmentBuffer) {
     fbqs.Push(p, &keys);
     ASSERT_EQ(fbqs.engine().buffer_size(), 0u)
         << "FBQS must stay O(1): no dynamic buffer growth";
+    // FBQS never resolves exactly, so it must never touch the hull either.
+    ASSERT_EQ(fbqs.engine().hull_size(), 0u)
+        << "FBQS must keep no exact-resolve state at all";
   }
 }
 

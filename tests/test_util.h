@@ -6,9 +6,12 @@
 #include <cstdint>
 #include <vector>
 
+#include <cmath>
+
 #include "common/math_utils.h"
 #include "common/rng.h"
 #include "simulation/random_walk.h"
+#include "simulation/von_mises.h"
 #include "trajectory/trajectory.h"
 
 namespace bqs {
@@ -58,6 +61,25 @@ inline Trajectory JaggedWalk(uint64_t seed, std::size_t n) {
       t += 1.0;
       out.push_back(TrackPoint{pos, t, {0.0, 0.0}});
     }
+  }
+  return out;
+}
+
+/// Heading-persistent walk driven directly by von Mises turning angles (the
+/// paper's turning model without the wait/move event machinery). Small
+/// kappa = meandering, self-intersecting paths; large kappa = near-straight.
+inline Trajectory VonMisesWalk(uint64_t seed, std::size_t n,
+                               double kappa = 4.0, double step_m = 8.0) {
+  Rng rng(seed);
+  Trajectory out;
+  out.reserve(n);
+  Vec2 pos{0.0, 0.0};
+  double heading = rng.Uniform(-kPi, kPi);
+  for (std::size_t i = 0; i < n; ++i) {
+    heading += SampleVonMises(rng, 0.0, kappa);
+    const Vec2 vel{step_m * std::cos(heading), step_m * std::sin(heading)};
+    pos += vel;
+    out.push_back(TrackPoint{pos, static_cast<double>(i), vel});
   }
   return out;
 }
