@@ -7,12 +7,56 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "trajectory/point.h"
+
 namespace bqs {
 namespace bench {
+
+/// FNV-1a offset basis; seed for the checksum helpers below.
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+
+/// Folds `len` bytes into an FNV-1a running hash.
+inline uint64_t Fnv1aMix(uint64_t h, const void* data, std::size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Folds one key point into a running checksum: the stream index and every
+/// field of the retained point participate, so two outputs collide only if
+/// they are byte-identical (up to hash collisions).
+inline uint64_t MixKeyPoint(uint64_t h, const KeyPoint& k) {
+  h = Fnv1aMix(h, &k.index, sizeof(k.index));
+  h = Fnv1aMix(h, &k.point.pos.x, sizeof(double));
+  h = Fnv1aMix(h, &k.point.pos.y, sizeof(double));
+  h = Fnv1aMix(h, &k.point.t, sizeof(double));
+  h = Fnv1aMix(h, &k.point.velocity.x, sizeof(double));
+  h = Fnv1aMix(h, &k.point.velocity.y, sizeof(double));
+  return h;
+}
+
+/// Byte-exact fingerprint of a compressed output. This is what the bench
+/// divergence gates (hull-vs-bruteforce, fleet-vs-sequential) compare.
+inline uint64_t ChecksumKeys(std::span<const KeyPoint> keys) {
+  uint64_t h = kFnvOffset;
+  for (const KeyPoint& k : keys) h = MixKeyPoint(h, k);
+  return h;
+}
+
+inline std::string HexChecksum(uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
 
 /// Dataset scale: 1.0 reproduces paper-sized workloads; benches default to
 /// a smaller scale so the full suite stays quick. Accepted spellings, in
@@ -39,6 +83,32 @@ inline double ScaleFromArgs(int argc, char** argv,
     if (v > 0.0) return v;
   }
   return default_scale;
+}
+
+/// Positive integer flag: "--flag N" / "--flag=N" in argv, then the
+/// `env_var` environment variable (when non-null), then `fallback`.
+/// Non-positive and malformed values fall through to the next source,
+/// mirroring ScaleFromArgs. Used for worker/shard counts (--threads).
+inline int IntFlag(int argc, char** argv, std::string_view flag,
+                   const char* env_var, int fallback) {
+  const std::string with_eq = std::string(flag) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    int v = 0;
+    if (arg == flag && i + 1 < argc) {
+      v = std::atoi(argv[i + 1]);
+    } else if (arg.rfind(with_eq, 0) == 0) {
+      v = std::atoi(argv[i] + with_eq.size());
+    }
+    if (v > 0) return v;
+  }
+  if (env_var != nullptr) {
+    if (const char* env = std::getenv(env_var)) {
+      const int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+  }
+  return fallback;
 }
 
 /// Value of "--flag PATH" / "--flag=PATH" in argv, or `fallback`.

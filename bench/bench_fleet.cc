@@ -1,0 +1,273 @@
+// Fleet ingest bench + machine-readable baseline (BENCH_fleet.json).
+//
+// Measures FleetEngine throughput (points/sec, interleaved multi-vehicle
+// feed, ingest through FinishAll) as the shard count grows, against the
+// sequential reference: every device's stream compressed alone through
+// CompressAll on one thread. Every fleet run is checksum-verified per
+// device against that reference — the FleetEngine invariant is that shard
+// count never changes any device's compressed output. The run FAILS
+// (exit 1, so CI fails) on any divergence.
+//
+// Usage: bench_fleet [scale | --scale S] [--out PATH] [--reps N]
+//                    [--threads N | --threads=N]   (env: BQS_BENCH_THREADS)
+//                    [--devices N]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/table.h"
+#include "service/fleet_engine.h"
+#include "simulation/datasets.h"
+#include "trajectory/compressor.h"
+
+namespace bqs {
+namespace {
+
+constexpr double kEpsilon = 10.0;  // Paper's evaluation tolerance (metres).
+constexpr std::size_t kIngestChunk = 8192;  // Records per IngestBatch call.
+
+/// Per-device running checksums, sharded into buckets so concurrent shard
+/// threads rarely contend on the same mutex.
+class ChecksumSink final : public FleetSink {
+ public:
+  void OnKeyPoint(DeviceId device, const KeyPoint& key) override {
+    Bucket& bucket = buckets_[device % kBuckets];
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    auto [it, inserted] = bucket.sums.try_emplace(device, bench::kFnvOffset);
+    it->second = bench::MixKeyPoint(it->second, key);
+  }
+
+  std::map<DeviceId, uint64_t> Collect() const {
+    std::map<DeviceId, uint64_t> out;
+    for (const Bucket& bucket : buckets_) {
+      std::lock_guard<std::mutex> lock(bucket.mu);
+      out.insert(bucket.sums.begin(), bucket.sums.end());
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+  struct Bucket {
+    mutable std::mutex mu;
+    std::unordered_map<DeviceId, uint64_t> sums;
+  };
+  Bucket buckets_[kBuckets];
+};
+
+struct ShardRun {
+  std::size_t shards = 0;
+  double best_ms = 0.0;
+  double points_per_sec = 0.0;
+  bool byte_identical = true;
+};
+
+struct AlgorithmReport {
+  std::string name;
+  double sequential_best_ms = 0.0;
+  double sequential_points_per_sec = 0.0;
+  std::vector<ShardRun> runs;
+};
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int Run(int argc, char** argv) {
+  const double scale = bench::ScaleFromArgs(argc, argv, 1.0);
+  const std::string out_path =
+      bench::StringFlag(argc, argv, "--out", "BENCH_fleet.json");
+  const int reps = std::clamp(
+      std::atoi(bench::StringFlag(argc, argv, "--reps", "3").c_str()), 1,
+      100);
+  const int max_threads =
+      bench::IntFlag(argc, argv, "--threads", "BQS_BENCH_THREADS", 8);
+  const std::size_t num_devices = static_cast<std::size_t>(
+      bench::IntFlag(argc, argv, "--devices", nullptr, 24));
+
+  bench::Banner(
+      "Fleet ingest — points/sec through the sharded FleetEngine vs the "
+      "sequential per-device reference (eps = 10 m)",
+      "Deployment shape beyond the paper: many concurrent device streams "
+      "multiplexed over the single-stream compressors",
+      scale);
+
+  const FleetDataset fleet = BuildFleetDataset(num_devices, scale);
+  const std::size_t total_points = fleet.feed.size();
+  std::printf("fleet: %zu devices, %zu interleaved records, %d reps, "
+              "shard sweep up to %d threads\n",
+              fleet.devices.size(), total_points, reps, max_threads);
+
+  std::vector<std::size_t> shard_counts;
+  for (const std::size_t s : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    if (s <= static_cast<std::size_t>(max_threads)) shard_counts.push_back(s);
+  }
+  if (shard_counts.empty()) shard_counts.push_back(1);
+
+  struct AlgorithmCase {
+    const char* label;
+    AlgorithmId id;
+  };
+  const AlgorithmCase algorithm_cases[] = {
+      {"BQS", AlgorithmId::kBqs},
+      {"FBQS", AlgorithmId::kFbqs},
+  };
+
+  bool all_identical = true;
+  std::vector<AlgorithmReport> reports;
+
+  for (const AlgorithmCase& algorithm_case : algorithm_cases) {
+    AlgorithmConfig config;
+    config.id = algorithm_case.id;
+    config.epsilon = kEpsilon;
+
+    AlgorithmReport report;
+    report.name = algorithm_case.label;
+
+    // Sequential reference: one thread, each device's stream alone. Also
+    // produces the per-device checksums every fleet run must reproduce.
+    std::map<DeviceId, uint64_t> reference;
+    for (int r = 0; r < reps; ++r) {
+      reference.clear();
+      auto compressor = MakeStreamCompressor(config);
+      const auto start = std::chrono::steady_clock::now();
+      for (const auto& [device, stream] : fleet.devices) {
+        reference[device] = bench::ChecksumKeys(
+            CompressAll(*compressor, stream).keys);
+      }
+      const double ms = MsSince(start);
+      if (r == 0 || ms < report.sequential_best_ms) {
+        report.sequential_best_ms = ms;
+      }
+    }
+    report.sequential_points_per_sec =
+        report.sequential_best_ms > 0.0
+            ? static_cast<double>(total_points) /
+                  (report.sequential_best_ms / 1000.0)
+            : 0.0;
+
+    for (const std::size_t shards : shard_counts) {
+      ShardRun run;
+      run.shards = shards;
+      for (int r = 0; r < reps; ++r) {
+        ChecksumSink sink;
+        FleetEngineOptions options;
+        options.algorithm = config;
+        options.num_shards = shards;
+        FleetEngine engine(options, sink);
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < fleet.feed.size(); i += kIngestChunk) {
+          const std::size_t n =
+              std::min(kIngestChunk, fleet.feed.size() - i);
+          engine.IngestBatch(
+              std::span<const FleetRecord>(fleet.feed.data() + i, n));
+        }
+        engine.FinishAll();
+        const double ms = MsSince(start);
+        if (r == 0 || ms < run.best_ms) run.best_ms = ms;
+        run.byte_identical = run.byte_identical &&
+                             sink.Collect() == reference;
+      }
+      run.points_per_sec =
+          run.best_ms > 0.0 ? static_cast<double>(total_points) /
+                                  (run.best_ms / 1000.0)
+                            : 0.0;
+      all_identical = all_identical && run.byte_identical;
+      report.runs.push_back(run);
+    }
+    reports.push_back(std::move(report));
+  }
+
+  // ---- human-readable table ----
+  for (const AlgorithmReport& report : reports) {
+    std::printf("\n-- %s --\n", report.name.c_str());
+    TablePrinter table(
+        {"config", "points/sec", "best_ms", "speedup_vs_seq", "identical"});
+    table.AddRow({"sequential",
+                  FmtDouble(report.sequential_points_per_sec, 0),
+                  FmtDouble(report.sequential_best_ms, 2), "1.00", "ref"});
+    for (const ShardRun& run : report.runs) {
+      const double speedup =
+          report.sequential_best_ms > 0.0 && run.best_ms > 0.0
+              ? report.sequential_best_ms / run.best_ms
+              : 0.0;
+      table.AddRow({"fleet x" + std::to_string(run.shards),
+                    FmtDouble(run.points_per_sec, 0),
+                    FmtDouble(run.best_ms, 2), FmtDouble(speedup, 2),
+                    run.byte_identical ? "yes" : "DIVERGED"});
+    }
+    table.Print(std::cout);
+  }
+
+  // ---- machine-readable report ----
+  bench::JsonReport json;
+  json.BeginObject();
+  json.Key("schema").Value("bqs-bench-fleet-v1");
+  json.Key("scale").Value(scale);
+  json.Key("epsilon").Value(kEpsilon);
+  json.Key("reps").Value(reps);
+  json.Key("devices").Value(static_cast<uint64_t>(fleet.devices.size()));
+  json.Key("records").Value(static_cast<uint64_t>(total_points));
+  json.Key("ingest_chunk").Value(static_cast<uint64_t>(kIngestChunk));
+  json.Key("algorithms").BeginArray();
+  for (const AlgorithmReport& report : reports) {
+    json.BeginObject();
+    json.Key("name").Value(report.name);
+    json.Key("sequential_best_ms").Value(report.sequential_best_ms);
+    json.Key("sequential_points_per_sec")
+        .Value(report.sequential_points_per_sec);
+    json.Key("shard_runs").BeginArray();
+    double best_multi = 0.0;
+    double one_shard = 0.0;
+    for (const ShardRun& run : report.runs) {
+      json.BeginObject();
+      json.Key("shards").Value(static_cast<uint64_t>(run.shards));
+      json.Key("best_ms").Value(run.best_ms);
+      json.Key("points_per_sec").Value(run.points_per_sec);
+      json.Key("byte_identical").Value(run.byte_identical);
+      json.EndObject();
+      if (run.shards == 1) one_shard = run.points_per_sec;
+      if (run.shards > 1) best_multi = std::max(best_multi,
+                                                run.points_per_sec);
+    }
+    json.EndArray();
+    json.Key("multi_shard_speedup_vs_1shard")
+        .Value(one_shard > 0.0 ? best_multi / one_shard : 0.0);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("all_byte_identical").Value(all_identical);
+  json.EndObject();
+
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "FAILED to write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: FleetEngine per-device output diverged from the "
+                 "sequential CompressAll reference\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bqs
+
+int main(int argc, char** argv) { return bqs::Run(argc, argv); }

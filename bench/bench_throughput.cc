@@ -37,36 +37,8 @@ namespace {
 
 constexpr double kEpsilon = 10.0;  // Paper's evaluation tolerance (metres).
 
-uint64_t Fnv1aMix(uint64_t h, const void* data, std::size_t len) {
-  const unsigned char* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= bytes[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-/// Byte-exact fingerprint of a compressed output: indices and every field
-/// of every retained point participate.
-uint64_t ChecksumKeys(const CompressedTrajectory& compressed) {
-  uint64_t h = 1469598103934665603ULL;
-  for (const KeyPoint& k : compressed.keys) {
-    h = Fnv1aMix(h, &k.index, sizeof(k.index));
-    h = Fnv1aMix(h, &k.point.pos.x, sizeof(double));
-    h = Fnv1aMix(h, &k.point.pos.y, sizeof(double));
-    h = Fnv1aMix(h, &k.point.t, sizeof(double));
-    h = Fnv1aMix(h, &k.point.velocity.x, sizeof(double));
-    h = Fnv1aMix(h, &k.point.velocity.y, sizeof(double));
-  }
-  return h;
-}
-
-std::string HexChecksum(uint64_t h) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "0x%016llx",
-                static_cast<unsigned long long>(h));
-  return buf;
-}
+using bench::ChecksumKeys;
+using bench::HexChecksum;
 
 struct MeasuredRun {
   std::string name;
@@ -84,7 +56,7 @@ struct MeasuredRun {
 void FinishRun(MeasuredRun* run, const CompressedTrajectory& out,
                const Trajectory& stream) {
   run->keys = out.size();
-  run->checksum = ChecksumKeys(out);
+  run->checksum = ChecksumKeys(out.keys);
   run->points_per_sec = run->best_ms > 0.0
                             ? static_cast<double>(stream.size()) /
                                   (run->best_ms / 1000.0)

@@ -36,6 +36,10 @@ class BufferedDp final : public StreamCompressor {
   std::string_view name() const override { return "BDP"; }
 
   const BufferedDpOptions& options() const { return options_; }
+  std::size_t StateBytes() const override {
+    return buffer_.capacity() * sizeof(TrackPoint) +
+           indices_.capacity() * sizeof(uint64_t);
+  }
 
  private:
   void Flush(std::vector<KeyPoint>* out);

@@ -38,6 +38,9 @@ class BufferedGreedy final : public StreamCompressor {
   std::string_view name() const override { return "BGD"; }
 
   const BufferedGreedyOptions& options() const { return options_; }
+  std::size_t StateBytes() const override {
+    return buffer_.capacity() * sizeof(TrackPoint);
+  }
   /// Full deviation scans performed (for run-time accounting).
   uint64_t deviation_scans() const { return deviation_scans_; }
 

@@ -34,6 +34,10 @@ class BqsCompressor final : public StreamCompressor {
   void Finish(std::vector<KeyPoint>* out) override { engine_.Finish(out); }
   void Reset() override { engine_.Reset(); }
   std::string_view name() const override { return "BQS"; }
+  const DecisionStats* decision_stats() const override {
+    return &engine_.stats();
+  }
+  std::size_t StateBytes() const override { return engine_.StateBytes(); }
 
   /// Decision counters (pruning power, split mix).
   const DecisionStats& stats() const { return engine_.stats(); }

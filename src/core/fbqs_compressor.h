@@ -28,6 +28,10 @@ class FbqsCompressor final : public StreamCompressor {
   void Finish(std::vector<KeyPoint>* out) override { engine_.Finish(out); }
   void Reset() override { engine_.Reset(); }
   std::string_view name() const override { return "FBQS"; }
+  const DecisionStats* decision_stats() const override {
+    return &engine_.stats();
+  }
+  std::size_t StateBytes() const override { return engine_.StateBytes(); }
 
   /// Decision counters (pruning power, split mix).
   const DecisionStats& stats() const { return engine_.stats(); }

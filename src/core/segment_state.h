@@ -60,6 +60,13 @@ class SegmentEngine {
   const BqsOptions& options() const { return options_; }
   bool exact_mode() const { return exact_mode_; }
 
+  /// Heap bytes of growable per-segment state (brute-force buffer, hull,
+  /// pending hull batch). 0 in fast mode, which keeps no such state.
+  std::size_t StateBytes() const {
+    return buffer_.capacity() * sizeof(TrackPoint) +
+           hull_pending_.capacity() * sizeof(Vec2) + hull_.StateBytes();
+  }
+
   /// Instrumentation hook invoked on every bound-based assessment. Keep it
   /// cheap or unset in production runs.
   void SetProbe(std::function<void(const BoundsProbe&)> probe) {

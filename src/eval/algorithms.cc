@@ -29,7 +29,22 @@ std::string_view AlgorithmName(AlgorithmId id) {
     case AlgorithmId::kSquishE:
       return "SQUISH-E";
   }
-  return "?";
+  return "";
+}
+
+bool IsStreaming(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kBqs:
+    case AlgorithmId::kFbqs:
+    case AlgorithmId::kBdp:
+    case AlgorithmId::kBgd:
+    case AlgorithmId::kDr:
+      return true;
+    case AlgorithmId::kDp:
+    case AlgorithmId::kSquishE:
+      return false;
+  }
+  return false;
 }
 
 std::unique_ptr<StreamCompressor> MakeStreamCompressor(
@@ -78,11 +93,8 @@ RunOutput RunAlgorithm(const AlgorithmConfig& config,
 
   if (auto stream = MakeStreamCompressor(config)) {
     out.compressed = CompressAll(*stream, points);
-    if (config.id == AlgorithmId::kBqs) {
-      out.stats = static_cast<BqsCompressor*>(stream.get())->stats();
-      out.has_stats = true;
-    } else if (config.id == AlgorithmId::kFbqs) {
-      out.stats = static_cast<FbqsCompressor*>(stream.get())->stats();
+    if (const DecisionStats* stats = stream->decision_stats()) {
+      out.stats = *stats;
       out.has_stats = true;
     }
   } else if (config.id == AlgorithmId::kDp) {

@@ -3,6 +3,8 @@
 #ifndef BQS_EVAL_ALGORITHMS_H_
 #define BQS_EVAL_ALGORITHMS_H_
 
+#include <cstddef>
+#include <iterator>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -24,8 +26,23 @@ enum class AlgorithmId {
   kSquishE,  ///< SQUISH-E(epsilon) (SED metric; extension baseline).
 };
 
-/// Stable display name ("BQS", "FBQS", ...).
+/// Canonical list of every AlgorithmId value, in declaration order. Sweeps
+/// and the enum-exhaustiveness test iterate this; it (and kAlgorithmCount)
+/// must grow with the enum.
+inline constexpr AlgorithmId kAllAlgorithms[] = {
+    AlgorithmId::kBqs, AlgorithmId::kFbqs, AlgorithmId::kBdp,
+    AlgorithmId::kBgd, AlgorithmId::kDp,   AlgorithmId::kDr,
+    AlgorithmId::kSquishE,
+};
+inline constexpr std::size_t kAlgorithmCount = std::size(kAllAlgorithms);
+
+/// Stable display name ("BQS", "FBQS", ...). Empty for out-of-range values
+/// (never for a real enumerator; the exhaustiveness test enforces this).
 std::string_view AlgorithmName(AlgorithmId id);
+
+/// True when the id has a streaming (push-based) implementation, i.e. when
+/// MakeStreamCompressor returns non-null for it.
+bool IsStreaming(AlgorithmId id);
 
 /// One concrete algorithm instantiation.
 struct AlgorithmConfig {
@@ -55,6 +72,30 @@ RunOutput RunAlgorithm(const AlgorithmConfig& config,
 /// offline ones (DP, SQUISH-E).
 std::unique_ptr<StreamCompressor> MakeStreamCompressor(
     const AlgorithmConfig& config);
+
+/// A bound AlgorithmConfig that mints identically-configured compressors on
+/// demand — the service layer holds one and calls Make() once per device
+/// session, so every session in a fleet runs the same algorithm at the
+/// same tolerance.
+class CompressorFactory {
+ public:
+  CompressorFactory() = default;
+  explicit CompressorFactory(const AlgorithmConfig& config)
+      : config_(config) {}
+
+  /// Fresh compressor; nullptr when the configured algorithm is offline.
+  std::unique_ptr<StreamCompressor> Make() const {
+    return MakeStreamCompressor(config_);
+  }
+
+  /// True when Make() produces a compressor.
+  bool streaming() const { return IsStreaming(config_.id); }
+
+  const AlgorithmConfig& config() const { return config_; }
+
+ private:
+  AlgorithmConfig config_;
+};
 
 }  // namespace bqs
 

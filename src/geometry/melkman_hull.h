@@ -67,6 +67,11 @@ class MelkmanHull {
   /// Hull vertices in CCW order (copy; for tests and diagnostics).
   std::vector<Vec2> Vertices() const;
 
+  /// Heap bytes currently held (arena + staging); memory accounting only.
+  std::size_t StateBytes() const {
+    return (ring_.capacity() + scratch_.capacity()) * sizeof(Vec2);
+  }
+
   /// max over the hull's vertices of PointDeviation(v, a, b, metric),
   /// which equals the max over every point ever added (convexity of both
   /// metrics in the point argument). O(h).

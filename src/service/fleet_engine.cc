@@ -1,0 +1,431 @@
+#include "service/fleet_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace bqs {
+
+namespace {
+
+/// splitmix64 finalizer: device ids are often sequential, so shard
+/// assignment needs a real mixer, not `id % shards`.
+uint64_t MixDeviceId(DeviceId device) {
+  uint64_t x = device + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void AccumulateDecisionStats(DecisionStats& into, const DecisionStats& s) {
+  into.points += s.points;
+  into.trivial_includes += s.trivial_includes;
+  into.warmup_checks += s.warmup_checks;
+  into.upper_bound_includes += s.upper_bound_includes;
+  into.lower_bound_splits += s.lower_bound_splits;
+  into.exact_computations += s.exact_computations;
+  into.exact_includes += s.exact_includes;
+  into.exact_splits += s.exact_splits;
+  into.uncertain_splits += s.uncertain_splits;
+  into.segments += s.segments;
+  into.exact_points_scanned += s.exact_points_scanned;
+  into.peak_exact_state = std::max(into.peak_exact_state, s.peak_exact_state);
+}
+
+/// One queued unit of shard work.
+struct FleetEngine::Command {
+  enum class Kind { kBatch, kFinishDevice, kFinishAll };
+  Kind kind = Kind::kBatch;
+  std::vector<FleetRecord> records;  ///< kBatch payload (this shard only).
+  DeviceId device = 0;               ///< kFinishDevice target.
+};
+
+/// One live device stream.
+struct FleetEngine::Session {
+  std::unique_ptr<StreamCompressor> compressor;
+  uint64_t last_active = 0;        ///< Shard activity clock at last record.
+  double last_t = 0.0;             ///< Stream time of the last record.
+  std::size_t accounted_bytes = 0; ///< Current charge against the budget.
+};
+
+/// KeyPointSink forwarding to the FleetSink under the device id currently
+/// being processed; also counts emissions for FleetStats.
+class FleetEngine::ShardSink final : public KeyPointSink {
+ public:
+  explicit ShardSink(FleetSink& fleet) : fleet_(fleet) {}
+  void set_device(DeviceId device) { device_ = device; }
+  uint64_t emitted() const { return emitted_; }
+  void Emit(const KeyPoint& key) override {
+    ++emitted_;
+    fleet_.OnKeyPoint(device_, key);
+  }
+
+ private:
+  FleetSink& fleet_;
+  DeviceId device_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+/// One worker thread plus the state it owns. The queue fields are guarded
+/// by `mu`; everything below the marker is touched only by the worker while
+/// `busy`, or by the producer thread while holding `mu` with the shard idle
+/// (queue empty and not busy) — the busy flag's mutex-ordered transitions
+/// make that exclusive.
+struct FleetEngine::Shard {
+  explicit Shard(FleetSink& fleet) : sink(fleet) {}
+
+  std::mutex mu;
+  std::condition_variable cv_work;    ///< Signals the worker: work/stop.
+  std::condition_variable cv_caller;  ///< Signals producers: space/idle.
+  std::deque<Command> queue;
+  bool busy = false;
+  bool stop = false;
+  std::thread worker;
+
+  // --- worker-owned state ------------------------------------------------
+  std::unordered_map<DeviceId, Session> sessions;
+  std::vector<std::unique_ptr<StreamCompressor>> pool;
+  /// Eviction index: last_active -> device (last_active values are unique,
+  /// the activity clock is monotone). Maintained only under a memory
+  /// budget; gives O(log S) LRU eviction instead of an O(S) scan.
+  std::map<uint64_t, DeviceId> lru;
+  ShardSink sink;
+  std::vector<TrackPoint> point_scratch;   ///< Per-run PushBatch staging.
+  std::vector<DeviceId> device_scratch;    ///< Bulk-close staging.
+  uint64_t activity_clock = 0;
+  double max_stream_t = 0.0;               ///< Newest record time seen.
+  bool has_stream_t = false;
+  std::size_t state_bytes = 0;             ///< Accounted live-session total.
+  std::size_t pool_bytes = 0;              ///< Heap held by pooled units.
+  FleetStats counters;                     ///< Closed-session aggregates.
+};
+
+FleetEngine::FleetEngine(const FleetEngineOptions& options, FleetSink& sink)
+    : options_(options), sink_(sink), factory_(options.algorithm) {
+  options_.num_shards = std::max<std::size_t>(options_.num_shards, 1);
+  options_.max_pending_batches =
+      std::max<std::size_t>(options_.max_pending_batches, 1);
+  if (options_.memory_budget_bytes > 0) {
+    per_shard_budget_ = std::max<std::size_t>(
+        options_.memory_budget_bytes / options_.num_shards, 1);
+  }
+  shards_.reserve(options_.num_shards);
+  staging_.resize(options_.num_shards);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(sink_));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(*s); });
+  }
+}
+
+FleetEngine::~FleetEngine() {
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stop = true;
+    }
+    shard->cv_work.notify_one();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::size_t FleetEngine::ShardOf(DeviceId device) const {
+  return static_cast<std::size_t>(MixDeviceId(device) % shards_.size());
+}
+
+void FleetEngine::Enqueue(std::size_t shard_index, Command cmd) {
+  Shard& shard = *shards_[shard_index];
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.cv_caller.wait(lock, [&] {
+      return shard.queue.size() < options_.max_pending_batches;
+    });
+    shard.queue.push_back(std::move(cmd));
+  }
+  shard.cv_work.notify_one();
+}
+
+void FleetEngine::IngestBatch(std::span<const FleetRecord> records) {
+  if (records.empty()) return;
+  if (!factory_.streaming()) {
+    records_dropped_ += records.size();
+    return;
+  }
+  if (shards_.size() == 1) {
+    Command cmd;
+    cmd.records.assign(records.begin(), records.end());
+    Enqueue(0, std::move(cmd));
+    return;
+  }
+  // Staging vectors were moved into Commands last batch, so they start
+  // empty with no capacity; reserving the expected share turns the
+  // grow-by-doubling chain into one allocation per shard per batch.
+  const std::size_t expected_share =
+      records.size() / shards_.size() + records.size() / 8 + 8;
+  for (auto& staged : staging_) {
+    if (staged.capacity() < expected_share) staged.reserve(expected_share);
+  }
+  for (const FleetRecord& record : records) {
+    staging_[ShardOf(record.device)].push_back(record);
+  }
+  for (std::size_t i = 0; i < staging_.size(); ++i) {
+    if (staging_[i].empty()) continue;
+    Command cmd;
+    cmd.records = std::move(staging_[i]);
+    staging_[i] = {};
+    Enqueue(i, std::move(cmd));
+  }
+}
+
+void FleetEngine::Ingest(DeviceId device, const TrackPoint& pt) {
+  const FleetRecord record{device, pt};
+  IngestBatch(std::span<const FleetRecord>(&record, 1));
+}
+
+void FleetEngine::FinishDevice(DeviceId device) {
+  Command cmd;
+  cmd.kind = Command::Kind::kFinishDevice;
+  cmd.device = device;
+  Enqueue(ShardOf(device), std::move(cmd));
+}
+
+void FleetEngine::FinishAll() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Command cmd;
+    cmd.kind = Command::Kind::kFinishAll;
+    Enqueue(i, std::move(cmd));
+  }
+  Flush();
+}
+
+void FleetEngine::Flush() {
+  for (auto& shard : shards_) WaitIdle(*shard);
+}
+
+void FleetEngine::WaitIdle(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu);
+  shard.cv_caller.wait(lock,
+                       [&] { return shard.queue.empty() && !shard.busy; });
+}
+
+FleetStats FleetEngine::Stats() {
+  FleetStats total;
+  total.records_dropped = records_dropped_;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.cv_caller.wait(lock,
+                         [&] { return shard.queue.empty() && !shard.busy; });
+    // The shard is provably idle and we hold its mutex, so reading the
+    // worker-owned state is exclusive (single-producer API: no new work
+    // can arrive while this thread is in Stats()).
+    const FleetStats& c = shard.counters;
+    total.records_ingested += c.records_ingested;
+    total.key_points_emitted += shard.sink.emitted();
+    total.sessions_opened += c.sessions_opened;
+    total.sessions_finished += c.sessions_finished;
+    total.sessions_evicted += c.sessions_evicted;
+    total.sessions_idled += c.sessions_idled;
+    total.sessions_recycled += c.sessions_recycled;
+    total.live_sessions += shard.sessions.size();
+    total.state_bytes += shard.state_bytes;
+    total.pooled_bytes += shard.pool_bytes;
+    total.peak_state_bytes += c.peak_state_bytes;
+    AccumulateDecisionStats(total.decisions, c.decisions);
+    for (const auto& [device, session] : shard.sessions) {
+      (void)device;
+      if (const DecisionStats* s = session.compressor->decision_stats()) {
+        AccumulateDecisionStats(total.decisions, *s);
+      }
+    }
+  }
+  return total;
+}
+
+void FleetEngine::WorkerLoop(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu);
+  for (;;) {
+    shard.cv_work.wait(lock,
+                       [&] { return shard.stop || !shard.queue.empty(); });
+    if (shard.queue.empty()) return;  // stop requested, queue drained
+    Command cmd = std::move(shard.queue.front());
+    shard.queue.pop_front();
+    shard.busy = true;
+    lock.unlock();
+    shard.cv_caller.notify_all();  // a queue slot freed up
+
+    switch (cmd.kind) {
+      case Command::Kind::kBatch:
+        ProcessBatch(shard, cmd.records);
+        break;
+      case Command::Kind::kFinishDevice:
+        if (shard.sessions.contains(cmd.device)) {
+          CloseSession(shard, cmd.device, SessionEndReason::kFinished);
+        }
+        break;
+      case Command::Kind::kFinishAll:
+        shard.device_scratch.clear();
+        for (const auto& [device, session] : shard.sessions) {
+          (void)session;
+          shard.device_scratch.push_back(device);
+        }
+        for (const DeviceId device : shard.device_scratch) {
+          CloseSession(shard, device, SessionEndReason::kFinished);
+        }
+        break;
+    }
+
+    lock.lock();
+    shard.busy = false;
+    if (shard.queue.empty()) shard.cv_caller.notify_all();
+  }
+}
+
+FleetEngine::Session& FleetEngine::SessionFor(Shard& shard, DeviceId device) {
+  auto it = shard.sessions.find(device);
+  if (it != shard.sessions.end()) return it->second;
+  Session session;
+  if (!shard.pool.empty()) {
+    session.compressor = std::move(shard.pool.back());
+    shard.pool.pop_back();
+    // The unit's heap charge moves from the pool back to its session.
+    shard.pool_bytes -= session.compressor->StateBytes();
+    session.compressor->Reset();
+    ++shard.counters.sessions_recycled;
+  } else {
+    session.compressor = factory_.Make();
+  }
+  ++shard.counters.sessions_opened;
+  session.accounted_bytes =
+      kSessionBaseBytes + session.compressor->StateBytes();
+  shard.state_bytes += session.accounted_bytes;
+  shard.counters.peak_state_bytes = std::max(
+      shard.counters.peak_state_bytes, shard.state_bytes + shard.pool_bytes);
+  return shard.sessions.emplace(device, std::move(session)).first->second;
+}
+
+void FleetEngine::ProcessBatch(Shard& shard,
+                               std::span<const FleetRecord> records) {
+  std::size_t i = 0;
+  while (i < records.size()) {
+    const DeviceId device = records[i].device;
+    std::size_t j = i + 1;
+    while (j < records.size() && records[j].device == device) ++j;
+
+    shard.point_scratch.clear();
+    for (std::size_t k = i; k < j; ++k) {
+      shard.point_scratch.push_back(records[k].point);
+    }
+    Session& session = SessionFor(shard, device);
+    shard.sink.set_device(device);
+    session.compressor->PushBatchTo(shard.point_scratch, shard.sink);
+
+    if (per_shard_budget_ > 0) {
+      if (session.last_active != 0) shard.lru.erase(session.last_active);
+      session.last_active = ++shard.activity_clock;
+      shard.lru.emplace(session.last_active, device);
+    } else {
+      session.last_active = ++shard.activity_clock;
+    }
+    session.last_t = records[j - 1].point.t;
+    const std::size_t now_bytes =
+        kSessionBaseBytes + session.compressor->StateBytes();
+    shard.state_bytes = shard.state_bytes - session.accounted_bytes +
+                        now_bytes;
+    session.accounted_bytes = now_bytes;
+    shard.counters.peak_state_bytes =
+        std::max(shard.counters.peak_state_bytes,
+                 shard.state_bytes + shard.pool_bytes);
+    shard.counters.records_ingested += j - i;
+
+    if (per_shard_budget_ > 0) EnforceBudget(shard);
+    i = j;
+  }
+
+  if (options_.idle_timeout_seconds > 0.0) {
+    for (const FleetRecord& record : records) {
+      if (!shard.has_stream_t || record.point.t > shard.max_stream_t) {
+        shard.max_stream_t = record.point.t;
+        shard.has_stream_t = true;
+      }
+    }
+    CloseIdleSessions(shard);
+  }
+}
+
+void FleetEngine::CloseSession(Shard& shard, DeviceId device,
+                               SessionEndReason reason) {
+  auto it = shard.sessions.find(device);
+  Session& session = it->second;
+  shard.sink.set_device(device);
+  session.compressor->FinishTo(shard.sink);
+  if (const DecisionStats* stats = session.compressor->decision_stats()) {
+    AccumulateDecisionStats(shard.counters.decisions, *stats);
+  }
+  sink_.OnSessionEnd(device, reason);
+  switch (reason) {
+    case SessionEndReason::kFinished:
+      ++shard.counters.sessions_finished;
+      break;
+    case SessionEndReason::kEvicted:
+      ++shard.counters.sessions_evicted;
+      break;
+    case SessionEndReason::kIdle:
+      ++shard.counters.sessions_idled;
+      break;
+  }
+  shard.state_bytes -= session.accounted_bytes;
+  if (per_shard_budget_ > 0 && session.last_active != 0) {
+    shard.lru.erase(session.last_active);
+  }
+  // Recycled compressors keep their heap capacity across Reset(), so a
+  // pooled unit still costs real memory: charge it to pool_bytes (counted
+  // against the budget), and never pool past the budget — idle sweeps and
+  // FinishAll close sessions outside EnforceBudget, so the cap must hold
+  // here, at the only point the pool grows. Memory evictions exist to give
+  // memory back, so those compressors are destroyed instead of pooled.
+  const std::size_t unit_bytes = session.compressor->StateBytes();
+  const bool fits_budget =
+      per_shard_budget_ == 0 ||
+      shard.state_bytes + shard.pool_bytes + unit_bytes <= per_shard_budget_;
+  if (reason != SessionEndReason::kEvicted && fits_budget &&
+      shard.pool.size() < options_.max_pooled_compressors) {
+    shard.pool_bytes += unit_bytes;
+    shard.pool.push_back(std::move(session.compressor));
+  }
+  shard.sessions.erase(it);
+}
+
+void FleetEngine::EnforceBudget(Shard& shard) {
+  // Cheapest memory first: pooled compressors hold heap but no stream
+  // state, so they are dropped before any live session is cut short.
+  while (shard.state_bytes + shard.pool_bytes > per_shard_budget_ &&
+         !shard.pool.empty()) {
+    shard.pool_bytes -= shard.pool.back()->StateBytes();
+    shard.pool.pop_back();
+  }
+  while (shard.state_bytes + shard.pool_bytes > per_shard_budget_ &&
+         !shard.sessions.empty()) {
+    CloseSession(shard, shard.lru.begin()->second,
+                 SessionEndReason::kEvicted);
+  }
+}
+
+void FleetEngine::CloseIdleSessions(Shard& shard) {
+  if (!shard.has_stream_t) return;
+  const double cutoff = shard.max_stream_t - options_.idle_timeout_seconds;
+  shard.device_scratch.clear();
+  for (const auto& [device, session] : shard.sessions) {
+    if (session.last_t < cutoff) shard.device_scratch.push_back(device);
+  }
+  for (const DeviceId device : shard.device_scratch) {
+    CloseSession(shard, device, SessionEndReason::kIdle);
+  }
+}
+
+}  // namespace bqs

@@ -1,0 +1,205 @@
+// The fleet ingest layer: a session manager that multiplexes many
+// concurrent device streams over the single-stream StreamCompressor family.
+//
+// The paper's compressors are per-device state machines; a deployment
+// serving a fleet receives one interleaved feed of (device, point) records.
+// FleetEngine owns that multiplexing: records are routed to a per-device
+// session (device -> shard by hash), each session runs its own compressor
+// minted from a shared CompressorFactory, and newly-final key points are
+// forwarded to a FleetSink with per-device ordering guaranteed.
+//
+// Sharding: the session table is split across N worker threads. Each shard
+// owns its sessions outright (no shared compressor state), so throughput
+// scales with cores while the per-device output stays byte-identical to
+// running that device's stream alone through CompressAll — the invariant
+// the differential tests enforce for every shard count. Determinism caveat:
+// idle/budget-driven session closure depends on which devices share a
+// shard, so the invariant is stated for the default unbounded configuration
+// (no memory budget, no idle timeout) and any explicit Finish calls.
+//
+// Threading contract: the public API (IngestBatch, Finish*, Flush, Stats)
+// is single-producer — call it from one thread, or serialize externally.
+// FleetSink methods are invoked from shard worker threads: calls for one
+// device are ordered, calls for different devices may be concurrent.
+#ifndef BQS_SERVICE_FLEET_ENGINE_H_
+#define BQS_SERVICE_FLEET_ENGINE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/decision_stats.h"
+#include "eval/algorithms.h"
+#include "trajectory/compressor.h"
+#include "trajectory/point.h"
+
+namespace bqs {
+
+/// Why a device session was closed.
+enum class SessionEndReason {
+  kFinished,  ///< Explicit FinishDevice()/FinishAll().
+  kEvicted,   ///< Memory-budget pressure; the device may reappear later.
+  kIdle,      ///< Idle longer than FleetEngineOptions::idle_timeout_seconds.
+};
+
+/// Downstream consumer of the fleet's compressed output.
+class FleetSink {
+ public:
+  virtual ~FleetSink() = default;
+
+  /// A newly-final key point of `device`'s compressed stream. Per-device
+  /// calls arrive in stream order; distinct devices may call concurrently
+  /// from different shard threads. Must not re-enter the FleetEngine.
+  virtual void OnKeyPoint(DeviceId device, const KeyPoint& key) = 0;
+
+  /// `device`'s session closed; its closing key point(s) were already
+  /// delivered via OnKeyPoint. A later record for the device transparently
+  /// opens a fresh session (i.e. starts a new compressed segment).
+  virtual void OnSessionEnd(DeviceId device, SessionEndReason reason) {
+    (void)device;
+    (void)reason;
+  }
+};
+
+struct FleetEngineOptions {
+  /// Algorithm every session runs (must be a streaming one; records for an
+  /// offline algorithm are dropped and counted in FleetStats).
+  AlgorithmConfig algorithm;
+
+  /// Worker threads / session-table shards. Clamped to >= 1.
+  std::size_t num_shards = 1;
+
+  /// Approximate budget for growable compressor state across the whole
+  /// engine, in bytes: live sessions (each also charged a fixed
+  /// kSessionBaseBytes) plus pooled recycled compressors, whose heap
+  /// capacity survives Reset(). 0 = unbounded. A shard over its share
+  /// first drops pooled compressors, then finalizes least-recently-active
+  /// sessions (SessionEndReason::kEvicted) until back under budget;
+  /// memory-evicted compressors are destroyed, not pooled.
+  std::size_t memory_budget_bytes = 0;
+
+  /// Sessions whose last record is older than this many seconds of stream
+  /// time (relative to the newest record their shard has seen) are
+  /// finalized with SessionEndReason::kIdle at batch boundaries. 0 = never.
+  double idle_timeout_seconds = 0.0;
+
+  /// Per-shard ingest queue depth; IngestBatch blocks (backpressure) when
+  /// the target shard is this many batches behind. Clamped to >= 1.
+  std::size_t max_pending_batches = 64;
+
+  /// Finalized sessions return their compressor to a per-shard free pool
+  /// of at most this size; new sessions Reset() a pooled compressor
+  /// instead of allocating (the Reset-equivalence differential test backs
+  /// this). 0 disables recycling.
+  std::size_t max_pooled_compressors = 16;
+};
+
+/// Aggregate engine counters. Snapshot via FleetEngine::Stats(), which
+/// drains in-flight work first.
+struct FleetStats {
+  uint64_t records_ingested = 0;   ///< Records accepted into a session.
+  uint64_t records_dropped = 0;    ///< Records with no streaming algorithm.
+  uint64_t key_points_emitted = 0; ///< OnKeyPoint calls made.
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_finished = 0;  ///< Explicit finishes.
+  uint64_t sessions_evicted = 0;   ///< Budget evictions.
+  uint64_t sessions_idled = 0;     ///< Idle-timeout finalizations.
+  uint64_t sessions_recycled = 0;  ///< Sessions built on a pooled compressor.
+  std::size_t live_sessions = 0;
+  /// Accounted footprint of live sessions (StateBytes + base charge).
+  std::size_t state_bytes = 0;
+  /// Heap capacity held by pooled (recycled but idle) compressors; counted
+  /// against the memory budget alongside state_bytes.
+  std::size_t pooled_bytes = 0;
+  /// Sum over shards of each shard's own peak of (state + pooled) bytes.
+  /// Per-shard peaks need not co-occur, so this is an upper bound on the
+  /// true simultaneous fleet peak, not the peak itself.
+  std::size_t peak_state_bytes = 0;
+  /// Sum of per-session DecisionStats (closed + live sessions); meaningful
+  /// for the BQS family, all-zero otherwise.
+  DecisionStats decisions;
+};
+
+/// Sums `s` into `into` (counters add; peaks take the max). The engine uses
+/// it to fold per-session DecisionStats into the fleet aggregate.
+void AccumulateDecisionStats(DecisionStats& into, const DecisionStats& s);
+
+class FleetEngine {
+ public:
+  /// Fixed accounting charge per live session (map slot, compressor object,
+  /// bookkeeping) on top of StreamCompressor::StateBytes().
+  static constexpr std::size_t kSessionBaseBytes = 256;
+
+  FleetEngine(const FleetEngineOptions& options, FleetSink& sink);
+  /// Stops after draining queued work. Sessions still live are dropped
+  /// without their closing key points — call FinishAll() first for a clean
+  /// shutdown.
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Enqueues an interleaved batch. Records are routed to shards in order,
+  /// so per-device order is preserved. Blocks only on shard backpressure.
+  void IngestBatch(std::span<const FleetRecord> records);
+
+  /// Single-record convenience.
+  void Ingest(DeviceId device, const TrackPoint& pt);
+
+  /// Asynchronously finalizes `device`'s session (closing key points, then
+  /// OnSessionEnd(kFinished)). No-op if the device has no live session by
+  /// the time the command is processed.
+  void FinishDevice(DeviceId device);
+
+  /// Finalizes every live session and blocks until all output is emitted.
+  void FinishAll();
+
+  /// Blocks until every queued batch has been processed (no finalization).
+  void Flush();
+
+  /// Drains in-flight work, then returns aggregate counters.
+  FleetStats Stats();
+
+  const FleetEngineOptions& options() const { return options_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Shard owning `device` (splitmix64 of the id, mod shard count).
+  std::size_t ShardOf(DeviceId device) const;
+
+ private:
+  struct Command;
+  struct Session;
+  struct Shard;
+  class ShardSink;
+
+  void Enqueue(std::size_t shard_index, Command cmd);
+  void WaitIdle(Shard& shard);
+  void WorkerLoop(Shard& shard);
+  void ProcessBatch(Shard& shard, std::span<const FleetRecord> records);
+  Session& SessionFor(Shard& shard, DeviceId device);
+  void CloseSession(Shard& shard, DeviceId device, SessionEndReason reason);
+  void EnforceBudget(Shard& shard);
+  void CloseIdleSessions(Shard& shard);
+
+  FleetEngineOptions options_;
+  FleetSink& sink_;
+  CompressorFactory factory_;
+  std::size_t per_shard_budget_ = 0;  ///< 0 = unbounded.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Caller-side routing scratch, one per shard (single-producer API).
+  std::vector<std::vector<FleetRecord>> staging_;
+  /// Records refused because the configured algorithm is offline-only.
+  /// Producer-thread only, like the rest of the ingest path.
+  uint64_t records_dropped_ = 0;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_SERVICE_FLEET_ENGINE_H_

@@ -87,6 +87,56 @@ Dataset BuildAdversarialDriftDataset(double scale, double epsilon_hint,
   return Dataset{"adversarial_drift", std::move(out)};
 }
 
+FleetDataset BuildFleetDataset(std::size_t num_devices, double scale,
+                               uint64_t seed) {
+  num_devices = std::max<std::size_t>(num_devices, 1);
+  const std::size_t points_per_device = std::max<std::size_t>(
+      200, static_cast<std::size_t>(std::lround(6000 * scale)));
+
+  FleetDataset out;
+  out.name = "fleet";
+  out.devices.reserve(num_devices);
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    RandomWalkOptions options;
+    options.num_points = points_per_device;
+    options.seed = seed + d * 7919;
+    // Per-vehicle character: speed, heading persistence and area vary so
+    // shards do not get identical work.
+    options.speed_mode_mps = 7.0 + 0.8 * static_cast<double>(d % 8);
+    options.turn_kappa = 2.0 + 0.5 * static_cast<double>(d % 5);
+    options.area_m = 8000.0 + 500.0 * static_cast<double>(d % 4);
+    // Sparse, non-sequential ids: shard routing must not depend on ids
+    // being dense.
+    const DeviceId device = 1000 + 7919 * static_cast<DeviceId>(d);
+    out.devices.emplace_back(device, GenerateRandomWalk(options));
+  }
+
+  // Weave the per-device streams into one bursty arrival feed: repeatedly
+  // pick a random unfinished device and take 1-8 of its next records.
+  std::size_t total = 0;
+  for (const auto& [device, stream] : out.devices) total += stream.size();
+  out.feed.reserve(total);
+  std::vector<std::size_t> cursor(num_devices, 0);
+  std::vector<std::size_t> unfinished(num_devices);
+  for (std::size_t d = 0; d < num_devices; ++d) unfinished[d] = d;
+  Rng rng(seed ^ 0x5eedf1ee7ULL);
+  while (!unfinished.empty()) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(unfinished.size()) - 1));
+    const std::size_t d = unfinished[pick];
+    const auto& [device, stream] = out.devices[d];
+    const std::size_t burst = static_cast<std::size_t>(rng.UniformInt(1, 8));
+    for (std::size_t b = 0; b < burst && cursor[d] < stream.size(); ++b) {
+      out.feed.push_back(FleetRecord{device, stream[cursor[d]++]});
+    }
+    if (cursor[d] >= stream.size()) {
+      unfinished[pick] = unfinished.back();
+      unfinished.pop_back();
+    }
+  }
+  return out;
+}
+
 std::vector<Dataset> BuildAllDatasets(double scale) {
   std::vector<Dataset> out;
   out.push_back(BuildBatDataset(scale));

@@ -45,6 +45,25 @@ Dataset BuildAdversarialDriftDataset(double scale = 1.0,
                                      double epsilon_hint = 10.0,
                                      uint64_t seed = 4004);
 
+/// An interleaved multi-vehicle fleet feed plus the per-device reference
+/// streams it was woven from. `feed` is what a fleet frontend receives (one
+/// stream of (device, point) records, devices interleaved in bursty arrival
+/// order, each device's records in stream order); `devices` holds each
+/// device's stream alone, in feed order per device — the sequential
+/// reference the FleetEngine differential tests compress with CompressAll.
+struct FleetDataset {
+  std::string name;
+  std::vector<FleetRecord> feed;
+  std::vector<std::pair<DeviceId, Trajectory>> devices;
+};
+
+/// Interleaved fleet feed: `num_devices` correlated-random-walk vehicles
+/// with per-device speed/persistence variation, merged into one feed in
+/// random bursts of 1-8 records per device (deterministic in `seed`).
+/// scale = 1.0 gives ~6,000 points per device.
+FleetDataset BuildFleetDataset(std::size_t num_devices = 16,
+                               double scale = 1.0, uint64_t seed = 5005);
+
 /// All datasets used across the benches.
 std::vector<Dataset> BuildAllDatasets(double scale = 1.0);
 

@@ -6,9 +6,17 @@
 // and one key point per segment split; Finish() emits the final point of
 // the stream (closing the open segment). Consecutive emitted key points are
 // exactly the paper's compressed segments.
+//
+// Two emission paths exist side by side: the vector path (append to a
+// caller-owned std::vector<KeyPoint>, the original API every algorithm
+// implements) and the sink path (forward each newly-final key point to a
+// KeyPointSink), which is what the service layer's session multiplexer
+// consumes. The sink path is a thin adapter over the vector path, so both
+// are guaranteed to produce identical key points in identical order.
 #ifndef BQS_TRAJECTORY_COMPRESSOR_H_
 #define BQS_TRAJECTORY_COMPRESSOR_H_
 
+#include <cstddef>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -17,6 +25,40 @@
 #include "trajectory/trajectory.h"
 
 namespace bqs {
+
+struct DecisionStats;  // core/decision_stats.h; trajectory stays below core.
+
+/// Receives key points as they become final. Implementations decide what a
+/// key point means downstream (append to storage, serialize to a socket,
+/// fan into a per-device queue); the compressor guarantees calls arrive in
+/// stream order.
+class KeyPointSink {
+ public:
+  virtual ~KeyPointSink() = default;
+
+  /// One newly-final key point. Must not re-enter the emitting compressor.
+  virtual void Emit(const KeyPoint& key) = 0;
+};
+
+/// KeyPointSink that appends into a caller-owned vector; bridges sink-based
+/// plumbing back to the vector world (tests, adapters).
+class VectorSink final : public KeyPointSink {
+ public:
+  explicit VectorSink(std::vector<KeyPoint>* out) : out_(out) {}
+  void Emit(const KeyPoint& key) override { out_->push_back(key); }
+
+ private:
+  std::vector<KeyPoint>* out_;
+};
+
+/// Capacity hint for a stream's compressed output. Streams the paper
+/// evaluates compress to ~2-10% of the input, so reserving n/8 (+ slack for
+/// the mandatory endpoints) absorbs the common case in one allocation while
+/// wasting little when compression is stronger; pathological keep-everything
+/// streams grow geometrically from there as usual.
+inline std::size_t CompressedSizeHint(std::size_t stream_points) {
+  return stream_points / 8 + 2;
+}
 
 /// Push-based online compressor. Implementations are single-stream state
 /// machines; call Reset() to reuse across streams.
@@ -39,11 +81,36 @@ class StreamCompressor {
   /// Ends the stream; appends the closing key point(s) to *out.
   virtual void Finish(std::vector<KeyPoint>* out) = 0;
 
+  /// Sink-based emission path: same protocol, forwarding each newly-final
+  /// key point to `sink` instead of a vector. Runs through a reused scratch
+  /// buffer, so output is identical to the vector path by construction.
+  /// (Named distinctly from Push/Finish on purpose: overloads would be
+  /// hidden by the derived classes' vector-path overrides, making the sink
+  /// path uncallable on concrete compressor types.)
+  void PushTo(const TrackPoint& pt, KeyPointSink& sink);
+  void PushBatchTo(std::span<const TrackPoint> points, KeyPointSink& sink);
+  void FinishTo(KeyPointSink& sink);
+
   /// Restores the freshly-constructed state.
   virtual void Reset() = 0;
 
   /// Stable short name used in benchmark tables ("BQS", "FBQS", ...).
   virtual std::string_view name() const = 0;
+
+  /// Decision counters since the last Reset(), for implementations that
+  /// keep them (the BQS family); nullptr otherwise. Lets the service layer
+  /// aggregate pruning-power stats without downcasting.
+  virtual const DecisionStats* decision_stats() const { return nullptr; }
+
+  /// Approximate heap bytes of growable per-stream state (segment buffers,
+  /// hulls). Excludes the fixed object footprint; 0 means constant-space.
+  /// The service layer's memory accounting sums this across live sessions.
+  virtual std::size_t StateBytes() const { return 0; }
+
+ private:
+  /// Scratch for the sink adapters; reused so steady-state sink emission
+  /// does not allocate.
+  std::vector<KeyPoint> sink_scratch_;
 };
 
 /// Batch compressor (offline algorithms; also used to re-compress stored

@@ -36,6 +36,22 @@ struct TrackPoint {
 struct KeyPoint {
   TrackPoint point;
   uint64_t index = 0;  ///< 0-based index in the original stream.
+
+  constexpr bool operator==(const KeyPoint&) const = default;
+};
+
+/// Identifies one device stream in a fleet feed. Opaque to the library;
+/// assignment is the ingest frontend's concern.
+using DeviceId = uint64_t;
+
+/// One sample of an interleaved fleet feed: a track point tagged with the
+/// device that produced it. Records for the same device must arrive in
+/// stream order; records for different devices interleave arbitrarily.
+struct FleetRecord {
+  DeviceId device = 0;
+  TrackPoint point;
+
+  constexpr bool operator==(const FleetRecord&) const = default;
 };
 
 }  // namespace bqs

@@ -138,6 +138,63 @@ TEST_F(FlagArgsTest, StringFlagForms) {
             "default.json");
 }
 
+// IntFlag: the --threads/--threads= forms bench_fleet uses, with env
+// fallback and the same non-positive/malformed fall-through as scale.
+class IntFlagTest : public FlagArgsTest {
+ protected:
+  void SetUp() override { unsetenv("BQS_BENCH_THREADS"); }
+  void TearDown() override { unsetenv("BQS_BENCH_THREADS"); }
+};
+
+TEST_F(IntFlagTest, SeparateAndEqualsForms) {
+  auto argv = Argv({"--threads", "4"});
+  EXPECT_EQ(IntFlag(argv.argc(), argv.data(), "--threads",
+                    "BQS_BENCH_THREADS", 1),
+            4);
+  auto argv2 = Argv({"--scale", "0.1", "--threads=8"});
+  EXPECT_EQ(IntFlag(argv2.argc(), argv2.data(), "--threads",
+                    "BQS_BENCH_THREADS", 1),
+            8);
+}
+
+TEST_F(IntFlagTest, DefaultWhenAbsent) {
+  auto argv = Argv({"--scale", "0.1"});
+  EXPECT_EQ(IntFlag(argv.argc(), argv.data(), "--threads",
+                    "BQS_BENCH_THREADS", 6),
+            6);
+}
+
+TEST_F(IntFlagTest, EnvFallbackAndArgvPrecedence) {
+  setenv("BQS_BENCH_THREADS", "3", 1);
+  auto argv = Argv({});
+  EXPECT_EQ(IntFlag(argv.argc(), argv.data(), "--threads",
+                    "BQS_BENCH_THREADS", 1),
+            3);
+  auto argv2 = Argv({"--threads", "5"});
+  EXPECT_EQ(IntFlag(argv2.argc(), argv2.data(), "--threads",
+                    "BQS_BENCH_THREADS", 1),
+            5);
+  // A null env var name skips the env source entirely.
+  EXPECT_EQ(IntFlag(argv.argc(), argv.data(), "--threads", nullptr, 2), 2);
+}
+
+TEST_F(IntFlagTest, NonPositiveAndMalformedFallThrough) {
+  setenv("BQS_BENCH_THREADS", "7", 1);
+  auto argv = Argv({"--threads", "0"});
+  EXPECT_EQ(IntFlag(argv.argc(), argv.data(), "--threads",
+                    "BQS_BENCH_THREADS", 1),
+            7);
+  auto argv2 = Argv({"--threads", "-2"});
+  EXPECT_EQ(IntFlag(argv2.argc(), argv2.data(), "--threads",
+                    "BQS_BENCH_THREADS", 1),
+            7);
+  setenv("BQS_BENCH_THREADS", "lots", 1);
+  auto argv3 = Argv({"--threads=many"});
+  EXPECT_EQ(IntFlag(argv3.argc(), argv3.data(), "--threads",
+                    "BQS_BENCH_THREADS", 9),
+            9);
+}
+
 TEST(JsonReportTest, NestedDocumentStructure) {
   JsonReport json;
   json.BeginObject();

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 namespace bqs {
 namespace {
@@ -76,6 +77,57 @@ TEST(DatasetsTest, AdversarialDriftIsDeterministicAndScaled) {
   EXPECT_LT(max_abs_y, 12.0);
   // Tiny inputs still produce a workable stream.
   EXPECT_GE(BuildAdversarialDriftDataset(0.0001).stream.size(), 2000u);
+}
+
+TEST(DatasetsTest, FleetFeedInterleavesEveryDeviceStreamInOrder) {
+  const FleetDataset fleet = BuildFleetDataset(7, 0.02, 4242);
+  EXPECT_EQ(fleet.name, "fleet");
+  ASSERT_EQ(fleet.devices.size(), 7u);
+
+  // Device ids are unique and every stream is non-trivial.
+  std::map<DeviceId, std::size_t> sizes;
+  std::size_t total = 0;
+  for (const auto& [device, stream] : fleet.devices) {
+    EXPECT_TRUE(sizes.emplace(device, stream.size()).second)
+        << "duplicate device id " << device;
+    EXPECT_GE(stream.size(), 200u);
+    total += stream.size();
+  }
+  EXPECT_EQ(fleet.feed.size(), total);
+
+  // The feed restricted to one device must equal that device's reference
+  // stream, record for record (per-device order is the fleet contract).
+  std::map<DeviceId, std::size_t> cursor;
+  for (const FleetRecord& record : fleet.feed) {
+    auto it = sizes.find(record.device);
+    ASSERT_NE(it, sizes.end()) << "feed contains unknown device";
+    const std::size_t at = cursor[record.device]++;
+    const auto& [device, stream] =
+        *std::find_if(fleet.devices.begin(), fleet.devices.end(),
+                      [&](const auto& d) { return d.first == record.device; });
+    (void)device;
+    ASSERT_LT(at, stream.size());
+    EXPECT_EQ(record.point, stream[at]);
+  }
+  for (const auto& [device, n] : cursor) EXPECT_EQ(n, sizes.at(device));
+
+  // The weave actually interleaves (the feed is not device-concatenated).
+  std::size_t device_switches = 0;
+  for (std::size_t i = 1; i < fleet.feed.size(); ++i) {
+    if (fleet.feed[i].device != fleet.feed[i - 1].device) ++device_switches;
+  }
+  EXPECT_GT(device_switches, fleet.devices.size() * 4);
+}
+
+TEST(DatasetsTest, FleetFeedIsDeterministic) {
+  const FleetDataset a = BuildFleetDataset(4, 0.02, 555);
+  const FleetDataset b = BuildFleetDataset(4, 0.02, 555);
+  ASSERT_EQ(a.feed.size(), b.feed.size());
+  EXPECT_EQ(a.feed[0], b.feed[0]);
+  EXPECT_EQ(a.feed[a.feed.size() / 2], b.feed[b.feed.size() / 2]);
+  EXPECT_EQ(a.feed.back(), b.feed.back());
+  const FleetDataset c = BuildFleetDataset(4, 0.02, 556);
+  EXPECT_NE(c.feed, a.feed);
 }
 
 TEST(DatasetsTest, VelocitiesArePopulated) {

@@ -1,0 +1,348 @@
+// FleetEngine: the sharded multi-device session manager. The headline
+// invariant — for any shard count, per-device output is byte-identical to
+// compressing that device's stream alone through CompressAll — plus session
+// lifecycle (finish, recycling, budget eviction, idle timeout), stats
+// aggregation, and ingest-chunking independence.
+#include "service/fleet_engine.h"
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "simulation/datasets.h"
+#include "test_util.h"
+#include "trajectory/compressor.h"
+
+namespace bqs {
+namespace {
+
+/// Collects per-device output. OnKeyPoint may fire concurrently for
+/// different devices, so every mutation locks.
+class CollectingSink final : public FleetSink {
+ public:
+  void OnKeyPoint(DeviceId device, const KeyPoint& key) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    keys_[device].push_back(key);
+  }
+  void OnSessionEnd(DeviceId device, SessionEndReason reason) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ends_[device].push_back(reason);
+  }
+
+  std::map<DeviceId, std::vector<KeyPoint>> keys() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return keys_;
+  }
+  std::map<DeviceId, std::vector<SessionEndReason>> ends() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ends_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<DeviceId, std::vector<KeyPoint>> keys_;
+  std::map<DeviceId, std::vector<SessionEndReason>> ends_;
+};
+
+AlgorithmConfig ConfigFor(AlgorithmId id) {
+  AlgorithmConfig config;
+  config.id = id;
+  config.epsilon = 8.0;
+  return config;
+}
+
+/// Feeds `feed` in chunks of `chunk` records and finalizes everything.
+void RunFleet(FleetEngine& engine, const std::vector<FleetRecord>& feed,
+              std::size_t chunk) {
+  for (std::size_t i = 0; i < feed.size(); i += chunk) {
+    const std::size_t n = std::min(chunk, feed.size() - i);
+    engine.IngestBatch(std::span<const FleetRecord>(feed.data() + i, n));
+  }
+  engine.FinishAll();
+}
+
+/// Sequential reference: each device's stream alone through CompressAll.
+std::map<DeviceId, std::vector<KeyPoint>> SequentialReference(
+    const FleetDataset& fleet, const AlgorithmConfig& config) {
+  std::map<DeviceId, std::vector<KeyPoint>> out;
+  for (const auto& [device, stream] : fleet.devices) {
+    auto compressor = MakeStreamCompressor(config);
+    out[device] = CompressAll(*compressor, stream).keys;
+  }
+  return out;
+}
+
+TEST(FleetEngineTest, PerDeviceOutputMatchesSequentialAcrossShardCounts) {
+  const FleetDataset fleet = BuildFleetDataset(12, 0.05, 7001);
+  const AlgorithmId algorithms[] = {AlgorithmId::kBqs, AlgorithmId::kFbqs,
+                                    AlgorithmId::kBdp, AlgorithmId::kBgd,
+                                    AlgorithmId::kDr};
+  for (const AlgorithmId id : algorithms) {
+    const AlgorithmConfig config = ConfigFor(id);
+    const auto reference = SequentialReference(fleet, config);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{8}}) {
+      CollectingSink sink;
+      FleetEngineOptions options;
+      options.algorithm = config;
+      options.num_shards = shards;
+      {
+        FleetEngine engine(options, sink);
+        RunFleet(engine, fleet.feed, 512);
+      }
+      EXPECT_EQ(sink.keys(), reference)
+          << AlgorithmName(id) << " diverged at " << shards << " shards";
+    }
+  }
+}
+
+TEST(FleetEngineTest, OutputIndependentOfIngestChunking) {
+  const FleetDataset fleet = BuildFleetDataset(6, 0.04, 7002);
+  const AlgorithmConfig config = ConfigFor(AlgorithmId::kBqs);
+  std::map<DeviceId, std::vector<KeyPoint>> first;
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{37},
+                                  std::size_t{4096}}) {
+    CollectingSink sink;
+    FleetEngineOptions options;
+    options.algorithm = config;
+    options.num_shards = 3;
+    {
+      FleetEngine engine(options, sink);
+      RunFleet(engine, fleet.feed, chunk);
+    }
+    if (first.empty()) {
+      first = sink.keys();
+      ASSERT_FALSE(first.empty());
+    } else {
+      EXPECT_EQ(sink.keys(), first) << "chunk size " << chunk;
+    }
+  }
+}
+
+TEST(FleetEngineTest, FinishDeviceClosesOnlyThatSession) {
+  const Trajectory stream = testing_util::SmoothWalk(7003, 400);
+  CollectingSink sink;
+  FleetEngineOptions options;
+  options.algorithm = ConfigFor(AlgorithmId::kFbqs);
+  options.num_shards = 2;
+  FleetEngine engine(options, sink);
+  for (const TrackPoint& pt : stream) {
+    engine.Ingest(1, pt);
+    engine.Ingest(2, pt);
+  }
+  engine.FinishDevice(1);
+  engine.Flush();
+  {
+    const auto ends = sink.ends();
+    ASSERT_EQ(ends.count(1), 1u);
+    EXPECT_EQ(ends.at(1),
+              std::vector<SessionEndReason>{SessionEndReason::kFinished});
+    EXPECT_EQ(ends.count(2), 0u);
+  }
+  // Finishing an already-closed device is a harmless no-op.
+  engine.FinishDevice(1);
+  engine.FinishAll();
+  const auto ends = sink.ends();
+  EXPECT_EQ(ends.at(1).size(), 1u);
+  EXPECT_EQ(ends.at(2),
+            std::vector<SessionEndReason>{SessionEndReason::kFinished});
+
+  const FleetStats stats = engine.Stats();
+  EXPECT_EQ(stats.sessions_opened, 2u);
+  EXPECT_EQ(stats.sessions_finished, 2u);
+  EXPECT_EQ(stats.live_sessions, 0u);
+  EXPECT_EQ(stats.records_ingested, 2 * stream.size());
+}
+
+TEST(FleetEngineTest, SessionRecyclingReusesPooledCompressors) {
+  const Trajectory stream = testing_util::JaggedWalk(7004, 300);
+  CollectingSink sink;
+  FleetEngineOptions options;
+  options.algorithm = ConfigFor(AlgorithmId::kBqs);
+  options.num_shards = 1;
+  FleetEngine engine(options, sink);
+
+  // Three generations of the same device: each finish pools the
+  // compressor, each reopen must recycle it via Reset().
+  std::vector<KeyPoint> expected;
+  {
+    auto reference = MakeStreamCompressor(options.algorithm);
+    expected = CompressAll(*reference, stream).keys;
+  }
+  for (int generation = 0; generation < 3; ++generation) {
+    for (const TrackPoint& pt : stream) engine.Ingest(42, pt);
+    engine.FinishDevice(42);
+  }
+  engine.FinishAll();
+
+  const FleetStats stats = engine.Stats();
+  EXPECT_EQ(stats.sessions_opened, 3u);
+  EXPECT_EQ(stats.sessions_recycled, 2u);
+  EXPECT_EQ(stats.sessions_finished, 3u);
+  // The pooled compressor's retained heap capacity is accounted, not free.
+  EXPECT_GT(stats.pooled_bytes, 0u);
+  EXPECT_EQ(stats.state_bytes, 0u);
+
+  // Every generation's output is byte-identical to a fresh compressor's.
+  const auto keys = sink.keys().at(42);
+  ASSERT_EQ(keys.size(), 3 * expected.size());
+  for (std::size_t g = 0; g < 3; ++g) {
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(keys[g * expected.size() + i], expected[i])
+          << "generation " << g << " key " << i;
+    }
+  }
+}
+
+TEST(FleetEngineTest, MemoryBudgetEvictsLeastRecentlyActiveSessions) {
+  CollectingSink sink;
+  FleetEngineOptions options;
+  options.algorithm = ConfigFor(AlgorithmId::kBqs);
+  options.num_shards = 1;
+  // Room for roughly two base charges: a third concurrent session must
+  // evict the least recently active one.
+  options.memory_budget_bytes = 2 * FleetEngine::kSessionBaseBytes + 64;
+  FleetEngine engine(options, sink);
+
+  const Trajectory stream = testing_util::SmoothWalk(7005, 120);
+  for (DeviceId device = 1; device <= 4; ++device) {
+    for (const TrackPoint& pt : stream) engine.Ingest(device, pt);
+  }
+  engine.Flush();
+  const FleetStats mid = engine.Stats();
+  EXPECT_GT(mid.sessions_evicted, 0u);
+  // The budget bounds live state plus pooled capacity together; evicted
+  // compressors are destroyed, so nothing hides in the pool either.
+  EXPECT_LE(mid.state_bytes + mid.pooled_bytes,
+            std::max(options.memory_budget_bytes,
+                     FleetEngine::kSessionBaseBytes + 64));
+  engine.FinishAll();
+  // Finish-path closures pool compressors, but never past the budget: the
+  // accounted footprint stays bounded even after non-eviction closes.
+  const FleetStats end = engine.Stats();
+  EXPECT_LE(end.state_bytes + end.pooled_bytes, options.memory_budget_bytes);
+
+  bool saw_evicted = false;
+  for (const auto& [device, reasons] : sink.ends()) {
+    (void)device;
+    for (const SessionEndReason reason : reasons) {
+      saw_evicted = saw_evicted || reason == SessionEndReason::kEvicted;
+    }
+  }
+  EXPECT_TRUE(saw_evicted);
+}
+
+TEST(FleetEngineTest, IdleTimeoutFinalizesStaleSessions) {
+  CollectingSink sink;
+  FleetEngineOptions options;
+  options.algorithm = ConfigFor(AlgorithmId::kFbqs);
+  options.num_shards = 1;
+  options.idle_timeout_seconds = 50.0;
+  FleetEngine engine(options, sink);
+
+  // Device 1 sends early and goes quiet; device 2 keeps transmitting past
+  // the timeout horizon.
+  for (int i = 0; i < 10; ++i) {
+    engine.Ingest(1, TrackPoint{{static_cast<double>(i), 0.0},
+                                static_cast<double>(i)});
+  }
+  for (int i = 0; i < 200; ++i) {
+    engine.Ingest(2, TrackPoint{{static_cast<double>(i), 5.0},
+                                static_cast<double>(i)});
+  }
+  engine.Flush();
+  const FleetStats stats = engine.Stats();
+  EXPECT_EQ(stats.sessions_idled, 1u);
+  EXPECT_EQ(stats.live_sessions, 1u);
+  const auto ends = sink.ends();
+  ASSERT_EQ(ends.count(1), 1u);
+  EXPECT_EQ(ends.at(1),
+            std::vector<SessionEndReason>{SessionEndReason::kIdle});
+  engine.FinishAll();
+}
+
+TEST(FleetEngineTest, AggregatesDecisionStatsAcrossSessions) {
+  const FleetDataset fleet = BuildFleetDataset(5, 0.04, 7006);
+  CollectingSink sink;
+  FleetEngineOptions options;
+  options.algorithm = ConfigFor(AlgorithmId::kBqs);
+  options.num_shards = 4;
+  FleetEngine engine(options, sink);
+  engine.IngestBatch(fleet.feed);
+
+  // Live sessions' stats are part of the aggregate even before FinishAll.
+  const FleetStats mid = engine.Stats();
+  EXPECT_EQ(mid.decisions.points, fleet.feed.size());
+  EXPECT_EQ(mid.live_sessions, fleet.devices.size());
+  EXPECT_GT(mid.state_bytes,
+            fleet.devices.size() * FleetEngine::kSessionBaseBytes - 1);
+  EXPECT_GE(mid.peak_state_bytes, mid.state_bytes);
+
+  engine.FinishAll();
+  const FleetStats stats = engine.Stats();
+  EXPECT_EQ(stats.decisions.points, fleet.feed.size());
+  EXPECT_EQ(stats.records_ingested, fleet.feed.size());
+  EXPECT_EQ(stats.key_points_emitted,
+            [&] {
+              std::size_t n = 0;
+              for (const auto& [device, keys] : sink.keys()) n += keys.size();
+              return n;
+            }());
+  EXPECT_EQ(stats.live_sessions, 0u);
+  EXPECT_EQ(stats.state_bytes, 0u);
+}
+
+TEST(FleetEngineTest, OfflineAlgorithmRecordsAreDroppedAndCounted) {
+  CollectingSink sink;
+  FleetEngineOptions options;
+  options.algorithm = ConfigFor(AlgorithmId::kDp);  // offline: no sessions
+  FleetEngine engine(options, sink);
+  const Trajectory stream = testing_util::SmoothWalk(7007, 50);
+  for (const TrackPoint& pt : stream) engine.Ingest(9, pt);
+  engine.FinishAll();
+  const FleetStats stats = engine.Stats();
+  EXPECT_EQ(stats.records_ingested, 0u);
+  EXPECT_EQ(stats.records_dropped, stream.size());
+  EXPECT_TRUE(sink.keys().empty());
+}
+
+TEST(FleetEngineTest, EmptyBatchAndDestructionWithoutFinishAreSafe) {
+  CollectingSink sink;
+  FleetEngineOptions options;
+  options.algorithm = ConfigFor(AlgorithmId::kFbqs);
+  options.num_shards = 3;
+  {
+    FleetEngine engine(options, sink);
+    engine.IngestBatch({});
+    engine.Flush();
+    const Trajectory stream = testing_util::SmoothWalk(7008, 100);
+    for (const TrackPoint& pt : stream) engine.Ingest(1, pt);
+    // Destructor drains the queue but does not finalize sessions.
+  }
+  for (const auto& [device, reasons] : sink.ends()) {
+    (void)device;
+    EXPECT_TRUE(reasons.empty());
+  }
+}
+
+TEST(FleetEngineTest, ShardRoutingIsStableAndInRange) {
+  CollectingSink sink;
+  FleetEngineOptions options;
+  options.algorithm = ConfigFor(AlgorithmId::kFbqs);
+  options.num_shards = 8;
+  FleetEngine engine(options, sink);
+  ASSERT_EQ(engine.num_shards(), 8u);
+  std::vector<std::size_t> hits(engine.num_shards(), 0);
+  for (DeviceId device = 0; device < 1000; ++device) {
+    const std::size_t shard = engine.ShardOf(device);
+    ASSERT_LT(shard, engine.num_shards());
+    EXPECT_EQ(shard, engine.ShardOf(device));  // stable
+    ++hits[shard];
+  }
+  // splitmix64 routing should spread sequential ids across all shards.
+  for (const std::size_t h : hits) EXPECT_GT(h, 50u);
+}
+
+}  // namespace
+}  // namespace bqs
