@@ -4,12 +4,18 @@
 // (a) the merged empirical stream (the paper's Table III workload) and
 // (b) an adversarial slowly-drifting stream engineered to maximize the
 // inconclusive band d_lb <= eps < d_ub — the regime where the paper admits
-// BQS degrades to O(n^2) (Table I). BQS runs under both exact resolvers:
-// the Melkman-hull path and the seed's brute-force whole-buffer rescan,
-// which doubles as the reference implementation. The run FAILS (exit 1, so
-// CI fails) unless the hull path's key-point output is byte-identical to
-// the brute-force reference on every stream; it also verifies the error
-// bound end to end.
+// BQS degrades to O(n^2) (Table I). The matrix covers both bound kernels
+// and the resolver family:
+//   BQS            — fast kernel + adaptive resolver (the defaults)
+//   BQS_hull       — fast kernel + pure Melkman-hull resolver
+//   BQS_bruteforce — reference kernel + whole-buffer rescan: the seed
+//                    implementation bit-for-bit (transcendental bound
+//                    path, O(n) resolves), kept as the baseline row the
+//                    speedup is quoted against
+//   FBQS           — fast kernel;  FBQS_reference — reference kernel
+// The run FAILS (exit 1, so CI fails) unless every BQS row is byte-
+// identical to every other and both FBQS rows agree; it also verifies the
+// epsilon error bound end to end.
 //
 // Usage: bench_throughput [scale | --scale S] [--out PATH] [--reps N]
 #include <algorithm>
@@ -119,6 +125,7 @@ void EmitRun(bench::JsonReport& json, const MeasuredRun& run) {
     json.Key("exact_points_scanned").Value(run.stats.exact_points_scanned);
     json.Key("peak_exact_state").Value(run.stats.peak_exact_state);
     json.Key("pruning_power").Value(run.stats.PruningPower());
+    json.Key("kernel_fallbacks").Value(run.stats.kernel_fallbacks);
   }
   json.EndObject();
 }
@@ -134,10 +141,10 @@ int Run(int argc, char** argv) {
       1000);
 
   bench::Banner(
-      "Throughput — points/sec through PushBatch, hull vs brute-force "
-      "exact path (eps = 10 m)",
-      "Table I: BQS worst case O(n^2) from whole-buffer rescans; the "
-      "Melkman hull makes the exact resolve O(h)",
+      "Throughput — points/sec through PushBatch: fast vs reference bound "
+      "kernel, adaptive/hull/brute exact resolvers (eps = 10 m)",
+      "Table I runtime + ISSUE 4: transcendental-free decision kernel; "
+      "Melkman hull bounds the O(n^2) rescans, adaptively",
       scale);
 
   struct StreamCase {
@@ -165,36 +172,60 @@ int Run(int argc, char** argv) {
     std::printf("\n-- %s: %zu points (%s) --\n", c.dataset.name.c_str(),
                 stream.size(), c.note);
 
-    BqsOptions hull_options;
-    hull_options.epsilon = kEpsilon;
-    BqsOptions brute_options = hull_options;
-    brute_options.exact_resolver = ExactResolver::kBruteForce;
+    BqsOptions fast_options;  // the defaults: fast kernel + adaptive.
+    fast_options.epsilon = kEpsilon;
+    BqsOptions hull_options = fast_options;
+    hull_options.exact_resolver = ExactResolver::kHull;
+    // The seed implementation bit-for-bit: transcendental bound kernel +
+    // whole-buffer rescans. Every other row is checksummed against it.
+    BqsOptions seed_options = fast_options;
+    seed_options.bound_kernel = BoundKernel::kReference;
+    seed_options.exact_resolver = ExactResolver::kBruteForce;
+    BqsOptions fbqs_ref_options = fast_options;
+    fbqs_ref_options.bound_kernel = BoundKernel::kReference;
 
     std::vector<MeasuredRun> runs;
     runs.push_back(MeasureStream(
         "BQS",
+        [&] { return std::make_unique<BqsCompressor>(fast_options); },
+        stream, reps));
+    runs.push_back(MeasureStream(
+        "BQS_hull",
         [&] { return std::make_unique<BqsCompressor>(hull_options); },
         stream, reps));
     runs.push_back(MeasureStream(
         "BQS_bruteforce",
-        [&] { return std::make_unique<BqsCompressor>(brute_options); },
+        [&] { return std::make_unique<BqsCompressor>(seed_options); },
         stream, reps));
     runs.push_back(MeasureStream(
-        "FBQS", [&] { return std::make_unique<FbqsCompressor>(hull_options); },
+        "FBQS",
+        [&] { return std::make_unique<FbqsCompressor>(fast_options); },
+        stream, reps));
+    runs.push_back(MeasureStream(
+        "FBQS_reference",
+        [&] { return std::make_unique<FbqsCompressor>(fbqs_ref_options); },
         stream, reps));
     runs.push_back(MeasureDp(stream, reps));
 
-    const MeasuredRun& hull = runs[0];
-    const MeasuredRun& brute = runs[1];
+    const MeasuredRun& fast = runs[0];
+    const MeasuredRun& seed = runs[2];
     const double speedup =
-        hull.best_ms > 0.0 ? brute.best_ms / hull.best_ms : 0.0;
-    const bool identical = hull.checksum == brute.checksum &&
-                           hull.keys == brute.keys;
+        fast.best_ms > 0.0 ? seed.best_ms / fast.best_ms : 0.0;
+    // Byte-identity gates: all three BQS rows (kernels x resolvers) must
+    // agree, and the two FBQS rows (kernels) must agree.
+    bool identical = true;
+    for (int r : {1, 2}) {
+      identical = identical && runs[static_cast<std::size_t>(r)].checksum ==
+                                   fast.checksum &&
+                  runs[static_cast<std::size_t>(r)].keys == fast.keys;
+    }
+    identical = identical && runs[3].checksum == runs[4].checksum &&
+                runs[3].keys == runs[4].keys;
     all_identical = all_identical && identical;
     for (const MeasuredRun& run : runs) {
       // DP and the BQS family all promise the epsilon guarantee; a
-      // violation anywhere fails the run (and the CI gate) even when both
-      // resolvers agree on the same wrong output.
+      // violation anywhere fails the run (and the CI gate) even when all
+      // kernels agree on the same wrong output.
       all_bounded = all_bounded && run.error_bounded;
     }
 
@@ -215,9 +246,10 @@ int Run(int argc, char** argv) {
                : "-"});
     }
     table.Print(std::cout);
-    std::printf("BQS hull-vs-bruteforce: %.2fx faster, output %s (%s)\n",
+    std::printf("BQS fast+adaptive vs seed reference: %.2fx faster, "
+                "output %s (%s)\n",
                 speedup, identical ? "byte-identical" : "DIVERGED",
-                HexChecksum(hull.checksum).c_str());
+                HexChecksum(fast.checksum).c_str());
 
     json.BeginObject();
     json.Key("name").Value(c.dataset.name);
@@ -243,8 +275,8 @@ int Run(int argc, char** argv) {
 
   if (!all_identical) {
     std::fprintf(stderr,
-                 "FAIL: hull-resolver output diverged from the brute-force "
-                 "reference checksum\n");
+                 "FAIL: a fast-kernel/resolver output diverged from the "
+                 "seed reference checksum\n");
     return 1;
   }
   if (!all_bounded) {

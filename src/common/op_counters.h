@@ -1,0 +1,74 @@
+// Global operation counters for the expensive per-point primitives on the
+// bound-decision path (transcendentals, square roots, significant-point
+// rebuilds). They exist so the micro bench can *prove* — not eyeball — that
+// the fast bound kernel never touches a transcendental on the conclusive
+// decision path (ISSUE 4 acceptance criterion), and so regressions that
+// quietly reintroduce one are caught by the perf-smoke gate.
+//
+// The counters are relaxed atomics: they are only ever read for reporting
+// (never for synchronization), and the increment sites sit next to calls
+// that cost 1-2 orders of magnitude more than the increment (atan2, hypot,
+// a full significant-point rebuild), so the counted reference paths keep an
+// honest cost profile. Fleet shards may increment concurrently; relaxed
+// atomics keep that TSan-clean.
+#ifndef BQS_COMMON_OP_COUNTERS_H_
+#define BQS_COMMON_OP_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace bqs {
+namespace ops {
+
+struct Counters {
+  /// std::atan2 evaluations on the decision path (classification, angular
+  /// extreme tracking, the reference in-quadrant test). Excludes the
+  /// once-per-segment rotation estimation, which is not a per-point cost.
+  std::atomic<uint64_t> atan2_calls{0};
+  /// Square-root-bearing distance evaluations (hypot/sqrt) performed while
+  /// composing deviation bounds. Excludes exact resolves, which are the
+  /// inconclusive path and legitimately need real distances.
+  std::atomic<uint64_t> sqrt_calls{0};
+  /// Full QuadrantBound significant-point recomputations.
+  std::atomic<uint64_t> significant_rebuilds{0};
+};
+
+inline Counters& Global() {
+  static Counters counters;
+  return counters;
+}
+
+inline void CountAtan2() {
+  Global().atan2_calls.fetch_add(1, std::memory_order_relaxed);
+}
+inline void CountSqrt(uint64_t n = 1) {
+  Global().sqrt_calls.fetch_add(n, std::memory_order_relaxed);
+}
+inline void CountSignificantRebuild() {
+  Global().significant_rebuilds.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Plain-value snapshot for before/after deltas in benches and tests.
+struct Snapshot {
+  uint64_t atan2_calls = 0;
+  uint64_t sqrt_calls = 0;
+  uint64_t significant_rebuilds = 0;
+
+  Snapshot Delta(const Snapshot& earlier) const {
+    return {atan2_calls - earlier.atan2_calls,
+            sqrt_calls - earlier.sqrt_calls,
+            significant_rebuilds - earlier.significant_rebuilds};
+  }
+};
+
+inline Snapshot Read() {
+  const Counters& c = Global();
+  return {c.atan2_calls.load(std::memory_order_relaxed),
+          c.sqrt_calls.load(std::memory_order_relaxed),
+          c.significant_rebuilds.load(std::memory_order_relaxed)};
+}
+
+}  // namespace ops
+}  // namespace bqs
+
+#endif  // BQS_COMMON_OP_COUNTERS_H_

@@ -34,10 +34,50 @@ struct DeviationBounds {
 /// bound follows Eq. (11) and the in-quadrant test is directional.
 /// `mode` selects the sound corrected bounds (default) or the paper's
 /// literal formulas (see BoundsMode).
+///
+/// This is the reference (transcendental) composition: distances carry
+/// their square roots and the in-quadrant test normalizes an atan2 angle.
+/// `sig`, when non-null, supplies precomputed significant points (the fast
+/// kernel's fallback path reuses the cache); null recomputes them, which is
+/// the seed's per-push cost profile.
 /// Precondition: !qb.empty() and end != origin.
 DeviationBounds QuadrantDeviationBounds(
     const QuadrantBound& qb, Vec2 end, DistanceMetric metric,
-    BoundsMode mode = BoundsMode::kSound);
+    BoundsMode mode = BoundsMode::kSound,
+    const QuadrantBound::SignificantPoints* sig = nullptr);
+
+/// One quadrant's deviation bounds in the fast kernel's sqrt-free
+/// comparison domain: under kPointToLine, `lower`/`upper` are
+/// |cross(end, p)| magnitudes (distance numerators — divide by |end| for
+/// metres); under kPointToSegment they are squared distances. The min/max
+/// compositions mirror QuadrantDeviationBounds exactly, and both domains
+/// map to the reference's rounded distances through a weakly monotone
+/// function, so threshold comparisons against epsilon agree with the
+/// reference outside a ~1e-12 relative guard band (the engine falls back
+/// to the reference composition inside it).
+///
+/// `ok == false` reports that an internal guard band was hit (a corner
+/// sat exactly on the wedge-membership slack boundary); the caller must
+/// fall back to QuadrantDeviationBounds for the whole push.
+///
+/// `end_in_quadrant` is the caller's transcendental-free in-quadrant test:
+/// quadrant parity match for the line metric, quadrant equality for the
+/// segment metric (see DESIGN notes in bounds.cc).
+/// Precondition: !qb.empty() and end != origin.
+struct FastQuadrantBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+  bool ok = true;
+
+  void MergeMax(const FastQuadrantBounds& other) {
+    lower = lower > other.lower ? lower : other.lower;
+    upper = upper > other.upper ? upper : other.upper;
+    ok = ok && other.ok;
+  }
+};
+FastQuadrantBounds QuadrantFastBounds(const QuadrantBound& qb, Vec2 end,
+                                      bool end_in_quadrant,
+                                      DistanceMetric metric, BoundsMode mode);
 
 /// Loose whole-box bounds of Theorem 5.2 (min/max corner distance). Used as
 /// a baseline in the bound-tightness ablation; the compressors use

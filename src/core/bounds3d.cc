@@ -85,10 +85,11 @@ DeviationBounds OctantDeviationBounds(const OctantBound& ob, Vec3 end,
 
   DeviationBounds bounds;
 
-  // Upper bound: max distance over the significant points.
-  const std::vector<Vec3> sig = mode == Bounds3dMode::kClippedHull
-                                    ? ob.HullVertices()
-                                    : ob.PaperSignificantPoints();
+  // Upper bound: max distance over the significant points (cached in the
+  // octant; only an Add() invalidates them).
+  const std::vector<Vec3>& sig = mode == Bounds3dMode::kClippedHull
+                                     ? ob.HullVertices()
+                                     : ob.PaperSignificantPoints();
   for (const Vec3& v : sig) {
     bounds.upper = std::max(bounds.upper, PathDistance3(v, end_c, metric));
   }

@@ -30,6 +30,15 @@ struct DecisionStats {
   uint64_t peak_exact_state = 0;      ///< Largest per-segment exact-resolve
                                       ///< structure (hull vertices or
                                       ///< buffered points) seen so far.
+  uint64_t kernel_fallbacks = 0;      ///< Fast-kernel guard-band *events*
+                                      ///< (not pushes — one push can log
+                                      ///< several): a bound within ~1e-12
+                                      ///< relative of epsilon, a near-axis
+                                      ///< or degenerate end, a sliver
+                                      ///< classification, or an extreme-
+                                      ///< tracking tie band, each re-run
+                                      ///< with the reference semantics.
+                                      ///< 0 under BoundKernel::kReference.
 
   /// Paper definition: 1 - N_computed / N_total. Full-buffer scans only;
   /// warm-up checks touch a constant-size (<=W) buffer and are reported

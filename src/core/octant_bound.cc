@@ -28,6 +28,8 @@ void OctantBound::Reset() {
   az_max_ = -kInf;
   incl_min_ = kInf;
   incl_max_ = -kInf;
+  hull_cache_valid_ = false;
+  paper_cache_valid_ = false;
 }
 
 Vec3 OctantBound::Flip(Vec3 p) const {
@@ -37,6 +39,8 @@ Vec3 OctantBound::Flip(Vec3 p) const {
 void OctantBound::Add(Vec3 p) {
   const Vec3 c = Flip(p);  // canonical frame: all components >= 0.
   ++count_;
+  hull_cache_valid_ = false;
+  paper_cache_valid_ = false;
   box_.Extend(c);
   // Azimuth about the z axis; points on the z axis contribute azimuth 0.
   const double az = (c.x == 0.0 && c.y == 0.0) ? 0.0 : std::atan2(c.y, c.x);
@@ -74,15 +78,28 @@ std::vector<Plane3> OctantBound::WedgePlanes() const {
   return planes;
 }
 
-std::vector<Vec3> OctantBound::HullVertices() const {
-  if (empty()) return {};
-  // Tolerance scaled to the prism size so huge coordinates stay robust.
-  const double scale =
-      std::max({box_.max().x, box_.max().y, box_.max().z, 1.0});
-  return ClipBoxVertices(box_, WedgePlanes(), 1e-9 * scale);
+const std::vector<Vec3>& OctantBound::HullVertices() const {
+  if (hull_cache_valid_) return hull_cache_;
+  if (empty()) {
+    hull_cache_.clear();
+  } else {
+    // Tolerance scaled to the prism size so huge coordinates stay robust.
+    const double scale =
+        std::max({box_.max().x, box_.max().y, box_.max().z, 1.0});
+    hull_cache_ = ClipBoxVertices(box_, WedgePlanes(), 1e-9 * scale);
+  }
+  hull_cache_valid_ = true;
+  return hull_cache_;
 }
 
-std::vector<Vec3> OctantBound::PaperSignificantPoints() const {
+const std::vector<Vec3>& OctantBound::PaperSignificantPoints() const {
+  if (paper_cache_valid_) return paper_cache_;
+  paper_cache_ = ComputePaperSignificantPoints();
+  paper_cache_valid_ = true;
+  return paper_cache_;
+}
+
+std::vector<Vec3> OctantBound::ComputePaperSignificantPoints() const {
   if (empty()) return {};
   const double scale =
       std::max({box_.max().x, box_.max().y, box_.max().z, 1.0});

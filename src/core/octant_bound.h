@@ -57,21 +57,31 @@ class OctantBound {
 
   /// Vertices of (prism intersect wedge), canonical frame: the exact 3-D
   /// significant points. The hull provably contains every added point.
-  std::vector<Vec3> HullVertices() const;
+  /// Cached: the vertex set depends only on the octant state, not on the
+  /// candidate end point, so it is recomputed at most once per Add() and
+  /// shared by every per-push bounds query in between (the 3-D/4-D family's
+  /// version of the 2-D cached significant points).
+  const std::vector<Vec3>& HullVertices() const;
 
   /// The paper's cheaper scheme: intersection points of each bounding
   /// plane with the prism plus the prism vertex farthest from the origin
   /// (<= 17 points). Slightly larger polyhedron in theory; compared against
-  /// HullVertices() in the ablation bench.
-  std::vector<Vec3> PaperSignificantPoints() const;
+  /// HullVertices() in the ablation bench. Cached like HullVertices().
+  const std::vector<Vec3>& PaperSignificantPoints() const;
 
  private:
+  std::vector<Vec3> ComputePaperSignificantPoints() const;
+
   int octant_;
   Vec3 sign_;  ///< Componentwise +-1 reflection into the canonical octant.
   uint64_t count_ = 0;
   Box3 box_;
   double az_min_ = 0.0, az_max_ = 0.0;
   double incl_min_ = 0.0, incl_max_ = 0.0;
+  mutable std::vector<Vec3> hull_cache_;
+  mutable std::vector<Vec3> paper_cache_;
+  mutable bool hull_cache_valid_ = false;
+  mutable bool paper_cache_valid_ = false;
 };
 
 }  // namespace bqs

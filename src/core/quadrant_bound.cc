@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/op_counters.h"
 #include "geometry/angle.h"
 
 namespace bqs {
@@ -14,12 +15,18 @@ void QuadrantBound::Reset() {
   box_ = Box2();
   min_angle_ = std::numeric_limits<double>::infinity();
   max_angle_ = -std::numeric_limits<double>::infinity();
+  sig_valid_ = false;
 }
 
 void QuadrantBound::Add(Vec2 p) {
+  ops::CountAtan2();
+  AddWithAngle(p, NormalizeAngle2Pi(std::atan2(p.y, p.x)));
+}
+
+void QuadrantBound::AddWithAngle(Vec2 p, double theta) {
   ++count_;
   box_.Extend(p);
-  const double theta = NormalizeAngle2Pi(std::atan2(p.y, p.x));
+  sig_valid_ = false;
   // Quadrant ranges [q*pi/2, (q+1)*pi/2) do not wrap in [0, 2*pi), so plain
   // min/max tracks the angular extent exactly.
   if (theta < min_angle_ || count_ == 1) {
@@ -32,7 +39,90 @@ void QuadrantBound::Add(Vec2 p) {
   }
 }
 
-QuadrantBound::SignificantPoints QuadrantBound::Significant() const {
+bool QuadrantBound::AddCross(Vec2 p) {
+  ++count_;
+  box_.Extend(p);
+  sig_valid_ = false;
+  if (count_ == 1) {
+    min_angle_point_ = p;
+    max_angle_point_ = p;
+    return false;
+  }
+  // Within one quadrant the angular spread is < pi/2, so cross sign is
+  // angle order: cross(a, b) > 0 iff theta(b) > theta(a). min_angle_/
+  // max_angle_ stay at their Reset() sentinels; the accessors derive
+  // angles on demand.
+  //
+  // Guard band: two *distinct* directions closer than ~1e-12 rad
+  // (cross^2 <= 1e-24 * |e|^2 * |p|^2; the atan2 quantum is ~4e-16) can
+  // round to the same atan2 double, where the reference's strict
+  // comparison keeps the earlier point while the exact cross sign would
+  // switch — so inside the band the reference's theta compare is
+  // replicated literally (counted by the caller as a kernel fallback).
+  // A bitwise-identical point is a pure tie for both kernels and skips
+  // the band (stationary runs stay transcendental-free). Outside the
+  // band, cross sign and the strict theta compare provably agree.
+  if (p == min_angle_point_ && p == max_angle_point_) return false;
+  const auto theta_of = [](Vec2 v) {
+    ops::CountAtan2();
+    return NormalizeAngle2Pi(std::atan2(v.y, v.x));
+  };
+  bool deferred = false;
+  double theta_p = 0.0;
+  bool have_theta_p = false;
+  const double p_norm_sq = p.NormSq();
+
+  const double cross_min = min_angle_point_.Cross(p);
+  if (cross_min * cross_min <=
+          1e-24 * min_angle_point_.NormSq() * p_norm_sq &&
+      !(p == min_angle_point_)) {
+    theta_p = theta_of(p);
+    have_theta_p = true;
+    if (theta_p < theta_of(min_angle_point_)) min_angle_point_ = p;
+    deferred = true;
+  } else if (cross_min < 0.0) {
+    min_angle_point_ = p;
+  }
+
+  const double cross_max = max_angle_point_.Cross(p);
+  if (cross_max * cross_max <=
+          1e-24 * max_angle_point_.NormSq() * p_norm_sq &&
+      !(p == max_angle_point_)) {
+    if (!have_theta_p) theta_p = theta_of(p);
+    if (theta_p > theta_of(max_angle_point_)) max_angle_point_ = p;
+    deferred = true;
+  } else if (cross_max > 0.0) {
+    max_angle_point_ = p;
+  }
+  return deferred;
+}
+
+double QuadrantBound::min_angle() const {
+  if (count_ > 0 && std::isinf(min_angle_)) {
+    return NormalizeAngle2Pi(
+        std::atan2(min_angle_point_.y, min_angle_point_.x));
+  }
+  return min_angle_;
+}
+
+double QuadrantBound::max_angle() const {
+  if (count_ > 0 && std::isinf(max_angle_)) {
+    return NormalizeAngle2Pi(
+        std::atan2(max_angle_point_.y, max_angle_point_.x));
+  }
+  return max_angle_;
+}
+
+const QuadrantBound::SignificantPoints& QuadrantBound::Significant() const {
+  if (!sig_valid_) {
+    sig_cache_ = ComputeSignificant();
+    sig_valid_ = true;
+  }
+  return sig_cache_;
+}
+
+QuadrantBound::SignificantPoints QuadrantBound::ComputeSignificant() const {
+  ops::CountSignificantRebuild();
   SignificantPoints sig;
   sig.corners = box_.Corners();
 
@@ -41,15 +131,18 @@ QuadrantBound::SignificantPoints QuadrantBound::Significant() const {
   // handles degenerate boxes exactly.
   double best_near = std::numeric_limits<double>::infinity();
   double best_far = -1.0;
-  for (const Vec2& c : sig.corners) {
+  for (std::size_t i = 0; i < sig.corners.size(); ++i) {
+    const Vec2 c = sig.corners[i];
     const double d2 = c.NormSq();
     if (d2 < best_near) {
       best_near = d2;
       sig.near_corner = c;
+      sig.near_corner_index = i;
     }
     if (d2 > best_far) {
       best_far = d2;
       sig.far_corner = c;
+      sig.far_corner_index = i;
     }
   }
 

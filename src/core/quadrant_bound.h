@@ -5,6 +5,26 @@
 // the bounding lines with the box are the "significant points" from which
 // the deviation bounds of Theorems 5.3-5.5 are computed.
 //
+// Two maintenance kernels feed the same state (ISSUE 4):
+//  - AddCross(): transcendental-free. Within one quadrant every pair of
+//    directions is less than a quarter turn apart, so angular order is
+//    exactly the sign of the 2-D cross product; the extreme-angle points
+//    are tracked by two cross comparisons and no angle is ever computed.
+//  - Add()/AddWithAngle(): the seed's atan2-based tracking, kept as the
+//    reference implementation (BoundKernel::kReference) and for
+//    differential tests.
+// Both use strict comparisons, so ties (equal angle / zero cross — e.g.
+// collinear scalings of the same direction, or +-0.0 coordinates on the
+// same axis) keep the earlier point. Distinct directions within ~1e-12
+// rad of each other sit in a guard band where atan2 rounding could
+// collapse an order the exact cross product resolves; AddCross detects
+// the band and replicates the reference's theta compare there, so the
+// two kernels select bit-identical extreme points on every input.
+//
+// The significant points depend only on the box and the two extreme-angle
+// points — not on the candidate end point — so they are cached and only
+// invalidated when the quadrant absorbs a point.
+//
 // All coordinates are relative to the segment start point (the quadrant
 // system's origin), already rotated if data-centric rotation is active.
 #ifndef BQS_CORE_QUADRANT_BOUND_H_
@@ -30,17 +50,35 @@ class QuadrantBound {
   void Reset();
 
   /// Folds a point (relative to the origin) into the box and angular
-  /// bounds. Precondition: QuadrantOf(p) == quadrant() and p != (0,0).
+  /// bounds, tracking the angular extremes with atan2 (reference kernel).
+  /// Precondition: QuadrantOf(p) == quadrant() and p != (0,0).
   void Add(Vec2 p);
+
+  /// Add() with the angle already in hand: `theta` must be
+  /// NormalizeAngle2Pi(atan2(p.y, p.x)). Lets the engine classify and add
+  /// from one atan2 per point instead of two (hoisted classification).
+  void AddWithAngle(Vec2 p, double theta);
+
+  /// Transcendental-free Add(): tracks the angular extremes by cross
+  /// products (see the file comment for the tie semantics). The stored
+  /// min/max angles stay unset; min_angle()/max_angle() derive them on
+  /// demand for diagnostics. Returns true when a pair of distinct
+  /// directions fell inside the ~1e-12 rad guard band where atan2
+  /// rounding could order them differently and the reference's theta
+  /// compare was replicated instead (the engine counts it as a kernel
+  /// fallback); false on the pure cross-product path.
+  bool AddCross(Vec2 p);
 
   bool empty() const { return count_ == 0; }
   uint64_t count() const { return count_; }
   int quadrant() const { return quadrant_; }
   const Box2& box() const { return box_; }
   /// Smallest/greatest angle (in [0, 2*pi), within the quadrant's range)
-  /// from the origin to any added point.
-  double min_angle() const { return min_angle_; }
-  double max_angle() const { return max_angle_; }
+  /// from the origin to any added point. Under AddCross maintenance these
+  /// are computed on demand from the extreme points (cold diagnostics
+  /// path); under Add they are the incrementally tracked values.
+  double min_angle() const;
+  double max_angle() const;
 
   /// The (at most 8) significant points of this quadrant system: the four
   /// bounding-box corners and the entry/exit intersections of each
@@ -52,14 +90,26 @@ class QuadrantBound {
     Vec2 u1, u2;  ///< Upper bounding line: entry (near) / exit (far).
     Vec2 near_corner;  ///< Corner closest to the origin (c_n).
     Vec2 far_corner;   ///< Corner farthest from the origin (c_f).
+    /// Indices of near_corner/far_corner within `corners` (they are
+    /// bitwise copies of those entries), so value computations over the
+    /// corner set can be reused instead of re-evaluated.
+    std::size_t near_corner_index = 0;
+    std::size_t far_corner_index = 0;
     /// The buffered points that realize the extreme angles. Kept so the
     /// bound computation stays sound when a bounding ray grazes a box
     /// corner and the ray/box intersection degenerates numerically.
     Vec2 min_angle_point, max_angle_point;
   };
 
-  /// Computes the significant points. Precondition: !empty().
-  SignificantPoints Significant() const;
+  /// The significant points, cached: recomputed at most once per Add*()
+  /// and shared by every bounds query until the next point lands (the
+  /// fast kernel's per-push saving). Precondition: !empty().
+  const SignificantPoints& Significant() const;
+
+  /// Unconditionally recomputes the significant points (the seed's
+  /// per-push cost; reference kernel and the cached-vs-recomputed micro
+  /// bench). Bit-identical to Significant(). Precondition: !empty().
+  SignificantPoints ComputeSignificant() const;
 
  private:
   int quadrant_;
@@ -69,6 +119,8 @@ class QuadrantBound {
   double max_angle_ = 0.0;
   Vec2 min_angle_point_;
   Vec2 max_angle_point_;
+  mutable SignificantPoints sig_cache_{};
+  mutable bool sig_valid_ = false;
 };
 
 }  // namespace bqs

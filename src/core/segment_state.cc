@@ -5,16 +5,69 @@
 #include <cmath>
 
 #include "common/math_utils.h"
+#include "common/op_counters.h"
 #include "geometry/angle.h"
 #include "trajectory/deviation.h"
 
 namespace bqs {
 namespace internal {
 
+namespace {
+
+/// True when v lies within the sub-ulp sliver of a coordinate axis where
+/// the sign-test classifier and the reference's atan2+fmod formula can
+/// disagree (the fmod normalization absorbs angles within ~half an ulp of
+/// a pi/2 multiple into the boundary; see QuadrantOf). Exactly-on-axis
+/// vectors (a zero coordinate) agree by design and are not slivers. The
+/// 1e-12 window is ~1e4 times wider than the actual disagreement band.
+/// Not hypothetical: data-centric rotation of a stationary or perfectly
+/// straight run lands rel vectors exactly here (TLS axis through
+/// collinear points leaves rounding-level residuals).
+bool NearAxisSliver(Vec2 v) {
+  const double ax = std::fabs(v.x);
+  const double ay = std::fabs(v.y);
+  const double mn = std::min(ax, ay);
+  return mn != 0.0 && mn <= 1e-12 * std::max(ax, ay);
+}
+
+/// Squared-domain epsilon verdict for a flat scan of buffered points
+/// against the path (a, b): +1 when the maximum deviation is definitely
+/// <= eps, -1 when definitely greater, 0 inside a ~1e-12 relative guard
+/// band of the threshold (caller recomputes with the reference scan). The
+/// per-point value is the same |cross| / squared-distance candidate the
+/// sqrt-bearing scan would feed into its max, so the verdict matches the
+/// reference comparison outside the band by monotonicity.
+int SquaredDeviationVerdict(const TrackPoint* pts, std::size_t n, Vec2 a,
+                            Vec2 b, DistanceMetric metric, double eps) {
+  constexpr double kBandLo = 1.0 - 1e-12;
+  constexpr double kBandHi = 1.0 + 1e-12;
+  double vmax = 0.0;
+  double threshold;
+  if (metric == DistanceMetric::kPointToLine) {
+    const Vec2 d = b - a;
+    if (d == Vec2{0.0, 0.0}) return 0;  // degenerate: reference semantics.
+    for (std::size_t i = 0; i < n; ++i) {
+      vmax = std::max(vmax, std::fabs(d.Cross(pts[i].pos - a)));
+    }
+    vmax *= vmax;
+    threshold = eps * eps * d.NormSq();
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      vmax = std::max(vmax, PointToSegmentDistanceSq(pts[i].pos, a, b));
+    }
+    threshold = eps * eps;
+  }
+  if (vmax <= threshold * kBandLo) return 1;
+  if (vmax > threshold * kBandHi) return -1;
+  return 0;
+}
+
+}  // namespace
+
 SegmentEngine::SegmentEngine(const BqsOptions& options, bool exact_mode)
     : options_(options),
       exact_mode_(exact_mode),
-      use_hull_(options.exact_resolver == ExactResolver::kHull),
+      fast_kernel_(options.bound_kernel == BoundKernel::kFast),
       quadrants_{QuadrantBound(0), QuadrantBound(1), QuadrantBound(2),
                  QuadrantBound(3)} {
   // Misconfiguration is a caller bug (BqsOptions::Validate() rejects it),
@@ -25,6 +78,8 @@ SegmentEngine::SegmentEngine(const BqsOptions& options, bool exact_mode)
   assert(options_.Validate().ok());
   options_.rotation_warmup = std::clamp(options_.rotation_warmup, 1,
                                         BqsOptions::kMaxRotationWarmup);
+  options_.adaptive_resolver_threshold =
+      std::max(options_.adaptive_resolver_threshold, 1);
   Reset();
 }
 
@@ -37,6 +92,7 @@ void SegmentEngine::Reset() {
   prev_ = TrackPoint{};
   prev_index_ = 0;
   last_emitted_index_ = UINT64_MAX;
+  batch_fill_ = kBatchSeed;
   StartSegment(TrackPoint{}, 0);
 }
 
@@ -76,11 +132,63 @@ void SegmentEngine::PushBatch(std::span<const TrackPoint> pts,
   }
 }
 
+void SegmentEngine::PrepareBatch(std::span<const TrackPoint> pts) {
+  const std::size_t n = pts.size();
+  if (batch_rx_.size() < n) {
+    batch_rx_.resize(kBatchChunk);
+    batch_ry_.resize(kBatchChunk);
+    batch_nsq_.resize(kBatchChunk);
+  }
+  // Straight-line SoA transform: the origin subtraction, the cached-cos/sin
+  // rotation and |rel|^2 use the same expressions as the scalar path
+  // (Assess), so the prepared values are bit-identical to what Push would
+  // compute point by point.
+  const Vec2 origin = segment_start_.pos;
+  for (std::size_t j = 0; j < n; ++j) {
+    const Vec2 rel = pts[j].pos - origin;
+    batch_nsq_[j] = rel.NormSq();
+    const Vec2 rot = ToRotatedFrame(rel);
+    batch_rx_[j] = rot.x;
+    batch_ry_[j] = rot.y;
+  }
+}
+
 template <bool kProbed>
 void SegmentEngine::RunBatch(std::span<const TrackPoint> pts,
                              std::vector<KeyPoint>* out) {
-  for (const TrackPoint& pt : pts) {
-    ProcessPoint<kProbed>(pt, next_index_++, out, 0);
+  std::size_t i = 0;
+  const std::size_t n = pts.size();
+  while (i < n) {
+    if (!rotation_established_) {
+      // Warm-up (or rotation disabled mid-establishment): the segment
+      // frame is still in flux, take the scalar path point by point.
+      ProcessPoint<kProbed>(pts[i], next_index_++, out, 0);
+      ++i;
+      continue;
+    }
+    const std::size_t chunk = std::min(n - i, batch_fill_);
+    PrepareBatch(pts.subspan(i, chunk));
+    const uint64_t seg_mark = segment_start_index_;
+    bool stale = false;
+    std::size_t j = 0;
+    for (; j < chunk; ++j) {
+      ProcessPrepared<kProbed>(pts[i + j], next_index_++,
+                               Vec2{batch_rx_[j], batch_ry_[j]},
+                               batch_nsq_[j], out);
+      if (segment_start_index_ != seg_mark || !rotation_established_) {
+        // A split moved the segment origin (and possibly reset the
+        // rotation): the remaining prepared values are stale.
+        stale = true;
+        ++j;
+        break;
+      }
+    }
+    i += j;
+    // Adaptive fill window: grow while chunks run to completion, shrink
+    // after a split so split-heavy streams discard little prepared work.
+    // (A split on the chunk's last element is still a split — the flag,
+    // not j == chunk, decides.)
+    batch_fill_ = stale ? kBatchSeed : std::min(batch_fill_ * 2, kBatchChunk);
   }
 }
 
@@ -111,6 +219,23 @@ void SegmentEngine::ProcessPoint(const TrackPoint& pt, uint64_t index,
 }
 
 template <bool kProbed>
+void SegmentEngine::ProcessPrepared(const TrackPoint& pt, uint64_t index,
+                                    Vec2 rel_rot, double rel_norm_sq,
+                                    std::vector<KeyPoint>* out) {
+  if (AssessPrepared<kProbed>(pt, index, rel_rot, rel_norm_sq) ==
+      Decision::kInclude) {
+    prev_ = pt;
+    prev_index_ = index;
+    return;
+  }
+  EmitKey(prev_, prev_index_, out);
+  ++stats_.segments;
+  StartSegment(prev_, prev_index_);
+  // The prepared frame died with the old segment; re-enter scalar.
+  ProcessPoint<kProbed>(pt, index, out, 1);
+}
+
+template <bool kProbed>
 SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
                                               uint64_t index) {
   const Vec2 rel = pt.pos - segment_start_.pos;
@@ -134,7 +259,20 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
     // constant-size scan (<= rotation_warmup points, or their hull).
     if (warmup_count_ > 0) {
       ++stats_.warmup_checks;
-      if (WarmupDeviation(pt.pos) > eps) return Decision::kSplit;
+      // Fast kernel: the warm-up scan is a per-point conclusive-path cost,
+      // so it runs in the squared domain too (one sqrt-free pass; the
+      // reference scan only on a guard-band hit).
+      int verdict = 0;
+      if (fast_kernel_) {
+        verdict = SquaredDeviationVerdict(warmup_.data(), warmup_count_,
+                                          segment_start_.pos, pt.pos,
+                                          options_.metric, eps);
+        if (verdict == 0) ++stats_.kernel_fallbacks;
+      }
+      if (verdict < 0) return Decision::kSplit;
+      if (verdict == 0 && WarmupDeviation(pt.pos) > eps) {
+        return Decision::kSplit;
+      }
     }
     if (trivial) {
       ++stats_.trivial_includes;
@@ -145,13 +283,7 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
       // Warm-up points are segment-buffer points: they must be visible to
       // every later exact resolve. FBQS has no exact state at all — its
       // warm-up checks scan the warmup_ array directly.
-      if (use_hull_) {
-        AddHullPoint(pt.pos);
-      } else {
-        buffer_.push_back(pt);
-        stats_.peak_exact_state =
-            std::max<uint64_t>(stats_.peak_exact_state, buffer_.size());
-      }
+      AddExactPoint(pt);
     }
     if (warmup_count_ >= static_cast<std::size_t>(options_.rotation_warmup)) {
       EstablishRotation();
@@ -159,7 +291,52 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
     return Decision::kInclude;
   }
 
-  const Vec2 rel_rot = ToRotatedFrame(rel);
+  return AssessRotated<kProbed>(pt, index, ToRotatedFrame(rel), trivial);
+}
+
+template <bool kProbed>
+SegmentEngine::Decision SegmentEngine::AssessPrepared(const TrackPoint& pt,
+                                                      uint64_t index,
+                                                      Vec2 rel_rot,
+                                                      double rel_norm_sq) {
+  // Prepared points only exist for established segments, so this is
+  // Assess() minus the warm-up branch, on precomputed inputs.
+  const double eps = options_.epsilon;
+  const bool trivial = rel_norm_sq <= eps * eps;
+  if (trivial && options_.paper_trivial_include) {
+    ++stats_.trivial_includes;
+    return Decision::kInclude;
+  }
+  return AssessRotated<kProbed>(pt, index, rel_rot, trivial);
+}
+
+template <bool kProbed>
+SegmentEngine::Decision SegmentEngine::AssessRotated(const TrackPoint& pt,
+                                                     uint64_t index,
+                                                     Vec2 rel_rot,
+                                                     bool trivial) {
+  const double eps = options_.epsilon;
+
+  // Fast kernel: squared-domain threshold test, no transcendentals. A set
+  // probe forces the reference composition (it reports bounds in metres);
+  // kProbed implies probe_ is set, so the branch folds at compile time.
+  if constexpr (!kProbed) {
+    if (fast_kernel_) {
+      switch (FastAssess(rel_rot, eps)) {
+        case FastOutcome::kInclude:
+          return IncludeByUpper(pt, rel_rot, trivial);
+        case FastOutcome::kSplit:
+          ++stats_.lower_bound_splits;
+          return Decision::kSplit;
+        case FastOutcome::kInconclusive:
+          return ResolveInconclusive(pt, rel_rot, trivial);
+        case FastOutcome::kFallback:
+          ++stats_.kernel_fallbacks;
+          break;  // re-decide via the reference composition below.
+      }
+    }
+  }
+
   const DeviationBounds bounds = AggregateBounds(rel_rot);
 
   if constexpr (kProbed) {
@@ -176,20 +353,86 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
 
   if (bounds.upper <= eps) {
     // Guaranteed within tolerance: include without any deviation scan.
-    if (trivial) {
-      ++stats_.trivial_includes;
-    } else {
-      ++stats_.upper_bound_includes;
-      IncludeNonTrivial(pt, rel_rot);
-    }
-    return Decision::kInclude;
+    return IncludeByUpper(pt, rel_rot, trivial);
   }
   if (bounds.lower > eps) {
     // Guaranteed to break tolerance: split without any deviation scan.
     ++stats_.lower_bound_splits;
     return Decision::kSplit;
   }
+  return ResolveInconclusive(pt, rel_rot, trivial);
+}
 
+SegmentEngine::FastOutcome SegmentEngine::FastAssess(Vec2 end,
+                                                     double eps) const {
+  // Degenerate ends (duplicate fixes) force the reference's Theorem 5.5
+  // branch; near-axis ends (direction within 1e-12 relative of an axis,
+  // but not exactly on it) are where the reference's atan2-normalizing
+  // in-quadrant test can round onto a quadrant boundary that the sign
+  // tests resolve exactly (see QuadrantOf). Both take the reference path;
+  // the guard is ~1e4x wider than the actual disagreement sliver (~5e-16).
+  if (end == Vec2{0.0, 0.0}) return FastOutcome::kFallback;
+  if (NearAxisSliver(end)) return FastOutcome::kFallback;
+
+  const bool line = options_.metric == DistanceMetric::kPointToLine;
+  const int end_q = QuadrantOf(end);
+  FastQuadrantBounds agg;
+  for (const QuadrantBound& q : quadrants_) {
+    if (q.empty()) continue;
+    // Line metric: an undirected line lies in the two opposite quadrants of
+    // matching parity. Segment metric: the in-quadrant property is
+    // directional (paper Section V-G) — the end's own quadrant only.
+    const bool in_q = line ? (end_q & 1) == (q.quadrant() & 1)
+                           : end_q == q.quadrant();
+    agg.MergeMax(QuadrantFastBounds(q, end, in_q, options_.metric,
+                                    options_.bounds_mode));
+    if (!agg.ok) return FastOutcome::kFallback;
+  }
+
+  // Threshold test in the squared domain: the reference compares
+  // max|cross|/|end| (resp. hypot distances) against eps; squaring both
+  // sides is exact in real arithmetic, and every floating-point
+  // discrepancy between the two formulations is bounded well under the
+  // 1e-12 relative guard band, inside which we defer to the reference.
+  const double eps_sq = eps * eps;
+  const double threshold = line ? eps_sq * end.NormSq() : eps_sq;
+  constexpr double kBandLo = 1.0 - 1e-12;
+  constexpr double kBandHi = 1.0 + 1e-12;
+  const double upper_sq = line ? agg.upper * agg.upper : agg.upper;
+  if (upper_sq <= threshold * kBandLo) return FastOutcome::kInclude;
+  if (upper_sq <= threshold * kBandHi) return FastOutcome::kFallback;
+  const double lower_sq = line ? agg.lower * agg.lower : agg.lower;
+  if (lower_sq > threshold * kBandHi) return FastOutcome::kSplit;
+  if (lower_sq > threshold * kBandLo) return FastOutcome::kFallback;
+  return FastOutcome::kInconclusive;
+}
+
+int SegmentEngine::FastClassify(Vec2 rel_rot) {
+  // The sign tests are the classifier; points inside the sub-ulp axis
+  // sliver defer to the reference's atan2 semantics (bit-compatibility
+  // with the transcendental path), counted like any other guard-band
+  // fallback.
+  if (NearAxisSliver(rel_rot)) {
+    ++stats_.kernel_fallbacks;
+    return QuadrantOfAtan2(rel_rot);
+  }
+  return QuadrantOf(rel_rot);
+}
+
+SegmentEngine::Decision SegmentEngine::IncludeByUpper(const TrackPoint& pt,
+                                                      Vec2 rel_rot,
+                                                      bool trivial) {
+  if (trivial) {
+    ++stats_.trivial_includes;
+  } else {
+    ++stats_.upper_bound_includes;
+    IncludeNonTrivial(pt, rel_rot);
+  }
+  return Decision::kInclude;
+}
+
+SegmentEngine::Decision SegmentEngine::ResolveInconclusive(
+    const TrackPoint& pt, Vec2 rel_rot, bool trivial) {
   if (!exact_mode_) {
     // FBQS (Section V-E): when uncertain, aggressively take the point and
     // start a new segment — no buffer, no full deviation calculation.
@@ -198,12 +441,12 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
   }
 
   // BQS: resolve exactly — over the hull vertices of the segment buffer
-  // (O(h), the deviation maximum is attained there) or, as the reference
-  // implementation, over the whole buffer (O(n)).
+  // (O(h), the deviation maximum is attained there) or over the flat
+  // buffer (O(n): brute force, or adaptive before its migration point).
   ++stats_.exact_computations;
   const double dev = ExactDeviation(pt.pos);  // drains the pending batch
-  stats_.exact_points_scanned += use_hull_ ? hull_.size() : buffer_.size();
-  if (dev <= eps) {
+  stats_.exact_points_scanned += hull_active_ ? hull_.size() : buffer_.size();
+  if (dev <= options_.epsilon) {
     if (trivial) {
       ++stats_.trivial_includes;
     } else {
@@ -216,15 +459,47 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
   return Decision::kSplit;
 }
 
-void SegmentEngine::IncludeNonTrivial(const TrackPoint& pt, Vec2 rel_rot) {
-  quadrants_[static_cast<std::size_t>(QuadrantOf(rel_rot))].Add(rel_rot);
-  if (!exact_mode_) return;
-  if (use_hull_) {
-    AddHullPoint(pt.pos);
+void SegmentEngine::AddToQuadrants(Vec2 rel_rot) {
+  // Hoisted classification (one per point): the fast kernel needs no angle
+  // at all — sign tests pick the quadrant and AddCross tracks extremes by
+  // cross products; the reference kernel computes its one atan2 here and
+  // shares it between classification and the angular-extreme update.
+  if (fast_kernel_) {
+    if (quadrants_[static_cast<std::size_t>(FastClassify(rel_rot))].AddCross(
+            rel_rot)) {
+      ++stats_.kernel_fallbacks;  // extreme-tracking tie-band deferral.
+    }
   } else {
-    buffer_.push_back(pt);
-    stats_.peak_exact_state =
-        std::max<uint64_t>(stats_.peak_exact_state, buffer_.size());
+    ops::CountAtan2();
+    const double theta = NormalizeAngle2Pi(std::atan2(rel_rot.y, rel_rot.x));
+    quadrants_[static_cast<std::size_t>(ThetaQuadrant(theta))].AddWithAngle(
+        rel_rot, theta);
+  }
+}
+
+void SegmentEngine::IncludeNonTrivial(const TrackPoint& pt, Vec2 rel_rot) {
+  AddToQuadrants(rel_rot);
+  if (exact_mode_) AddExactPoint(pt);
+}
+
+void SegmentEngine::AddExactPoint(const TrackPoint& pt) {
+  if (hull_active_) {
+    AddHullPoint(pt.pos);
+    return;
+  }
+  buffer_.push_back(pt);
+  stats_.peak_exact_state =
+      std::max<uint64_t>(stats_.peak_exact_state, buffer_.size());
+  if (options_.exact_resolver == ExactResolver::kAdaptive &&
+      buffer_.size() >=
+          static_cast<std::size_t>(options_.adaptive_resolver_threshold)) {
+    // Migration point: hand the segment to the hull. Feeding the buffer in
+    // arrival order makes the hull state identical to a kHull run that saw
+    // the same stream, and the resolvers agree exactly on the deviation
+    // maximum, so the switch never changes a decision.
+    for (const TrackPoint& p : buffer_) AddHullPoint(p.pos);
+    buffer_.clear();
+    hull_active_ = true;
   }
 }
 
@@ -256,7 +531,8 @@ void SegmentEngine::StartSegment(const TrackPoint& pt, uint64_t index) {
   hull_.Clear();
   hull_pending_.clear();
   buffer_.clear();
-  if (exact_mode_ && !use_hull_) {
+  hull_active_ = options_.exact_resolver == ExactResolver::kHull;
+  if (exact_mode_ && !hull_active_) {
     // The warm-up points land here before any split can happen; reserving
     // them up front avoids the first few reallocations of every segment.
     buffer_.reserve(static_cast<std::size_t>(options_.rotation_warmup));
@@ -296,8 +572,7 @@ void SegmentEngine::EstablishRotation() {
   rot_sin_ = std::sin(rotation_angle_);
   rotation_established_ = true;
   for (std::size_t i = 0; i < warmup_count_; ++i) {
-    const Vec2 rel_rot = ToRotatedFrame(warmup_[i].pos - segment_start_.pos);
-    quadrants_[static_cast<std::size_t>(QuadrantOf(rel_rot))].Add(rel_rot);
+    AddToQuadrants(ToRotatedFrame(warmup_[i].pos - segment_start_.pos));
   }
   warmup_count_ = 0;
 }
@@ -309,7 +584,7 @@ void SegmentEngine::EmitKey(const TrackPoint& pt, uint64_t index,
 }
 
 double SegmentEngine::ExactDeviation(Vec2 end_abs) {
-  if (use_hull_) {
+  if (hull_active_) {
     DrainPendingHull();
     return hull_.MaxDeviation(segment_start_.pos, end_abs, options_.metric);
   }
@@ -334,9 +609,14 @@ DeviationBounds SegmentEngine::AggregateBounds(Vec2 end_rel_rotated) const {
   DeviationBounds bounds;  // (0, 0): correct when every quadrant is empty.
   for (const QuadrantBound& q : quadrants_) {
     if (q.empty()) continue;
+    // The fast kernel's fallback path reuses the cached significant points
+    // (bit-identical to a recompute); the reference kernel recomputes them
+    // per push, which is the seed's honest cost profile.
+    const QuadrantBound::SignificantPoints* sig =
+        fast_kernel_ ? &q.Significant() : nullptr;
     bounds.MergeMax(QuadrantDeviationBounds(q, end_rel_rotated,
                                             options_.metric,
-                                            options_.bounds_mode));
+                                            options_.bounds_mode, sig));
   }
   return bounds;
 }

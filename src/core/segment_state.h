@@ -5,12 +5,21 @@
 // FBQS aggressively splits, which removes all per-point state and makes
 // per-point time and space O(1) (Section V-E).
 //
-// BQS's exact resolve is driven by ExactResolver: the default maintains a
-// Melkman convex hull of the segment buffer incrementally and scans only its
-// vertices (O(h) per resolve, amortized O(1) maintenance per point — the max
-// deviation from a chord is attained at a hull vertex), while kBruteForce
-// keeps the paper's O(n)-per-resolve whole-buffer rescan as the reference
-// implementation the hull path is verified against.
+// Per-point decision kernel (BqsOptions::bound_kernel): the default kFast
+// path classifies quadrants by coordinate sign tests, tracks angular
+// extremes by cross products, reuses each quadrant's cached significant
+// points, and compares squared deviations against epsilon^2 — no atan2 and
+// no square root on the conclusive path. Comparisons inside a ~1e-12
+// relative guard band of the threshold (and degenerate/near-axis end
+// vectors) re-run the reference transcendental composition, so decisions
+// are bit-identical to kReference by construction.
+//
+// BQS's exact resolve is driven by ExactResolver: kAdaptive (default)
+// rescans the flat segment buffer while it is short and migrates to an
+// incrementally-maintained Melkman hull at adaptive_resolver_threshold
+// points; kHull always maintains the hull (O(h) resolves, O(h) space);
+// kBruteForce keeps the paper's O(n)-per-resolve whole-buffer rescan as the
+// reference implementation the other paths are verified against.
 #ifndef BQS_CORE_SEGMENT_STATE_H_
 #define BQS_CORE_SEGMENT_STATE_H_
 
@@ -52,7 +61,11 @@ class SegmentEngine {
   void Push(const TrackPoint& pt, std::vector<KeyPoint>* out);
   /// Batched ingest: identical decisions to per-point Push, but hoists the
   /// first-point setup, the probe dispatch and the per-point stats updates
-  /// out of the loop. This is the hot path CompressAll and the benches use.
+  /// out of the loop, and pre-rotates whole runs of points into an SoA
+  /// scratch (structure-of-arrays: rotated x, rotated y, |rel|^2) using the
+  /// cached rotation cos/sin, so the decision loop reads straight-line
+  /// precomputed values. This is the hot path CompressAll and the benches
+  /// use.
   void PushBatch(std::span<const TrackPoint> pts, std::vector<KeyPoint>* out);
   void Finish(std::vector<KeyPoint>* out);
 
@@ -61,14 +74,18 @@ class SegmentEngine {
   bool exact_mode() const { return exact_mode_; }
 
   /// Heap bytes of growable per-segment state (brute-force buffer, hull,
-  /// pending hull batch). 0 in fast mode, which keeps no such state.
+  /// pending hull batch). 0 in fast mode, which keeps no such state. The
+  /// PushBatch SoA scratch is excluded: it is constant-bounded working
+  /// memory (kBatchChunk doubles per lane), not per-segment growth.
   std::size_t StateBytes() const {
     return buffer_.capacity() * sizeof(TrackPoint) +
            hull_pending_.capacity() * sizeof(Vec2) + hull_.StateBytes();
   }
 
   /// Instrumentation hook invoked on every bound-based assessment. Keep it
-  /// cheap or unset in production runs.
+  /// cheap or unset in production runs. While a probe is set, assessments
+  /// take the reference composition (the probe reports bound values in
+  /// metres); decisions are unchanged.
   void SetProbe(std::function<void(const BoundsProbe&)> probe) {
     probe_ = std::move(probe);
   }
@@ -76,25 +93,66 @@ class SegmentEngine {
   // --- Introspection for tests -------------------------------------------
   bool rotation_established() const { return rotation_established_; }
   double rotation_angle() const { return rotation_angle_; }
-  /// Brute-force-resolver buffer size; 0 under the (default) hull resolver.
+  /// Flat-buffer size (brute-force resolver, or adaptive before its
+  /// migration point); 0 once the hull owns the segment.
   std::size_t buffer_size() const { return buffer_.size(); }
-  /// Hull vertex count of the current segment (hull resolver only).
+  /// Hull vertex count of the current segment (hull-owned segments only).
   std::size_t hull_size() const { return hull_.size(); }
+  /// True when the current segment's exact state lives in the hull.
+  bool hull_active() const { return hull_active_; }
   const QuadrantBound& quadrant(int q) const {
     return quadrants_[static_cast<std::size_t>(q)];
   }
 
  private:
   enum class Decision { kInclude, kSplit };
+  /// Verdict of the fast kernel's aggregated threshold test.
+  enum class FastOutcome { kInclude, kSplit, kInconclusive, kFallback };
 
   template <bool kProbed>
   void ProcessPoint(const TrackPoint& pt, uint64_t index,
                     std::vector<KeyPoint>* out, int depth);
+  /// ProcessPoint for a batch point whose rotated frame was precomputed in
+  /// the SoA scratch. On a split the point re-enters through the scalar
+  /// ProcessPoint (the new segment has a different origin/rotation).
+  template <bool kProbed>
+  void ProcessPrepared(const TrackPoint& pt, uint64_t index, Vec2 rel_rot,
+                       double rel_norm_sq, std::vector<KeyPoint>* out);
   template <bool kProbed>
   void RunBatch(std::span<const TrackPoint> pts, std::vector<KeyPoint>* out);
   template <bool kProbed>
   Decision Assess(const TrackPoint& pt, uint64_t index);
+  /// Assess() once the rotated frame and |rel|^2 are in hand (shared by the
+  /// scalar and the SoA-prepared paths; both compute the inputs with the
+  /// same expressions, so decisions are bit-identical).
+  template <bool kProbed>
+  Decision AssessPrepared(const TrackPoint& pt, uint64_t index, Vec2 rel_rot,
+                          double rel_norm_sq);
+  /// The bound-vs-epsilon decision core on the rotated end vector.
+  template <bool kProbed>
+  Decision AssessRotated(const TrackPoint& pt, uint64_t index, Vec2 rel_rot,
+                         bool trivial);
+  /// Aggregated fast-kernel bounds + squared threshold test. kFallback:
+  /// guard band hit, degenerate end, or near-axis end — caller re-runs the
+  /// reference composition.
+  FastOutcome FastAssess(Vec2 end_rel_rotated, double eps) const;
+  /// Sign-test quadrant classification with the sub-ulp axis-sliver
+  /// deferral to the atan2 semantics (counts a kernel fallback).
+  int FastClassify(Vec2 rel_rot);
+  /// Classifies rel_rot once (per the active kernel's hoisted scheme) and
+  /// folds it into its QuadrantBound. Shared by the include path and the
+  /// warm-up replay in EstablishRotation.
+  void AddToQuadrants(Vec2 rel_rot);
+  /// Conclusive-include tail (d_ub <= eps) shared by both kernels.
+  Decision IncludeByUpper(const TrackPoint& pt, Vec2 rel_rot, bool trivial);
+  /// Inconclusive tail: exact resolve (BQS) or aggressive split (FBQS).
+  Decision ResolveInconclusive(const TrackPoint& pt, Vec2 rel_rot,
+                               bool trivial);
   void IncludeNonTrivial(const TrackPoint& pt, Vec2 rel_rot);
+  /// Routes a buffered point into the active exact structure: flat buffer
+  /// (brute force / adaptive pre-migration, with the adaptive migration
+  /// into the hull at the threshold) or the Melkman hull.
+  void AddExactPoint(const TrackPoint& pt);
   void StartSegment(const TrackPoint& pt, uint64_t index);
   void EstablishRotation();
   void EmitKey(const TrackPoint& pt, uint64_t index,
@@ -106,6 +164,9 @@ class SegmentEngine {
     return {rot_cos_ * rel.x + rot_sin_ * rel.y,
             -rot_sin_ * rel.x + rot_cos_ * rel.y};
   }
+  /// Fills the SoA scratch with the rotated frame and |rel|^2 of `pts`
+  /// against the current segment origin/rotation (tight branch-free loop).
+  void PrepareBatch(std::span<const TrackPoint> pts);
   /// Stages a buffered point for the hull. Hull maintenance is lazy: the
   /// point lands in a small pending batch (cap kHullDrainBatch, so space
   /// stays O(h)) and is only folded in when an exact resolve needs the
@@ -123,8 +184,7 @@ class SegmentEngine {
 
   BqsOptions options_;
   bool exact_mode_;
-  /// Exact state is a Melkman hull (default) instead of the flat buffer.
-  bool use_hull_;
+  bool fast_kernel_;  ///< options_.bound_kernel == BoundKernel::kFast.
   DecisionStats stats_;
 
   bool have_first_ = false;
@@ -144,16 +204,28 @@ class SegmentEngine {
 
   std::array<QuadrantBound, 4> quadrants_;
 
-  /// Incremental hull of the segment buffer (hull resolver). BQS-only:
-  /// FBQS keeps no exact state of any kind (O(1) space).
+  /// Incremental hull of the segment buffer (hull-owned segments). BQS-
+  /// only: FBQS keeps no exact state of any kind (O(1) space).
   MelkmanHull hull_;
+  /// True when the hull is the live exact structure for this segment:
+  /// always under kHull, past the migration point under kAdaptive.
+  bool hull_active_ = false;
   /// Points staged for the hull but not yet folded in (lazy maintenance).
   static constexpr std::size_t kHullDrainBatch = 256;
   std::vector<Vec2> hull_pending_;
 
-  /// Absolute-coordinate segment buffer; used (and non-empty) only by BQS
-  /// under ExactResolver::kBruteForce.
+  /// Absolute-coordinate segment buffer; non-empty only under
+  /// ExactResolver::kBruteForce and kAdaptive before migration.
   std::vector<TrackPoint> buffer_;
+
+  /// SoA scratch for PushBatch (see PrepareBatch). Sized lazily; the fill
+  /// window starts at kBatchSeed after every split and doubles to
+  /// kBatchChunk while chunks run to completion, so split-heavy streams do
+  /// not pay for discarded pre-rotation work.
+  static constexpr std::size_t kBatchChunk = 128;
+  static constexpr std::size_t kBatchSeed = 8;
+  std::vector<double> batch_rx_, batch_ry_, batch_nsq_;
+  std::size_t batch_fill_ = kBatchSeed;
 
   std::function<void(const BoundsProbe&)> probe_;
 };

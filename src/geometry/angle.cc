@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/math_utils.h"
+#include "common/op_counters.h"
 
 namespace bqs {
 
@@ -29,7 +30,29 @@ double NormalizeLineAngle(double angle) {
 }
 
 int QuadrantOf(Vec2 v) {
+  // Sign tests only; see the header for the boundary semantics. The
+  // comparisons treat -0.0 like +0.0 (IEEE: -0.0 < 0.0 is false), which is
+  // exactly the axis convention the angular ranges prescribe.
+  if (v.x > 0.0) {
+    if (v.y > 0.0) return 0;
+    return v.y < 0.0 ? 3 : 0;  // +-0 on the +x side: theta == 0.
+  }
+  if (v.x < 0.0) {
+    if (v.y > 0.0) return 1;
+    return 2;  // y < 0 or +-0: theta in (pi, 3pi/2) or exactly pi.
+  }
+  // x == +-0: the +y axis is q1, the -y axis q3; the zero vector q0.
+  if (v.y > 0.0) return 1;
+  return v.y < 0.0 ? 3 : 0;
+}
+
+int QuadrantOfAtan2(Vec2 v) {
+  ops::CountAtan2();
   const double theta = NormalizeAngle2Pi(std::atan2(v.y, v.x));
+  return ThetaQuadrant(theta);
+}
+
+int ThetaQuadrant(double theta) {
   const int q = static_cast<int>(theta / kHalfPi);
   return q > 3 ? 3 : q;  // guard against theta == 2*pi rounding.
 }

@@ -18,6 +18,10 @@ double PointToSegmentDistance(Vec2 p, Vec2 a, Vec2 b) {
   return Distance(p, ClosestPointOnSegment(p, a, b));
 }
 
+double PointToSegmentDistanceSq(Vec2 p, Vec2 a, Vec2 b) {
+  return DistanceSq(p, ClosestPointOnSegment(p, a, b));
+}
+
 double PointDeviation(Vec2 p, Vec2 a, Vec2 b, DistanceMetric metric) {
   return metric == DistanceMetric::kPointToLine
              ? PointToLineDistance(p, a, b)
@@ -65,6 +69,15 @@ double SegmentToSegmentDistance(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
   best = std::min(best, PointToSegmentDistance(b, c, d));
   best = std::min(best, PointToSegmentDistance(c, a, b));
   best = std::min(best, PointToSegmentDistance(d, a, b));
+  return best;
+}
+
+double SegmentToSegmentDistanceSq(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  if (SegmentsIntersect(a, b, c, d)) return 0.0;
+  double best = PointToSegmentDistanceSq(a, c, d);
+  best = std::min(best, PointToSegmentDistanceSq(b, c, d));
+  best = std::min(best, PointToSegmentDistanceSq(c, a, b));
+  best = std::min(best, PointToSegmentDistanceSq(d, a, b));
   return best;
 }
 

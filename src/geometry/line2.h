@@ -23,6 +23,13 @@ double PointToLineDistance(Vec2 p, Vec2 a, Vec2 b);
 /// Distance from p to the closed segment [a, b].
 double PointToSegmentDistance(Vec2 p, Vec2 a, Vec2 b);
 
+/// Squared distance from p to the closed segment [a, b]. No square root:
+/// this is the fast bound kernel's building block. Computed from the same
+/// closest point as PointToSegmentDistance, so sqrt of this value matches
+/// the rounded distance to within ~2 ulp (the kernel's fallback band
+/// absorbs the difference).
+double PointToSegmentDistanceSq(Vec2 p, Vec2 a, Vec2 b);
+
 /// Dispatches on `metric`.
 double PointDeviation(Vec2 p, Vec2 a, Vec2 b, DistanceMetric metric);
 
@@ -43,6 +50,12 @@ bool SegmentsIntersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
 /// Shortest distance between closed segments [a,b] and [c,d]; 0 when they
 /// intersect.
 double SegmentToSegmentDistance(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
+/// Squared shortest distance between closed segments; 0 when they
+/// intersect. sqrt-free counterpart of SegmentToSegmentDistance (min of
+/// squared endpoint-to-segment distances commutes with the square root up
+/// to ulp-level rounding, which the kernel's fallback band absorbs).
+double SegmentToSegmentDistanceSq(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
 
 }  // namespace bqs
 

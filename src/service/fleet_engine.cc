@@ -32,6 +32,7 @@ void AccumulateDecisionStats(DecisionStats& into, const DecisionStats& s) {
   into.segments += s.segments;
   into.exact_points_scanned += s.exact_points_scanned;
   into.peak_exact_state = std::max(into.peak_exact_state, s.peak_exact_state);
+  into.kernel_fallbacks += s.kernel_fallbacks;
 }
 
 /// One queued unit of shard work.

@@ -1,6 +1,8 @@
 // Angle normalization and the quadrant/octant conventions the BQS rests on.
 #include "geometry/angle.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/math_utils.h"
@@ -98,6 +100,66 @@ TEST(AngleTest, RayInExactlyOneQuadrant) {
       if (RayInQuadrant(angle, q)) ++count;
     }
     EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(AngleTest, QuadrantOfMatchesAtan2OnAxesAndSignedZeros) {
+  // The documented boundary semantics: axis-aligned and signed-zero
+  // inputs classify identically under the sign tests and the reference
+  // atan2+fmod formula, at any magnitude.
+  for (const double r : {1.0, 0.25, 7.5, 1e-6, 1e9}) {
+    const Vec2 cases[] = {{r, 0.0},  {r, -0.0},  {0.0, r},  {-0.0, r},
+                          {-r, 0.0}, {-r, -0.0}, {0.0, -r}, {-0.0, -r}};
+    const int expected[] = {0, 0, 1, 1, 2, 2, 3, 3};
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(QuadrantOf(cases[i]), expected[i]) << "r=" << r << " i=" << i;
+      EXPECT_EQ(QuadrantOfAtan2(cases[i]), expected[i])
+          << "r=" << r << " i=" << i;
+    }
+  }
+}
+
+TEST(AngleTest, QuadrantOfMatchesAtan2PointForPointFuzz) {
+  // Point-for-point equivalence of the sign-test classifier with the
+  // transcendental reference across magnitudes and directions. The fuzz
+  // keeps min(|x|,|y|)/max(|x|,|y|) far above ~5e-16: inside that sub-ulp
+  // sliver the atan2 formula itself misclassifies (fmod-normalizing an
+  // angle within half an ulp of 2*pi absorbs a q3 direction into q0), and
+  // the sign tests are the documented ground truth (see QuadrantOf).
+  Rng rng(17);
+  for (int i = 0; i < 200000; ++i) {
+    const double sx = rng.Uniform(0.0, 1.0) < 0.5 ? -1.0 : 1.0;
+    const double sy = rng.Uniform(0.0, 1.0) < 0.5 ? -1.0 : 1.0;
+    const double ex = rng.Uniform(-6.0, 6.0);
+    const double ey = rng.Uniform(-6.0, 6.0);
+    const Vec2 v{sx * rng.Uniform(0.1, 1.0) * std::pow(10.0, ex),
+                 sy * rng.Uniform(0.1, 1.0) * std::pow(10.0, ey)};
+    ASSERT_EQ(QuadrantOf(v), QuadrantOfAtan2(v))
+        << "(" << v.x << ", " << v.y << ")";
+  }
+}
+
+TEST(AngleTest, QuadrantOfExactPiHalfMultiples) {
+  // True exact multiples of pi/2 are the axis vectors (a zero coordinate);
+  // both classifiers agree there. Note that cos/sin of k*kHalfPi do NOT
+  // produce exact multiples: cos(kHalfPi) == 6.12e-17, a sub-ulp sliver
+  // vector whose *true* angle is within half an ulp of pi/2 — the regime
+  // where atan2 rounds onto the boundary. The sign tests classify such a
+  // sliver by its actual coordinate signs (q0 here).
+  EXPECT_EQ(QuadrantOf({std::cos(0.0), std::sin(0.0)}), 0);
+  EXPECT_EQ(QuadrantOf({6.123233995736766e-17, 1.0}), 0);  // "cos(pi/2)"
+  EXPECT_EQ(QuadrantOf({0.0, 1.0}), 1);                    // exact pi/2
+  EXPECT_EQ(QuadrantOf({-1.0, 1.2246467991473532e-16}), 1);  // "pi"
+  EXPECT_EQ(QuadrantOf({-1.0, 0.0}), 2);                     // exact pi
+  EXPECT_EQ(QuadrantOf({0.0, -1.0}), 3);  // exact 3*pi/2
+}
+
+TEST(AngleTest, ThetaQuadrantIsTheAtan2Tail) {
+  Rng rng(18);
+  for (int i = 0; i < 5000; ++i) {
+    const double theta = rng.Uniform(0.0, kTwoPi * 0.9999999);
+    const Vec2 v{std::cos(theta), std::sin(theta)};
+    EXPECT_EQ(ThetaQuadrant(NormalizeAngle2Pi(v.Angle())), QuadrantOfAtan2(v));
   }
 }
 

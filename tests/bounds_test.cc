@@ -5,6 +5,7 @@
 #include "core/bounds.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -222,6 +223,101 @@ TEST(BoundsTest, TightnessBeatsBoxBoundsOnAverage) {
     gap_box += box.upper - box.lower;
   }
   EXPECT_LT(gap_sig, gap_box);
+}
+
+TEST(BoundsTest, FastBoundsMatchReferenceAcrossMetricsAndModes) {
+  // The fast kernel's squared/cross-domain composition must map back onto
+  // the reference's metre-domain bounds through the (monotone) sqrt /
+  // divide-by-|end|, for every metric x mode branch. This is the bound-
+  // level half of the byte-identical guarantee; the engine-level half is
+  // the kernel differential in bqs_compressor_test.
+  Rng rng(41);
+  int checked = 0;
+  for (int trial = 0; trial < 30000; ++trial) {
+    const int quadrant = trial % 4;
+    QuadrantBound reference_qb(quadrant);
+    QuadrantBound fast_qb(quadrant);
+    const int n = 1 + trial % 7;
+    for (int i = 0; i < n; ++i) {
+      const Vec2 p = RandomPointInQuadrant(rng, quadrant, 0.01, 300.0);
+      reference_qb.Add(p);
+      fast_qb.AddCross(p);
+    }
+    const Vec2 end{rng.Uniform(-250.0, 350.0), rng.Uniform(-150.0, 150.0)};
+    if (end == Vec2{0.0, 0.0}) continue;
+    const int end_q = QuadrantOf(end);
+    for (const DistanceMetric metric :
+         {DistanceMetric::kPointToLine, DistanceMetric::kPointToSegment}) {
+      for (const BoundsMode mode :
+           {BoundsMode::kSound, BoundsMode::kPaperEq8}) {
+        const DeviationBounds reference =
+            QuadrantDeviationBounds(reference_qb, end, metric, mode);
+        const bool in_q = metric == DistanceMetric::kPointToLine
+                              ? (end_q & 1) == (quadrant & 1)
+                              : end_q == quadrant;
+        const FastQuadrantBounds fast =
+            QuadrantFastBounds(fast_qb, end, in_q, metric, mode);
+        if (!fast.ok) continue;  // guard band: the engine would fall back.
+        ++checked;
+        double lower;
+        double upper;
+        if (metric == DistanceMetric::kPointToLine) {
+          const double len = end.Norm();
+          lower = fast.lower / len;
+          upper = fast.upper / len;
+        } else {
+          lower = std::sqrt(fast.lower);
+          upper = std::sqrt(fast.upper);
+        }
+        ASSERT_TRUE(ApproxEqual(lower, reference.lower, 1e-9, 1e-9))
+            << "trial " << trial << " lower " << lower << " vs "
+            << reference.lower;
+        ASSERT_TRUE(ApproxEqual(upper, reference.upper, 1e-9, 1e-9))
+            << "trial " << trial << " upper " << upper << " vs "
+            << reference.upper;
+      }
+    }
+  }
+  // The guard band must be the rare exception, not the rule.
+  EXPECT_GT(checked, 100000);
+}
+
+TEST(BoundsTest, FastBoundsDecisionsMatchReferenceAgainstEpsilon) {
+  // Decision-level agreement: comparing the fast values against the
+  // squared threshold gives the reference's include/split verdict whenever
+  // the comparison is outside the ~1e-12 guard band (inside it the engine
+  // recomputes with the reference, so any verdict is consistent).
+  Rng rng(42);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const int quadrant = trial % 4;
+    QuadrantBound qb(quadrant);
+    for (int i = 0; i < 1 + trial % 5; ++i) {
+      qb.Add(RandomPointInQuadrant(rng, quadrant, 0.1, 120.0));
+    }
+    const Vec2 end{rng.Uniform(-120.0, 200.0), rng.Uniform(-90.0, 90.0)};
+    if (end == Vec2{0.0, 0.0}) continue;
+    const double eps = rng.Uniform(0.5, 60.0);
+    const int end_q = QuadrantOf(end);
+    const DeviationBounds reference =
+        QuadrantDeviationBounds(qb, end, DistanceMetric::kPointToLine);
+    const FastQuadrantBounds fast = QuadrantFastBounds(
+        qb, end, (end_q & 1) == (quadrant & 1), DistanceMetric::kPointToLine,
+        BoundsMode::kSound);
+    if (!fast.ok) continue;
+    const double threshold = eps * eps * end.NormSq();
+    const double upper_sq = fast.upper * fast.upper;
+    const double lower_sq = fast.lower * fast.lower;
+    if (upper_sq <= threshold * (1.0 - 1e-12)) {
+      EXPECT_LE(reference.upper, eps) << "trial " << trial;
+    } else if (upper_sq > threshold * (1.0 + 1e-12)) {
+      EXPECT_GT(reference.upper, eps) << "trial " << trial;
+    }
+    if (lower_sq > threshold * (1.0 + 1e-12)) {
+      EXPECT_GT(reference.lower, eps) << "trial " << trial;
+    } else if (lower_sq <= threshold * (1.0 - 1e-12)) {
+      EXPECT_LE(reference.lower, eps) << "trial " << trial;
+    }
+  }
 }
 
 TEST(BoundsTest, MergeMaxAggregatesBothSides) {

@@ -322,6 +322,177 @@ TEST(BqsCompressorTest, HullResolverIsByteIdenticalToBruteForce) {
   }
 }
 
+TEST(BqsCompressorTest, FastKernelIsByteIdenticalToReferenceCorpus) {
+  // ISSUE 4 acceptance: the transcendental-free kernel takes exactly the
+  // decisions of the seed's atan2/sqrt path over the full fuzz corpus —
+  // every stream family x metric x rotation x resolver x bounds mode x
+  // tolerance. Any guard-band push re-runs the reference composition, so
+  // a divergence here means a genuine kernel bug.
+  int configs = 0;
+  for (uint64_t seed : {171u, 172u, 173u}) {
+    const Trajectory walks[] = {SmoothWalk(seed, 1200), JaggedWalk(seed, 1200),
+                                testing_util::VonMisesWalk(seed, 1200, 2.0)};
+    for (const Trajectory& walk : walks) {
+      for (double epsilon : {2.5, 10.0}) {
+        for (DistanceMetric metric : {DistanceMetric::kPointToLine,
+                                      DistanceMetric::kPointToSegment}) {
+          for (bool rotate : {false, true}) {
+            for (ExactResolver resolver :
+                 {ExactResolver::kAdaptive, ExactResolver::kHull,
+                  ExactResolver::kBruteForce}) {
+              for (BoundsMode mode :
+                   {BoundsMode::kSound, BoundsMode::kPaperEq8}) {
+                BqsOptions fast_options;
+                fast_options.epsilon = epsilon;
+                fast_options.metric = metric;
+                fast_options.data_centric_rotation = rotate;
+                fast_options.exact_resolver = resolver;
+                fast_options.bounds_mode = mode;
+                fast_options.bound_kernel = BoundKernel::kFast;
+                BqsOptions reference_options = fast_options;
+                reference_options.bound_kernel = BoundKernel::kReference;
+
+                BqsCompressor fast(fast_options);
+                BqsCompressor reference(reference_options);
+                const CompressedTrajectory fast_out =
+                    CompressAll(fast, walk);
+                const CompressedTrajectory reference_out =
+                    CompressAll(reference, walk);
+                ++configs;
+                SCOPED_TRACE(::testing::Message()
+                             << "seed=" << seed << " eps=" << epsilon
+                             << " metric=" << static_cast<int>(metric)
+                             << " rotate=" << rotate
+                             << " resolver=" << static_cast<int>(resolver)
+                             << " mode=" << static_cast<int>(mode));
+                ExpectByteIdenticalKeys(fast_out, reference_out,
+                                        "kernel diff");
+                EXPECT_EQ(fast.stats().segments,
+                          reference.stats().segments);
+                EXPECT_EQ(fast.stats().upper_bound_includes,
+                          reference.stats().upper_bound_includes);
+                EXPECT_EQ(fast.stats().lower_bound_splits,
+                          reference.stats().lower_bound_splits);
+                EXPECT_EQ(fast.stats().exact_computations,
+                          reference.stats().exact_computations);
+                EXPECT_EQ(reference.stats().kernel_fallbacks, 0u);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(configs, 3 * 3 * 2 * 2 * 2 * 3 * 2);  // 432 kernel pairs.
+}
+
+TEST(BqsCompressorTest, FastKernelHandlesStationaryRuns) {
+  // Regression test for the near-axis sliver: data-centric rotation of a
+  // stationary run (duplicate out-of-epsilon fixes) lands rel vectors
+  // within sub-ulp of the rotated +x axis, where sign tests and the
+  // atan2+fmod formula genuinely disagree — the kernel must defer those
+  // points to the reference semantics to stay byte-identical.
+  Trajectory walk;
+  double t = 0.0;
+  auto emit = [&](double x, double y, int repeat) {
+    for (int i = 0; i < repeat; ++i) {
+      walk.push_back(TrackPoint{{x, y}, t, {}});
+      t += 1.0;
+    }
+  };
+  emit(0.0, 0.0, 1);
+  emit(27.7, -1.9, 18);  // stop: identical out-of-epsilon fixes.
+  emit(41.3, -13.6, 1);
+  emit(55.0, -25.2, 6);  // second stop.
+  emit(68.2, -37.5, 1);
+  emit(68.2, -37.5, 9);
+
+  for (bool exactly_collinear : {false, true}) {
+    Trajectory stream = walk;
+    if (exactly_collinear) {
+      // A perfectly straight run: rotation estimates the exact direction,
+      // rotated y-residuals collapse to rounding level.
+      stream.clear();
+      for (int i = 0; i < 40; ++i) {
+        stream.push_back(TrackPoint{{3.0 * i, 4.0 * i}, double(i), {}});
+      }
+    }
+    BqsOptions fast_options;
+    fast_options.epsilon = 10.0;
+    BqsOptions reference_options = fast_options;
+    reference_options.bound_kernel = BoundKernel::kReference;
+    BqsCompressor fast(fast_options);
+    BqsCompressor reference(reference_options);
+    const CompressedTrajectory fast_out = CompressAll(fast, stream);
+    const CompressedTrajectory reference_out = CompressAll(reference, stream);
+    ExpectByteIdenticalKeys(fast_out, reference_out, "stationary run");
+  }
+}
+
+TEST(BqsCompressorTest, AdaptiveResolverIsByteIdenticalToBothPureModes) {
+  // The adaptive resolver must be a pure scheduling decision: outputs and
+  // decision mixes identical to kHull and kBruteForce at any threshold.
+  for (uint64_t seed : {181u, 182u}) {
+    const Trajectory walk = JaggedWalk(seed, 2500);
+    for (double epsilon : {3.0, 10.0}) {
+      for (int threshold : {1, 4, 64, 1024}) {
+        BqsOptions adaptive_options;
+        adaptive_options.epsilon = epsilon;
+        adaptive_options.exact_resolver = ExactResolver::kAdaptive;
+        adaptive_options.adaptive_resolver_threshold = threshold;
+        BqsOptions hull_options = adaptive_options;
+        hull_options.exact_resolver = ExactResolver::kHull;
+        BqsOptions brute_options = adaptive_options;
+        brute_options.exact_resolver = ExactResolver::kBruteForce;
+
+        BqsCompressor adaptive(adaptive_options);
+        BqsCompressor hull(hull_options);
+        BqsCompressor brute(brute_options);
+        const CompressedTrajectory adaptive_out = CompressAll(adaptive, walk);
+        const CompressedTrajectory hull_out = CompressAll(hull, walk);
+        const CompressedTrajectory brute_out = CompressAll(brute, walk);
+        SCOPED_TRACE(::testing::Message() << "seed=" << seed << " eps="
+                                          << epsilon << " thr=" << threshold);
+        ExpectByteIdenticalKeys(adaptive_out, hull_out, "adaptive vs hull");
+        ExpectByteIdenticalKeys(adaptive_out, brute_out, "adaptive vs brute");
+        EXPECT_EQ(adaptive.stats().exact_computations,
+                  brute.stats().exact_computations);
+        EXPECT_EQ(adaptive.stats().segments, brute.stats().segments);
+      }
+    }
+  }
+}
+
+TEST(BqsCompressorTest, AdaptiveResolverMigratesAtThreshold) {
+  // Drive one long split-free segment (a straight run with sub-epsilon
+  // jitter) and watch the flat buffer hand over to the hull exactly at
+  // the configured threshold.
+  BqsOptions options;
+  options.epsilon = 5.0;
+  options.data_centric_rotation = false;
+  options.exact_resolver = ExactResolver::kAdaptive;
+  options.adaptive_resolver_threshold = 32;
+  BqsCompressor bqs(options);
+  std::vector<KeyPoint> keys;
+  Rng rng(55);
+  bool seen_buffer_phase = false;
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double jitter = rng.Uniform(-2.0, 2.0);
+    bqs.Push(TrackPoint{{10.0 * i, jitter}, t, {}}, &keys);
+    t += 1.0;
+    if (!bqs.engine().hull_active()) {
+      seen_buffer_phase = true;
+      EXPECT_LT(bqs.engine().buffer_size(), 32u);
+    } else {
+      EXPECT_EQ(bqs.engine().buffer_size(), 0u)
+          << "buffer must drain into the hull at the threshold";
+    }
+  }
+  EXPECT_TRUE(seen_buffer_phase);
+  EXPECT_TRUE(bqs.engine().hull_active());
+}
+
 TEST(BqsCompressorTest, HullProbeActualMatchesBruteForce) {
   // The BoundsProbe `actual` field is resolver-provided; both resolvers
   // must report the same exact deviation at every assessed point.

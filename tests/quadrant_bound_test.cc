@@ -131,5 +131,136 @@ TEST(QuadrantBoundTest, PointsOnAxesClassifyAndBound) {
   EXPECT_NEAR(qb.max_angle(), kPi / 4.0, 1e-12);
 }
 
+void ExpectSameSignificant(const QuadrantBound::SignificantPoints& a,
+                           const QuadrantBound::SignificantPoints& b) {
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(a.corners[static_cast<std::size_t>(i)] ==
+                b.corners[static_cast<std::size_t>(i)]);
+  }
+  ASSERT_TRUE(a.l1 == b.l1);
+  ASSERT_TRUE(a.l2 == b.l2);
+  ASSERT_TRUE(a.u1 == b.u1);
+  ASSERT_TRUE(a.u2 == b.u2);
+  ASSERT_TRUE(a.near_corner == b.near_corner);
+  ASSERT_TRUE(a.far_corner == b.far_corner);
+  ASSERT_TRUE(a.min_angle_point == b.min_angle_point);
+  ASSERT_TRUE(a.max_angle_point == b.max_angle_point);
+}
+
+TEST(QuadrantBoundTest, AddCrossSelectsTheSameExtremePointsAsAtan2) {
+  // The cross-product kernel must pick bit-identical extreme points (and
+  // therefore bit-identical significant points) to the atan2 kernel on
+  // generic input: within a quadrant, angle order IS cross-product order.
+  Rng rng(21);
+  for (int quadrant = 0; quadrant < 4; ++quadrant) {
+    for (int trial = 0; trial < 200; ++trial) {
+      QuadrantBound via_atan2(quadrant);
+      QuadrantBound via_cross(quadrant);
+      const QuadrantRange range = QuadrantAngles(quadrant);
+      const int n = 1 + trial % 24;
+      for (int i = 0; i < n; ++i) {
+        const Vec2 p = PointAt(rng.Uniform(0.5, 200.0),
+                               rng.Uniform(range.start, range.end - 1e-9));
+        via_atan2.Add(p);
+        via_cross.AddCross(p);
+      }
+      ExpectSameSignificant(via_atan2.Significant(), via_cross.Significant());
+      // The derived-on-demand angles agree with the tracked ones.
+      EXPECT_DOUBLE_EQ(via_cross.min_angle(), via_atan2.min_angle());
+      EXPECT_DOUBLE_EQ(via_cross.max_angle(), via_atan2.max_angle());
+    }
+  }
+}
+
+TEST(QuadrantBoundTest, AddCrossTiesKeepTheEarlierPoint) {
+  // Collinear scalings of the same direction have cross == 0 and equal
+  // atan2 angles: both kernels must keep the first-added point as the
+  // extreme (strict comparisons).
+  QuadrantBound via_atan2(0);
+  QuadrantBound via_cross(0);
+  for (const Vec2 p : {Vec2{3.0, 4.0}, Vec2{6.0, 8.0}, Vec2{1.5, 2.0}}) {
+    via_atan2.Add(p);
+    via_cross.AddCross(p);
+  }
+  ExpectSameSignificant(via_atan2.Significant(), via_cross.Significant());
+  EXPECT_TRUE(via_cross.Significant().min_angle_point == (Vec2{3.0, 4.0}));
+  EXPECT_TRUE(via_cross.Significant().max_angle_point == (Vec2{3.0, 4.0}));
+
+  // Signed-zero axis points: (x, +0) and (x, -0) tie at angle 0.
+  QuadrantBound axis_atan2(0);
+  QuadrantBound axis_cross(0);
+  for (const Vec2 p : {Vec2{5.0, 0.0}, Vec2{7.0, -0.0}, Vec2{2.0, 2.0}}) {
+    axis_atan2.Add(p);
+    axis_cross.AddCross(p);
+  }
+  ExpectSameSignificant(axis_atan2.Significant(), axis_cross.Significant());
+}
+
+TEST(QuadrantBoundTest, AddCrossEquivalenceOnNearlyCollinearSlivers) {
+  // The stress case the wedge/extreme machinery exists for: a hair-thin
+  // sliver of nearly collinear points (a straight GPS run after rotation).
+  // Cross products of nearly parallel vectors are small but still well
+  // above rounding error at these offsets, so both kernels must agree.
+  Rng rng(22);
+  for (int trial = 0; trial < 300; ++trial) {
+    QuadrantBound via_atan2(0);
+    QuadrantBound via_cross(0);
+    const double base = rng.Uniform(0.05, kHalfPi - 0.05);
+    for (int i = 0; i < 30; ++i) {
+      const double r = rng.Uniform(10.0, 5000.0);
+      const double jitter = rng.Uniform(-1e-9, 1e-9);
+      const Vec2 p = PointAt(r, base + jitter);
+      via_atan2.Add(p);
+      via_cross.AddCross(p);
+    }
+    ExpectSameSignificant(via_atan2.Significant(), via_cross.Significant());
+  }
+}
+
+TEST(QuadrantBoundTest, AddCrossTieBandMatchesAtan2OnUlpCloseDirections) {
+  // Distinct directions inside the atan2 rounding quantum (~2e-16 rad):
+  // the reference's strict theta compare may keep the earlier point even
+  // though the true angular order differs; AddCross's tie band must
+  // replicate the reference choice bit-for-bit, in either arrival order.
+  const Vec2 p1{1e9, 1000000000.0};
+  const Vec2 p2{1e9, 1000000000.0000001};  // ~7e-17 rad CCW of p1.
+  for (const auto& [first, second] :
+       {std::pair{p1, p2}, std::pair{p2, p1}}) {
+    QuadrantBound via_atan2(0);
+    QuadrantBound via_cross(0);
+    via_atan2.Add(first);
+    via_atan2.Add(second);
+    via_cross.AddCross(first);
+    const bool deferred = via_cross.AddCross(second);
+    EXPECT_TRUE(deferred) << "ulp-close pair must hit the tie band";
+    ExpectSameSignificant(via_atan2.Significant(), via_cross.Significant());
+  }
+  // Bitwise-identical duplicates are pure ties: no deferral, same choice.
+  QuadrantBound dup_atan2(0);
+  QuadrantBound dup_cross(0);
+  dup_atan2.Add(p1);
+  dup_atan2.Add(p1);
+  dup_cross.AddCross(p1);
+  EXPECT_FALSE(dup_cross.AddCross(p1));
+  ExpectSameSignificant(dup_atan2.Significant(), dup_cross.Significant());
+}
+
+TEST(QuadrantBoundTest, SignificantCacheInvalidatesOnAdd) {
+  Rng rng(23);
+  QuadrantBound qb(0);
+  qb.AddCross({10.0, 5.0});
+  for (int i = 0; i < 50; ++i) {
+    // Query (fills the cache), then add (invalidates), then re-query and
+    // compare against an unconditional recompute, field for field.
+    (void)qb.Significant();
+    qb.AddCross({rng.Uniform(0.5, 400.0), rng.Uniform(0.5, 400.0)});
+    ExpectSameSignificant(qb.Significant(), qb.ComputeSignificant());
+  }
+  // Reset() must drop the cache too.
+  qb.Reset();
+  qb.AddCross({1.0, 2.0});
+  ExpectSameSignificant(qb.Significant(), qb.ComputeSignificant());
+}
+
 }  // namespace
 }  // namespace bqs

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compares a fresh BENCH_throughput.json against the
+committed baseline and fails on correctness or gross perf regressions.
+
+Checks, in order of severity:
+  1. byte-identity: the fresh run's `all_byte_identical` must be true (the
+     bench itself also exits non-zero on divergence; this is a belt).
+  2. error bound: every algorithm row must report error_bounded == true.
+  3. coverage: every (stream, algorithm) row in the baseline must also be
+     present in the fresh run — silently dropping a gated row is itself a
+     failure.
+  4. throughput: fresh points_per_sec must be at least TOLERANCE x the
+     baseline's for every row. Because the committed baseline was measured
+     on a different machine than the CI runner, each stream's rates are
+     first normalized by that stream's CALIBRATION row (BQS_bruteforce,
+     the seed reference implementation): machine speed cancels out of the
+     fresh/baseline ratio, so the gate measures code, not hardware. A
+     regression confined to the calibration row itself is the seed
+     reference getting slower — reported, not gated. Pass --no-normalize
+     for raw same-machine comparisons. The default tolerance (0.70, i.e.
+     "no more than 30% below baseline") absorbs residual runner noise
+     while catching order-of-magnitude slips like a transcendental leaking
+     back into the kernel hot path.
+
+Usage: check_perf.py <fresh.json> <baseline.json> [--tolerance 0.70]
+                     [--no-normalize]
+Exit codes: 0 ok, 1 regression/divergence, 2 usage or parse error.
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION_ALGORITHM = "BQS_bruteforce"
+
+
+def rates(doc):
+    """{(stream, algorithm): row} for every measured algorithm row."""
+    out = {}
+    for stream in doc.get("streams", []):
+        for algo in stream.get("algorithms", []):
+            out[(stream["name"], algo["name"])] = algo
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.70)
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare raw points_per_sec without the "
+                             "calibration-row machine-speed correction")
+    args = parser.parse_args()
+
+    try:
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_perf: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    # Rates are only comparable at the same dataset scale: the BQS-vs-
+    # reference ratio is scale-dependent (exact-resolve cost grows
+    # superlinearly with segment length), so normalization cannot cancel a
+    # scale shift.
+    fresh_scale = fresh.get("scale", 0.0)
+    base_scale = baseline.get("scale", 0.0)
+    if abs(fresh_scale - base_scale) > 1e-9:
+        failures.append(
+            f"scale mismatch: fresh run at {fresh_scale}, baseline at "
+            f"{base_scale} — rerun the bench with --scale {base_scale}")
+
+    if not fresh.get("all_byte_identical", False):
+        failures.append("fresh run is not byte-identical across kernels")
+
+    fresh_rows = rates(fresh)
+    base_rows = rates(baseline)
+
+    for key, row in sorted(fresh_rows.items()):
+        if not row.get("error_bounded", True):
+            failures.append(f"{key}: epsilon error bound violated")
+
+    # Per-stream machine-speed calibration from the seed-reference row. A
+    # stream without a usable calibration row cannot be gated meaningfully
+    # across machines, so that is itself a failure (never a silent
+    # fall-through to raw cross-machine ratios).
+    calibration = {}
+    if not args.no_normalize:
+        for (stream, algo), base_row in base_rows.items():
+            if algo != CALIBRATION_ALGORITHM:
+                continue
+            fresh_row = fresh_rows.get((stream, algo))
+            base_pps = base_row.get("points_per_sec", 0.0)
+            if fresh_row and base_pps > 0:
+                cal = fresh_row.get("points_per_sec", 0.0) / base_pps
+                if cal > 0:
+                    calibration[stream] = cal
+        for stream in {s for (s, _) in base_rows}:
+            if stream not in calibration:
+                failures.append(
+                    f"stream '{stream}': no usable {CALIBRATION_ALGORITHM} "
+                    "calibration row in both files; cannot normalize "
+                    "(use --no-normalize only for same-machine runs)")
+
+    compared = 0
+    for key, base_row in sorted(base_rows.items()):
+        stream, algo = key
+        fresh_row = fresh_rows.get(key)
+        if fresh_row is None:
+            failures.append(f"{key}: present in baseline but missing from "
+                            "the fresh run (gated row dropped?)")
+            continue
+        base_pps = base_row.get("points_per_sec", 0.0)
+        fresh_pps = fresh_row.get("points_per_sec", 0.0)
+        if base_pps <= 0:
+            continue
+        ratio = fresh_pps / base_pps
+        cal = calibration.get(stream)
+        gated = True
+        if cal is not None:
+            if algo == CALIBRATION_ALGORITHM:
+                gated = False  # the yardstick cannot gate itself
+            else:
+                ratio /= cal
+        compared += int(gated)
+        ok = not gated or ratio >= args.tolerance
+        status = "ok" if ok else "REGRESSION"
+        if not gated:
+            status = "calibration"
+        print(f"{stream:>18s} / {algo:<16s} "
+              f"{fresh_pps / 1e6:8.2f} M pts/s vs baseline "
+              f"{base_pps / 1e6:8.2f} ({ratio:5.2f}x"
+              f"{' norm' if cal is not None and gated else ''})  {status}")
+        if not ok:
+            failures.append(
+                f"{key}: normalized ratio {ratio:.2f} below tolerance "
+                f"{args.tolerance:.2f} (fresh {fresh_pps:.0f} pts/s, "
+                f"baseline {base_pps:.0f})")
+
+    if compared == 0:
+        failures.append("no comparable (stream, algorithm) rows found")
+
+    if failures:
+        print("\ncheck_perf FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\ncheck_perf OK: {compared} rows within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
