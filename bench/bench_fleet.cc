@@ -1,16 +1,24 @@
 // Fleet ingest bench + machine-readable baseline (BENCH_fleet.json).
 //
 // Measures FleetEngine throughput (points/sec, interleaved multi-vehicle
-// feed, ingest through FinishAll) as the shard count grows, against the
-// sequential reference: every device's stream compressed alone through
-// CompressAll on one thread. Every fleet run is checksum-verified per
-// device against that reference — the FleetEngine invariant is that shard
-// count never changes any device's compressed output. The run FAILS
-// (exit 1, so CI fails) on any divergence.
+// feed, ingest through FinishAll) across ingest modes — inline (shards=0,
+// no threads or queues) and the sharded pipeline as the shard count grows
+// — against the sequential reference: every device's stream compressed
+// alone through CompressAll on one thread. Every fleet run is
+// checksum-verified per device against that reference; the FleetEngine
+// invariant is that ingest mode never changes any device's compressed
+// output. Pipeline counters (coalesced runs, block recycling, wakes,
+// backpressure, queue depth) are reported so regressions can be localized.
+//
+// The run FAILS (exit 1, so CI fails) if:
+//   - any per-device output diverges from the sequential reference, or
+//   - the shards=1 or inline configuration falls below --min-seq-ratio
+//     (default 0.9) of sequential throughput — the service layer must not
+//     eat the kernel's speed.
 //
 // Usage: bench_fleet [scale | --scale S] [--out PATH] [--reps N]
 //                    [--threads N | --threads=N]   (env: BQS_BENCH_THREADS)
-//                    [--devices N]
+//                    [--devices N] [--min-seq-ratio R]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -65,18 +73,20 @@ class ChecksumSink final : public FleetSink {
   Bucket buckets_[kBuckets];
 };
 
-struct ShardRun {
-  std::size_t shards = 0;
+struct EngineRun {
+  std::string label;       ///< "inline" or "shards=N".
+  std::size_t shards = 0;  ///< num_shards passed to the engine (0=inline).
   double best_ms = 0.0;
   double points_per_sec = 0.0;
   bool byte_identical = true;
+  FleetStats stats;        ///< Counters from the last rep.
 };
 
 struct AlgorithmReport {
   std::string name;
   double sequential_best_ms = 0.0;
   double sequential_points_per_sec = 0.0;
-  std::vector<ShardRun> runs;
+  std::vector<EngineRun> runs;
 };
 
 double MsSince(std::chrono::steady_clock::time_point start) {
@@ -84,6 +94,8 @@ double MsSince(std::chrono::steady_clock::time_point start) {
              std::chrono::steady_clock::now() - start)
       .count();
 }
+
+double Ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
 
 int Run(int argc, char** argv) {
   const double scale = bench::ScaleFromArgs(argc, argv, 1.0);
@@ -96,10 +108,15 @@ int Run(int argc, char** argv) {
       bench::IntFlag(argc, argv, "--threads", "BQS_BENCH_THREADS", 8);
   const std::size_t num_devices = static_cast<std::size_t>(
       bench::IntFlag(argc, argv, "--devices", nullptr, 24));
+  // The service-overhead gate: inline and shards=1 ingest must reach this
+  // fraction of sequential CompressAll throughput. CI smoke runs may relax
+  // it for runner noise; the committed baseline is produced at the default.
+  const double min_seq_ratio =
+      bench::DoubleFlag(argc, argv, "--min-seq-ratio", nullptr, 0.9);
 
   bench::Banner(
-      "Fleet ingest — points/sec through the sharded FleetEngine vs the "
-      "sequential per-device reference (eps = 10 m)",
+      "Fleet ingest — points/sec through the FleetEngine pipeline (inline "
+      "and sharded) vs the sequential per-device reference (eps = 10 m)",
       "Deployment shape beyond the paper: many concurrent device streams "
       "multiplexed over the single-stream compressors",
       scale);
@@ -107,15 +124,19 @@ int Run(int argc, char** argv) {
   const FleetDataset fleet = BuildFleetDataset(num_devices, scale);
   const std::size_t total_points = fleet.feed.size();
   std::printf("fleet: %zu devices, %zu interleaved records, %d reps, "
-              "shard sweep up to %d threads\n",
-              fleet.devices.size(), total_points, reps, max_threads);
+              "inline + shard sweep up to %d threads, seq-ratio gate %.2f\n",
+              fleet.devices.size(), total_points, reps, max_threads,
+              min_seq_ratio);
 
-  std::vector<std::size_t> shard_counts;
+  // Engine configurations: inline mode first, then the shard sweep.
+  std::vector<std::pair<std::string, std::size_t>> configs;
+  configs.emplace_back("inline", 0);
   for (const std::size_t s : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                               std::size_t{8}}) {
-    if (s <= static_cast<std::size_t>(max_threads)) shard_counts.push_back(s);
+    if (s <= static_cast<std::size_t>(max_threads)) {
+      configs.emplace_back("shards=" + std::to_string(s), s);
+    }
   }
-  if (shard_counts.empty()) shard_counts.push_back(1);
 
   struct AlgorithmCase {
     const char* label;
@@ -127,6 +148,7 @@ int Run(int argc, char** argv) {
   };
 
   bool all_identical = true;
+  std::vector<std::string> gate_failures;
   std::vector<AlgorithmReport> reports;
 
   for (const AlgorithmCase& algorithm_case : algorithm_cases) {
@@ -154,13 +176,12 @@ int Run(int argc, char** argv) {
       }
     }
     report.sequential_points_per_sec =
-        report.sequential_best_ms > 0.0
-            ? static_cast<double>(total_points) /
-                  (report.sequential_best_ms / 1000.0)
-            : 0.0;
+        Ratio(static_cast<double>(total_points),
+              report.sequential_best_ms / 1000.0);
 
-    for (const std::size_t shards : shard_counts) {
-      ShardRun run;
+    for (const auto& [label, shards] : configs) {
+      EngineRun run;
+      run.label = label;
       run.shards = shards;
       for (int r = 0; r < reps; ++r) {
         ChecksumSink sink;
@@ -180,11 +201,10 @@ int Run(int argc, char** argv) {
         if (r == 0 || ms < run.best_ms) run.best_ms = ms;
         run.byte_identical = run.byte_identical &&
                              sink.Collect() == reference;
+        run.stats = engine.Stats();
       }
       run.points_per_sec =
-          run.best_ms > 0.0 ? static_cast<double>(total_points) /
-                                  (run.best_ms / 1000.0)
-                            : 0.0;
+          Ratio(static_cast<double>(total_points), run.best_ms / 1000.0);
       all_identical = all_identical && run.byte_identical;
       report.runs.push_back(run);
     }
@@ -194,20 +214,23 @@ int Run(int argc, char** argv) {
   // ---- human-readable table ----
   for (const AlgorithmReport& report : reports) {
     std::printf("\n-- %s --\n", report.name.c_str());
-    TablePrinter table(
-        {"config", "points/sec", "best_ms", "speedup_vs_seq", "identical"});
+    TablePrinter table({"config", "points/sec", "best_ms", "vs_seq",
+                        "runs/blk/wakes/bp", "identical"});
     table.AddRow({"sequential",
                   FmtDouble(report.sequential_points_per_sec, 0),
-                  FmtDouble(report.sequential_best_ms, 2), "1.00", "ref"});
-    for (const ShardRun& run : report.runs) {
-      const double speedup =
-          report.sequential_best_ms > 0.0 && run.best_ms > 0.0
-              ? report.sequential_best_ms / run.best_ms
-              : 0.0;
-      table.AddRow({"fleet x" + std::to_string(run.shards),
-                    FmtDouble(run.points_per_sec, 0),
-                    FmtDouble(run.best_ms, 2), FmtDouble(speedup, 2),
-                    run.byte_identical ? "yes" : "DIVERGED"});
+                  FmtDouble(report.sequential_best_ms, 2), "1.00", "-",
+                  "ref"});
+    for (const EngineRun& run : report.runs) {
+      const double speedup = Ratio(report.sequential_best_ms, run.best_ms);
+      const FleetStats& s = run.stats;
+      table.AddRow(
+          {run.label, FmtDouble(run.points_per_sec, 0),
+           FmtDouble(run.best_ms, 2), FmtDouble(speedup, 2),
+           std::to_string(s.coalesced_runs) + "/" +
+               std::to_string(s.blocks_dispatched) + "/" +
+               std::to_string(s.worker_wakes) + "/" +
+               std::to_string(s.backpressure_waits),
+           run.byte_identical ? "yes" : "DIVERGED"});
     }
     table.Print(std::cout);
   }
@@ -215,13 +238,14 @@ int Run(int argc, char** argv) {
   // ---- machine-readable report ----
   bench::JsonReport json;
   json.BeginObject();
-  json.Key("schema").Value("bqs-bench-fleet-v1");
+  json.Key("schema").Value("bqs-bench-fleet-v2");
   json.Key("scale").Value(scale);
   json.Key("epsilon").Value(kEpsilon);
   json.Key("reps").Value(reps);
   json.Key("devices").Value(static_cast<uint64_t>(fleet.devices.size()));
   json.Key("records").Value(static_cast<uint64_t>(total_points));
   json.Key("ingest_chunk").Value(static_cast<uint64_t>(kIngestChunk));
+  json.Key("min_seq_ratio").Value(min_seq_ratio);
   json.Key("algorithms").BeginArray();
   for (const AlgorithmReport& report : reports) {
     json.BeginObject();
@@ -229,15 +253,29 @@ int Run(int argc, char** argv) {
     json.Key("sequential_best_ms").Value(report.sequential_best_ms);
     json.Key("sequential_points_per_sec")
         .Value(report.sequential_points_per_sec);
-    json.Key("shard_runs").BeginArray();
+    json.Key("runs").BeginArray();
     double best_multi = 0.0;
     double one_shard = 0.0;
-    for (const ShardRun& run : report.runs) {
+    for (const EngineRun& run : report.runs) {
       json.BeginObject();
+      json.Key("config").Value(run.label);
       json.Key("shards").Value(static_cast<uint64_t>(run.shards));
       json.Key("best_ms").Value(run.best_ms);
       json.Key("points_per_sec").Value(run.points_per_sec);
+      json.Key("speedup_vs_sequential")
+          .Value(Ratio(report.sequential_best_ms, run.best_ms));
       json.Key("byte_identical").Value(run.byte_identical);
+      const FleetStats& s = run.stats;
+      json.Key("counters").BeginObject();
+      json.Key("coalesced_runs").Value(s.coalesced_runs);
+      json.Key("blocks_dispatched").Value(s.blocks_dispatched);
+      json.Key("blocks_allocated").Value(s.blocks_allocated);
+      json.Key("blocks_recycled").Value(s.blocks_recycled);
+      json.Key("worker_wakes").Value(s.worker_wakes);
+      json.Key("backpressure_waits").Value(s.backpressure_waits);
+      json.Key("peak_queue_depth")
+          .Value(static_cast<uint64_t>(s.peak_queue_depth));
+      json.EndObject();
       json.EndObject();
       if (run.shards == 1) one_shard = run.points_per_sec;
       if (run.shards > 1) best_multi = std::max(best_multi,
@@ -245,7 +283,7 @@ int Run(int argc, char** argv) {
     }
     json.EndArray();
     json.Key("multi_shard_speedup_vs_1shard")
-        .Value(one_shard > 0.0 ? best_multi / one_shard : 0.0);
+        .Value(Ratio(best_multi, one_shard));
     json.EndObject();
   }
   json.EndArray();
@@ -258,10 +296,35 @@ int Run(int argc, char** argv) {
   }
   std::printf("\nwrote %s\n", out_path.c_str());
 
+  // ---- exit gates ----
+  // 1. The service layer must not eat the kernel's speed: inline and
+  //    shards=1 each have to reach min_seq_ratio of sequential.
+  for (const AlgorithmReport& report : reports) {
+    for (const EngineRun& run : report.runs) {
+      if (run.shards > 1) continue;
+      const double ratio = Ratio(report.sequential_best_ms, run.best_ms);
+      if (ratio < min_seq_ratio) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s %s at %.2fx of sequential (gate %.2f)",
+                      report.name.c_str(), run.label.c_str(), ratio,
+                      min_seq_ratio);
+        gate_failures.push_back(buf);
+      }
+    }
+  }
+  // 2. Byte identity across every ingest mode.
   if (!all_identical) {
-    std::fprintf(stderr,
-                 "FAIL: FleetEngine per-device output diverged from the "
-                 "sequential CompressAll reference\n");
+    gate_failures.push_back(
+        "per-device output diverged from the sequential CompressAll "
+        "reference");
+  }
+
+  if (!gate_failures.empty()) {
+    std::fprintf(stderr, "\nbench_fleet FAILED:\n");
+    for (const std::string& failure : gate_failures) {
+      std::fprintf(stderr, "  - %s\n", failure.c_str());
+    }
     return 1;
   }
   return 0;

@@ -1,0 +1,114 @@
+// Epoch-versioned open-addressing map from DeviceId to a small slot index
+// — the router's device->group lookup.
+//
+// The grouped router binds each device to a per-window accumulation slot.
+// Windows turn over every few thousand records, so a conventional map
+// would pay either a full clear() per window or per-entry deletes; this
+// table instead stamps every binding with the window epoch and bumps the
+// epoch to invalidate all bindings in O(1) (NewWindow). Entries themselves
+// persist across windows (device ids are stable), so a returning device
+// costs one probe + one stamp, not an insert.
+//
+// Deliberately minimal: no deletes (entries only accumulate, one per
+// device ever seen — a fraction of the session table's footprint), linear
+// probing over a power-of-two table with the same splitmix64 finalizer the
+// engine routes shards with, resize at ~70% load. Single-threaded by
+// design: it lives on whichever thread owns the router.
+#ifndef BQS_SERVICE_DEVICE_SLOT_MAP_H_
+#define BQS_SERVICE_DEVICE_SLOT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trajectory/point.h"
+
+namespace bqs {
+
+class DeviceSlotMap {
+ public:
+  /// Lookup result when the device has no binding in the current window.
+  static constexpr uint32_t kAbsent = 0xffffffffu;
+
+  explicit DeviceSlotMap(std::size_t initial_capacity = 64)
+      : entries_(RoundUpPow2(initial_capacity < 16 ? 16 : initial_capacity)) {}
+
+  /// The slot bound to `device` in the current window, or kAbsent (either
+  /// never seen, or bound in an earlier — now stale — window).
+  uint32_t Lookup(DeviceId device) const {
+    const std::size_t mask = entries_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(Mix(device)) & mask;
+    while (entries_[i].epoch != 0) {
+      if (entries_[i].device == device) {
+        return entries_[i].epoch == epoch_ ? entries_[i].slot : kAbsent;
+      }
+      i = (i + 1) & mask;
+    }
+    return kAbsent;
+  }
+
+  /// Binds `device` to `slot` for the current window (insert or restamp).
+  void Bind(DeviceId device, uint32_t slot) {
+    const std::size_t mask = entries_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(Mix(device)) & mask;
+    while (entries_[i].epoch != 0) {
+      if (entries_[i].device == device) {
+        entries_[i].slot = slot;
+        entries_[i].epoch = epoch_;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+    entries_[i] = Entry{device, slot, epoch_};
+    ++count_;
+    if (count_ * 10 >= entries_.size() * 7) Grow();
+  }
+
+  /// Invalidates every binding in O(1). Entries persist for reuse.
+  void NewWindow() { ++epoch_; }
+
+  /// Distinct devices ever bound (table occupancy, not live bindings).
+  std::size_t devices_seen() const { return count_; }
+  std::size_t table_capacity() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    DeviceId device = 0;
+    uint32_t slot = 0;
+    /// 0 = empty slot (epoch_ starts at 1, so no live entry carries 0).
+    uint64_t epoch = 0;
+  };
+
+  static uint64_t Mix(DeviceId device) {
+    uint64_t x = device + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  static std::size_t RoundUpPow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  void Grow() {
+    std::vector<Entry> old = std::move(entries_);
+    entries_.assign(old.size() * 2, Entry{});
+    const std::size_t mask = entries_.size() - 1;
+    for (const Entry& e : old) {
+      if (e.epoch == 0) continue;
+      std::size_t i = static_cast<std::size_t>(Mix(e.device)) & mask;
+      while (entries_[i].epoch != 0) i = (i + 1) & mask;
+      entries_[i] = e;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::size_t count_ = 0;
+  uint64_t epoch_ = 1;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_SERVICE_DEVICE_SLOT_MAP_H_

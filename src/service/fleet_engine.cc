@@ -1,8 +1,17 @@
 #include "service/fleet_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <utility>
+
+#include "service/device_slot_map.h"
+#include "service/record_block.h"
+#include "service/spsc_ring.h"
 
 namespace bqs {
 
@@ -35,12 +44,13 @@ void AccumulateDecisionStats(DecisionStats& into, const DecisionStats& s) {
   into.kernel_fallbacks += s.kernel_fallbacks;
 }
 
-/// One queued unit of shard work.
-struct FleetEngine::Command {
-  enum class Kind { kBatch, kFinishDevice, kFinishAll };
-  Kind kind = Kind::kBatch;
-  std::vector<FleetRecord> records;  ///< kBatch payload (this shard only).
-  DeviceId device = 0;               ///< kFinishDevice target.
+/// One slot of a shard's ingest ring: either a sealed routing block or a
+/// finalization command, in submission order.
+struct FleetEngine::ShardCommand {
+  enum class Kind : uint8_t { kBlock, kFinishDevice, kFinishAll };
+  Kind kind = Kind::kBlock;
+  DeviceId device = 0;        ///< kFinishDevice target.
+  RecordBlock* block = nullptr;  ///< kBlock payload (arena-owned).
 };
 
 /// One live device stream.
@@ -48,7 +58,7 @@ struct FleetEngine::Session {
   std::unique_ptr<StreamCompressor> compressor;
   uint64_t last_active = 0;        ///< Shard activity clock at last record.
   double last_t = 0.0;             ///< Stream time of the last record.
-  std::size_t accounted_bytes = 0; ///< Current charge against the budget.
+  std::size_t accounted_bytes = 0; ///< Current charge (eager mode only).
 };
 
 /// KeyPointSink forwarding to the FleetSink under the device id currently
@@ -69,23 +79,47 @@ class FleetEngine::ShardSink final : public KeyPointSink {
   uint64_t emitted_ = 0;
 };
 
-/// One worker thread plus the state it owns. The queue fields are guarded
-/// by `mu`; everything below the marker is touched only by the worker while
-/// `busy`, or by the producer thread while holding `mu` with the shard idle
-/// (queue empty and not busy) — the busy flag's mutex-ordered transitions
-/// make that exclusive.
+/// One shard: the producer-side routing state, the SPSC handoff, and the
+/// worker-owned session table.
+///
+/// Ownership and visibility rules, in lieu of a queue mutex:
+///  - Producer-side fields are touched only by the single API caller
+///    thread (the engine's single-producer contract).
+///  - Worker-owned fields are touched by the worker thread while it runs
+///    commands — or by the caller thread after WaitIdle() proved
+///    `completed == enqueued` (the seq_cst counter read gives the
+///    happens-before edge; the next ring Push publishes any caller writes
+///    back to the worker). In inline mode there is no worker and the
+///    caller owns everything.
 struct FleetEngine::Shard {
-  explicit Shard(FleetSink& fleet) : sink(fleet) {}
+  Shard(FleetSink& fleet, std::size_t block_capacity, std::size_t ring_depth)
+      : ring(ring_depth), arena(block_capacity, ring_depth), sink(fleet) {}
 
-  std::mutex mu;
-  std::condition_variable cv_work;    ///< Signals the worker: work/stop.
-  std::condition_variable cv_caller;  ///< Signals producers: space/idle.
-  std::deque<Command> queue;
-  bool busy = false;
-  bool stop = false;
+  // --- producer-side (caller thread only) --------------------------------
+  RecordBlock* filling = nullptr;  ///< Partial block still accepting records.
+  uint64_t enqueued = 0;           ///< Commands successfully pushed.
+  uint64_t blocks_dispatched = 0;
+  std::size_t peak_depth = 0;      ///< Max ring occupancy seen at enqueue.
+
+  // --- handoff ------------------------------------------------------------
+  SpscRing<ShardCommand> ring;
+  BlockArena arena;  ///< Producer acquires, worker releases.
+
+  // --- idle protocol ------------------------------------------------------
+  std::atomic<uint64_t> completed{0};     ///< Commands fully processed.
+  std::atomic<bool> caller_waiting{false};
+  std::mutex idle_mu;
+  std::condition_variable cv_idle;
   std::thread worker;
 
-  // --- worker-owned state ------------------------------------------------
+  // --- grouped-dispatch state: owned by whichever thread dispatches (the
+  // worker when sharded, the caller in inline mode) ------------------------
+  DeviceSlotMap group_of_device;
+  std::vector<RouteGroup> groups;      ///< Slot-indexed pool, reused.
+  std::vector<uint32_t> used_groups;   ///< Slots active this window.
+  std::vector<TrackPoint> gather;      ///< PushRunTo fast-path scratch.
+
+  // --- worker-owned (see visibility rules above) --------------------------
   std::unordered_map<DeviceId, Session> sessions;
   std::vector<std::unique_ptr<StreamCompressor>> pool;
   /// Eviction index: last_active -> device (last_active values are unique,
@@ -93,43 +127,49 @@ struct FleetEngine::Shard {
   /// budget; gives O(log S) LRU eviction instead of an O(S) scan.
   std::map<uint64_t, DeviceId> lru;
   ShardSink sink;
-  std::vector<TrackPoint> point_scratch;   ///< Per-run PushBatch staging.
   std::vector<DeviceId> device_scratch;    ///< Bulk-close staging.
   uint64_t activity_clock = 0;
   double max_stream_t = 0.0;               ///< Newest record time seen.
   bool has_stream_t = false;
-  std::size_t state_bytes = 0;             ///< Accounted live-session total.
+  std::size_t state_bytes = 0;             ///< Live-session total (eager) or
+                                           ///< last Stats() snapshot (lazy).
   std::size_t pool_bytes = 0;              ///< Heap held by pooled units.
   FleetStats counters;                     ///< Closed-session aggregates.
 };
 
 FleetEngine::FleetEngine(const FleetEngineOptions& options, FleetSink& sink)
     : options_(options), sink_(sink), factory_(options.algorithm) {
-  options_.num_shards = std::max<std::size_t>(options_.num_shards, 1);
-  options_.max_pending_batches =
-      std::max<std::size_t>(options_.max_pending_batches, 1);
-  if (options_.memory_budget_bytes > 0) {
+  // The single-shard shortcut: one worker cannot outrun the caller doing
+  // the work itself (it only adds a copy, a handoff and a cache round
+  // trip), so num_shards <= 1 runs inline. Threads start at 2 shards.
+  inline_ = options_.num_shards <= 1;
+  const std::size_t shard_count = inline_ ? 1 : options_.num_shards;
+  options_.block_capacity = std::clamp<std::size_t>(
+      options_.block_capacity, 16, std::size_t{1} << 20);
+  options_.max_pending_blocks =
+      std::max<std::size_t>(options_.max_pending_blocks, 1);
+  eager_accounting_ = options_.memory_budget_bytes > 0;
+  if (eager_accounting_) {
     per_shard_budget_ = std::max<std::size_t>(
-        options_.memory_budget_bytes / options_.num_shards, 1);
+        options_.memory_budget_bytes / shard_count, 1);
   }
-  shards_.reserve(options_.num_shards);
-  staging_.resize(options_.num_shards);
-  for (std::size_t i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(sink_));
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        sink_, options_.block_capacity, options_.max_pending_blocks));
   }
-  for (auto& shard : shards_) {
-    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(*s); });
+  if (!inline_) {
+    for (auto& shard : shards_) {
+      shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(*s); });
+    }
   }
 }
 
 FleetEngine::~FleetEngine() {
-  for (auto& shard : shards_) {
-    {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      shard->stop = true;
-    }
-    shard->cv_work.notify_one();
-  }
+  // Records already handed to IngestBatch still get compressed: seal the
+  // partial blocks, then let the rings drain before the workers exit.
+  SealAll();
+  for (auto& shard : shards_) shard->ring.Stop();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
@@ -139,16 +179,24 @@ std::size_t FleetEngine::ShardOf(DeviceId device) const {
   return static_cast<std::size_t>(MixDeviceId(device) % shards_.size());
 }
 
-void FleetEngine::Enqueue(std::size_t shard_index, Command cmd) {
-  Shard& shard = *shards_[shard_index];
-  {
-    std::unique_lock<std::mutex> lock(shard.mu);
-    shard.cv_caller.wait(lock, [&] {
-      return shard.queue.size() < options_.max_pending_batches;
-    });
-    shard.queue.push_back(std::move(cmd));
-  }
-  shard.cv_work.notify_one();
+void FleetEngine::Enqueue(Shard& shard, ShardCommand cmd) {
+  if (!shard.ring.Push(cmd)) return;  // stopped (destructor teardown only)
+  ++shard.enqueued;
+  shard.peak_depth = std::max(shard.peak_depth, shard.ring.size());
+}
+
+void FleetEngine::Seal(Shard& shard) {
+  if (shard.filling == nullptr || shard.filling->empty()) return;
+  ShardCommand cmd;
+  cmd.kind = ShardCommand::Kind::kBlock;
+  cmd.block = shard.filling;
+  shard.filling = nullptr;
+  ++shard.blocks_dispatched;
+  Enqueue(shard, cmd);
+}
+
+void FleetEngine::SealAll() {
+  for (auto& shard : shards_) Seal(*shard);
 }
 
 void FleetEngine::IngestBatch(std::span<const FleetRecord> records) {
@@ -157,30 +205,78 @@ void FleetEngine::IngestBatch(std::span<const FleetRecord> records) {
     records_dropped_ += records.size();
     return;
   }
-  if (shards_.size() == 1) {
-    Command cmd;
-    cmd.records.assign(records.begin(), records.end());
-    Enqueue(0, std::move(cmd));
-    return;
+  if (inline_) {
+    InlineDispatch(records);
+  } else {
+    RouteSharded(records);
   }
-  // Staging vectors were moved into Commands last batch, so they start
-  // empty with no capacity; reserving the expected share turns the
-  // grow-by-doubling chain into one allocation per shard per batch.
-  const std::size_t expected_share =
-      records.size() / shards_.size() + records.size() / 8 + 8;
-  for (auto& staged : staging_) {
-    if (staged.capacity() < expected_share) staged.reserve(expected_share);
-  }
+}
+
+void FleetEngine::RouteSharded(std::span<const FleetRecord> records) {
+  const std::size_t cap = options_.block_capacity;
   for (const FleetRecord& record : records) {
-    staging_[ShardOf(record.device)].push_back(record);
+    Shard& shard = *shards_[ShardOf(record.device)];
+    if (shard.filling == nullptr) shard.filling = shard.arena.Acquire();
+    shard.filling->Append(record.device, record.point);
+    if (shard.filling->size() >= cap) Seal(shard);
   }
-  for (std::size_t i = 0; i < staging_.size(); ++i) {
-    if (staging_[i].empty()) continue;
-    Command cmd;
-    cmd.records = std::move(staging_[i]);
-    staging_[i] = {};
-    Enqueue(i, std::move(cmd));
+}
+
+void FleetEngine::InlineDispatch(std::span<const FleetRecord> records) {
+  Shard& shard = *shards_[0];
+
+  // Staging-free fast path: a batch that is one single-device run (the
+  // per-device upload shape) dispatches from the caller's buffer through
+  // the PushRunTo span hook — no grouping, no blocks, just the one
+  // strided gather into a reused scratch that any dispatch pays. Nothing
+  // is ever pending here: inline mode flushes before returning, so the
+  // grouped state is empty at every InlineDispatch entry.
+  const DeviceId first_device = records.front().device;
+  {
+    std::size_t j = 1;
+    while (j < records.size() && records[j].device == first_device) ++j;
+    if (j == records.size()) {
+      Session& session = SessionFor(shard, first_device);
+      shard.sink.set_device(first_device);
+      session.compressor->PushRunTo(records, shard.gather, shard.sink);
+      ++shard.counters.coalesced_runs;
+      shard.counters.records_ingested += records.size();
+      AfterRun(shard, session, first_device, records.back().point.t);
+      if (options_.idle_timeout_seconds > 0.0) CloseIdleSessions(shard);
+      return;
+    }
   }
+
+  // Grouped routing: append each maximal same-device run to the device's
+  // window group (DeviceSlotMap lookup once per run, not per record), so a
+  // device scattered across hundreds of short bursts reaches the
+  // compressor as one PushBatch per window instead of one per burst.
+  // Interleaving across devices is reordered inside a window; per-device
+  // record order — the only order FleetSink guarantees — is preserved.
+  const std::size_t window = options_.block_capacity;
+  std::size_t pending = 0;  ///< Records accumulated in the current window.
+  std::size_t i = 0;
+  while (i < records.size()) {
+    const DeviceId device = records[i].device;
+    std::size_t j = i + 1;
+    while (j < records.size() && records[j].device == device) ++j;
+    std::vector<TrackPoint>& points =
+        GroupFor(shard, device)->points;
+    for (std::size_t k = i; k < j; ++k) points.push_back(records[k].point);
+    pending += j - i;
+    i = j;
+    if (pending >= window) {
+      FlushInlineGroups(shard);
+      pending = 0;
+    }
+  }
+  // Inline mode never defers work past the IngestBatch that delivered it.
+  FlushInlineGroups(shard);
+}
+
+void FleetEngine::FlushInlineGroups(Shard& shard) {
+  DispatchGroups(shard);
+  if (options_.idle_timeout_seconds > 0.0) CloseIdleSessions(shard);
 }
 
 void FleetEngine::Ingest(DeviceId device, const TrackPoint& pt) {
@@ -189,42 +285,85 @@ void FleetEngine::Ingest(DeviceId device, const TrackPoint& pt) {
 }
 
 void FleetEngine::FinishDevice(DeviceId device) {
-  Command cmd;
-  cmd.kind = Command::Kind::kFinishDevice;
+  if (!factory_.streaming()) return;  // no sessions can exist
+  Shard& shard = *shards_[ShardOf(device)];
+  if (inline_) {
+    if (shard.sessions.contains(device)) {
+      CloseSession(shard, device, SessionEndReason::kFinished);
+    }
+    return;
+  }
+  // Pending records for the device must compress before the finish does.
+  Seal(shard);
+  ShardCommand cmd;
+  cmd.kind = ShardCommand::Kind::kFinishDevice;
   cmd.device = device;
-  Enqueue(ShardOf(device), std::move(cmd));
+  Enqueue(shard, cmd);
 }
 
 void FleetEngine::FinishAll() {
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    Command cmd;
-    cmd.kind = Command::Kind::kFinishAll;
-    Enqueue(i, std::move(cmd));
+  if (!factory_.streaming()) return;
+  SealAll();
+  if (inline_) {
+    Shard& shard = *shards_[0];
+    shard.device_scratch.clear();
+    for (const auto& [device, session] : shard.sessions) {
+      (void)session;
+      shard.device_scratch.push_back(device);
+    }
+    for (const DeviceId device : shard.device_scratch) {
+      CloseSession(shard, device, SessionEndReason::kFinished);
+    }
+    return;
+  }
+  for (auto& shard : shards_) {
+    ShardCommand cmd;
+    cmd.kind = ShardCommand::Kind::kFinishAll;
+    Enqueue(*shard, cmd);
   }
   Flush();
 }
 
 void FleetEngine::Flush() {
+  SealAll();
   for (auto& shard : shards_) WaitIdle(*shard);
 }
 
 void FleetEngine::WaitIdle(Shard& shard) {
-  std::unique_lock<std::mutex> lock(shard.mu);
-  shard.cv_caller.wait(lock,
-                       [&] { return shard.queue.empty() && !shard.busy; });
+  if (inline_) return;
+  const uint64_t target = shard.enqueued;
+  if (shard.completed.load(std::memory_order_acquire) >= target) return;
+  std::unique_lock<std::mutex> lock(shard.idle_mu);
+  shard.caller_waiting.store(true, std::memory_order_seq_cst);
+  shard.cv_idle.wait(lock, [&] {
+    return shard.completed.load(std::memory_order_seq_cst) >= target;
+  });
+  shard.caller_waiting.store(false, std::memory_order_relaxed);
 }
 
 FleetStats FleetEngine::Stats() {
+  SealAll();
   FleetStats total;
   total.records_dropped = records_dropped_;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock<std::mutex> lock(shard.mu);
-    shard.cv_caller.wait(lock,
-                         [&] { return shard.queue.empty() && !shard.busy; });
-    // The shard is provably idle and we hold its mutex, so reading the
-    // worker-owned state is exclusive (single-producer API: no new work
-    // can arrive while this thread is in Stats()).
+    WaitIdle(shard);
+    // The shard is drained: the seq_cst completed==enqueued read makes the
+    // worker's writes visible and — with the single-producer API keeping
+    // new work out — exclusive to this thread until the next Enqueue.
+    if (!eager_accounting_) {
+      // Lazy accounting: the run fast path skipped StateBytes entirely, so
+      // compute the live footprint here, where it is actually asked for.
+      std::size_t live = 0;
+      for (const auto& [device, session] : shard.sessions) {
+        (void)device;
+        live += kSessionBaseBytes + session.compressor->StateBytes();
+      }
+      shard.state_bytes = live;
+      shard.counters.peak_state_bytes =
+          std::max(shard.counters.peak_state_bytes,
+                   shard.state_bytes + shard.pool_bytes);
+    }
     const FleetStats& c = shard.counters;
     total.records_ingested += c.records_ingested;
     total.key_points_emitted += shard.sink.emitted();
@@ -233,6 +372,14 @@ FleetStats FleetEngine::Stats() {
     total.sessions_evicted += c.sessions_evicted;
     total.sessions_idled += c.sessions_idled;
     total.sessions_recycled += c.sessions_recycled;
+    total.coalesced_runs += c.coalesced_runs;
+    total.blocks_dispatched += shard.blocks_dispatched;
+    total.blocks_allocated += shard.arena.allocated();
+    total.blocks_recycled += shard.arena.recycled();
+    total.worker_wakes += shard.ring.consumer_waits();
+    total.backpressure_waits += shard.ring.producer_waits();
+    total.peak_queue_depth = std::max(total.peak_queue_depth,
+                                      shard.peak_depth);
     total.live_sessions += shard.sessions.size();
     total.state_bytes += shard.state_bytes;
     total.pooled_bytes += shard.pool_bytes;
@@ -249,27 +396,19 @@ FleetStats FleetEngine::Stats() {
 }
 
 void FleetEngine::WorkerLoop(Shard& shard) {
-  std::unique_lock<std::mutex> lock(shard.mu);
-  for (;;) {
-    shard.cv_work.wait(lock,
-                       [&] { return shard.stop || !shard.queue.empty(); });
-    if (shard.queue.empty()) return;  // stop requested, queue drained
-    Command cmd = std::move(shard.queue.front());
-    shard.queue.pop_front();
-    shard.busy = true;
-    lock.unlock();
-    shard.cv_caller.notify_all();  // a queue slot freed up
-
+  ShardCommand cmd;
+  while (shard.ring.Pop(cmd)) {
     switch (cmd.kind) {
-      case Command::Kind::kBatch:
-        ProcessBatch(shard, cmd.records);
+      case ShardCommand::Kind::kBlock:
+        ProcessBlock(shard, *cmd.block);
+        shard.arena.Release(cmd.block);
         break;
-      case Command::Kind::kFinishDevice:
+      case ShardCommand::Kind::kFinishDevice:
         if (shard.sessions.contains(cmd.device)) {
           CloseSession(shard, cmd.device, SessionEndReason::kFinished);
         }
         break;
-      case Command::Kind::kFinishAll:
+      case ShardCommand::Kind::kFinishAll:
         shard.device_scratch.clear();
         for (const auto& [device, session] : shard.sessions) {
           (void)session;
@@ -280,11 +419,66 @@ void FleetEngine::WorkerLoop(Shard& shard) {
         }
         break;
     }
-
-    lock.lock();
-    shard.busy = false;
-    if (shard.queue.empty()) shard.cv_caller.notify_all();
+    shard.completed.fetch_add(1, std::memory_order_seq_cst);
+    if (shard.caller_waiting.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(shard.idle_mu);
+      shard.cv_idle.notify_all();
+    }
   }
+}
+
+void FleetEngine::ProcessBlock(Shard& shard, const RecordBlock& block) {
+  const TrackPoint* points = block.points.data();
+  if (block.runs.size() == 1) {
+    // Single-device block: dispatch straight from block memory, no regroup.
+    DispatchRun(shard, block.runs[0].device,
+                std::span<const TrackPoint>(points, block.runs[0].count));
+  } else {
+    // Regroup the block's runs per device (one window per block): the
+    // extra memmove per point buys one PushBatch per device instead of
+    // one per burst — the same trade the inline router makes.
+    for (const DeviceRun& run : block.runs) {
+      std::vector<TrackPoint>& pts = GroupFor(shard, run.device)->points;
+      pts.insert(pts.end(), points, points + run.count);
+      points += run.count;
+    }
+    DispatchGroups(shard);
+  }
+  if (options_.idle_timeout_seconds > 0.0) CloseIdleSessions(shard);
+}
+
+RouteGroup* FleetEngine::GroupFor(Shard& shard, DeviceId device) {
+  uint32_t slot = shard.group_of_device.Lookup(device);
+  if (slot == DeviceSlotMap::kAbsent) {
+    slot = static_cast<uint32_t>(shard.used_groups.size());
+    if (shard.groups.size() <= slot) shard.groups.emplace_back();
+    shard.groups[slot].device = device;
+    shard.used_groups.push_back(slot);
+    shard.group_of_device.Bind(device, slot);
+  }
+  return &shard.groups[slot];
+}
+
+void FleetEngine::DispatchGroups(Shard& shard) {
+  if (shard.used_groups.empty()) return;
+  for (const uint32_t slot : shard.used_groups) {
+    RouteGroup& group = shard.groups[slot];
+    DispatchRun(shard, group.device,
+                std::span<const TrackPoint>(group.points));
+    group.points.clear();
+  }
+  shard.used_groups.clear();
+  shard.group_of_device.NewWindow();
+}
+
+void FleetEngine::DispatchRun(Shard& shard, DeviceId device,
+                              std::span<const TrackPoint> points) {
+  Session& session = SessionFor(shard, device);
+  shard.sink.set_device(device);
+  session.compressor->PushBatchTo(points, shard.sink);
+  ++shard.counters.coalesced_runs;
+  shard.counters.records_ingested += points.size();
+  AfterRun(shard, session, device, points.back().t);
 }
 
 FleetEngine::Session& FleetEngine::SessionFor(Shard& shard, DeviceId device) {
@@ -302,60 +496,41 @@ FleetEngine::Session& FleetEngine::SessionFor(Shard& shard, DeviceId device) {
     session.compressor = factory_.Make();
   }
   ++shard.counters.sessions_opened;
-  session.accounted_bytes =
-      kSessionBaseBytes + session.compressor->StateBytes();
-  shard.state_bytes += session.accounted_bytes;
-  shard.counters.peak_state_bytes = std::max(
-      shard.counters.peak_state_bytes, shard.state_bytes + shard.pool_bytes);
+  if (eager_accounting_) {
+    session.accounted_bytes =
+        kSessionBaseBytes + session.compressor->StateBytes();
+    shard.state_bytes += session.accounted_bytes;
+    shard.counters.peak_state_bytes = std::max(
+        shard.counters.peak_state_bytes,
+        shard.state_bytes + shard.pool_bytes);
+  }
   return shard.sessions.emplace(device, std::move(session)).first->second;
 }
 
-void FleetEngine::ProcessBatch(Shard& shard,
-                               std::span<const FleetRecord> records) {
-  std::size_t i = 0;
-  while (i < records.size()) {
-    const DeviceId device = records[i].device;
-    std::size_t j = i + 1;
-    while (j < records.size() && records[j].device == device) ++j;
-
-    shard.point_scratch.clear();
-    for (std::size_t k = i; k < j; ++k) {
-      shard.point_scratch.push_back(records[k].point);
-    }
-    Session& session = SessionFor(shard, device);
-    shard.sink.set_device(device);
-    session.compressor->PushBatchTo(shard.point_scratch, shard.sink);
-
-    if (per_shard_budget_ > 0) {
-      if (session.last_active != 0) shard.lru.erase(session.last_active);
-      session.last_active = ++shard.activity_clock;
-      shard.lru.emplace(session.last_active, device);
-    } else {
-      session.last_active = ++shard.activity_clock;
-    }
-    session.last_t = records[j - 1].point.t;
-    const std::size_t now_bytes =
-        kSessionBaseBytes + session.compressor->StateBytes();
-    shard.state_bytes = shard.state_bytes - session.accounted_bytes +
-                        now_bytes;
-    session.accounted_bytes = now_bytes;
-    shard.counters.peak_state_bytes =
-        std::max(shard.counters.peak_state_bytes,
-                 shard.state_bytes + shard.pool_bytes);
-    shard.counters.records_ingested += j - i;
-
-    if (per_shard_budget_ > 0) EnforceBudget(shard);
-    i = j;
-  }
-
+void FleetEngine::AfterRun(Shard& shard, Session& session, DeviceId device,
+                           double last_t) {
   if (options_.idle_timeout_seconds > 0.0) {
-    for (const FleetRecord& record : records) {
-      if (!shard.has_stream_t || record.point.t > shard.max_stream_t) {
-        shard.max_stream_t = record.point.t;
-        shard.has_stream_t = true;
-      }
-    }
-    CloseIdleSessions(shard);
+    session.last_t = last_t;
+    NoteStreamTime(shard, last_t);
+  }
+  if (!eager_accounting_) return;  // the lazy fast path: no StateBytes calls
+  if (session.last_active != 0) shard.lru.erase(session.last_active);
+  session.last_active = ++shard.activity_clock;
+  shard.lru.emplace(session.last_active, device);
+  const std::size_t now_bytes =
+      kSessionBaseBytes + session.compressor->StateBytes();
+  shard.state_bytes = shard.state_bytes - session.accounted_bytes + now_bytes;
+  session.accounted_bytes = now_bytes;
+  shard.counters.peak_state_bytes =
+      std::max(shard.counters.peak_state_bytes,
+               shard.state_bytes + shard.pool_bytes);
+  EnforceBudget(shard);
+}
+
+void FleetEngine::NoteStreamTime(Shard& shard, double t) {
+  if (!shard.has_stream_t || t > shard.max_stream_t) {
+    shard.max_stream_t = t;
+    shard.has_stream_t = true;
   }
 }
 
@@ -380,9 +555,9 @@ void FleetEngine::CloseSession(Shard& shard, DeviceId device,
       ++shard.counters.sessions_idled;
       break;
   }
-  shard.state_bytes -= session.accounted_bytes;
-  if (per_shard_budget_ > 0 && session.last_active != 0) {
-    shard.lru.erase(session.last_active);
+  if (eager_accounting_) {
+    shard.state_bytes -= session.accounted_bytes;
+    if (session.last_active != 0) shard.lru.erase(session.last_active);
   }
   // Recycled compressors keep their heap capacity across Reset(), so a
   // pooled unit still costs real memory: charge it to pool_bytes (counted
@@ -392,7 +567,7 @@ void FleetEngine::CloseSession(Shard& shard, DeviceId device,
   // memory back, so those compressors are destroyed instead of pooled.
   const std::size_t unit_bytes = session.compressor->StateBytes();
   const bool fits_budget =
-      per_shard_budget_ == 0 ||
+      !eager_accounting_ ||
       shard.state_bytes + shard.pool_bytes + unit_bytes <= per_shard_budget_;
   if (reason != SessionEndReason::kEvicted && fits_budget &&
       shard.pool.size() < options_.max_pooled_compressors) {

@@ -8,31 +8,66 @@
 // minted from a shared CompressorFactory, and newly-final key points are
 // forwarded to a FleetSink with per-device ordering guaranteed.
 //
+// Ingest pipeline (rebuilt so the service layer stays out of the kernel's
+// way — the mutex+condvar queue of the first fleet engine cost more per
+// record than compressing the record once the fast kernel landed):
+//
+//   IngestBatch(records)
+//        │  router: one pass, coalescing consecutive same-device records
+//        │  into DeviceRuns while writing points into pooled RecordBlocks
+//        ▼
+//   RecordBlock (arena-recycled; the single copy of the pipeline)
+//        │  bounded SPSC ring per shard, edge-triggered condvar wakes,
+//        │  backpressure when max_pending_blocks behind
+//        ▼
+//   shard worker: for each run, one PushBatchTo straight from block
+//   memory into the compressor's SoA fast path — no per-record replay,
+//   no second copy, no steady-state allocation.
+//
+// Inline mode (the single-shard shortcut): num_shards <= 1 bypasses
+// threads and queues entirely and compresses on the caller thread inside
+// IngestBatch. A one-worker pipeline cannot beat the caller doing the work
+// itself — it only adds a copy, a handoff and a cache round trip — so one
+// shard IS the inline case. The inline router group-coalesces a window of
+// records (window size = block_capacity) per device through a
+// DeviceSlotMap, so a device interleaved into hundreds of short bursts
+// still reaches the compressor as a handful of PushBatch dispatches; a
+// batch that is one single-device run skips the grouping machinery and
+// dispatches from the caller's buffer via PushRunTo (paying only the one
+// strided gather into reused scratch that any dispatch pays). That is the
+// embedded/single-core deployment shape; everything else about the engine
+// (sessions, budgets, stats, sinks) behaves identically. Worker threads
+// start at num_shards >= 2.
+//
 // Sharding: the session table is split across N worker threads. Each shard
 // owns its sessions outright (no shared compressor state), so throughput
 // scales with cores while the per-device output stays byte-identical to
 // running that device's stream alone through CompressAll — the invariant
-// the differential tests enforce for every shard count. Determinism caveat:
-// idle/budget-driven session closure depends on which devices share a
-// shard, so the invariant is stated for the default unbounded configuration
-// (no memory budget, no idle timeout) and any explicit Finish calls.
+// the differential tests enforce for every shard count, inline mode
+// included. Determinism caveat: idle/budget-driven session closure depends
+// on which devices share a shard, so the invariant is stated for the
+// default unbounded configuration (no memory budget, no idle timeout) and
+// any explicit Finish calls.
+//
+// Batching caveat (sharded mode): records accumulate in a partial block
+// until it fills, so compression of the newest records may be deferred
+// until the next block boundary, Flush(), Finish*(), or Stats() — all of
+// which seal and drain. Inline mode never defers past the IngestBatch
+// call that delivered the records. Output order and content are
+// unaffected either way (the chunking-independence tests cover this).
 //
 // Threading contract: the public API (IngestBatch, Finish*, Flush, Stats)
 // is single-producer — call it from one thread, or serialize externally.
-// FleetSink methods are invoked from shard worker threads: calls for one
-// device are ordered, calls for different devices may be concurrent.
+// FleetSink methods are invoked from shard worker threads (from the caller
+// thread in inline mode): calls for one device are ordered, calls for
+// different devices may be concurrent.
 #ifndef BQS_SERVICE_FLEET_ENGINE_H_
 #define BQS_SERVICE_FLEET_ENGINE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "core/decision_stats.h"
@@ -41,6 +76,9 @@
 #include "trajectory/point.h"
 
 namespace bqs {
+
+struct RecordBlock;  // service/record_block.h
+struct RouteGroup;   // service/record_block.h
 
 /// Why a device session was closed.
 enum class SessionEndReason {
@@ -73,7 +111,10 @@ struct FleetEngineOptions {
   /// offline algorithm are dropped and counted in FleetStats).
   AlgorithmConfig algorithm;
 
-  /// Worker threads / session-table shards. Clamped to >= 1.
+  /// Worker threads / session-table shards. 0 and 1 are both inline mode
+  /// (the single-shard shortcut): no threads or queues, records are routed
+  /// and compressed synchronously on the caller thread, reported as one
+  /// logical shard by num_shards(). Worker threads start at 2.
   std::size_t num_shards = 1;
 
   /// Approximate budget for growable compressor state across the whole
@@ -82,17 +123,25 @@ struct FleetEngineOptions {
   /// capacity survives Reset(). 0 = unbounded. A shard over its share
   /// first drops pooled compressors, then finalizes least-recently-active
   /// sessions (SessionEndReason::kEvicted) until back under budget;
-  /// memory-evicted compressors are destroyed, not pooled.
+  /// memory-evicted compressors are destroyed, not pooled. Setting a
+  /// budget switches session accounting from lazy (computed at Stats()
+  /// time, zero per-run cost) to eager (updated after every run).
   std::size_t memory_budget_bytes = 0;
 
   /// Sessions whose last record is older than this many seconds of stream
   /// time (relative to the newest record their shard has seen) are
-  /// finalized with SessionEndReason::kIdle at batch boundaries. 0 = never.
+  /// finalized with SessionEndReason::kIdle at block boundaries. 0 = never.
   double idle_timeout_seconds = 0.0;
 
-  /// Per-shard ingest queue depth; IngestBatch blocks (backpressure) when
-  /// the target shard is this many batches behind. Clamped to >= 1.
-  std::size_t max_pending_batches = 64;
+  /// Records per pooled routing block — the granularity of producer-to-
+  /// worker handoff and of the arena's recycling; in inline mode, the
+  /// grouped router's window size. Clamped to [16, 2^20].
+  std::size_t block_capacity = 4096;
+
+  /// Per-shard ingest ring depth, in blocks; IngestBatch blocks
+  /// (backpressure) when the target shard is this many sealed blocks
+  /// behind. Clamped to >= 1. Unused in inline mode.
+  std::size_t max_pending_blocks = 64;
 
   /// Finalized sessions return their compressor to a per-shard free pool
   /// of at most this size; new sessions Reset() a pooled compressor
@@ -102,7 +151,7 @@ struct FleetEngineOptions {
 };
 
 /// Aggregate engine counters. Snapshot via FleetEngine::Stats(), which
-/// drains in-flight work first.
+/// seals partial blocks and drains in-flight work first.
 struct FleetStats {
   uint64_t records_ingested = 0;   ///< Records accepted into a session.
   uint64_t records_dropped = 0;    ///< Records with no streaming algorithm.
@@ -113,6 +162,26 @@ struct FleetStats {
   uint64_t sessions_idled = 0;     ///< Idle-timeout finalizations.
   uint64_t sessions_recycled = 0;  ///< Sessions built on a pooled compressor.
   std::size_t live_sessions = 0;
+
+  // --- ingest pipeline counters (all zero in inline mode except
+  // coalesced_runs, which counts inline dispatches too) -------------------
+  /// Coalesced single-device dispatches into the PushBatch fast path:
+  /// consecutive-run spans from the block pipeline, window-grouped spans
+  /// from the inline router. records_ingested / coalesced_runs is the mean
+  /// dispatch length — the number that says how much coalescing bought.
+  uint64_t coalesced_runs = 0;
+  uint64_t blocks_dispatched = 0;  ///< Sealed blocks handed to workers.
+  uint64_t blocks_allocated = 0;   ///< Fresh block allocations (arena).
+  uint64_t blocks_recycled = 0;    ///< Blocks reused from the arena.
+  /// Times a shard worker found its ring empty and slept; edge-triggered
+  /// wakes make this the count of condvar notifications that mattered.
+  uint64_t worker_wakes = 0;
+  /// Times IngestBatch blocked on a full shard ring (backpressure).
+  uint64_t backpressure_waits = 0;
+  /// Largest number of sealed blocks observed waiting in any single shard
+  /// ring at enqueue time.
+  std::size_t peak_queue_depth = 0;
+
   /// Accounted footprint of live sessions (StateBytes + base charge).
   std::size_t state_bytes = 0;
   /// Heap capacity held by pooled (recycled but idle) compressors; counted
@@ -120,7 +189,9 @@ struct FleetStats {
   std::size_t pooled_bytes = 0;
   /// Sum over shards of each shard's own peak of (state + pooled) bytes.
   /// Per-shard peaks need not co-occur, so this is an upper bound on the
-  /// true simultaneous fleet peak, not the peak itself.
+  /// true simultaneous fleet peak, not the peak itself. Without a memory
+  /// budget the accounting is lazy, so this tracks peaks as observed at
+  /// Stats() calls and session events rather than after every run.
   std::size_t peak_state_bytes = 0;
   /// Sum of per-session DecisionStats (closed + live sessions); meaningful
   /// for the BQS family, all-zero otherwise.
@@ -138,52 +209,78 @@ class FleetEngine {
   static constexpr std::size_t kSessionBaseBytes = 256;
 
   FleetEngine(const FleetEngineOptions& options, FleetSink& sink);
-  /// Stops after draining queued work. Sessions still live are dropped
-  /// without their closing key points — call FinishAll() first for a clean
-  /// shutdown.
+  /// Seals partial blocks and stops after draining queued work. Sessions
+  /// still live are dropped without their closing key points — call
+  /// FinishAll() first for a clean shutdown.
   ~FleetEngine();
 
   FleetEngine(const FleetEngine&) = delete;
   FleetEngine& operator=(const FleetEngine&) = delete;
 
-  /// Enqueues an interleaved batch. Records are routed to shards in order,
-  /// so per-device order is preserved. Blocks only on shard backpressure.
+  /// Routes an interleaved batch into per-shard blocks (or compresses it
+  /// synchronously in inline mode). Records are routed in order, so
+  /// per-device order is preserved. Blocks only on shard backpressure.
   void IngestBatch(std::span<const FleetRecord> records);
 
-  /// Single-record convenience.
+  /// Single-record convenience. Accumulates into the target shard's
+  /// partial block like any other record.
   void Ingest(DeviceId device, const TrackPoint& pt);
 
-  /// Asynchronously finalizes `device`'s session (closing key points, then
-  /// OnSessionEnd(kFinished)). No-op if the device has no live session by
-  /// the time the command is processed.
+  /// Finalizes `device`'s session (closing key points, then
+  /// OnSessionEnd(kFinished)); asynchronous when sharded, immediate in
+  /// inline mode. Pending records for the device are compressed first.
+  /// No-op if the device has no live session by the time the command is
+  /// processed.
   void FinishDevice(DeviceId device);
 
   /// Finalizes every live session and blocks until all output is emitted.
   void FinishAll();
 
-  /// Blocks until every queued batch has been processed (no finalization).
+  /// Seals partial blocks and blocks until every queued block has been
+  /// processed (no finalization).
   void Flush();
 
-  /// Drains in-flight work, then returns aggregate counters.
+  /// Seals partial blocks, drains in-flight work, then returns aggregate
+  /// counters.
   FleetStats Stats();
 
   const FleetEngineOptions& options() const { return options_; }
+  /// Logical shard count: 1 in inline mode, num_shards otherwise.
   std::size_t num_shards() const { return shards_.size(); }
+  bool inline_mode() const { return inline_; }
 
   /// Shard owning `device` (splitmix64 of the id, mod shard count).
   std::size_t ShardOf(DeviceId device) const;
 
  private:
-  struct Command;
+  struct ShardCommand;
   struct Session;
   struct Shard;
   class ShardSink;
 
-  void Enqueue(std::size_t shard_index, Command cmd);
+  void Enqueue(Shard& shard, ShardCommand cmd);
+  void Seal(Shard& shard);
+  void SealAll();
   void WaitIdle(Shard& shard);
   void WorkerLoop(Shard& shard);
-  void ProcessBatch(Shard& shard, std::span<const FleetRecord> records);
+  void RouteSharded(std::span<const FleetRecord> records);
+  void InlineDispatch(std::span<const FleetRecord> records);
+  void FlushInlineGroups(Shard& shard);
+  /// The device's accumulation group for the current window (creating and
+  /// binding a pooled slot on first sight).
+  RouteGroup* GroupFor(Shard& shard, DeviceId device);
+  /// Dispatches every active group in first-seen order, then opens a new
+  /// window.
+  void DispatchGroups(Shard& shard);
+  void ProcessBlock(Shard& shard, const RecordBlock& block);
+  void DispatchRun(Shard& shard, DeviceId device,
+                   std::span<const TrackPoint> points);
   Session& SessionFor(Shard& shard, DeviceId device);
+  /// Post-run session bookkeeping: activity clock / LRU / stream time /
+  /// eager accounting, each only when the configured feature needs it.
+  void AfterRun(Shard& shard, Session& session, DeviceId device,
+                double last_t);
+  void NoteStreamTime(Shard& shard, double t);
   void CloseSession(Shard& shard, DeviceId device, SessionEndReason reason);
   void EnforceBudget(Shard& shard);
   void CloseIdleSessions(Shard& shard);
@@ -191,10 +288,10 @@ class FleetEngine {
   FleetEngineOptions options_;
   FleetSink& sink_;
   CompressorFactory factory_;
-  std::size_t per_shard_budget_ = 0;  ///< 0 = unbounded.
+  bool inline_ = false;
+  bool eager_accounting_ = false;    ///< True iff a memory budget is set.
+  std::size_t per_shard_budget_ = 0; ///< 0 = unbounded.
   std::vector<std::unique_ptr<Shard>> shards_;
-  /// Caller-side routing scratch, one per shard (single-producer API).
-  std::vector<std::vector<FleetRecord>> staging_;
   /// Records refused because the configured algorithm is offline-only.
   /// Producer-thread only, like the rest of the ingest path.
   uint64_t records_dropped_ = 0;

@@ -15,6 +15,15 @@ void StreamCompressor::PushBatchTo(std::span<const TrackPoint> points,
   for (const KeyPoint& key : sink_scratch_) sink.Emit(key);
 }
 
+void StreamCompressor::PushRunTo(std::span<const FleetRecord> run,
+                                 std::vector<TrackPoint>& gather,
+                                 KeyPointSink& sink) {
+  gather.clear();
+  if (gather.capacity() < run.size()) gather.reserve(run.size());
+  for (const FleetRecord& record : run) gather.push_back(record.point);
+  PushBatchTo(gather, sink);
+}
+
 void StreamCompressor::FinishTo(KeyPointSink& sink) {
   sink_scratch_.clear();
   Finish(&sink_scratch_);

@@ -91,6 +91,18 @@ class StreamCompressor {
   void PushBatchTo(std::span<const TrackPoint> points, KeyPointSink& sink);
   void FinishTo(KeyPointSink& sink);
 
+  /// Span-dispatch hook for fleet routers: pushes one coalesced
+  /// single-device run of an interleaved fleet feed, straight from the
+  /// caller's record buffer. Gathers the strided TrackPoints through
+  /// `gather` (caller-owned and reused across runs, so steady state does
+  /// not allocate) and hands the contiguous result to the PushBatch fast
+  /// path — semantically identical to pushing each record's point, which
+  /// is what the run-coalescing differential tests enforce. All records in
+  /// `run` must belong to the same device; the caller's router guarantees
+  /// that by construction.
+  void PushRunTo(std::span<const FleetRecord> run,
+                 std::vector<TrackPoint>& gather, KeyPointSink& sink);
+
   /// Restores the freshly-constructed state.
   virtual void Reset() = 0;
 

@@ -1,0 +1,89 @@
+// DeviceSlotMap: the epoch-versioned open-addressing device->group-slot
+// table the grouped router runs on. Lookup/Bind round trips, O(1) window
+// invalidation, collision survival across growth, and entry reuse.
+#include "service/device_slot_map.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace bqs {
+namespace {
+
+TEST(DeviceSlotMapTest, LookupMissesUntilBound) {
+  DeviceSlotMap map;
+  EXPECT_EQ(map.Lookup(42), DeviceSlotMap::kAbsent);
+  map.Bind(42, 7);
+  EXPECT_EQ(map.Lookup(42), 7u);
+  EXPECT_EQ(map.Lookup(43), DeviceSlotMap::kAbsent);
+  EXPECT_EQ(map.devices_seen(), 1u);
+}
+
+TEST(DeviceSlotMapTest, NewWindowInvalidatesAllBindingsInO1) {
+  DeviceSlotMap map;
+  for (DeviceId d = 0; d < 50; ++d) map.Bind(d, static_cast<uint32_t>(d));
+  for (DeviceId d = 0; d < 50; ++d) {
+    ASSERT_EQ(map.Lookup(d), static_cast<uint32_t>(d));
+  }
+  map.NewWindow();
+  for (DeviceId d = 0; d < 50; ++d) {
+    EXPECT_EQ(map.Lookup(d), DeviceSlotMap::kAbsent) << d;
+  }
+  // Entries persist: rebinding a known device is a restamp, not an insert.
+  map.Bind(13, 99);
+  EXPECT_EQ(map.Lookup(13), 99u);
+  EXPECT_EQ(map.devices_seen(), 50u);
+}
+
+TEST(DeviceSlotMapTest, RebindInSameWindowOverwrites) {
+  DeviceSlotMap map;
+  map.Bind(5, 1);
+  map.Bind(5, 2);
+  EXPECT_EQ(map.Lookup(5), 2u);
+  EXPECT_EQ(map.devices_seen(), 1u);
+}
+
+TEST(DeviceSlotMapTest, SurvivesGrowthWithSparseAdversarialIds) {
+  // Far past the initial capacity, with ids shaped like real fleets
+  // (sparse, strided) — every binding must survive the rehash chain.
+  DeviceSlotMap map(16);
+  std::vector<DeviceId> ids;
+  for (uint32_t i = 0; i < 3000; ++i) {
+    ids.push_back(1000 + 7919ULL * i);
+  }
+  for (uint32_t i = 0; i < ids.size(); ++i) map.Bind(ids[i], i);
+  EXPECT_GE(map.table_capacity(), 3000u);
+  for (uint32_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(map.Lookup(ids[i]), i) << "id " << ids[i];
+  }
+  EXPECT_EQ(map.devices_seen(), ids.size());
+
+  // Windows keep working after growth.
+  map.NewWindow();
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(map.Lookup(ids[i]), DeviceSlotMap::kAbsent);
+  }
+  map.Bind(ids[0], 12345);
+  EXPECT_EQ(map.Lookup(ids[0]), 12345u);
+}
+
+TEST(DeviceSlotMapTest, ManyWindowsNeverConfuseBindings) {
+  DeviceSlotMap map;
+  for (uint32_t window = 0; window < 500; ++window) {
+    // Each window binds a rotating subset; stale bindings must not leak.
+    const DeviceId a = window % 7;
+    const DeviceId b = 7 + window % 5;
+    map.Bind(a, window);
+    map.Bind(b, window + 1000);
+    EXPECT_EQ(map.Lookup(a), window);
+    EXPECT_EQ(map.Lookup(b), window + 1000);
+    EXPECT_EQ(map.Lookup(100 + window), DeviceSlotMap::kAbsent);
+    map.NewWindow();
+    EXPECT_EQ(map.Lookup(a), DeviceSlotMap::kAbsent);
+    EXPECT_EQ(map.Lookup(b), DeviceSlotMap::kAbsent);
+  }
+  EXPECT_EQ(map.devices_seen(), 12u);  // 7 + 5 distinct ids ever
+}
+
+}  // namespace
+}  // namespace bqs

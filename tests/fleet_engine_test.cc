@@ -74,6 +74,8 @@ std::map<DeviceId, std::vector<KeyPoint>> SequentialReference(
 }
 
 TEST(FleetEngineTest, PerDeviceOutputMatchesSequentialAcrossShardCounts) {
+  // shards=0 is inline mode: same router, no threads — held to the same
+  // byte-identity invariant as every threaded shard count.
   const FleetDataset fleet = BuildFleetDataset(12, 0.05, 7001);
   const AlgorithmId algorithms[] = {AlgorithmId::kBqs, AlgorithmId::kFbqs,
                                     AlgorithmId::kBdp, AlgorithmId::kBgd,
@@ -81,8 +83,8 @@ TEST(FleetEngineTest, PerDeviceOutputMatchesSequentialAcrossShardCounts) {
   for (const AlgorithmId id : algorithms) {
     const AlgorithmConfig config = ConfigFor(id);
     const auto reference = SequentialReference(fleet, config);
-    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
-                                     std::size_t{8}}) {
+    for (const std::size_t shards : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{2}, std::size_t{8}}) {
       CollectingSink sink;
       FleetEngineOptions options;
       options.algorithm = config;
@@ -324,6 +326,183 @@ TEST(FleetEngineTest, EmptyBatchAndDestructionWithoutFinishAreSafe) {
     (void)device;
     EXPECT_TRUE(reasons.empty());
   }
+}
+
+/// Builds an interleaved feed from per-device streams by a caller-chosen
+/// pattern; returns the feed (per-device record order always preserved).
+using Pattern = std::vector<std::size_t>;  // sequence of device indices
+
+std::vector<FleetRecord> Weave(const FleetDataset& fleet,
+                               const Pattern& pattern,
+                               std::size_t burst) {
+  std::vector<FleetRecord> feed;
+  std::vector<std::size_t> cursor(fleet.devices.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const std::size_t d : pattern) {
+      const auto& [device, stream] = fleet.devices[d];
+      for (std::size_t b = 0; b < burst && cursor[d] < stream.size(); ++b) {
+        feed.push_back(FleetRecord{device, stream[cursor[d]++]});
+        progressed = true;
+      }
+    }
+  }
+  return feed;
+}
+
+TEST(FleetEngineTest, RunCoalescingFuzzAcrossInterleavings) {
+  // The router coalesces consecutive same-device records into runs and
+  // dispatches each run as one PushBatch. Whatever the interleaving shape
+  // — long bursts, strict round-robin (every run length 1), whole streams
+  // back to back, adversarial two-device alternation, or random bursts —
+  // per-device output must stay byte-identical to sequential CompressAll
+  // at every shard count including inline mode, for every streaming
+  // algorithm, under randomized ingest chunking.
+  const FleetDataset fleet = BuildFleetDataset(6, 0.04, 7100);
+  const std::size_t n = fleet.devices.size();
+
+  struct NamedFeed {
+    const char* name;
+    std::vector<FleetRecord> feed;
+  };
+  std::vector<NamedFeed> feeds;
+  Pattern all;
+  for (std::size_t d = 0; d < n; ++d) all.push_back(d);
+  feeds.push_back({"round_robin", Weave(fleet, all, 1)});
+  feeds.push_back({"bursty", Weave(fleet, all, 7)});
+  feeds.push_back({"single_device", Weave(fleet, all, 1u << 20)});
+  // Adversarial alternation: A,B,A,B,... then C,D,C,D,... — run length 1
+  // with only two live devices at a time, the worst case for coalescing.
+  Pattern pairs;
+  for (std::size_t d = 0; d + 1 < n; d += 2) {
+    for (int repeat = 0; repeat < 64; ++repeat) {
+      pairs.push_back(d);
+      pairs.push_back(d + 1);
+    }
+  }
+  feeds.push_back({"alternation", Weave(fleet, pairs, 1)});
+  feeds.push_back({"original_bursty_random", fleet.feed});
+
+  const AlgorithmId algorithms[] = {AlgorithmId::kBqs, AlgorithmId::kFbqs,
+                                    AlgorithmId::kBdp, AlgorithmId::kBgd,
+                                    AlgorithmId::kDr};
+  Rng rng(0xC0A1E5CEULL);
+  for (const AlgorithmId id : algorithms) {
+    const AlgorithmConfig config = ConfigFor(id);
+    const auto reference = SequentialReference(fleet, config);
+    for (const NamedFeed& named : feeds) {
+      ASSERT_EQ(named.feed.size(), fleet.feed.size()) << named.name;
+      for (const std::size_t shards : {std::size_t{0}, std::size_t{1},
+                                       std::size_t{2}, std::size_t{8}}) {
+        CollectingSink sink;
+        FleetEngineOptions options;
+        options.algorithm = config;
+        options.num_shards = shards;
+        // Small blocks so every feed shape crosses block boundaries.
+        options.block_capacity = 64;
+        {
+          FleetEngine engine(options, sink);
+          const std::size_t chunk = static_cast<std::size_t>(
+              rng.UniformInt(1, 300));
+          RunFleet(engine, named.feed, chunk);
+        }
+        EXPECT_EQ(sink.keys(), reference)
+            << AlgorithmName(id) << " feed=" << named.name
+            << " shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(FleetEngineTest, PipelineCountersExposeIngestShape) {
+  const FleetDataset fleet = BuildFleetDataset(8, 0.05, 7200);
+
+  FleetEngineOptions options;
+  options.algorithm = ConfigFor(AlgorithmId::kBqs);
+  options.num_shards = 2;
+  options.block_capacity = 64;
+  // A shallow ring guarantees the producer laps the arena, so recycling
+  // provably engages even on a single-core machine.
+  options.max_pending_blocks = 4;
+  {
+    CollectingSink sink;
+    FleetEngine engine(options, sink);
+    RunFleet(engine, fleet.feed, 512);
+    const FleetStats stats = engine.Stats();
+    EXPECT_EQ(stats.records_ingested, fleet.feed.size());
+    // Run coalescing happened: strictly fewer dispatches than records
+    // (the bursty feed guarantees multi-record runs), and every record
+    // went through some run.
+    EXPECT_GT(stats.coalesced_runs, 0u);
+    EXPECT_LT(stats.coalesced_runs, stats.records_ingested);
+    // Block pipeline engaged and the arena recycled: far more blocks
+    // dispatched than ever allocated (allocations are bounded by the few
+    // blocks that can be outstanding at once).
+    EXPECT_GT(stats.blocks_dispatched, 0u);
+    EXPECT_EQ(stats.blocks_allocated + stats.blocks_recycled,
+              stats.blocks_dispatched);
+    EXPECT_GT(stats.blocks_recycled, 0u);
+    EXPECT_LE(stats.blocks_allocated,
+              2 * (options.max_pending_blocks + 2));
+    EXPECT_LE(stats.peak_queue_depth, options.max_pending_blocks);
+  }
+
+  // Inline mode (num_shards 0 and 1 both take the single-shard shortcut):
+  // no threads, no blocks, no queue — but the same coalescing, counted
+  // through the same stats.
+  {
+    CollectingSink sink;
+    FleetEngineOptions one = options;
+    one.num_shards = 1;
+    FleetEngine engine(one, sink);
+    EXPECT_TRUE(engine.inline_mode());
+  }
+  options.num_shards = 0;
+  CollectingSink sink;
+  FleetEngine engine(options, sink);
+  RunFleet(engine, fleet.feed, 512);
+  const FleetStats stats = engine.Stats();
+  EXPECT_TRUE(engine.inline_mode());
+  EXPECT_EQ(engine.num_shards(), 1u);
+  EXPECT_EQ(stats.records_ingested, fleet.feed.size());
+  EXPECT_GT(stats.coalesced_runs, 0u);
+  EXPECT_EQ(stats.blocks_dispatched, 0u);
+  EXPECT_EQ(stats.blocks_allocated, 0u);
+  EXPECT_EQ(stats.worker_wakes, 0u);
+  EXPECT_EQ(stats.backpressure_waits, 0u);
+  EXPECT_EQ(stats.peak_queue_depth, 0u);
+}
+
+TEST(FleetEngineTest, InlineModeCompressesSynchronously) {
+  const Trajectory stream = testing_util::SmoothWalk(7300, 600);
+  CollectingSink sink;
+  FleetEngineOptions options;
+  options.algorithm = ConfigFor(AlgorithmId::kBqs);
+  options.num_shards = 0;
+  FleetEngine engine(options, sink);
+
+  std::vector<FleetRecord> records;
+  records.reserve(stream.size());
+  for (const TrackPoint& pt : stream) records.push_back({11, pt});
+  engine.IngestBatch(records);
+  // No Flush, no Finish: inline mode already compressed everything on the
+  // caller thread (the first point is always emitted immediately).
+  EXPECT_FALSE(sink.keys().empty());
+  EXPECT_GE(sink.keys().at(11).size(), 1u);
+  const FleetStats mid = engine.Stats();
+  EXPECT_EQ(mid.records_ingested, stream.size());
+  EXPECT_EQ(mid.live_sessions, 1u);
+
+  // FinishDevice is immediate too.
+  engine.FinishDevice(11);
+  ASSERT_EQ(sink.ends().count(11), 1u);
+  EXPECT_EQ(sink.ends().at(11),
+            std::vector<SessionEndReason>{SessionEndReason::kFinished});
+
+  // Output equals the sequential reference, like every other mode.
+  auto reference = MakeStreamCompressor(options.algorithm);
+  EXPECT_EQ(sink.keys().at(11), CompressAll(*reference, stream).keys);
 }
 
 TEST(FleetEngineTest, ShardRoutingIsStableAndInRange) {

@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate: compares a fresh BENCH_throughput.json against the
-committed baseline and fails on correctness or gross perf regressions.
+"""Perf-smoke gate: compares a fresh BENCH_*.json against its committed
+baseline and fails on correctness or gross perf regressions. Handles both
+report families, dispatched on the document's `schema` field:
 
-Checks, in order of severity:
+  bqs-bench-throughput-*  (default when no schema field is present)
+  ------------------------------------------------------------------
+  Checks, in order of severity:
   1. byte-identity: the fresh run's `all_byte_identical` must be true (the
      bench itself also exits non-zero on divergence; this is a belt).
   2. error bound: every algorithm row must report error_bounded == true.
@@ -22,6 +25,23 @@ Checks, in order of severity:
      while catching order-of-magnitude slips like a transcendental leaking
      back into the kernel hot path.
 
+  bqs-bench-fleet-v2
+  ------------------------------------------------------------------
+  Same shape, fleet-flavoured:
+  1. byte-identity: `all_byte_identical` must be true (per-device outputs
+     vs the sequential CompressAll reference).
+  2. coverage: every (algorithm, config) engine row in the baseline must
+     be present in the fresh run, and so must each algorithm's sequential
+     reference row.
+  3. ingest throughput: each engine row's points_per_sec, normalized by
+     that algorithm's sequential row (the machine-speed yardstick: it runs
+     the identical kernel with zero service overhead), must be at least
+     TOLERANCE x the baseline's equally-normalized rate. The sequential
+     row itself is the calibration and is reported, not gated. Note the
+     bench binary separately enforces the absolute floor (shards<=1 >=
+     min-seq-ratio x sequential); this gate catches relative regressions
+     of any row against the committed baseline.
+
 Usage: check_perf.py <fresh.json> <baseline.json> [--tolerance 0.70]
                      [--no-normalize]
 Exit codes: 0 ok, 1 regression/divergence, 2 usage or parse error.
@@ -32,15 +52,160 @@ import json
 import sys
 
 CALIBRATION_ALGORITHM = "BQS_bruteforce"
+FLEET_SCHEMA_PREFIX = "bqs-bench-fleet"
+SEQUENTIAL_CONFIG = "sequential"
 
 
-def rates(doc):
+def throughput_rates(doc):
     """{(stream, algorithm): row} for every measured algorithm row."""
     out = {}
     for stream in doc.get("streams", []):
         for algo in stream.get("algorithms", []):
             out[(stream["name"], algo["name"])] = algo
     return out
+
+
+def fleet_rates(doc):
+    """{(algorithm, config): row}, with the sequential reference included
+    as config 'sequential'."""
+    out = {}
+    for algo in doc.get("algorithms", []):
+        name = algo["name"]
+        out[(name, SEQUENTIAL_CONFIG)] = {
+            "points_per_sec": algo.get("sequential_points_per_sec", 0.0),
+        }
+        for run in algo.get("runs", []):
+            out[(name, run["config"])] = run
+    return out
+
+
+def check_scale(fresh, baseline, failures):
+    # Rates are only comparable at the same dataset scale: the BQS-vs-
+    # reference ratio is scale-dependent (exact-resolve cost grows
+    # superlinearly with segment length), so normalization cannot cancel a
+    # scale shift.
+    fresh_scale = fresh.get("scale", 0.0)
+    base_scale = baseline.get("scale", 0.0)
+    if abs(fresh_scale - base_scale) > 1e-9:
+        failures.append(
+            f"scale mismatch: fresh run at {fresh_scale}, baseline at "
+            f"{base_scale} — rerun the bench with --scale {base_scale}")
+
+
+def gate_rows(fresh_rows, base_rows, calibration, calibration_keys,
+              tolerance, failures):
+    """Shared row-by-row comparison: coverage, then normalized ratios.
+    `calibration` maps a group key (stream / algorithm name) to the
+    machine-speed factor; rows whose key is in `calibration_keys` are the
+    yardstick and are reported but never gated."""
+    compared = 0
+    for key, base_row in sorted(base_rows.items()):
+        group, _ = key
+        fresh_row = fresh_rows.get(key)
+        if fresh_row is None:
+            failures.append(f"{key}: present in baseline but missing from "
+                            "the fresh run (gated row dropped?)")
+            continue
+        base_pps = base_row.get("points_per_sec", 0.0)
+        fresh_pps = fresh_row.get("points_per_sec", 0.0)
+        if base_pps <= 0:
+            continue
+        ratio = fresh_pps / base_pps
+        cal = calibration.get(group)
+        gated = True
+        if cal is not None:
+            if key in calibration_keys:
+                gated = False  # the yardstick cannot gate itself
+            else:
+                ratio /= cal
+        compared += int(gated)
+        ok = not gated or ratio >= tolerance
+        status = "ok" if ok else "REGRESSION"
+        if not gated:
+            status = "calibration"
+        print(f"{key[0]:>18s} / {key[1]:<16s} "
+              f"{fresh_pps / 1e6:8.2f} M pts/s vs baseline "
+              f"{base_pps / 1e6:8.2f} ({ratio:5.2f}x"
+              f"{' norm' if cal is not None and gated else ''})  {status}")
+        if not ok:
+            failures.append(
+                f"{key}: normalized ratio {ratio:.2f} below tolerance "
+                f"{tolerance:.2f} (fresh {fresh_pps:.0f} pts/s, "
+                f"baseline {base_pps:.0f})")
+    return compared
+
+
+def check_throughput(fresh, baseline, args, failures):
+    if not fresh.get("all_byte_identical", False):
+        failures.append("fresh run is not byte-identical across kernels")
+
+    fresh_rows = throughput_rates(fresh)
+    base_rows = throughput_rates(baseline)
+
+    for key, row in sorted(fresh_rows.items()):
+        if not row.get("error_bounded", True):
+            failures.append(f"{key}: epsilon error bound violated")
+
+    # Per-stream machine-speed calibration from the seed-reference row. A
+    # stream without a usable calibration row cannot be gated meaningfully
+    # across machines, so that is itself a failure (never a silent
+    # fall-through to raw cross-machine ratios).
+    calibration = {}
+    calibration_keys = set()
+    if not args.no_normalize:
+        for (stream, algo), base_row in base_rows.items():
+            if algo != CALIBRATION_ALGORITHM:
+                continue
+            calibration_keys.add((stream, algo))
+            fresh_row = fresh_rows.get((stream, algo))
+            base_pps = base_row.get("points_per_sec", 0.0)
+            if fresh_row and base_pps > 0:
+                cal = fresh_row.get("points_per_sec", 0.0) / base_pps
+                if cal > 0:
+                    calibration[stream] = cal
+        for stream in {s for (s, _) in base_rows}:
+            if stream not in calibration:
+                failures.append(
+                    f"stream '{stream}': no usable {CALIBRATION_ALGORITHM} "
+                    "calibration row in both files; cannot normalize "
+                    "(use --no-normalize only for same-machine runs)")
+
+    return gate_rows(fresh_rows, base_rows, calibration, calibration_keys,
+                     args.tolerance, failures)
+
+
+def check_fleet(fresh, baseline, args, failures):
+    if not fresh.get("all_byte_identical", False):
+        failures.append(
+            "fresh run is not byte-identical to the sequential reference")
+
+    fresh_rows = fleet_rates(fresh)
+    base_rows = fleet_rates(baseline)
+
+    # Per-algorithm machine-speed calibration from the sequential row: the
+    # exact kernel the fleet rows run, minus every service-layer cost.
+    calibration = {}
+    calibration_keys = set()
+    if not args.no_normalize:
+        for (algo, config), base_row in base_rows.items():
+            if config != SEQUENTIAL_CONFIG:
+                continue
+            calibration_keys.add((algo, config))
+            fresh_row = fresh_rows.get((algo, config))
+            base_pps = base_row.get("points_per_sec", 0.0)
+            if fresh_row and base_pps > 0:
+                cal = fresh_row.get("points_per_sec", 0.0) / base_pps
+                if cal > 0:
+                    calibration[algo] = cal
+        for algo in {a for (a, _) in base_rows}:
+            if algo not in calibration:
+                failures.append(
+                    f"algorithm '{algo}': no usable sequential calibration "
+                    "row in both files; cannot normalize (use "
+                    "--no-normalize only for same-machine runs)")
+
+    return gate_rows(fresh_rows, base_rows, calibration, calibration_keys,
+                     args.tolerance, failures)
 
 
 def main():
@@ -62,88 +227,23 @@ def main():
         print(f"check_perf: cannot load inputs: {e}", file=sys.stderr)
         return 2
 
+    fresh_schema = fresh.get("schema", "")
+    base_schema = baseline.get("schema", "")
+    if fresh_schema != base_schema:
+        print(f"check_perf: schema mismatch: fresh '{fresh_schema}' vs "
+              f"baseline '{base_schema}'", file=sys.stderr)
+        return 2
+
     failures = []
+    check_scale(fresh, baseline, failures)
 
-    # Rates are only comparable at the same dataset scale: the BQS-vs-
-    # reference ratio is scale-dependent (exact-resolve cost grows
-    # superlinearly with segment length), so normalization cannot cancel a
-    # scale shift.
-    fresh_scale = fresh.get("scale", 0.0)
-    base_scale = baseline.get("scale", 0.0)
-    if abs(fresh_scale - base_scale) > 1e-9:
-        failures.append(
-            f"scale mismatch: fresh run at {fresh_scale}, baseline at "
-            f"{base_scale} — rerun the bench with --scale {base_scale}")
-
-    if not fresh.get("all_byte_identical", False):
-        failures.append("fresh run is not byte-identical across kernels")
-
-    fresh_rows = rates(fresh)
-    base_rows = rates(baseline)
-
-    for key, row in sorted(fresh_rows.items()):
-        if not row.get("error_bounded", True):
-            failures.append(f"{key}: epsilon error bound violated")
-
-    # Per-stream machine-speed calibration from the seed-reference row. A
-    # stream without a usable calibration row cannot be gated meaningfully
-    # across machines, so that is itself a failure (never a silent
-    # fall-through to raw cross-machine ratios).
-    calibration = {}
-    if not args.no_normalize:
-        for (stream, algo), base_row in base_rows.items():
-            if algo != CALIBRATION_ALGORITHM:
-                continue
-            fresh_row = fresh_rows.get((stream, algo))
-            base_pps = base_row.get("points_per_sec", 0.0)
-            if fresh_row and base_pps > 0:
-                cal = fresh_row.get("points_per_sec", 0.0) / base_pps
-                if cal > 0:
-                    calibration[stream] = cal
-        for stream in {s for (s, _) in base_rows}:
-            if stream not in calibration:
-                failures.append(
-                    f"stream '{stream}': no usable {CALIBRATION_ALGORITHM} "
-                    "calibration row in both files; cannot normalize "
-                    "(use --no-normalize only for same-machine runs)")
-
-    compared = 0
-    for key, base_row in sorted(base_rows.items()):
-        stream, algo = key
-        fresh_row = fresh_rows.get(key)
-        if fresh_row is None:
-            failures.append(f"{key}: present in baseline but missing from "
-                            "the fresh run (gated row dropped?)")
-            continue
-        base_pps = base_row.get("points_per_sec", 0.0)
-        fresh_pps = fresh_row.get("points_per_sec", 0.0)
-        if base_pps <= 0:
-            continue
-        ratio = fresh_pps / base_pps
-        cal = calibration.get(stream)
-        gated = True
-        if cal is not None:
-            if algo == CALIBRATION_ALGORITHM:
-                gated = False  # the yardstick cannot gate itself
-            else:
-                ratio /= cal
-        compared += int(gated)
-        ok = not gated or ratio >= args.tolerance
-        status = "ok" if ok else "REGRESSION"
-        if not gated:
-            status = "calibration"
-        print(f"{stream:>18s} / {algo:<16s} "
-              f"{fresh_pps / 1e6:8.2f} M pts/s vs baseline "
-              f"{base_pps / 1e6:8.2f} ({ratio:5.2f}x"
-              f"{' norm' if cal is not None and gated else ''})  {status}")
-        if not ok:
-            failures.append(
-                f"{key}: normalized ratio {ratio:.2f} below tolerance "
-                f"{args.tolerance:.2f} (fresh {fresh_pps:.0f} pts/s, "
-                f"baseline {base_pps:.0f})")
+    if fresh_schema.startswith(FLEET_SCHEMA_PREFIX):
+        compared = check_fleet(fresh, baseline, args, failures)
+    else:
+        compared = check_throughput(fresh, baseline, args, failures)
 
     if compared == 0:
-        failures.append("no comparable (stream, algorithm) rows found")
+        failures.append("no comparable rows found")
 
     if failures:
         print("\ncheck_perf FAILED:", file=sys.stderr)
