@@ -1,0 +1,150 @@
+// Differential fuzzer for the FleetEngine ingest pipeline.
+//
+// The engine's core invariant (stated in fleet_engine.h): for any
+// interleaving of device records, any shard count, any batch chunking,
+// and any mix of IngestBatch / single-record Ingest / Flush / Stats
+// calls, each device's emitted key points are identical to running that
+// device's records alone through CompressAll with an identically-
+// configured compressor. The fuzzer builds an interleaved feed from the
+// input bytes, ingests it through a byte-driven call mix, FinishAll()s,
+// and checks per-device output against the sequential reference.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "eval/algorithms.h"
+#include "fuzz_input.h"
+#include "service/fleet_engine.h"
+#include "trajectory/compressor.h"
+#include "trajectory/point.h"
+
+namespace {
+
+using bqs_fuzz::FuzzInput;
+
+constexpr std::size_t kMaxRecords = 768;
+constexpr int kMaxDevices = 6;
+
+/// Collects per-device key points. Shard workers for distinct devices may
+/// emit concurrently, so the map is mutex-protected; per-device order is
+/// the engine's guarantee and is preserved by appending.
+class CollectingSink final : public bqs::FleetSink {
+ public:
+  void OnKeyPoint(bqs::DeviceId device, const bqs::KeyPoint& key) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    keys_[device].push_back(key);
+  }
+
+  std::map<bqs::DeviceId, std::vector<bqs::KeyPoint>> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(keys_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<bqs::DeviceId, std::vector<bqs::KeyPoint>> keys_;
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
+  FuzzInput in(data, size);
+
+  bqs::FleetEngineOptions options;
+  options.algorithm.id =
+      in.Bool() ? bqs::AlgorithmId::kFbqs : bqs::AlgorithmId::kBqs;
+  options.algorithm.epsilon = in.Range(0.5, 32.0);
+  options.algorithm.bqs.adaptive_resolver_threshold = in.IntIn(2, 64);
+  options.num_shards = static_cast<std::size_t>(in.IntIn(0, 4));
+  options.block_capacity = static_cast<std::size_t>(in.IntIn(16, 64));
+  options.max_pending_blocks = static_cast<std::size_t>(in.IntIn(1, 8));
+  options.max_pooled_compressors = static_cast<std::size_t>(in.IntIn(0, 4));
+  // Budget/idle eviction close sessions mid-stream, which legitimately
+  // changes output vs one sequential pass; keep them off so the
+  // differential oracle stays exact.
+  options.memory_budget_bytes = 0;
+  options.idle_timeout_seconds = 0.0;
+
+  // Interleaved feed: per-device bounded random walks with per-device
+  // monotonic time (the engine requires per-device stream order only).
+  const int device_count = in.IntIn(1, kMaxDevices);
+  std::vector<bqs::TrackPoint> walker(
+      static_cast<std::size_t>(device_count));
+  std::vector<bqs::FleetRecord> feed;
+  const double step_limit = options.algorithm.epsilon * 4.0;
+  while (!in.empty() && feed.size() < kMaxRecords) {
+    const std::size_t device =
+        static_cast<std::size_t>(in.IntIn(0, device_count - 1));
+    bqs::TrackPoint& pt = walker[device];
+    pt.pos.x += in.Step(step_limit);
+    pt.pos.y += in.Step(step_limit);
+    pt.t += in.Range(0.0, 2.0);
+    feed.push_back(bqs::FleetRecord{static_cast<bqs::DeviceId>(device), pt});
+  }
+
+  CollectingSink sink;
+  {
+    bqs::FleetEngine engine(options, sink);
+    std::size_t cursor = 0;
+    while (cursor < feed.size()) {
+      switch (in.IntIn(0, 7)) {
+        case 0: {  // single-record path
+          engine.Ingest(feed[cursor].device, feed[cursor].point);
+          ++cursor;
+          break;
+        }
+        case 1:
+          engine.Flush();
+          break;
+        case 2:
+          (void)engine.Stats();
+          break;
+        default: {  // batch of byte-chosen size
+          const std::size_t batch = static_cast<std::size_t>(
+              in.IntIn(1, static_cast<int>(options.block_capacity) * 2));
+          const std::size_t end =
+              cursor + batch < feed.size() ? cursor + batch : feed.size();
+          engine.IngestBatch(std::span<const bqs::FleetRecord>(
+              feed.data() + cursor, end - cursor));
+          cursor = end;
+          break;
+        }
+      }
+    }
+    engine.FinishAll();
+  }
+  const auto emitted = sink.take();
+
+  // Sequential reference: each device's records alone through CompressAll.
+  for (int device = 0; device < device_count; ++device) {
+    std::vector<bqs::TrackPoint> stream;
+    for (const bqs::FleetRecord& record : feed) {
+      if (record.device == static_cast<bqs::DeviceId>(device)) {
+        stream.push_back(record.point);
+      }
+    }
+    std::vector<bqs::KeyPoint> expected;
+    if (!stream.empty()) {
+      auto compressor = bqs::MakeStreamCompressor(options.algorithm);
+      expected = bqs::CompressAll(*compressor, stream).keys;
+    }
+    const auto it = emitted.find(static_cast<bqs::DeviceId>(device));
+    const std::vector<bqs::KeyPoint> empty;
+    const std::vector<bqs::KeyPoint>& actual =
+        it == emitted.end() ? empty : it->second;
+    if (!(actual == expected)) {
+      std::fprintf(stderr,
+                   "fleet mismatch: device=%d shards=%zu records=%zu "
+                   "stream=%zu actual_keys=%zu expected_keys=%zu\n",
+                   device, options.num_shards, feed.size(), stream.size(),
+                   actual.size(), expected.size());
+      std::abort();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Deterministic byte-stream reader shared by the fuzz harnesses.
+//
+// Every harness derives its entire behaviour — options, stream shape, op
+// sequence — from the input bytes through this reader, so a crashing
+// input is exactly reproducible from the corpus file alone. When the
+// bytes run out every primitive returns its zero value, which keeps
+// harness behaviour total (no input is rejected, short inputs just
+// exercise the defaults).
+#ifndef BQS_FUZZ_FUZZ_INPUT_H_
+#define BQS_FUZZ_FUZZ_INPUT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bqs_fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  uint8_t U8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  // Split into statements: the two reads must be sequenced (the order of
+  // operands of | is unspecified), or corpus files would replay
+  // differently across compilers.
+  uint16_t U16() {
+    const uint16_t hi = U8();
+    const uint16_t lo = U8();
+    return static_cast<uint16_t>(hi << 8 | lo);
+  }
+
+  uint32_t U32() {
+    const uint32_t hi = U16();
+    const uint32_t lo = U16();
+    return hi << 16 | lo;
+  }
+
+  bool Bool() { return (U8() & 1) != 0; }
+
+  /// Inclusive integer range; lo when the range is degenerate.
+  int IntIn(int lo, int hi) {
+    if (hi <= lo) return lo;
+    const uint32_t span = static_cast<uint32_t>(hi - lo) + 1;
+    return lo + static_cast<int>(U32() % span);
+  }
+
+  /// Uniform-ish double in [lo, hi] from 16 bits — coarse on purpose:
+  /// fuzzing wants coverage of regimes, not of mantissa bits, and the
+  /// coarse grid makes corpus files human-writable.
+  double Range(double lo, double hi) {
+    const double unit = static_cast<double>(U16()) / 65535.0;
+    return lo + (hi - lo) * unit;
+  }
+
+  /// Signed step in [-limit, limit] on a 1/256 grid.
+  double Step(double limit) { return Range(-limit, limit); }
+
+ private:
+  const uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bqs_fuzz
+
+#endif  // BQS_FUZZ_FUZZ_INPUT_H_

@@ -1,0 +1,130 @@
+// Differential fuzzer for the per-point bound kernel: BoundKernel::kFast
+// (the PR 4 transcendental-free kernel) must produce byte-identical key
+// points to BoundKernel::kReference (the seed's atan2/hypot path) for
+// every options combination and every input stream. The kernel's guard-
+// band fallback makes this an invariant, not a statistical property, so
+// any divergence is a bug — the harness aborts on the first mismatch.
+//
+// Input bytes drive: the options cube (epsilon, metric, rotation,
+// bounds mode, trivial-include ablation, resolver choice and threshold,
+// BQS vs FBQS) and a bounded random-walk stream (steps and time deltas).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/bqs_compressor.h"
+#include "core/fbqs_compressor.h"
+#include "core/options.h"
+#include "fuzz_input.h"
+#include "trajectory/compressor.h"
+#include "trajectory/point.h"
+
+namespace {
+
+using bqs_fuzz::FuzzInput;
+
+constexpr std::size_t kMaxPoints = 512;
+
+bqs::CompressedTrajectory RunOne(const bqs::BqsOptions& options,
+                                 bool use_fbqs,
+                                 const std::vector<bqs::TrackPoint>& points) {
+  if (use_fbqs) {
+    bqs::FbqsCompressor compressor(options);
+    return bqs::CompressAll(compressor, points);
+  }
+  bqs::BqsCompressor compressor(options);
+  return bqs::CompressAll(compressor, points);
+}
+
+void ReportMismatch(const bqs::BqsOptions& options, bool use_fbqs,
+                    const std::vector<bqs::TrackPoint>& points,
+                    const bqs::CompressedTrajectory& fast,
+                    const bqs::CompressedTrajectory& reference) {
+  std::fprintf(stderr,
+               "kernel mismatch: algo=%s eps=%.6f metric=%d rot=%d warmup=%d "
+               "trivial=%d bounds=%d resolver=%d threshold=%d points=%zu "
+               "fast_keys=%zu ref_keys=%zu\n",
+               use_fbqs ? "FBQS" : "BQS", options.epsilon,
+               static_cast<int>(options.metric),
+               options.data_centric_rotation ? 1 : 0, options.rotation_warmup,
+               options.paper_trivial_include ? 1 : 0,
+               static_cast<int>(options.bounds_mode),
+               static_cast<int>(options.exact_resolver),
+               options.adaptive_resolver_threshold, points.size(),
+               fast.keys.size(), reference.keys.size());
+  const std::size_t n = fast.keys.size() < reference.keys.size()
+                            ? fast.keys.size()
+                            : reference.keys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(fast.keys[i] == reference.keys[i])) {
+      std::fprintf(stderr,
+                   "  first divergence at key %zu: fast idx=%llu "
+                   "(%.9f, %.9f) vs ref idx=%llu (%.9f, %.9f)\n",
+                   i,
+                   static_cast<unsigned long long>(fast.keys[i].index),
+                   fast.keys[i].point.pos.x, fast.keys[i].point.pos.y,
+                   static_cast<unsigned long long>(reference.keys[i].index),
+                   reference.keys[i].point.pos.x,
+                   reference.keys[i].point.pos.y);
+      break;
+    }
+  }
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
+  FuzzInput in(data, size);
+
+  bqs::BqsOptions options;
+  options.epsilon = in.Range(0.25, 64.0);
+  options.metric = in.Bool() ? bqs::DistanceMetric::kPointToSegment
+                             : bqs::DistanceMetric::kPointToLine;
+  options.data_centric_rotation = in.Bool();
+  options.rotation_warmup = in.IntIn(1, bqs::BqsOptions::kMaxRotationWarmup);
+  options.paper_trivial_include = in.Bool();
+  options.bounds_mode =
+      in.Bool() ? bqs::BoundsMode::kPaperEq8 : bqs::BoundsMode::kSound;
+  switch (in.IntIn(0, 2)) {
+    case 0: options.exact_resolver = bqs::ExactResolver::kAdaptive; break;
+    case 1: options.exact_resolver = bqs::ExactResolver::kHull; break;
+    default: options.exact_resolver = bqs::ExactResolver::kBruteForce; break;
+  }
+  // Low thresholds on purpose: force the adaptive resolver across its
+  // brute-force -> hull migration inside short fuzz streams.
+  options.adaptive_resolver_threshold = in.IntIn(2, 64);
+  const bool use_fbqs = in.Bool();
+
+  // Bounded random walk: steps up to ~4x epsilon so streams mix trivially-
+  // included, prunable, and splitting points; occasional repeated or
+  // backward-in-time stamps probe the compressor's robustness too.
+  std::vector<bqs::TrackPoint> points;
+  bqs::TrackPoint current;
+  current.t = 0.0;
+  const double step_limit = options.epsilon * 4.0;
+  while (!in.empty() && points.size() < kMaxPoints) {
+    current.pos.x += in.Step(step_limit);
+    current.pos.y += in.Step(step_limit);
+    current.t += in.Range(0.0, 2.0);
+    current.velocity = {in.Step(16.0), in.Step(16.0)};
+    points.push_back(current);
+  }
+
+  bqs::BqsOptions fast_options = options;
+  fast_options.bound_kernel = bqs::BoundKernel::kFast;
+  bqs::BqsOptions reference_options = options;
+  reference_options.bound_kernel = bqs::BoundKernel::kReference;
+
+  const bqs::CompressedTrajectory fast =
+      RunOne(fast_options, use_fbqs, points);
+  const bqs::CompressedTrajectory reference =
+      RunOne(reference_options, use_fbqs, points);
+
+  if (!(fast.keys == reference.keys)) {
+    ReportMismatch(options, use_fbqs, points, fast, reference);
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Standalone replacement for libFuzzer's driver, used when the toolchain
+// has no -fsanitize=fuzzer (gcc). Replays corpus files and then feeds the
+// harness a bounded stream of seeded pseudo-random inputs, so the same
+// harness binaries run as ctest smoke suites on any compiler.
+//
+// CLI (libFuzzer-compatible subset): positional arguments are corpus
+// files or directories; -runs=N adds N random inputs; -seed=S seeds
+// them; -max_len=L bounds random input length. Unknown -flags are
+// ignored so libFuzzer invocations keep working unchanged.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<uint8_t> ReadFile(const fs::path& path) {
+  std::vector<uint8_t> bytes;
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "standalone_driver: cannot open %s\n",
+                 path.string().c_str());
+    std::exit(2);
+  }
+  uint8_t buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+/// splitmix64: tiny, seedable, good enough to diversify smoke inputs.
+uint64_t NextRandom(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 0;
+  uint64_t seed = 1;
+  std::size_t max_len = 512;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore other libFuzzer flags so shared invocations keep working.
+    } else {
+      inputs.push_back(fs::path(arg));
+    }
+  }
+
+  std::size_t replayed = 0;
+  for (const fs::path& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::directory_iterator(input)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      // Sort for run-to-run determinism; directory order is arbitrary.
+      std::sort(files.begin(), files.end());
+      for (const fs::path& file : files) {
+        const std::vector<uint8_t> bytes = ReadFile(file);
+        LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+        ++replayed;
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      const std::vector<uint8_t> bytes = ReadFile(input);
+      LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+      ++replayed;
+    } else {
+      std::fprintf(stderr, "standalone_driver: no such input: %s\n",
+                   input.string().c_str());
+      return 2;
+    }
+  }
+
+  uint64_t state = seed;
+  std::vector<uint8_t> random_input;
+  for (uint64_t run = 0; run < runs; ++run) {
+    const std::size_t length =
+        max_len == 0 ? 0 : static_cast<std::size_t>(NextRandom(state) %
+                                                    (max_len + 1));
+    random_input.resize(length);
+    for (std::size_t i = 0; i < length; i += 8) {
+      const uint64_t word = NextRandom(state);
+      for (std::size_t b = 0; b < 8 && i + b < length; ++b) {
+        random_input[i + b] = static_cast<uint8_t>(word >> (8 * b));
+      }
+    }
+    LLVMFuzzerTestOneInput(random_input.data(), random_input.size());
+  }
+
+  std::printf("standalone_driver: %zu corpus inputs + %llu random runs OK\n",
+              replayed, static_cast<unsigned long long>(runs));
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Clang Thread Safety Analysis annotations, plus the small capability
+// vocabulary the service layer is written in.
+//
+// The macros expand to clang's `capability`-family attributes when the
+// compiler supports them (clang with -Wthread-safety) and to nothing
+// everywhere else, so annotated code builds identically under gcc. CI
+// compiles the tree with clang and -Werror=thread-safety, turning the
+// service layer's ownership comments ("worker-owned, read by the caller
+// only after WaitIdle") into compile errors when violated.
+//
+// Two kinds of capability are used:
+//
+//  - Mutex / MutexLock: a std::mutex wrapped as a real CAPABILITY, with a
+//    SCOPED_CAPABILITY guard that exposes the underlying unique_lock so
+//    condition variables still work. Data a mutex protects is declared
+//    GUARDED_BY(mu_).
+//
+//  - ThreadRole: a zero-size capability that names a *thread ownership
+//    role* rather than a lock — "the single producer thread", "the shard
+//    worker (or the caller after WaitIdle proved the shard idle)". Code
+//    acquires a role not by locking but by being the right thread at the
+//    right point of the protocol; those trust points are spelled
+//    AssumeRole(role) (an ASSERT_CAPABILITY function) and are the only
+//    places the analysis takes on faith. Everything downstream —
+//    REQUIRES(role) functions, GUARDED_BY(role) members — is checked.
+#ifndef BQS_COMMON_THREAD_ANNOTATIONS_H_
+#define BQS_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define BQS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef BQS_THREAD_ANNOTATION
+#define BQS_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define CAPABILITY(x) BQS_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY BQS_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) BQS_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) BQS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define REQUIRES(...) \
+  BQS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  BQS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) BQS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) BQS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  BQS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) BQS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(...) \
+  BQS_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) BQS_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  BQS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bqs {
+
+/// std::mutex wrapped as an analyzable capability. The standard library's
+/// own mutex carries no annotations under libstdc++, so data guarded by a
+/// bare std::mutex is invisible to the analysis; this wrapper is the
+/// repo-standard replacement (the service-layer lint budgets naked
+/// std::mutex members for exactly that reason).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for condition_variable interop. Lock state changes
+  /// made through the native handle bypass the analysis; keep them inside
+  /// a MutexLock scope (condition_variable::wait unlocks and re-locks,
+  /// which is invisible but balanced, so the static state stays truthful).
+  std::mutex& native() RETURN_CAPABILITY(this) { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over Mutex, built on unique_lock so condition variables can
+/// wait on it: cv.wait(lock.native(), pred).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// A capability that names a thread ownership role instead of a lock: who
+/// may touch single-owner state, enforced statically. Roles are never
+/// "locked" — a thread holds one by protocol (it is the worker; it is the
+/// single producer; it called WaitIdle) — and the protocol's trust points
+/// are spelled AssumeRole(). Zero-size, zero-cost.
+class CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+};
+
+/// Declares that the calling context holds `role` by protocol. Each call
+/// site is a trust point of the ownership story — keep them rare and
+/// commented (worker loop entry, post-WaitIdle, inline mode's
+/// everything-on-one-thread shortcut).
+inline void AssumeRole(const ThreadRole& role) ASSERT_CAPABILITY(role) {
+  (void)role;
+}
+
+}  // namespace bqs
+
+#endif  // BQS_COMMON_THREAD_ANNOTATIONS_H_

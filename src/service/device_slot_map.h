@@ -13,7 +13,9 @@
 // device ever seen — a fraction of the session table's footprint), linear
 // probing over a power-of-two table with the same splitmix64 finalizer the
 // engine routes shards with, resize at ~70% load. Single-threaded by
-// design: it lives on whichever thread owns the router.
+// design: it lives on whichever thread owns the router — an ownership
+// encoded for Thread Safety Analysis as the `owner_role` capability every
+// accessor REQUIRES.
 #ifndef BQS_SERVICE_DEVICE_SLOT_MAP_H_
 #define BQS_SERVICE_DEVICE_SLOT_MAP_H_
 
@@ -21,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "trajectory/point.h"
 
 namespace bqs {
@@ -35,7 +38,7 @@ class DeviceSlotMap {
 
   /// The slot bound to `device` in the current window, or kAbsent (either
   /// never seen, or bound in an earlier — now stale — window).
-  uint32_t Lookup(DeviceId device) const {
+  uint32_t Lookup(DeviceId device) const REQUIRES(owner_role) {
     const std::size_t mask = entries_.size() - 1;
     std::size_t i = static_cast<std::size_t>(Mix(device)) & mask;
     while (entries_[i].epoch != 0) {
@@ -48,7 +51,7 @@ class DeviceSlotMap {
   }
 
   /// Binds `device` to `slot` for the current window (insert or restamp).
-  void Bind(DeviceId device, uint32_t slot) {
+  void Bind(DeviceId device, uint32_t slot) REQUIRES(owner_role) {
     const std::size_t mask = entries_.size() - 1;
     std::size_t i = static_cast<std::size_t>(Mix(device)) & mask;
     while (entries_[i].epoch != 0) {
@@ -65,11 +68,17 @@ class DeviceSlotMap {
   }
 
   /// Invalidates every binding in O(1). Entries persist for reuse.
-  void NewWindow() { ++epoch_; }
+  void NewWindow() REQUIRES(owner_role) { ++epoch_; }
 
   /// Distinct devices ever bound (table occupancy, not live bindings).
-  std::size_t devices_seen() const { return count_; }
-  std::size_t table_capacity() const { return entries_.size(); }
+  std::size_t devices_seen() const REQUIRES(owner_role) { return count_; }
+  std::size_t table_capacity() const REQUIRES(owner_role) {
+    return entries_.size();
+  }
+
+  /// Capability of the single thread that owns this table (the dispatching
+  /// thread: a shard worker, or the caller in inline mode).
+  ThreadRole owner_role;
 
  private:
   struct Entry {
@@ -92,7 +101,7 @@ class DeviceSlotMap {
     return p;
   }
 
-  void Grow() {
+  void Grow() REQUIRES(owner_role) {
     std::vector<Entry> old = std::move(entries_);
     entries_.assign(old.size() * 2, Entry{});
     const std::size_t mask = entries_.size() - 1;
@@ -104,9 +113,9 @@ class DeviceSlotMap {
     }
   }
 
-  std::vector<Entry> entries_;
-  std::size_t count_ = 0;
-  uint64_t epoch_ = 1;
+  std::vector<Entry> entries_ GUARDED_BY(owner_role);
+  std::size_t count_ GUARDED_BY(owner_role) = 0;
+  uint64_t epoch_ GUARDED_BY(owner_role) = 1;
 };
 
 }  // namespace bqs

@@ -1,17 +1,7 @@
 #include "service/fleet_engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <map>
-#include <mutex>
-#include <thread>
-#include <unordered_map>
 #include <utility>
-
-#include "service/device_slot_map.h"
-#include "service/record_block.h"
-#include "service/spsc_ring.h"
 
 namespace bqs {
 
@@ -43,99 +33,6 @@ void AccumulateDecisionStats(DecisionStats& into, const DecisionStats& s) {
   into.peak_exact_state = std::max(into.peak_exact_state, s.peak_exact_state);
   into.kernel_fallbacks += s.kernel_fallbacks;
 }
-
-/// One slot of a shard's ingest ring: either a sealed routing block or a
-/// finalization command, in submission order.
-struct FleetEngine::ShardCommand {
-  enum class Kind : uint8_t { kBlock, kFinishDevice, kFinishAll };
-  Kind kind = Kind::kBlock;
-  DeviceId device = 0;        ///< kFinishDevice target.
-  RecordBlock* block = nullptr;  ///< kBlock payload (arena-owned).
-};
-
-/// One live device stream.
-struct FleetEngine::Session {
-  std::unique_ptr<StreamCompressor> compressor;
-  uint64_t last_active = 0;        ///< Shard activity clock at last record.
-  double last_t = 0.0;             ///< Stream time of the last record.
-  std::size_t accounted_bytes = 0; ///< Current charge (eager mode only).
-};
-
-/// KeyPointSink forwarding to the FleetSink under the device id currently
-/// being processed; also counts emissions for FleetStats.
-class FleetEngine::ShardSink final : public KeyPointSink {
- public:
-  explicit ShardSink(FleetSink& fleet) : fleet_(fleet) {}
-  void set_device(DeviceId device) { device_ = device; }
-  uint64_t emitted() const { return emitted_; }
-  void Emit(const KeyPoint& key) override {
-    ++emitted_;
-    fleet_.OnKeyPoint(device_, key);
-  }
-
- private:
-  FleetSink& fleet_;
-  DeviceId device_ = 0;
-  uint64_t emitted_ = 0;
-};
-
-/// One shard: the producer-side routing state, the SPSC handoff, and the
-/// worker-owned session table.
-///
-/// Ownership and visibility rules, in lieu of a queue mutex:
-///  - Producer-side fields are touched only by the single API caller
-///    thread (the engine's single-producer contract).
-///  - Worker-owned fields are touched by the worker thread while it runs
-///    commands — or by the caller thread after WaitIdle() proved
-///    `completed == enqueued` (the seq_cst counter read gives the
-///    happens-before edge; the next ring Push publishes any caller writes
-///    back to the worker). In inline mode there is no worker and the
-///    caller owns everything.
-struct FleetEngine::Shard {
-  Shard(FleetSink& fleet, std::size_t block_capacity, std::size_t ring_depth)
-      : ring(ring_depth), arena(block_capacity, ring_depth), sink(fleet) {}
-
-  // --- producer-side (caller thread only) --------------------------------
-  RecordBlock* filling = nullptr;  ///< Partial block still accepting records.
-  uint64_t enqueued = 0;           ///< Commands successfully pushed.
-  uint64_t blocks_dispatched = 0;
-  std::size_t peak_depth = 0;      ///< Max ring occupancy seen at enqueue.
-
-  // --- handoff ------------------------------------------------------------
-  SpscRing<ShardCommand> ring;
-  BlockArena arena;  ///< Producer acquires, worker releases.
-
-  // --- idle protocol ------------------------------------------------------
-  std::atomic<uint64_t> completed{0};     ///< Commands fully processed.
-  std::atomic<bool> caller_waiting{false};
-  std::mutex idle_mu;
-  std::condition_variable cv_idle;
-  std::thread worker;
-
-  // --- grouped-dispatch state: owned by whichever thread dispatches (the
-  // worker when sharded, the caller in inline mode) ------------------------
-  DeviceSlotMap group_of_device;
-  std::vector<RouteGroup> groups;      ///< Slot-indexed pool, reused.
-  std::vector<uint32_t> used_groups;   ///< Slots active this window.
-  std::vector<TrackPoint> gather;      ///< PushRunTo fast-path scratch.
-
-  // --- worker-owned (see visibility rules above) --------------------------
-  std::unordered_map<DeviceId, Session> sessions;
-  std::vector<std::unique_ptr<StreamCompressor>> pool;
-  /// Eviction index: last_active -> device (last_active values are unique,
-  /// the activity clock is monotone). Maintained only under a memory
-  /// budget; gives O(log S) LRU eviction instead of an O(S) scan.
-  std::map<uint64_t, DeviceId> lru;
-  ShardSink sink;
-  std::vector<DeviceId> device_scratch;    ///< Bulk-close staging.
-  uint64_t activity_clock = 0;
-  double max_stream_t = 0.0;               ///< Newest record time seen.
-  bool has_stream_t = false;
-  std::size_t state_bytes = 0;             ///< Live-session total (eager) or
-                                           ///< last Stats() snapshot (lazy).
-  std::size_t pool_bytes = 0;              ///< Heap held by pooled units.
-  FleetStats counters;                     ///< Closed-session aggregates.
-};
 
 FleetEngine::FleetEngine(const FleetEngineOptions& options, FleetSink& sink)
     : options_(options), sink_(sink), factory_(options.algorithm) {
@@ -196,7 +93,10 @@ void FleetEngine::Seal(Shard& shard) {
 }
 
 void FleetEngine::SealAll() {
-  for (auto& shard : shards_) Seal(*shard);
+  for (auto& shard : shards_) {
+    AssumeProducer(*shard);  // single-producer API contract
+    Seal(*shard);
+  }
 }
 
 void FleetEngine::IngestBatch(std::span<const FleetRecord> records) {
@@ -213,6 +113,9 @@ void FleetEngine::IngestBatch(std::span<const FleetRecord> records) {
 }
 
 void FleetEngine::RouteSharded(std::span<const FleetRecord> records) {
+  // Single-producer API contract: this thread owns every shard's routing
+  // side (record->shard assignment is dynamic, so assert them all once).
+  for (auto& shard : shards_) AssumeProducer(*shard);
   const std::size_t cap = options_.block_capacity;
   for (const FleetRecord& record : records) {
     Shard& shard = *shards_[ShardOf(record.device)];
@@ -224,6 +127,9 @@ void FleetEngine::RouteSharded(std::span<const FleetRecord> records) {
 
 void FleetEngine::InlineDispatch(std::span<const FleetRecord> records) {
   Shard& shard = *shards_[0];
+  // Inline mode: no worker thread exists, so the caller holds both sides.
+  AssumeProducer(shard);
+  AssumeWorker(shard);
 
   // Staging-free fast path: a batch that is one single-device run (the
   // per-device upload shape) dispatches from the caller's buffer through
@@ -288,11 +194,13 @@ void FleetEngine::FinishDevice(DeviceId device) {
   if (!factory_.streaming()) return;  // no sessions can exist
   Shard& shard = *shards_[ShardOf(device)];
   if (inline_) {
+    AssumeWorker(shard);  // inline mode: the caller is the worker
     if (shard.sessions.contains(device)) {
       CloseSession(shard, device, SessionEndReason::kFinished);
     }
     return;
   }
+  AssumeProducer(shard);  // single-producer API contract
   // Pending records for the device must compress before the finish does.
   Seal(shard);
   ShardCommand cmd;
@@ -306,6 +214,7 @@ void FleetEngine::FinishAll() {
   SealAll();
   if (inline_) {
     Shard& shard = *shards_[0];
+    AssumeWorker(shard);  // inline mode: the caller is the worker
     shard.device_scratch.clear();
     for (const auto& [device, session] : shard.sessions) {
       (void)session;
@@ -317,6 +226,7 @@ void FleetEngine::FinishAll() {
     return;
   }
   for (auto& shard : shards_) {
+    AssumeProducer(*shard);  // single-producer API contract
     ShardCommand cmd;
     cmd.kind = ShardCommand::Kind::kFinishAll;
     Enqueue(*shard, cmd);
@@ -330,12 +240,12 @@ void FleetEngine::Flush() {
 }
 
 void FleetEngine::WaitIdle(Shard& shard) {
-  if (inline_) return;
+  if (inline_) return;  // the caller already holds the worker side
   const uint64_t target = shard.enqueued;
   if (shard.completed.load(std::memory_order_acquire) >= target) return;
-  std::unique_lock<std::mutex> lock(shard.idle_mu);
+  MutexLock lock(shard.idle_mu);
   shard.caller_waiting.store(true, std::memory_order_seq_cst);
-  shard.cv_idle.wait(lock, [&] {
+  shard.cv_idle.wait(lock.native(), [&] {
     return shard.completed.load(std::memory_order_seq_cst) >= target;
   });
   shard.caller_waiting.store(false, std::memory_order_relaxed);
@@ -347,7 +257,8 @@ FleetStats FleetEngine::Stats() {
   total.records_dropped = records_dropped_;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    WaitIdle(shard);
+    AssumeProducer(shard);  // single-producer API contract
+    WaitIdle(shard);        // grants shard.worker_role (idle protocol)
     // The shard is drained: the seq_cst completed==enqueued read makes the
     // worker's writes visible and — with the single-producer API keeping
     // new work out — exclusive to this thread until the next Enqueue.
@@ -396,6 +307,8 @@ FleetStats FleetEngine::Stats() {
 }
 
 void FleetEngine::WorkerLoop(Shard& shard) {
+  // This thread IS the shard's worker for the engine's whole lifetime.
+  AssumeWorker(shard);
   ShardCommand cmd;
   while (shard.ring.Pop(cmd)) {
     switch (cmd.kind) {
@@ -421,7 +334,7 @@ void FleetEngine::WorkerLoop(Shard& shard) {
     }
     shard.completed.fetch_add(1, std::memory_order_seq_cst);
     if (shard.caller_waiting.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lock(shard.idle_mu);
+      MutexLock lock(shard.idle_mu);
       shard.cv_idle.notify_all();
     }
   }

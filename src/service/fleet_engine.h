@@ -61,24 +61,49 @@
 // FleetSink methods are invoked from shard worker threads (from the caller
 // thread in inline mode): calls for one device are ordered, calls for
 // different devices may be concurrent.
+//
+// The contract is encoded for Clang Thread Safety Analysis (compiled with
+// -Werror=thread-safety in CI). Each Shard carries two ThreadRole
+// capabilities:
+//
+//  - `producer_role`: the single API-caller thread. Guards the routing
+//    state (partial block, enqueue counters) and is required by the ring
+//    push / arena acquire side.
+//  - `worker_role`: the shard's dispatching thread. Guards the session
+//    table, compressor pool, LRU, grouped-dispatch state and counters.
+//
+// The idle protocol is the interesting part: WaitIdle() is annotated
+// ASSERT_CAPABILITY(shard.worker_role), so the caller thread *gains* the
+// worker capability by draining the shard — exactly the protocol the
+// comments used to state ("worker-owned, read by Stats() only under the
+// idle+lock protocol"), now checked at compile time. The remaining trust
+// points (worker loop entry, inline mode's everything-on-one-thread
+// shortcut, the single-producer API contract itself) are the AssumeProducer
+// / AssumeWorker assertions in fleet_engine.cc.
 #ifndef BQS_SERVICE_FLEET_ENGINE_H_
 #define BQS_SERVICE_FLEET_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/decision_stats.h"
 #include "eval/algorithms.h"
+#include "service/device_slot_map.h"
+#include "service/record_block.h"
+#include "service/spsc_ring.h"
 #include "trajectory/compressor.h"
 #include "trajectory/point.h"
 
 namespace bqs {
-
-struct RecordBlock;  // service/record_block.h
-struct RouteGroup;   // service/record_block.h
 
 /// Why a device session was closed.
 enum class SessionEndReason {
@@ -253,37 +278,180 @@ class FleetEngine {
   std::size_t ShardOf(DeviceId device) const;
 
  private:
-  struct ShardCommand;
-  struct Session;
-  struct Shard;
-  class ShardSink;
+  /// One slot of a shard's ingest ring: either a sealed routing block or a
+  /// finalization command, in submission order.
+  struct ShardCommand {
+    enum class Kind : uint8_t { kBlock, kFinishDevice, kFinishAll };
+    Kind kind = Kind::kBlock;
+    DeviceId device = 0;           ///< kFinishDevice target.
+    RecordBlock* block = nullptr;  ///< kBlock payload (arena-owned).
+  };
 
-  void Enqueue(Shard& shard, ShardCommand cmd);
-  void Seal(Shard& shard);
+  /// One live device stream.
+  struct Session {
+    std::unique_ptr<StreamCompressor> compressor;
+    uint64_t last_active = 0;        ///< Shard activity clock at last record.
+    double last_t = 0.0;             ///< Stream time of the last record.
+    std::size_t accounted_bytes = 0; ///< Current charge (eager mode only).
+  };
+
+  /// KeyPointSink forwarding to the FleetSink under the device id currently
+  /// being processed; also counts emissions for FleetStats.
+  class ShardSink final : public KeyPointSink {
+   public:
+    explicit ShardSink(FleetSink& fleet) : fleet_(fleet) {}
+    void set_device(DeviceId device) { device_ = device; }
+    uint64_t emitted() const { return emitted_; }
+    void Emit(const KeyPoint& key) override {
+      ++emitted_;
+      fleet_.OnKeyPoint(device_, key);
+    }
+
+   private:
+    FleetSink& fleet_;
+    DeviceId device_ = 0;
+    uint64_t emitted_ = 0;
+  };
+
+  /// One shard: the producer-side routing state, the SPSC handoff, and the
+  /// worker-owned session table.
+  ///
+  /// Ownership and visibility rules, in lieu of a queue mutex — each rule
+  /// now a capability the analysis enforces:
+  ///  - producer_role-guarded fields are touched only by the single API
+  ///    caller thread (the engine's single-producer contract).
+  ///  - worker_role-guarded fields are touched by the worker thread while
+  ///    it runs commands — or by the caller thread after WaitIdle() proved
+  ///    `completed == enqueued` (the seq_cst counter read gives the
+  ///    happens-before edge; the next ring Push publishes any caller
+  ///    writes back to the worker). WaitIdle's ASSERT_CAPABILITY is that
+  ///    protocol, stated to the compiler. In inline mode there is no
+  ///    worker and the caller holds both roles.
+  struct Shard {
+    Shard(FleetSink& fleet, std::size_t block_capacity,
+          std::size_t ring_depth)
+        : ring(ring_depth), arena(block_capacity, ring_depth), sink(fleet) {}
+
+    /// Capability of the single API-caller (routing) thread.
+    ThreadRole producer_role;
+    /// Capability of the dispatching thread: the shard worker, or the
+    /// caller after WaitIdle / in inline mode.
+    ThreadRole worker_role;
+
+    // --- producer-side ------------------------------------------------------
+    /// Partial block still accepting records.
+    RecordBlock* filling GUARDED_BY(producer_role) = nullptr;
+    /// Commands successfully pushed.
+    uint64_t enqueued GUARDED_BY(producer_role) = 0;
+    uint64_t blocks_dispatched GUARDED_BY(producer_role) = 0;
+    /// Max ring occupancy seen at enqueue.
+    std::size_t peak_depth GUARDED_BY(producer_role) = 0;
+
+    // --- handoff ------------------------------------------------------------
+    SpscRing<ShardCommand> ring;
+    BlockArena arena;  ///< Producer acquires, worker releases.
+
+    // --- idle protocol ------------------------------------------------------
+    std::atomic<uint64_t> completed{0};  ///< Commands fully processed.
+    std::atomic<bool> caller_waiting{false};
+    Mutex idle_mu;
+    std::condition_variable cv_idle;
+    std::thread worker;
+
+    // --- grouped-dispatch state: owned by whichever thread dispatches (the
+    // worker when sharded, the caller in inline mode) ------------------------
+    DeviceSlotMap group_of_device;
+    /// Slot-indexed pool, reused.
+    std::vector<RouteGroup> groups GUARDED_BY(worker_role);
+    /// Slots active this window.
+    std::vector<uint32_t> used_groups GUARDED_BY(worker_role);
+    /// PushRunTo fast-path scratch.
+    std::vector<TrackPoint> gather GUARDED_BY(worker_role);
+
+    // --- worker-owned (see visibility rules above) --------------------------
+    std::unordered_map<DeviceId, Session> sessions GUARDED_BY(worker_role);
+    std::vector<std::unique_ptr<StreamCompressor>> pool
+        GUARDED_BY(worker_role);
+    /// Eviction index: last_active -> device (last_active values are
+    /// unique, the activity clock is monotone). Maintained only under a
+    /// memory budget; gives O(log S) LRU eviction instead of an O(S) scan.
+    std::map<uint64_t, DeviceId> lru GUARDED_BY(worker_role);
+    ShardSink sink GUARDED_BY(worker_role);
+    /// Bulk-close staging.
+    std::vector<DeviceId> device_scratch GUARDED_BY(worker_role);
+    uint64_t activity_clock GUARDED_BY(worker_role) = 0;
+    /// Newest record time seen.
+    double max_stream_t GUARDED_BY(worker_role) = 0.0;
+    bool has_stream_t GUARDED_BY(worker_role) = false;
+    /// Live-session total (eager) or last Stats() snapshot (lazy).
+    std::size_t state_bytes GUARDED_BY(worker_role) = 0;
+    /// Heap held by pooled units.
+    std::size_t pool_bytes GUARDED_BY(worker_role) = 0;
+    /// Closed-session aggregates.
+    FleetStats counters GUARDED_BY(worker_role);
+  };
+
+  /// Trust point: the calling thread is the engine's single producer (the
+  /// public-API contract), so it holds the shard's routing-side
+  /// capabilities. Zero-cost; exists for the analysis.
+  static void AssumeProducer(Shard& shard)
+      ASSERT_CAPABILITY(shard.producer_role)
+      ASSERT_CAPABILITY(shard.ring.producer_role)
+      ASSERT_CAPABILITY(shard.arena.producer_role) {
+    (void)shard;
+  }
+
+  /// Trust point: the calling thread is the shard's dispatching thread —
+  /// the worker loop, or the caller in inline mode (where there is no
+  /// worker at all). The third way to hold worker_role, draining the shard
+  /// first, is earned through WaitIdle(), not assumed.
+  static void AssumeWorker(Shard& shard)
+      ASSERT_CAPABILITY(shard.worker_role)
+      ASSERT_CAPABILITY(shard.ring.consumer_role)
+      ASSERT_CAPABILITY(shard.arena.consumer_role)
+      ASSERT_CAPABILITY(shard.group_of_device.owner_role) {
+    (void)shard;
+  }
+
+  void Enqueue(Shard& shard, ShardCommand cmd)
+      REQUIRES(shard.producer_role, shard.ring.producer_role);
+  void Seal(Shard& shard)
+      REQUIRES(shard.producer_role, shard.ring.producer_role);
   void SealAll();
-  void WaitIdle(Shard& shard);
+  /// Blocks until the shard has processed every enqueued command. The
+  /// ASSERT_CAPABILITY is the idle protocol: a drained shard's worker is
+  /// parked on an empty ring, so the caller thread owns the worker-side
+  /// state until its next Enqueue.
+  void WaitIdle(Shard& shard) ASSERT_CAPABILITY(shard.worker_role);
   void WorkerLoop(Shard& shard);
   void RouteSharded(std::span<const FleetRecord> records);
   void InlineDispatch(std::span<const FleetRecord> records);
-  void FlushInlineGroups(Shard& shard);
+  void FlushInlineGroups(Shard& shard)
+      REQUIRES(shard.worker_role, shard.group_of_device.owner_role);
   /// The device's accumulation group for the current window (creating and
   /// binding a pooled slot on first sight).
-  RouteGroup* GroupFor(Shard& shard, DeviceId device);
+  RouteGroup* GroupFor(Shard& shard, DeviceId device)
+      REQUIRES(shard.worker_role, shard.group_of_device.owner_role);
   /// Dispatches every active group in first-seen order, then opens a new
   /// window.
-  void DispatchGroups(Shard& shard);
-  void ProcessBlock(Shard& shard, const RecordBlock& block);
+  void DispatchGroups(Shard& shard)
+      REQUIRES(shard.worker_role, shard.group_of_device.owner_role);
+  void ProcessBlock(Shard& shard, const RecordBlock& block)
+      REQUIRES(shard.worker_role, shard.group_of_device.owner_role);
   void DispatchRun(Shard& shard, DeviceId device,
-                   std::span<const TrackPoint> points);
-  Session& SessionFor(Shard& shard, DeviceId device);
+                   std::span<const TrackPoint> points)
+      REQUIRES(shard.worker_role);
+  Session& SessionFor(Shard& shard, DeviceId device)
+      REQUIRES(shard.worker_role);
   /// Post-run session bookkeeping: activity clock / LRU / stream time /
   /// eager accounting, each only when the configured feature needs it.
   void AfterRun(Shard& shard, Session& session, DeviceId device,
-                double last_t);
-  void NoteStreamTime(Shard& shard, double t);
-  void CloseSession(Shard& shard, DeviceId device, SessionEndReason reason);
-  void EnforceBudget(Shard& shard);
-  void CloseIdleSessions(Shard& shard);
+                double last_t) REQUIRES(shard.worker_role);
+  void NoteStreamTime(Shard& shard, double t) REQUIRES(shard.worker_role);
+  void CloseSession(Shard& shard, DeviceId device, SessionEndReason reason)
+      REQUIRES(shard.worker_role);
+  void EnforceBudget(Shard& shard) REQUIRES(shard.worker_role);
+  void CloseIdleSessions(Shard& shard) REQUIRES(shard.worker_role);
 
   FleetEngineOptions options_;
   FleetSink& sink_;

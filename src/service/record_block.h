@@ -21,6 +21,8 @@
 // Acquire/metrics, one consumer thread calls Release. A block is owned by
 // exactly one side at a time — producer while filling, consumer after it
 // was enqueued — with the ingest ring providing the happens-before edge.
+// The side split is encoded for Thread Safety Analysis: Acquire and the
+// counters REQUIRE `producer_role`, Release REQUIRES `consumer_role`.
 #ifndef BQS_SERVICE_RECORD_BLOCK_H_
 #define BQS_SERVICE_RECORD_BLOCK_H_
 
@@ -29,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "service/spsc_ring.h"
 #include "trajectory/point.h"
 
@@ -92,7 +95,12 @@ class BlockArena {
 
   /// Producer: a cleared block ready to fill — recycled when one is
   /// available, freshly allocated otherwise.
-  RecordBlock* Acquire() {
+  RecordBlock* Acquire() REQUIRES(producer_role) {
+    // The arena's producer is, by construction, the recycle ring's
+    // consumer (blocks travel worker -> producer): holding producer_role
+    // IS holding recycle_.consumer_role. The alias is asserted, not
+    // derived — this is the one trust point of the reversed-ring design.
+    AssumeRole(recycle_.consumer_role);
     RecordBlock* block = nullptr;
     if (recycle_.TryPop(block)) {
       ++recycled_;
@@ -109,7 +117,10 @@ class BlockArena {
   /// release, so a stale handle held past this point reads as empty rather
   /// than replaying old records — the cheap poisoning the recycle tests
   /// lock in.
-  void Release(RecordBlock* block) {
+  void Release(RecordBlock* block) REQUIRES(consumer_role) {
+    // Mirror of the Acquire alias: the arena's consumer is the recycle
+    // ring's producer.
+    AssumeRole(recycle_.producer_role);
     block->Clear();
     // By the sizing argument above TryPush cannot fail; if a miscounted
     // caller ever overflows the ring anyway, the block simply retires
@@ -118,19 +129,24 @@ class BlockArena {
   }
 
   /// Blocks ever allocated fresh (producer-side counter).
-  uint64_t allocated() const { return allocated_; }
+  uint64_t allocated() const REQUIRES(producer_role) { return allocated_; }
   /// Acquire() calls served from the recycle ring (producer-side counter).
-  uint64_t recycled() const { return recycled_; }
+  uint64_t recycled() const REQUIRES(producer_role) { return recycled_; }
+
+  /// Capability of the single thread that fills blocks (Acquire/counters).
+  ThreadRole producer_role;
+  /// Capability of the single thread that processes and returns blocks.
+  ThreadRole consumer_role;
 
  private:
   const std::size_t block_capacity_;
   /// All blocks ever created, in creation order; gives every block exactly
   /// one owner for destruction regardless of where its raw pointer sits.
   /// Producer-side only (Acquire appends, Release never touches it).
-  std::vector<std::unique_ptr<RecordBlock>> owned_;
+  std::vector<std::unique_ptr<RecordBlock>> owned_ GUARDED_BY(producer_role);
   SpscRing<RecordBlock*> recycle_;
-  uint64_t allocated_ = 0;
-  uint64_t recycled_ = 0;
+  uint64_t allocated_ GUARDED_BY(producer_role) = 0;
+  uint64_t recycled_ GUARDED_BY(producer_role) = 0;
 };
 
 }  // namespace bqs

@@ -22,7 +22,11 @@
 //    mutex, closing the remaining predicate-to-block window.
 //
 // Threading contract: exactly one producer thread may call Push/TryPush
-// and exactly one consumer thread may call Pop/TryPop. Stop() may be
+// and exactly one consumer thread may call Pop/TryPop. The contract is
+// encoded for Clang Thread Safety Analysis: Push-side entry points REQUIRE
+// the `producer_role` capability and Pop-side entry points the
+// `consumer_role`; the owning threads assert their role once (AssumeRole)
+// and the analysis rejects any call path that crosses sides. Stop() may be
 // called from any thread (FleetEngine calls it from the destructor).
 // size() is an approximation when read from other threads.
 #ifndef BQS_SERVICE_SPSC_RING_H_
@@ -32,9 +36,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace bqs {
 
@@ -64,13 +69,13 @@ class SpscRing {
 
   /// Producer: enqueue, blocking while the ring is full (backpressure).
   /// Returns false — with `item` dropped — only if the ring was stopped.
-  bool Push(T item) {
+  bool Push(T item) REQUIRES(producer_role) {
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_.load(std::memory_order_acquire) >= capacity_) {
       producer_waits_.fetch_add(1, std::memory_order_relaxed);
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       producer_asleep_.store(true, std::memory_order_seq_cst);
-      cv_producer_.wait(lock, [&] {
+      cv_producer_.wait(lock.native(), [&] {
         return stop_.load(std::memory_order_relaxed) ||
                tail - head_.load(std::memory_order_seq_cst) < capacity_;
       });
@@ -83,14 +88,14 @@ class SpscRing {
     slots_[static_cast<std::size_t>(tail % capacity_)] = std::move(item);
     tail_.store(tail + 1, std::memory_order_seq_cst);
     if (consumer_asleep_.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       cv_consumer_.notify_one();
     }
     return true;
   }
 
   /// Producer: non-blocking enqueue. False when full or stopped.
-  bool TryPush(T item) {
+  bool TryPush(T item) REQUIRES(producer_role) {
     if (stop_.load(std::memory_order_relaxed)) return false;
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_.load(std::memory_order_acquire) >= capacity_) {
@@ -99,7 +104,7 @@ class SpscRing {
     slots_[static_cast<std::size_t>(tail % capacity_)] = std::move(item);
     tail_.store(tail + 1, std::memory_order_seq_cst);
     if (consumer_asleep_.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       cv_consumer_.notify_one();
     }
     return true;
@@ -108,13 +113,13 @@ class SpscRing {
   /// Consumer: dequeue, blocking while the ring is empty. After Stop() the
   /// remaining items still drain in order; returns false once stopped AND
   /// empty (the worker-thread exit condition).
-  bool Pop(T& out) {
+  bool Pop(T& out) REQUIRES(consumer_role) {
     const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_.load(std::memory_order_acquire)) {
       consumer_waits_.fetch_add(1, std::memory_order_relaxed);
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       consumer_asleep_.store(true, std::memory_order_seq_cst);
-      cv_consumer_.wait(lock, [&] {
+      cv_consumer_.wait(lock.native(), [&] {
         return stop_.load(std::memory_order_relaxed) ||
                head != tail_.load(std::memory_order_seq_cst);
       });
@@ -126,20 +131,20 @@ class SpscRing {
     out = std::move(slots_[static_cast<std::size_t>(head % capacity_)]);
     head_.store(head + 1, std::memory_order_seq_cst);
     if (producer_asleep_.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       cv_producer_.notify_one();
     }
     return true;
   }
 
   /// Consumer: non-blocking dequeue. False when empty.
-  bool TryPop(T& out) {
+  bool TryPop(T& out) REQUIRES(consumer_role) {
     const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_.load(std::memory_order_acquire)) return false;
     out = std::move(slots_[static_cast<std::size_t>(head % capacity_)]);
     head_.store(head + 1, std::memory_order_seq_cst);
     if (producer_asleep_.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       cv_producer_.notify_one();
     }
     return true;
@@ -148,7 +153,7 @@ class SpscRing {
   /// Wakes both sides. A blocked Push returns false (its item is dropped);
   /// Pop keeps returning queued items until the ring is drained.
   void Stop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_.store(true, std::memory_order_seq_cst);
     cv_consumer_.notify_all();
     cv_producer_.notify_all();
@@ -166,8 +171,19 @@ class SpscRing {
     return producer_waits_.load(std::memory_order_relaxed);
   }
 
+  /// Capability held by the single thread allowed to Push/TryPush. Held by
+  /// protocol (being that thread), asserted via AssumeRole at the owner's
+  /// trust point, never locked.
+  ThreadRole producer_role;
+  /// Capability held by the single thread allowed to Pop/TryPop.
+  ThreadRole consumer_role;
+
  private:
   const std::size_t capacity_;
+  /// Slot i is written by the producer before the tail_ release-store and
+  /// read by the consumer after the matching acquire-load; that per-slot
+  /// handoff is the SPSC invariant itself, finer-grained than a capability
+  /// can express, so slots_ carries no GUARDED_BY.
   std::vector<T> slots_;
   std::atomic<uint64_t> head_{0};  ///< Next slot to pop (consumer-owned).
   std::atomic<uint64_t> tail_{0};  ///< Next slot to fill (producer-owned).
@@ -176,7 +192,9 @@ class SpscRing {
   std::atomic<bool> producer_asleep_{false};
   std::atomic<uint64_t> consumer_waits_{0};
   std::atomic<uint64_t> producer_waits_{0};
-  std::mutex mu_;
+  /// Serializes only the sleep/wake handshake; every shared field is an
+  /// atomic, so nothing is GUARDED_BY it.
+  Mutex mu_;
   std::condition_variable cv_consumer_;
   std::condition_variable cv_producer_;
 };

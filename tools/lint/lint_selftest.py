@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Self-test for repo_lint.py.
+
+Builds throwaway mini source trees, seeds violations of each rule, and
+asserts the linter (a) flags them with the right rule tag and exit code
+1, (b) passes the corresponding clean variants with exit code 0, and
+(c) rejects malformed config with exit code 2. This runs as a ctest
+suite so the lint gate can never silently become a no-op: if a rule
+stops firing, this test fails before the rule's absence can hide a real
+regression.
+"""
+
+import io
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import repo_lint  # noqa: E402
+
+
+CLEAN_CORE = """\
+#include "core/bounds.h"
+#include "trajectory/point.h"
+
+namespace bqs {
+double Accounted(double y, double x) {
+  ops::CountAtan2();
+  return std::atan2(y, x);
+}
+}  // namespace bqs
+"""
+
+CLEAN_SERVICE = """\
+#include "service/spsc_ring.h"
+#include "eval/runner.h"
+
+namespace bqs {
+void Pump() {}
+}  // namespace bqs
+"""
+
+
+class LintHarness(unittest.TestCase):
+    def setUp(self):
+        self.root = tempfile.mkdtemp(prefix="bqs_lint_selftest_")
+        self.addCleanup(shutil.rmtree, self.root)
+        self.allowlist = self._config("allow.txt", "")
+        self.budget = self._config(
+            "budget.txt", "src/service/* std::mutex 0\n")
+
+    def _config(self, name, content):
+        path = os.path.join(self.root, name)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        return path
+
+    def write(self, relpath, content):
+        full = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def lint(self):
+        out = io.StringIO()
+        code = repo_lint.run(self.root, self.allowlist, self.budget, out=out)
+        return code, out.getvalue()
+
+    # -- baseline ----------------------------------------------------------
+
+    def test_clean_tree_passes(self):
+        self.write("src/core/bounds.cc", CLEAN_CORE)
+        self.write("src/service/fleet.cc", CLEAN_SERVICE)
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+        self.assertIn("clean", out)
+
+    def test_empty_tree_is_config_error(self):
+        code, out = self.lint()
+        self.assertEqual(code, 2, out)
+
+    # -- hot-path-transcendental ------------------------------------------
+
+    def test_unaccounted_transcendental_fails(self):
+        self.write("src/core/bounds.cc",
+                   "double f(double x) { return std::sqrt(x); }\n")
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("hot-path-transcendental", out)
+        self.assertIn("src/core/bounds.cc:1", out)
+
+    def test_counted_transcendental_passes(self):
+        self.write("src/core/bounds.cc",
+                   "double f(double x) {\n"
+                   "  ops::CountSqrt();\n"
+                   "  return std::sqrt(x);\n"
+                   "}\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    def test_counter_outside_window_fails(self):
+        filler = "  int a = 0;\n" * (repo_lint.OP_COUNTER_WINDOW + 1)
+        self.write("src/core/bounds.cc",
+                   "double f(double x) {\n"
+                   "  ops::CountSqrt();\n" + filler +
+                   "  return std::sqrt(x);\n"
+                   "}\n")
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+
+    def test_allowlisted_transcendental_passes(self):
+        self.write("src/core/bounds.cc",
+                   "double f(double x) { return std::sqrt(x); }\n")
+        self.allowlist = self._config(
+            "allow2.txt", "src/core/bounds.cc std::sqrt\\(x\\)\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    def test_allowlist_is_per_file(self):
+        self.write("src/core/other.cc",
+                   "double f(double x) { return std::sqrt(x); }\n")
+        self.allowlist = self._config(
+            "allow3.txt", "src/core/bounds.cc std::sqrt\\(x\\)\n")
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+
+    def test_comments_and_strings_ignored(self):
+        self.write("src/core/bounds.cc",
+                   "// std::sqrt(x) in a comment\n"
+                   "/* std::atan2(y, x) in a block */\n"
+                   'const char* s = "std::sin(x)";\n')
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    def test_cold_layer_not_scanned(self):
+        self.write("src/core/ok.cc", "int x = 0;\n")
+        self.write("src/geo/geodesy.cc",
+                   "double f(double x) { return std::sqrt(x); }\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    # -- service-alloc-budget ---------------------------------------------
+
+    def test_service_mutex_fails_at_zero_budget(self):
+        self.write("src/service/fleet.cc",
+                   "#include <mutex>\nstd::mutex mu;\n")
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("service-alloc-budget", out)
+        self.assertIn("std::mutex", out)
+
+    def test_service_mutex_passes_with_raised_budget(self):
+        self.write("src/service/fleet.cc",
+                   "#include <mutex>\nstd::mutex mu;\n")
+        self.budget = self._config(
+            "budget2.txt", "src/service/* std::mutex 1\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    def test_naked_new_fails(self):
+        self.write("src/service/fleet.cc", "int* p = new int(3);\n")
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("'new'", out)
+
+    def test_new_substring_does_not_trip(self):
+        self.write("src/service/fleet.cc",
+                   "void NewWindow();\nint renewal = 0;\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    def test_budget_only_applies_to_service(self):
+        self.write("src/eval/runner.cc", "int* p = new int(3);\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    # -- include-hygiene ---------------------------------------------------
+
+    def test_layer_inversion_fails(self):
+        self.write("src/geometry/vec.cc", '#include "core/bounds.h"\n')
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("include-hygiene", out)
+        self.assertIn("'geometry' may not include layer 'core'", out)
+
+    def test_downward_include_passes(self):
+        self.write("src/service/fleet.cc", '#include "eval/runner.h"\n'
+                                           '#include "common/status.h"\n')
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    def test_sibling_include_fails(self):
+        self.write("src/baselines/dp.cc", '#include "simulation/vehicle.h"\n')
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+
+    def test_system_includes_ignored(self):
+        self.write("src/common/status.cc",
+                   "#include <vector>\n#include <mutex>\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    # -- config parsing ----------------------------------------------------
+
+    def test_malformed_allowlist_is_exit_2(self):
+        self.write("src/core/ok.cc", "int x = 0;\n")
+        self.allowlist = self._config("bad.txt", "only-one-field\n")
+        code, out = self.lint()
+        self.assertEqual(code, 2, out)
+        self.assertIn("config error", out)
+
+    def test_bad_allowlist_regex_is_exit_2(self):
+        self.write("src/core/ok.cc", "int x = 0;\n")
+        self.allowlist = self._config("bad2.txt", "src/core/ok.cc ([bad\n")
+        code, out = self.lint()
+        self.assertEqual(code, 2, out)
+
+    def test_unknown_budget_token_is_exit_2(self):
+        self.write("src/core/ok.cc", "int x = 0;\n")
+        self.budget = self._config("bad3.txt", "src/service/* calloc 0\n")
+        code, out = self.lint()
+        self.assertEqual(code, 2, out)
+
+    def test_comments_allowed_in_config(self):
+        self.write("src/core/ok.cc", "int x = 0;\n")
+        self.allowlist = self._config(
+            "ok.txt", "# a comment\n\nsrc/core/ok.cc whatever\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    # -- the real repo -----------------------------------------------------
+
+    def test_real_repo_is_clean_with_committed_config(self):
+        here = os.path.dirname(os.path.abspath(__file__))
+        repo_root = os.path.dirname(os.path.dirname(here))
+        out = io.StringIO()
+        code = repo_lint.run(
+            repo_root,
+            os.path.join(here, "transcendental_allowlist.txt"),
+            os.path.join(here, "service_alloc_budget.txt"),
+            out=out)
+        self.assertEqual(code, 0, out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

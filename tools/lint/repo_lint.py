@@ -1,0 +1,380 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the BQS codebase.
+
+Three rules, all cheap textual checks that encode invariants the compiler
+cannot see:
+
+  hot-path-transcendental
+      The PR 4 kernel made the steady-state decision path transcendental-
+      free; every remaining atan2/sqrt/sin/cos/fmod in a hot-path TU must
+      be *accounted* — either an ``ops::Count*`` call appears within the
+      three preceding lines (the op-counter idiom used throughout
+      src/core), or the site is listed in transcendental_allowlist.txt
+      with a justification. A new unaccounted call is exactly the kind of
+      silent regression the paper's O(1)-per-point claim forbids.
+
+  service-alloc-budget
+      src/service steady-state code pools everything (BlockArena,
+      session pool, SpscRing) and synchronises through the annotated
+      Mutex wrapper. Naked ``new`` / ``malloc`` / ``std::mutex`` tokens
+      are budgeted per file in service_alloc_budget.txt (today: zero).
+      Raising a budget is allowed but must be done consciously, in the
+      committed budget file, where a reviewer sees it.
+
+  include-hygiene
+      Quoted includes must follow the layer DAG that CMake encodes as
+      target link dependencies. A lower layer including a higher one
+      (e.g. geometry -> core) compiles fine — include paths are flat —
+      but inverts the architecture; this rule catches it at lint time.
+
+Exit codes: 0 clean, 1 violations found, 2 configuration/usage error.
+"""
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Rule configuration
+# ---------------------------------------------------------------------------
+
+# TUs on the per-point decision path. src/geometry/angle.cc is included
+# because NormalizeAngle* sits under the quadrant maintenance path.
+HOT_PATH_GLOBS = (
+    "src/core/*.cc",
+    "src/core/*.h",
+    "src/service/*.cc",
+    "src/service/*.h",
+    "src/geometry/angle.cc",
+)
+
+TRANSCENDENTAL_RE = re.compile(
+    r"\b(?:std::)?(?:atan2|sqrt|fmod|sin|cos|sinh|cosh|tan|asin|acos|atan|hypot|pow|exp|log)f?\s*\("
+)
+
+# An ops::Count* call on the same line or within this many preceding lines
+# marks a transcendental site as accounted.
+OP_COUNTER_RE = re.compile(r"\bops::Count\w*\s*\(")
+OP_COUNTER_WINDOW = 3
+
+# Layer DAG, mirroring the bqs_add_layer DEPS edges in CMakeLists.txt.
+# Each entry lists the layers whose headers that layer may include.
+LAYER_DEPS = {
+    "common": set(),
+    "geometry": {"common"},
+    "geo": {"geometry"},
+    "trajectory": {"geo"},
+    "core": {"trajectory"},
+    "baselines": {"trajectory"},
+    "simulation": {"trajectory"},
+    "storage": {"baselines"},
+    "eval": {"core", "baselines", "simulation"},
+    "service": {"eval"},
+}
+
+# Tokens budgeted by service_alloc_budget.txt. Order matters only for
+# stable output. ``new`` is matched as a whole word so NewWindow/renew
+# never trip it.
+BUDGET_TOKENS = {
+    "new": re.compile(r"\bnew\b"),
+    "malloc": re.compile(r"\bmalloc\s*\("),
+    "std::mutex": re.compile(r"\bstd::mutex\b"),
+}
+
+SOURCE_EXTENSIONS = (".h", ".cc")
+
+
+def layer_closure():
+    """Transitive closure of LAYER_DEPS: layer -> set of includable layers."""
+    closure = {}
+
+    def visit(layer):
+        if layer in closure:
+            return closure[layer]
+        allowed = {layer}
+        for dep in LAYER_DEPS[layer]:
+            allowed |= visit(dep)
+        closure[layer] = allowed
+        return allowed
+
+    for layer in LAYER_DEPS:
+        visit(layer)
+    return closure
+
+
+# ---------------------------------------------------------------------------
+# Source model
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text):
+    """Returns text with comments and string/char literals blanked out.
+
+    Line structure is preserved (newlines kept) so line numbers still
+    line up. A small state machine is plenty for this codebase; raw
+    strings are not used anywhere in src/.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    def __init__(self, root, relpath):
+        self.relpath = relpath
+        with open(os.path.join(root, relpath), encoding="utf-8") as f:
+            self.raw = f.read()
+        self.raw_lines = self.raw.splitlines()
+        self.code_lines = strip_comments_and_strings(self.raw).splitlines()
+
+
+def find_sources(root, subdir="src"):
+    result = []
+    top = os.path.join(root, subdir)
+    for dirpath, _, filenames in os.walk(top):
+        for name in sorted(filenames):
+            if name.endswith(SOURCE_EXTENSIONS):
+                full = os.path.join(dirpath, name)
+                result.append(os.path.relpath(full, root).replace(os.sep, "/"))
+    return sorted(result)
+
+
+# ---------------------------------------------------------------------------
+# Config files
+# ---------------------------------------------------------------------------
+
+
+class ConfigError(Exception):
+    pass
+
+
+def load_allowlist(path):
+    """Allowlist lines: ``<relpath> <regex>`` (regex matched against the
+    raw source line). ``#`` comments and blank lines are skipped."""
+    entries = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                raise ConfigError(
+                    f"{path}:{lineno}: expected '<relpath> <regex>'")
+            relpath, pattern = parts
+            try:
+                entries.append((relpath, re.compile(pattern)))
+            except re.error as err:
+                raise ConfigError(f"{path}:{lineno}: bad regex: {err}")
+    return entries
+
+
+def load_budgets(path):
+    """Budget lines: ``<relpath-glob> <token> <max>``."""
+    entries = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ConfigError(
+                    f"{path}:{lineno}: expected '<glob> <token> <max>'")
+            glob, token, budget = parts
+            if token not in BUDGET_TOKENS:
+                raise ConfigError(
+                    f"{path}:{lineno}: unknown token '{token}' "
+                    f"(known: {', '.join(sorted(BUDGET_TOKENS))})")
+            try:
+                entries.append((glob, token, int(budget)))
+            except ValueError:
+                raise ConfigError(f"{path}:{lineno}: budget must be an int")
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+def check_transcendentals(files, allowlist, violations):
+    hot = [f for f in files
+           if any(fnmatch.fnmatch(f.relpath, g) for g in HOT_PATH_GLOBS)]
+    for src in hot:
+        applicable = [rx for (rel, rx) in allowlist if rel == src.relpath]
+        for idx, code in enumerate(src.code_lines):
+            if not TRANSCENDENTAL_RE.search(code):
+                continue
+            window = src.code_lines[max(0, idx - OP_COUNTER_WINDOW):idx + 1]
+            if any(OP_COUNTER_RE.search(w) for w in window):
+                continue  # accounted by an adjacent op counter
+            raw = src.raw_lines[idx] if idx < len(src.raw_lines) else code
+            if any(rx.search(raw) for rx in applicable):
+                continue  # explicitly allowlisted
+            violations.append(
+                ("hot-path-transcendental", src.relpath, idx + 1,
+                 f"unaccounted transcendental call: '{raw.strip()}' — add an "
+                 f"ops::Count* call within {OP_COUNTER_WINDOW} lines above, "
+                 f"or justify it in tools/lint/transcendental_allowlist.txt"))
+
+
+def check_service_budgets(files, budgets, violations):
+    service = [f for f in files if f.relpath.startswith("src/service/")]
+    for src in service:
+        counts = {}
+        first_line = {}
+        for idx, code in enumerate(src.code_lines):
+            for token, rx in BUDGET_TOKENS.items():
+                hits = len(rx.findall(code))
+                if hits:
+                    counts[token] = counts.get(token, 0) + hits
+                    first_line.setdefault(token, idx + 1)
+        for token, count in sorted(counts.items()):
+            budget = 0
+            for glob, btoken, bmax in budgets:
+                if btoken == token and fnmatch.fnmatch(src.relpath, glob):
+                    budget = max(budget, bmax)
+            if count > budget:
+                violations.append(
+                    ("service-alloc-budget", src.relpath, first_line[token],
+                     f"{count} '{token}' token(s), budget is {budget} — "
+                     f"pool the allocation / use bqs::Mutex, or raise the "
+                     f"budget in tools/lint/service_alloc_budget.txt"))
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def check_include_hygiene(files, violations):
+    closure = layer_closure()
+    for src in files:
+        parts = src.relpath.split("/")
+        if len(parts) < 3 or parts[0] != "src":
+            continue
+        layer = parts[1]
+        if layer not in closure:
+            violations.append(
+                ("include-hygiene", src.relpath, 1,
+                 f"unknown layer '{layer}' — add it to LAYER_DEPS in "
+                 f"tools/lint/repo_lint.py"))
+            continue
+        allowed = closure[layer]
+        # Raw lines: the comment/string stripper blanks the quoted path.
+        for idx, code in enumerate(src.raw_lines):
+            m = INCLUDE_RE.match(code)
+            if not m:
+                continue
+            target = m.group(1).split("/")[0]
+            if target in LAYER_DEPS and target not in allowed:
+                violations.append(
+                    ("include-hygiene", src.relpath, idx + 1,
+                     f"layer '{layer}' may not include layer '{target}' "
+                     f"(allowed: {', '.join(sorted(allowed))}) — the layer "
+                     f"DAG mirrors the CMake link graph"))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run(root, allowlist_path, budget_path, out=sys.stdout):
+    try:
+        allowlist = load_allowlist(allowlist_path)
+        budgets = load_budgets(budget_path)
+    except (ConfigError, OSError) as err:
+        print(f"repo_lint: config error: {err}", file=out)
+        return 2
+
+    relpaths = find_sources(root)
+    if not relpaths:
+        print(f"repo_lint: config error: no sources under {root}/src",
+              file=out)
+        return 2
+    files = [SourceFile(root, rel) for rel in relpaths]
+
+    violations = []
+    check_transcendentals(files, allowlist, violations)
+    check_service_budgets(files, budgets, violations)
+    check_include_hygiene(files, violations)
+
+    for rule, relpath, line, message in violations:
+        print(f"{relpath}:{line}: [{rule}] {message}", file=out)
+    if violations:
+        print(f"repo_lint: {len(violations)} violation(s) in "
+              f"{len(files)} files", file=out)
+        return 1
+    print(f"repo_lint: clean ({len(files)} files checked)", file=out)
+    return 0
+
+
+def main(argv=None):
+    here = os.path.dirname(os.path.abspath(__file__))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", required=True,
+                        help="repository root (directory containing src/)")
+    parser.add_argument("--allowlist",
+                        default=os.path.join(here,
+                                             "transcendental_allowlist.txt"))
+    parser.add_argument("--budget",
+                        default=os.path.join(here, "service_alloc_budget.txt"))
+    args = parser.parse_args(argv)
+    return run(args.root, args.allowlist, args.budget)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
