@@ -1,13 +1,25 @@
 // Differential fuzzer for the FleetEngine ingest pipeline.
 //
-// The engine's core invariant (stated in fleet_engine.h): for any
-// interleaving of device records, any shard count, any batch chunking,
-// and any mix of IngestBatch / single-record Ingest / Flush / Stats
-// calls, each device's emitted key points are identical to running that
-// device's records alone through CompressAll with an identically-
-// configured compressor. The fuzzer builds an interleaved feed from the
-// input bytes, ingests it through a byte-driven call mix, FinishAll()s,
-// and checks per-device output against the sequential reference.
+// Two byte-selected modes:
+//
+//  - differential (default): for any interleaving of device records, any
+//    shard count, any batch chunking, and any mix of IngestBatch /
+//    single-record Ingest / Flush / Stats calls, each device's emitted
+//    key points must be identical to running that device's records alone
+//    through CompressAll with an identically-configured compressor.
+//    Lossless configuration only (kBlock, no budget/idle/faults) so the
+//    oracle stays exact.
+//
+//  - overload: a kShed* policy plus byte-driven fault injection
+//    (kRingFull / kArenaExhausted / kMidBatchEvict), optional memory
+//    budget with an eps-coarsening ladder and optional idle timeout.
+//    Output legitimately diverges from the sequential reference here, so
+//    the oracle is the accounting contract instead: after FinishAll,
+//    records_ingested + records_shed + records_dropped must equal the
+//    records fed, records_shed must equal the sum of its per-reason
+//    counters, and nothing may crash, hang or trip a sanitizer.
+//    (kWorkerStall is deliberately not armed: it parks workers on
+//    wall-clock gates, which a fuzzer loop must not wait on.)
 
 #include <cstdint>
 #include <cstdio>
@@ -19,6 +31,7 @@
 
 #include "eval/algorithms.h"
 #include "fuzz_input.h"
+#include "service/fault_injector.h"
 #include "service/fleet_engine.h"
 #include "trajectory/compressor.h"
 #include "trajectory/point.h"
@@ -55,6 +68,10 @@ class CollectingSink final : public bqs::FleetSink {
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
   FuzzInput in(data, size);
 
+  // Overload mode on ~1 input in 4: the exact differential oracle stays
+  // the primary target, the accounting oracle rides along.
+  const bool overload_mode = in.IntIn(0, 3) == 0;
+
   bqs::FleetEngineOptions options;
   options.algorithm.id =
       in.Bool() ? bqs::AlgorithmId::kFbqs : bqs::AlgorithmId::kBqs;
@@ -64,11 +81,42 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
   options.block_capacity = static_cast<std::size_t>(in.IntIn(16, 64));
   options.max_pending_blocks = static_cast<std::size_t>(in.IntIn(1, 8));
   options.max_pooled_compressors = static_cast<std::size_t>(in.IntIn(0, 4));
-  // Budget/idle eviction close sessions mid-stream, which legitimately
-  // changes output vs one sequential pass; keep them off so the
-  // differential oracle stays exact.
+  // Differential mode: budget/idle eviction close sessions mid-stream,
+  // which legitimately changes output vs one sequential pass; keep them
+  // off so the oracle stays exact. Overload mode turns them on below.
   options.memory_budget_bytes = 0;
   options.idle_timeout_seconds = 0.0;
+
+  bqs::FaultInjector injector(in.U32());
+  if (overload_mode) {
+    options.overload.policy = in.Bool()
+                                  ? bqs::OverloadPolicy::kShedNewest
+                                  : bqs::OverloadPolicy::kShedByDevice;
+    // Zero budget = shed immediately on a full ring; no wall-clock waits
+    // in the fuzz loop.
+    options.overload.latency_budget_ms = 0.0;
+    options.overload.shed_seed = in.U32();
+    options.overload.device_rate_per_second = in.Range(0.0, 8.0);
+    if (in.Bool()) {
+      options.memory_budget_bytes =
+          static_cast<std::size_t>(in.IntIn(1024, 16384));
+      if (in.Bool()) options.overload.eps_ladder = {2.0, 4.0};
+    }
+    if (in.Bool()) options.idle_timeout_seconds = in.Range(0.5, 8.0);
+    if (in.Bool()) {
+      injector.Arm(bqs::FaultSite::kRingFull, in.Range(0.0, 1.0),
+                   static_cast<uint64_t>(in.IntIn(0, 64)));
+    }
+    if (in.Bool()) {
+      injector.Arm(bqs::FaultSite::kArenaExhausted, in.Range(0.0, 1.0),
+                   static_cast<uint64_t>(in.IntIn(0, 64)));
+    }
+    if (in.Bool()) {
+      injector.Arm(bqs::FaultSite::kMidBatchEvict, in.Range(0.0, 1.0),
+                   static_cast<uint64_t>(in.IntIn(0, 16)));
+    }
+    options.fault_injector = &injector;
+  }
 
   // Interleaved feed: per-device bounded random walks with per-device
   // monotonic time (the engine requires per-device stream order only).
@@ -88,6 +136,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
   }
 
   CollectingSink sink;
+  bqs::FleetStats stats;
   {
     bqs::FleetEngine engine(options, sink);
     std::size_t cursor = 0;
@@ -117,8 +166,32 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
       }
     }
     engine.FinishAll();
+    stats = engine.Stats();
   }
   const auto emitted = sink.take();
+
+  if (overload_mode) {
+    // Accounting oracle: every record fed is ingested, shed or dropped —
+    // no silent loss, no double count — and the shed total decomposes
+    // exactly into its per-reason counters.
+    const uint64_t fed = static_cast<uint64_t>(feed.size());
+    const uint64_t accounted =
+        stats.records_ingested + stats.records_shed + stats.records_dropped;
+    const uint64_t by_reason = stats.shed_ring_full + stats.shed_latency +
+                               stats.shed_rate_limited + stats.shed_arena;
+    if (accounted != fed || by_reason != stats.records_shed) {
+      std::fprintf(stderr,
+                   "fleet accounting mismatch: fed=%llu ingested=%llu "
+                   "shed=%llu dropped=%llu by_reason=%llu\n",
+                   static_cast<unsigned long long>(fed),
+                   static_cast<unsigned long long>(stats.records_ingested),
+                   static_cast<unsigned long long>(stats.records_shed),
+                   static_cast<unsigned long long>(stats.records_dropped),
+                   static_cast<unsigned long long>(by_reason));
+      std::abort();
+    }
+    return 0;  // output legitimately diverges; no differential check
+  }
 
   // Sequential reference: each device's records alone through CompressAll.
   for (int device = 0; device < device_count; ++device) {

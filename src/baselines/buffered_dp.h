@@ -34,6 +34,7 @@ class BufferedDp final : public StreamCompressor {
   void Finish(std::vector<KeyPoint>* out) override;
   void Reset() override;
   std::string_view name() const override { return "BDP"; }
+  double ErrorBound() const override { return options_.epsilon; }
 
   const BufferedDpOptions& options() const { return options_; }
   std::size_t StateBytes() const override {

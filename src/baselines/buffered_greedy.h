@@ -36,6 +36,7 @@ class BufferedGreedy final : public StreamCompressor {
   void Finish(std::vector<KeyPoint>* out) override;
   void Reset() override;
   std::string_view name() const override { return "BGD"; }
+  double ErrorBound() const override { return options_.epsilon; }
 
   const BufferedGreedyOptions& options() const { return options_; }
   std::size_t StateBytes() const override {

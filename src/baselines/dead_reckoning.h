@@ -34,6 +34,7 @@ class DeadReckoning final : public StreamCompressor {
   void Finish(std::vector<KeyPoint>* out) override;
   void Reset() override;
   std::string_view name() const override { return "DR"; }
+  double ErrorBound() const override { return options_.epsilon; }
 
   const DeadReckoningOptions& options() const { return options_; }
 

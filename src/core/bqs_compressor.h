@@ -38,6 +38,7 @@ class BqsCompressor final : public StreamCompressor {
     return &engine_.stats();
   }
   std::size_t StateBytes() const override { return engine_.StateBytes(); }
+  double ErrorBound() const override { return engine_.options().epsilon; }
 
   /// Decision counters (pruning power, split mix).
   const DecisionStats& stats() const { return engine_.stats(); }

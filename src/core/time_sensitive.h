@@ -46,6 +46,7 @@ class TimeSensitiveCompressor final : public StreamCompressor {
   void Finish(std::vector<KeyPoint>* out) override;
   void Reset() override;
   std::string_view name() const override { return "TSBQS"; }
+  double ErrorBound() const override { return options_.epsilon; }
 
   const DecisionStats& stats() const { return inner_.stats(); }
   const TimeSensitiveOptions& options() const { return options_; }

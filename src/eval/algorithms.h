@@ -88,6 +88,16 @@ class CompressorFactory {
     return MakeStreamCompressor(config_);
   }
 
+  /// Fresh compressor at `eps_scale` x the configured epsilon, otherwise
+  /// identically configured — the mint behind the service layer's
+  /// eps-coarsening degradation, which widens a live stream's error
+  /// budget at a segment boundary instead of evicting the session.
+  std::unique_ptr<StreamCompressor> MakeScaled(double eps_scale) const {
+    AlgorithmConfig scaled = config_;
+    scaled.epsilon *= eps_scale;
+    return MakeStreamCompressor(scaled);
+  }
+
   /// True when Make() produces a compressor.
   bool streaming() const { return IsStreaming(config_.id); }
 

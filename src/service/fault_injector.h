@@ -1,0 +1,155 @@
+// Deterministic fault injection for the fleet service layer.
+//
+// Overload and failure paths (full rings, exhausted arenas, stalled
+// workers, mid-batch evictions) are nearly impossible to hit on cue from
+// the outside: they depend on scheduling, machine speed and queue depths.
+// A FaultInjector makes them reproducible: tests arm a site with a firing
+// probability and the engine consults ShouldFire() at that site's hook.
+// Every decision is a pure function of (seed, site, per-site call index) —
+// splitmix64 over an atomic counter — so a given seed replays the exact
+// same fault schedule on every run, machine and thread interleaving
+// (provided the per-site call sequence itself is deterministic, which the
+// engine's single-producer / per-shard-worker structure guarantees for a
+// fixed feed and shard count).
+//
+// The hooks are compiled into FleetEngine unconditionally — a null-check
+// per seal/acquire, nothing more — but the type is a test harness, not a
+// production feature: the repo lint's fault-injection-containment rule
+// keeps any other src/ code from reaching for it.
+//
+// Thread contract: Arm() before the engine runs (or between drained
+// phases); ShouldFire() is called concurrently from producer and worker
+// threads and is lock-free. The worker-stall site is special: when it
+// fires, the worker parks in WaitStallReleased() until the test calls
+// ReleaseStalls() — release before Flush()/destruction or the drain will
+// (by design) never finish.
+#ifndef BQS_SERVICE_FAULT_INJECTOR_H_
+#define BQS_SERVICE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace bqs {
+
+/// Engine hook points a test can force.
+enum class FaultSite : uint8_t {
+  kRingFull,        ///< Seal sees a (synthetically) full shard ring.
+  kWorkerStall,     ///< Worker parks before processing its next command.
+  kArenaExhausted,  ///< Producer's block Acquire is denied.
+  kMidBatchEvict,   ///< Session force-evicted right after a dispatched run.
+};
+inline constexpr std::size_t kFaultSiteCount = 4;
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `site`: each ShouldFire(site) fires with `probability` (clamped
+  /// to [0,1]), at most `max_fires` times total. Call before the engine
+  /// consults the site (armed state is read without synchronization on
+  /// the hot path).
+  void Arm(FaultSite site, double probability,
+           uint64_t max_fires = UINT64_MAX) {
+    State& s = state_[Index(site)];
+    s.probability = probability < 0.0 ? 0.0
+                    : probability > 1.0 ? 1.0
+                                        : probability;
+    s.max_fires = max_fires;
+  }
+
+  /// The engine's hook: true when the armed site fires for this call.
+  /// Deterministic: decision i for a site depends only on (seed, site, i).
+  bool ShouldFire(FaultSite site) {
+    State& s = state_[Index(site)];
+    if (s.probability <= 0.0) return false;
+    const uint64_t n = s.calls.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t h =
+        Mix(seed_ ^ (0x9e3779b97f4a7c15ULL * (Index(site) + 1)) ^ n);
+    const double coin =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (coin >= s.probability) return false;
+    // Reserve a firing slot; over-subscribed reservations past max_fires
+    // simply decline (fired_ keeps counting attempts, fires() reports the
+    // capped value).
+    const uint64_t f = s.fired.fetch_add(1, std::memory_order_relaxed);
+    return f < s.max_fires;
+  }
+
+  /// Worker-side gate for kWorkerStall: parks until ReleaseStalls(). The
+  /// released flag is an atomic read by the wait predicate (the same
+  /// pattern as the engine's idle protocol) with the store made under the
+  /// mutex, closing the predicate-to-block window.
+  void WaitStallReleased() {
+    MutexLock lock(stall_mu_);
+    stall_cv_.wait(lock.native(), [&] {
+      return stalls_released_.load(std::memory_order_relaxed);
+    });
+  }
+
+  /// Unparks every stalled worker, permanently (a released injector never
+  /// stalls again; re-arm with a fresh injector instead).
+  void ReleaseStalls() {
+    {
+      MutexLock lock(stall_mu_);
+      stalls_released_.store(true, std::memory_order_seq_cst);
+    }
+    stall_cv_.notify_all();
+  }
+
+  /// True once ReleaseStalls() has run.
+  bool stalls_released() const {
+    return stalls_released_.load(std::memory_order_relaxed);
+  }
+
+  /// Times the site actually fired (capped by max_fires).
+  uint64_t fires(FaultSite site) const {
+    const State& s = state_[Index(site)];
+    const uint64_t f = s.fired.load(std::memory_order_relaxed);
+    return f < s.max_fires ? f : s.max_fires;
+  }
+
+  /// Times the engine consulted the site.
+  uint64_t calls(FaultSite site) const {
+    return state_[Index(site)].calls.load(std::memory_order_relaxed);
+  }
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  struct State {
+    double probability = 0.0;
+    uint64_t max_fires = 0;
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> fired{0};
+  };
+
+  static std::size_t Index(FaultSite site) {
+    return static_cast<std::size_t>(site);
+  }
+
+  /// splitmix64 finalizer (the repo-standard mixer).
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  const uint64_t seed_;
+  State state_[kFaultSiteCount];
+
+  Mutex stall_mu_;
+  std::condition_variable stall_cv_;
+  std::atomic<bool> stalls_released_{false};
+};
+
+}  // namespace bqs
+
+#endif  // BQS_SERVICE_FAULT_INJECTOR_H_

@@ -1,7 +1,10 @@
 #include "service/fleet_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
+
+#include "service/fault_injector.h"
 
 namespace bqs {
 
@@ -50,6 +53,9 @@ FleetEngine::FleetEngine(const FleetEngineOptions& options, FleetSink& sink)
     per_shard_budget_ = std::max<std::size_t>(
         options_.memory_budget_bytes / shard_count, 1);
   }
+  // Shedding is a property of the producer->worker handoff; inline mode
+  // has no queue to overflow, so the policy only engages when sharded.
+  shedding_ = !inline_ && options_.overload.policy != OverloadPolicy::kBlock;
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
     shards_.push_back(std::make_unique<Shard>(
@@ -117,12 +123,147 @@ void FleetEngine::RouteSharded(std::span<const FleetRecord> records) {
   // side (record->shard assignment is dynamic, so assert them all once).
   for (auto& shard : shards_) AssumeProducer(*shard);
   const std::size_t cap = options_.block_capacity;
+  FaultInjector* const injector = options_.fault_injector;
+  // One deadline per IngestBatch: every seal this batch triggers shares
+  // it, so the caller's worst-case latency is one budget, not one per
+  // seal. Taken lazily — the clock read is paid only by shed configs.
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+  if (shedding_ && options_.overload.latency_budget_ms > 0.0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(static_cast<int64_t>(
+                   options_.overload.latency_budget_ms * 1000.0));
+    has_deadline = true;
+  }
+  batch_shed_ = false;
   for (const FleetRecord& record : records) {
     Shard& shard = *shards_[ShardOf(record.device)];
-    if (shard.filling == nullptr) shard.filling = shard.arena.Acquire();
+    if (shard.filling == nullptr) {
+      if (injector != nullptr &&
+          injector->ShouldFire(FaultSite::kArenaExhausted)) {
+        ++shard.shed.faults;
+        if (shedding_) {
+          // Denied a block: the triggering record is shed, accounted as
+          // arena exhaustion. Under kBlock the fault is counted only (a
+          // real allocator would block or die, neither useful in a test).
+          ++shard.shed.records;
+          ++shard.shed.arena;
+          batch_shed_ = true;
+          continue;
+        }
+      }
+      shard.filling = shard.arena.Acquire();
+    }
     shard.filling->Append(record.device, record.point);
-    if (shard.filling->size() >= cap) Seal(shard);
+    if (shard.filling->size() >= cap) {
+      if (shedding_) {
+        SealForIngest(shard, deadline, has_deadline);
+      } else {
+        if (injector != nullptr &&
+            injector->ShouldFire(FaultSite::kRingFull)) {
+          ++shard.shed.faults;  // kBlock: counted, behavior unchanged
+        }
+        Seal(shard);
+      }
+    }
   }
+  if (batch_shed_) ++shed_batches_;
+}
+
+void FleetEngine::SealForIngest(
+    Shard& shard, std::chrono::steady_clock::time_point deadline,
+    bool has_deadline) {
+  if (shard.filling == nullptr || shard.filling->empty()) return;
+  RecordBlock* const block = shard.filling;
+  // A fired kRingFull fault makes the ring look full without waiting for
+  // the worker to actually fall behind — the deterministic trigger the
+  // shed tests replay from a seed.
+  bool synthetic_full = false;
+  if (FaultInjector* const injector = options_.fault_injector) {
+    if (injector->ShouldFire(FaultSite::kRingFull)) {
+      ++shard.shed.faults;
+      synthetic_full = true;
+    }
+  }
+  bool pushed = false;
+  if (!synthetic_full) {
+    ShardCommand cmd;
+    cmd.kind = ShardCommand::Kind::kBlock;
+    cmd.block = block;
+    pushed = has_deadline ? shard.ring.PushUntil(cmd, deadline)
+                          : shard.ring.TryPush(cmd);
+  }
+  if (pushed) {
+    shard.filling = nullptr;
+    ++shard.blocks_dispatched;
+    ++shard.enqueued;
+    shard.peak_depth = std::max(shard.peak_depth, shard.ring.size());
+    return;
+  }
+  if (shard.ring.stopped()) return;  // destructor teardown; keep the block
+  // Ring still full past the budget: shed. kShedByDevice first compacts
+  // the block through the token buckets — over-rate (hot) devices lose
+  // their over-rate suffix, everyone else's records survive in place and
+  // re-queue with the block's next seal. Only when compaction removes
+  // nothing (no device over rate: the worker is simply behind) does the
+  // block shed whole, like kShedNewest.
+  if (options_.overload.policy == OverloadPolicy::kShedByDevice &&
+      options_.overload.device_rate_per_second > 0.0) {
+    if (CompactByDevice(shard)) {
+      batch_shed_ = true;
+      return;  // survivors stay as shard.filling
+    }
+  }
+  const uint64_t count = static_cast<uint64_t>(block->size());
+  shard.shed.records += count;
+  if (has_deadline) {
+    shard.shed.latency += count;
+  } else {
+    shard.shed.ring_full += count;
+  }
+  batch_shed_ = true;
+  block->Clear();  // stays acquired as shard.filling, capacity reused
+}
+
+bool FleetEngine::CompactByDevice(Shard& shard) {
+  RecordBlock& block = *shard.filling;
+  const double rate = options_.overload.device_rate_per_second;
+  double burst = options_.overload.device_burst;
+  if (burst <= 0.0) burst = std::max(rate * 2.0, 1.0);
+  const uint64_t seed = options_.overload.shed_seed;
+  std::vector<TrackPoint>& points = block.points;
+  shard.run_scratch.clear();
+  std::size_t read = 0;
+  std::size_t write = 0;
+  uint64_t shed = 0;
+  for (const DeviceRun& run : block.runs) {
+    DeviceTokenBucket& bucket = shard.buckets[run.device];
+    // Refill on the run's newest stream time; the grant is a pure
+    // function of (seed, feed, configuration) — wall-clock never enters.
+    const double t = points[read + run.count - 1].t;
+    const uint64_t salt =
+        seed ^ MixDeviceId(run.device) ^ (shard.shed_events++);
+    const uint32_t keep = bucket.Grant(t, run.count, rate, burst, salt);
+    // Keep the run's oldest `keep` records (per-device order preserved).
+    for (uint32_t k = 0; k < keep; ++k) points[write + k] = points[read + k];
+    if (keep > 0) {
+      if (!shard.run_scratch.empty() &&
+          shard.run_scratch.back().device == run.device) {
+        shard.run_scratch.back().count += keep;
+      } else {
+        shard.run_scratch.push_back(DeviceRun{run.device, keep});
+      }
+    }
+    shed += run.count - keep;
+    write += keep;
+    read += run.count;
+  }
+  if (shed == 0) return false;
+  points.resize(write);
+  block.runs.swap(shard.run_scratch);
+  shard.shed.records += shed;
+  shard.shed.rate_limited += shed;
+  return true;
 }
 
 void FleetEngine::InlineDispatch(std::span<const FleetRecord> records) {
@@ -147,7 +288,10 @@ void FleetEngine::InlineDispatch(std::span<const FleetRecord> records) {
       session.compressor->PushRunTo(records, shard.gather, shard.sink);
       ++shard.counters.coalesced_runs;
       shard.counters.records_ingested += records.size();
+      shard.counters.max_device_backlog =
+          std::max(shard.counters.max_device_backlog, records.size());
       AfterRun(shard, session, first_device, records.back().point.t);
+      MaybeInjectEvict(shard, first_device);
       if (options_.idle_timeout_seconds > 0.0) CloseIdleSessions(shard);
       return;
     }
@@ -255,6 +399,7 @@ FleetStats FleetEngine::Stats() {
   SealAll();
   FleetStats total;
   total.records_dropped = records_dropped_;
+  total.shed_batches = shed_batches_;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     AssumeProducer(shard);  // single-producer API contract
@@ -295,11 +440,31 @@ FleetStats FleetEngine::Stats() {
     total.state_bytes += shard.state_bytes;
     total.pooled_bytes += shard.pool_bytes;
     total.peak_state_bytes += c.peak_state_bytes;
+    total.records_shed += shard.shed.records;
+    total.shed_ring_full += shard.shed.ring_full;
+    total.shed_latency += shard.shed.latency;
+    total.shed_rate_limited += shard.shed.rate_limited;
+    total.shed_arena += shard.shed.arena;
+    total.sessions_degraded += c.sessions_degraded;
+    total.sessions_recovered += c.sessions_recovered;
+    total.faults_injected += shard.shed.faults + c.faults_injected;
+    total.max_error_bound = std::max(total.max_error_bound,
+                                     c.max_error_bound);
+    total.max_device_backlog = std::max(total.max_device_backlog,
+                                        c.max_device_backlog);
     AccumulateDecisionStats(total.decisions, c.decisions);
     for (const auto& [device, session] : shard.sessions) {
       (void)device;
       if (const DecisionStats* s = session.compressor->decision_stats()) {
         AccumulateDecisionStats(total.decisions, *s);
+      }
+      if (session.eps_level > 0) ++total.degraded_sessions;
+      total.max_error_bound = std::max(total.max_error_bound,
+                                       session.compressor->ErrorBound());
+      if (shard.has_stream_t) {
+        total.max_session_age_seconds =
+            std::max(total.max_session_age_seconds,
+                     shard.max_stream_t - session.last_t);
       }
     }
   }
@@ -309,8 +474,17 @@ FleetStats FleetEngine::Stats() {
 void FleetEngine::WorkerLoop(Shard& shard) {
   // This thread IS the shard's worker for the engine's whole lifetime.
   AssumeWorker(shard);
+  FaultInjector* const injector = options_.fault_injector;
   ShardCommand cmd;
   while (shard.ring.Pop(cmd)) {
+    if (injector != nullptr &&
+        injector->ShouldFire(FaultSite::kWorkerStall)) {
+      // The deterministic worker-outage: park until the test releases the
+      // gate. Commands queue behind the stall exactly as they would behind
+      // a descheduled or wedged worker thread.
+      ++shard.counters.faults_injected;
+      injector->WaitStallReleased();
+    }
     switch (cmd.kind) {
       case ShardCommand::Kind::kBlock:
         ProcessBlock(shard, *cmd.block);
@@ -391,7 +565,20 @@ void FleetEngine::DispatchRun(Shard& shard, DeviceId device,
   session.compressor->PushBatchTo(points, shard.sink);
   ++shard.counters.coalesced_runs;
   shard.counters.records_ingested += points.size();
+  shard.counters.max_device_backlog =
+      std::max(shard.counters.max_device_backlog, points.size());
   AfterRun(shard, session, device, points.back().t);
+  MaybeInjectEvict(shard, device);  // `session` may dangle past this call
+}
+
+void FleetEngine::MaybeInjectEvict(Shard& shard, DeviceId device) {
+  FaultInjector* const injector = options_.fault_injector;
+  if (injector == nullptr) return;
+  if (!injector->ShouldFire(FaultSite::kMidBatchEvict)) return;
+  ++shard.counters.faults_injected;
+  if (shard.sessions.contains(device)) {
+    CloseSession(shard, device, SessionEndReason::kEvicted);
+  }
 }
 
 FleetEngine::Session& FleetEngine::SessionFor(Shard& shard, DeviceId device) {
@@ -422,10 +609,10 @@ FleetEngine::Session& FleetEngine::SessionFor(Shard& shard, DeviceId device) {
 
 void FleetEngine::AfterRun(Shard& shard, Session& session, DeviceId device,
                            double last_t) {
-  if (options_.idle_timeout_seconds > 0.0) {
-    session.last_t = last_t;
-    NoteStreamTime(shard, last_t);
-  }
+  // Maintained unconditionally (two stores and a compare) so the
+  // session-age watermark in Stats() works without the idle machinery.
+  session.last_t = last_t;
+  NoteStreamTime(shard, last_t);
   if (!eager_accounting_) return;  // the lazy fast path: no StateBytes calls
   if (session.last_active != 0) shard.lru.erase(session.last_active);
   session.last_active = ++shard.activity_clock;
@@ -437,6 +624,16 @@ void FleetEngine::AfterRun(Shard& shard, Session& session, DeviceId device,
   shard.counters.peak_state_bytes =
       std::max(shard.counters.peak_state_bytes,
                shard.state_bytes + shard.pool_bytes);
+  // Recovery half of the eps ladder: once pressure clears the hysteresis
+  // headroom, a degraded session steps one rung back down at its next
+  // block boundary (here), re-tightening the reported bound.
+  if (session.eps_level > 0 &&
+      shard.state_bytes + shard.pool_bytes <
+          static_cast<std::size_t>(
+              options_.overload.recover_headroom *
+              static_cast<double>(per_shard_budget_))) {
+    ReseatSession(shard, device, session, session.eps_level - 1);
+  }
   EnforceBudget(shard);
 }
 
@@ -456,6 +653,8 @@ void FleetEngine::CloseSession(Shard& shard, DeviceId device,
   if (const DecisionStats* stats = session.compressor->decision_stats()) {
     AccumulateDecisionStats(shard.counters.decisions, *stats);
   }
+  shard.counters.max_error_bound = std::max(
+      shard.counters.max_error_bound, session.compressor->ErrorBound());
   sink_.OnSessionEnd(device, reason);
   switch (reason) {
     case SessionEndReason::kFinished:
@@ -478,11 +677,15 @@ void FleetEngine::CloseSession(Shard& shard, DeviceId device,
   // FinishAll close sessions outside EnforceBudget, so the cap must hold
   // here, at the only point the pool grows. Memory evictions exist to give
   // memory back, so those compressors are destroyed instead of pooled.
+  // Degraded sessions (eps_level > 0) run a compressor minted at a scaled
+  // epsilon; pooling one would poison recycling (Reset keeps the scaled
+  // options), so they are destroyed too.
   const std::size_t unit_bytes = session.compressor->StateBytes();
   const bool fits_budget =
       !eager_accounting_ ||
       shard.state_bytes + shard.pool_bytes + unit_bytes <= per_shard_budget_;
-  if (reason != SessionEndReason::kEvicted && fits_budget &&
+  if (reason != SessionEndReason::kEvicted && session.eps_level == 0 &&
+      fits_budget &&
       shard.pool.size() < options_.max_pooled_compressors) {
     shard.pool_bytes += unit_bytes;
     shard.pool.push_back(std::move(session.compressor));
@@ -498,11 +701,70 @@ void FleetEngine::EnforceBudget(Shard& shard) {
     shard.pool_bytes -= shard.pool.back()->StateBytes();
     shard.pool.pop_back();
   }
+  // Second resort, when an eps ladder is configured: degrade instead of
+  // drop. Sessions step up the ladder breadth-first in LRU order — every
+  // session reaches rung k before any reaches k+1 — each step closing the
+  // open segment under the old bound and re-minting the compressor at the
+  // widened epsilon (freeing its accumulated heap). Data keeps flowing at
+  // reduced fidelity; eviction below remains the backstop once the whole
+  // shard sits at the top rung.
+  const std::vector<double>& ladder = options_.overload.eps_ladder;
+  if (!ladder.empty()) {
+    for (uint32_t rung = 1;
+         rung <= ladder.size() &&
+         shard.state_bytes + shard.pool_bytes > per_shard_budget_;
+         ++rung) {
+      for (auto it = shard.lru.begin();
+           it != shard.lru.end() &&
+           shard.state_bytes + shard.pool_bytes > per_shard_budget_;
+           ++it) {
+        const DeviceId device = it->second;
+        Session& session = shard.sessions.find(device)->second;
+        if (session.eps_level < rung) {
+          ReseatSession(shard, device, session, rung);
+        }
+      }
+    }
+  }
   while (shard.state_bytes + shard.pool_bytes > per_shard_budget_ &&
          !shard.sessions.empty()) {
     CloseSession(shard, shard.lru.begin()->second,
                  SessionEndReason::kEvicted);
   }
+}
+
+void FleetEngine::ReseatSession(Shard& shard, DeviceId device,
+                                Session& session, uint32_t level) {
+  // Segment-boundary hand-off: the closing key point emitted here honors
+  // the *current* bound, so everything already emitted keeps its
+  // guarantee; the stream then continues on a compressor minted at the
+  // new rung's epsilon. The old compressor is destroyed outright — this
+  // is the step that actually returns heap to the budget.
+  shard.sink.set_device(device);
+  session.compressor->FinishTo(shard.sink);
+  if (const DecisionStats* stats = session.compressor->decision_stats()) {
+    AccumulateDecisionStats(shard.counters.decisions, *stats);
+  }
+  const double scale =
+      level == 0 ? 1.0 : options_.overload.eps_ladder[level - 1];
+  session.compressor = factory_.MakeScaled(scale);
+  if (level > session.eps_level) {
+    ++shard.counters.sessions_degraded;
+  } else {
+    ++shard.counters.sessions_recovered;
+  }
+  session.eps_level = level;
+  const double bound = session.compressor->ErrorBound();
+  shard.counters.max_error_bound =
+      std::max(shard.counters.max_error_bound, bound);
+  sink_.OnErrorBoundChanged(device, bound);
+  const std::size_t now_bytes =
+      kSessionBaseBytes + session.compressor->StateBytes();
+  shard.state_bytes = shard.state_bytes - session.accounted_bytes + now_bytes;
+  session.accounted_bytes = now_bytes;
+  shard.counters.peak_state_bytes =
+      std::max(shard.counters.peak_state_bytes,
+               shard.state_bytes + shard.pool_bytes);
 }
 
 void FleetEngine::CloseIdleSessions(Shard& shard) {

@@ -84,6 +84,7 @@
 #define BQS_SERVICE_FLEET_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -98,12 +99,15 @@
 #include "core/decision_stats.h"
 #include "eval/algorithms.h"
 #include "service/device_slot_map.h"
+#include "service/overload_policy.h"
 #include "service/record_block.h"
 #include "service/spsc_ring.h"
 #include "trajectory/compressor.h"
 #include "trajectory/point.h"
 
 namespace bqs {
+
+class FaultInjector;  // service/fault_injector.h (test harness; see lint)
 
 /// Why a device session was closed.
 enum class SessionEndReason {
@@ -128,6 +132,16 @@ class FleetSink {
   virtual void OnSessionEnd(DeviceId device, SessionEndReason reason) {
     (void)device;
     (void)reason;
+  }
+
+  /// The error bound `device`'s live session honors changed: the engine
+  /// degraded the session one eps-coarsening rung under memory pressure,
+  /// or recovered it when pressure cleared. Key points emitted before this
+  /// call honor the previous bound, later ones honor `error_bound`; the
+  /// session itself stays open (no OnSessionEnd). Threading as OnKeyPoint.
+  virtual void OnErrorBoundChanged(DeviceId device, double error_bound) {
+    (void)device;
+    (void)error_bound;
   }
 };
 
@@ -173,6 +187,19 @@ struct FleetEngineOptions {
   /// instead of allocating (the Reset-equivalence differential test backs
   /// this). 0 disables recycling.
   std::size_t max_pooled_compressors = 16;
+
+  /// Overload semantics: admission policy, per-IngestBatch latency budget,
+  /// per-device token-bucket fairness and the eps-coarsening ladder. The
+  /// defaults (kBlock, no ladder) preserve the original lossless blocking
+  /// behavior — and with it the byte-identity guarantee. Shedding applies
+  /// to sharded mode only (inline mode has no queue to overflow); the eps
+  /// ladder engages in any mode once memory_budget_bytes is set.
+  OverloadOptions overload;
+
+  /// Deterministic fault injection for tests; nullptr in production (the
+  /// hooks then cost one pointer check). Must outlive the engine. See
+  /// service/fault_injector.h; the repo lint confines use to tests.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Aggregate engine counters. Snapshot via FleetEngine::Stats(), which
@@ -206,6 +233,28 @@ struct FleetStats {
   /// Largest number of sealed blocks observed waiting in any single shard
   /// ring at enqueue time.
   std::size_t peak_queue_depth = 0;
+
+  // --- overload / degradation (all zero under the default kBlock policy
+  // with no eps ladder and no fault injector) -----------------------------
+  uint64_t records_shed = 0;       ///< Records dropped by the shed policies.
+  uint64_t shed_batches = 0;       ///< IngestBatch calls that shed >= 1 record.
+  uint64_t shed_ring_full = 0;     ///< ...ring full with no latency budget.
+  uint64_t shed_latency = 0;       ///< ...ring still full at budget expiry.
+  uint64_t shed_rate_limited = 0;  ///< ...device over its token-bucket rate.
+  uint64_t shed_arena = 0;         ///< ...injected arena exhaustion.
+  uint64_t sessions_degraded = 0;  ///< Eps-ladder step-ups (cumulative).
+  uint64_t sessions_recovered = 0; ///< Eps-ladder step-downs (cumulative).
+  std::size_t degraded_sessions = 0; ///< Live sessions above base eps now.
+  /// Widest error bound any session ever honored (== configured epsilon
+  /// unless the eps ladder engaged); the fleet-wide guarantee.
+  double max_error_bound = 0.0;
+  uint64_t faults_injected = 0;    ///< FaultInjector firings the engine obeyed.
+  /// Largest single-device run handed to one compressor dispatch — the
+  /// per-device backlog watermark (a hot device shows up here first).
+  std::size_t max_device_backlog = 0;
+  /// Oldest live session's age in stream-time seconds, relative to the
+  /// newest record its shard has seen, as observed at drain points.
+  double max_session_age_seconds = 0.0;
 
   /// Accounted footprint of live sessions (StateBytes + base charge).
   std::size_t state_bytes = 0;
@@ -267,6 +316,17 @@ class FleetEngine {
 
   /// Seals partial blocks, drains in-flight work, then returns aggregate
   /// counters.
+  ///
+  /// Accounting modes (the lazy-vs-eager contract the stats tests pin):
+  /// without a memory budget, live-session footprint is computed *lazily*
+  /// — here, after the drain — so state_bytes is exact at return but
+  /// peak_state_bytes only advances at Stats() calls and session events.
+  /// With a budget the engine accounts *eagerly* after every run and the
+  /// peak is run-accurate. Either way the snapshot reflects every record
+  /// from ingests that happened-before this call (the drain guarantees
+  /// visibility, Flush() likewise), and all cumulative counters —
+  /// records_*, blocks_*, *_waits, shed/degrade counts, peaks — are
+  /// monotone non-decreasing across snapshots.
   FleetStats Stats();
 
   const FleetEngineOptions& options() const { return options_; }
@@ -293,6 +353,9 @@ class FleetEngine {
     uint64_t last_active = 0;        ///< Shard activity clock at last record.
     double last_t = 0.0;             ///< Stream time of the last record.
     std::size_t accounted_bytes = 0; ///< Current charge (eager mode only).
+    /// Eps-coarsening rung: 0 = base epsilon, k = eps_ladder[k-1] scale.
+    /// Non-zero sessions run a re-minted compressor and are never pooled.
+    uint32_t eps_level = 0;
   };
 
   /// KeyPointSink forwarding to the FleetSink under the device id currently
@@ -346,6 +409,26 @@ class FleetEngine {
     uint64_t blocks_dispatched GUARDED_BY(producer_role) = 0;
     /// Max ring occupancy seen at enqueue.
     std::size_t peak_depth GUARDED_BY(producer_role) = 0;
+
+    // --- overload (producer-side: shed decisions happen at seal time) ------
+    /// Per-device admission buckets (kShedByDevice), refilled on record
+    /// stream time so grants replay deterministically from the feed.
+    std::unordered_map<DeviceId, DeviceTokenBucket> buckets
+        GUARDED_BY(producer_role);
+    /// Compaction scratch: the surviving run directory being rebuilt.
+    std::vector<DeviceRun> run_scratch GUARDED_BY(producer_role);
+    /// Monotone salt for seeded stochastic token rounding.
+    uint64_t shed_events GUARDED_BY(producer_role) = 0;
+    /// Shed accounting, mirrored into FleetStats at Stats() time.
+    struct ShedCounters {
+      uint64_t records = 0;       ///< Total records shed by this shard.
+      uint64_t ring_full = 0;     ///< ...on a full ring with no budget.
+      uint64_t latency = 0;       ///< ...after the latency budget expired.
+      uint64_t rate_limited = 0;  ///< ...over the device token rate.
+      uint64_t arena = 0;         ///< ...at injected arena exhaustion.
+      uint64_t faults = 0;        ///< Producer-site injector firings obeyed.
+    };
+    ShedCounters shed GUARDED_BY(producer_role);
 
     // --- handoff ------------------------------------------------------------
     SpscRing<ShardCommand> ring;
@@ -417,6 +500,19 @@ class FleetEngine {
       REQUIRES(shard.producer_role, shard.ring.producer_role);
   void Seal(Shard& shard)
       REQUIRES(shard.producer_role, shard.ring.producer_role);
+  /// Seal on the IngestBatch path: the only seal that may shed. Under
+  /// kBlock (or inline mode) it defers to Seal(); under a kShed* policy a
+  /// ring still full at `deadline` (TryPush when `has_deadline` is false)
+  /// sheds per the policy instead of blocking. Flush/Finish/Stats use
+  /// Seal() directly — draining never loses data.
+  void SealForIngest(Shard& shard,
+                     std::chrono::steady_clock::time_point deadline,
+                     bool has_deadline)
+      REQUIRES(shard.producer_role, shard.ring.producer_role);
+  /// kShedByDevice: compacts shard.filling through the per-device token
+  /// buckets (over-rate suffixes shed, survivors kept in place to re-queue
+  /// with the next seal). Returns true when any record was shed.
+  bool CompactByDevice(Shard& shard) REQUIRES(shard.producer_role);
   void SealAll();
   /// Blocks until the shard has processed every enqueued command. The
   /// ASSERT_CAPABILITY is the idle protocol: a drained shard's worker is
@@ -452,17 +548,34 @@ class FleetEngine {
       REQUIRES(shard.worker_role);
   void EnforceBudget(Shard& shard) REQUIRES(shard.worker_role);
   void CloseIdleSessions(Shard& shard) REQUIRES(shard.worker_role);
+  /// Moves `device`'s live session to eps-ladder rung `level`: closes the
+  /// open compressed segment under the current bound, then continues the
+  /// same stream on a compressor minted at the rung's scaled epsilon (the
+  /// old compressor — and its heap — is destroyed). Counts a degrade or a
+  /// recovery depending on direction and reports the new bound through
+  /// FleetSink::OnErrorBoundChanged.
+  void ReseatSession(Shard& shard, DeviceId device, Session& session,
+                     uint32_t level) REQUIRES(shard.worker_role);
+  /// kMidBatchEvict fault hook: force-closes `device`'s session with
+  /// SessionEndReason::kEvicted when the armed injector fires.
+  void MaybeInjectEvict(Shard& shard, DeviceId device)
+      REQUIRES(shard.worker_role);
 
   FleetEngineOptions options_;
   FleetSink& sink_;
   CompressorFactory factory_;
   bool inline_ = false;
   bool eager_accounting_ = false;    ///< True iff a memory budget is set.
+  bool shedding_ = false;  ///< kShed* policy active (sharded mode only).
   std::size_t per_shard_budget_ = 0; ///< 0 = unbounded.
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Records refused because the configured algorithm is offline-only.
   /// Producer-thread only, like the rest of the ingest path.
   uint64_t records_dropped_ = 0;
+  /// IngestBatch calls that shed >= 1 record; batch_shed_ is the per-call
+  /// flag the shed paths set. Producer-thread only.
+  uint64_t shed_batches_ = 0;
+  bool batch_shed_ = false;
 };
 
 }  // namespace bqs

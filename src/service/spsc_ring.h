@@ -33,6 +33,7 @@
 #define BQS_SERVICE_SPSC_RING_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -82,6 +83,37 @@ class SpscRing {
       producer_asleep_.store(false, std::memory_order_relaxed);
       if (tail - head_.load(std::memory_order_acquire) >= capacity_) {
         return false;  // stopped while still full
+      }
+    }
+    if (stop_.load(std::memory_order_relaxed)) return false;
+    slots_[static_cast<std::size_t>(tail % capacity_)] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_seq_cst);
+    if (consumer_asleep_.load(std::memory_order_seq_cst)) {
+      MutexLock lock(mu_);
+      cv_consumer_.notify_one();
+    }
+    return true;
+  }
+
+  /// Producer: enqueue, blocking until space frees, `deadline` passes, or
+  /// the ring is stopped — the bounded-latency variant of Push() behind
+  /// the fleet engine's shed policies. Returns false — with `item`
+  /// dropped — on timeout or stop. Same Dekker sleep/wake discipline as
+  /// Push(); a timed-out wait still counts as a producer_wait.
+  bool PushUntil(T item, std::chrono::steady_clock::time_point deadline)
+      REQUIRES(producer_role) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= capacity_) {
+      producer_waits_.fetch_add(1, std::memory_order_relaxed);
+      MutexLock lock(mu_);
+      producer_asleep_.store(true, std::memory_order_seq_cst);
+      cv_producer_.wait_until(lock.native(), deadline, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               tail - head_.load(std::memory_order_seq_cst) < capacity_;
+      });
+      producer_asleep_.store(false, std::memory_order_relaxed);
+      if (tail - head_.load(std::memory_order_acquire) >= capacity_) {
+        return false;  // deadline passed (or stopped) while still full
       }
     }
     if (stop_.load(std::memory_order_relaxed)) return false;

@@ -119,6 +119,17 @@ class StreamCompressor {
   /// The service layer's memory accounting sums this across live sessions.
   virtual std::size_t StateBytes() const { return 0; }
 
+  /// The deviation bound this compressor guarantees for every segment it
+  /// emits (its configured epsilon, in the configured metric); 0 when the
+  /// implementation makes no such guarantee. This is the reporting half of
+  /// runtime eps widening: a session manager under memory pressure may end
+  /// the stream at a segment boundary (FinishTo) and continue the same
+  /// device stream on a compressor minted at a scaled epsilon — each
+  /// emitted segment honors the bound of the compressor that produced it,
+  /// so the stream-wide guarantee is the maximum ErrorBound() reported
+  /// over the stream's lifetime, which the manager surfaces to its sink.
+  virtual double ErrorBound() const { return 0.0; }
+
  private:
   /// Scratch for the sink adapters; reused so steady-state sink emission
   /// does not allocate.

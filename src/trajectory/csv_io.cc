@@ -1,5 +1,6 @@
 #include "trajectory/csv_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -20,6 +21,27 @@ bool LooksLikeHeader(const std::string& line) {
     }
   }
   return false;
+}
+
+/// One CSV field as a finite double, or a Corruption status that names the
+/// file, line and column — a malformed row must be diagnosable from the
+/// message alone, and "inf"/"nan" (which strtod happily accepts) are
+/// malformed here: a non-finite coordinate or timestamp poisons every
+/// geometric predicate downstream.
+Result<double> ParseField(const std::string& path, std::size_t line_no,
+                          const char* column, const std::string& text) {
+  const auto value = ParseDouble(text);
+  if (!value.ok()) {
+    return Status::Corruption(
+        StrPrintf("%s:%zu: bad %s field '%s': %s", path.c_str(), line_no,
+                  column, text.c_str(), value.status().message().c_str()));
+  }
+  if (!std::isfinite(value.value())) {
+    return Status::Corruption(StrPrintf("%s:%zu: non-finite %s field '%s'",
+                                        path.c_str(), line_no, column,
+                                        text.c_str()));
+  }
+  return value.value();
 }
 
 }  // namespace
@@ -55,9 +77,9 @@ Result<GeoTrace> ReadGeoTraceCsv(const std::string& path) {
       return Status::Corruption(
           StrPrintf("%s:%zu: expected 3 fields", path.c_str(), line_no));
     }
-    const auto lat = ParseDouble(fields[0]);
-    const auto lon = ParseDouble(fields[1]);
-    const auto t = ParseDouble(fields[2]);
+    const auto lat = ParseField(path, line_no, "lat", fields[0]);
+    const auto lon = ParseField(path, line_no, "lon", fields[1]);
+    const auto t = ParseField(path, line_no, "t", fields[2]);
     if (!lat.ok()) return lat.status();
     if (!lon.ok()) return lon.status();
     if (!t.ok()) return t.status();
@@ -100,9 +122,9 @@ Result<Trajectory> ReadTrajectoryCsv(const std::string& path) {
       return Status::Corruption(
           StrPrintf("%s:%zu: expected >= 3 fields", path.c_str(), line_no));
     }
-    const auto x = ParseDouble(fields[0]);
-    const auto y = ParseDouble(fields[1]);
-    const auto t = ParseDouble(fields[2]);
+    const auto x = ParseField(path, line_no, "x", fields[0]);
+    const auto y = ParseField(path, line_no, "y", fields[1]);
+    const auto t = ParseField(path, line_no, "t", fields[2]);
     if (!x.ok()) return x.status();
     if (!y.ok()) return y.status();
     if (!t.ok()) return t.status();
@@ -110,8 +132,8 @@ Result<Trajectory> ReadTrajectoryCsv(const std::string& path) {
     p.pos = {x.value(), y.value()};
     p.t = t.value();
     if (fields.size() >= 5) {
-      const auto vx = ParseDouble(fields[3]);
-      const auto vy = ParseDouble(fields[4]);
+      const auto vx = ParseField(path, line_no, "vx", fields[3]);
+      const auto vy = ParseField(path, line_no, "vy", fields[4]);
       if (!vx.ok()) return vx.status();
       if (!vy.ok()) return vy.status();
       p.velocity = {vx.value(), vy.value()};

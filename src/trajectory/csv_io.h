@@ -15,6 +15,9 @@ namespace bqs {
 Status WriteGeoTraceCsv(const GeoTrace& trace, const std::string& path);
 
 /// Reads a GeoTrace written by WriteGeoTraceCsv (header optional).
+/// Malformed rows — truncated fields, non-numeric or non-finite values —
+/// fail with a Corruption status naming the file, line and column; no
+/// partial or garbage samples are ever returned.
 Result<GeoTrace> ReadGeoTraceCsv(const std::string& path);
 
 /// Writes "x,y,t,vx,vy" lines (with header).
@@ -23,6 +26,8 @@ Status WriteTrajectoryCsv(const Trajectory& trajectory,
 
 /// Reads a Trajectory written by WriteTrajectoryCsv. Velocity columns are
 /// optional; missing velocities are recomputed by finite differences.
+/// Malformed rows fail with a located Corruption status (see
+/// ReadGeoTraceCsv); nothing malformed is silently skipped or zeroed.
 Result<Trajectory> ReadTrajectoryCsv(const std::string& path);
 
 /// Writes "index,x,y,t" lines for the retained key points (with header).

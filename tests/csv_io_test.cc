@@ -89,6 +89,67 @@ TEST(CsvIoTest, CorruptRowsFail) {
   EXPECT_FALSE(ReadGeoTraceCsv(path).ok());
 }
 
+TEST(CsvIoTest, MalformedRowsFailWithLocatedStatus) {
+  // Non-numeric coordinate: the status must carry file, line and column —
+  // a malformed feed has to be diagnosable from the message alone.
+  const std::string path = TempPath("malformed.csv");
+  {
+    std::ofstream out(path);
+    out << "x,y,t\n1,2,3\n4,notanumber,6\n";
+  }
+  const auto bad_coord = ReadTrajectoryCsv(path);
+  ASSERT_FALSE(bad_coord.ok());
+  EXPECT_NE(bad_coord.status().message().find(":3:"), std::string::npos)
+      << bad_coord.status().message();
+  EXPECT_NE(bad_coord.status().message().find("y"), std::string::npos);
+
+  // Truncated row (two of three fields).
+  {
+    std::ofstream out(path);
+    out << "x,y,t\n1,2\n";
+  }
+  EXPECT_FALSE(ReadTrajectoryCsv(path).ok());
+
+  // Truncated velocity pair: vx present, vy absent -> 4 fields counts as
+  // the 3-field shape (extra field ignored is NOT acceptable silently;
+  // the reader requires >= 5 for velocities and must not invent one).
+  {
+    std::ofstream out(path);
+    out << "x,y,t,vx,vy\n1,2,3,4,\n";
+  }
+  const auto bad_vel = ReadTrajectoryCsv(path);
+  ASSERT_FALSE(bad_vel.ok());
+  EXPECT_NE(bad_vel.status().message().find("vy"), std::string::npos)
+      << bad_vel.status().message();
+
+  // Empty field in the middle.
+  {
+    std::ofstream out(path);
+    out << "lat,lon,t\n-27.5,,0\n";
+  }
+  EXPECT_FALSE(ReadGeoTraceCsv(path).ok());
+}
+
+TEST(CsvIoTest, NonFiniteValuesRejected) {
+  // strtod accepts "inf"/"nan"; the reader must not let them through —
+  // a non-finite coordinate poisons every geometric predicate downstream.
+  const std::string path = TempPath("nonfinite.csv");
+  {
+    std::ofstream out(path);
+    out << "x,y,t\n1,inf,3\n";
+  }
+  const auto inf_read = ReadTrajectoryCsv(path);
+  ASSERT_FALSE(inf_read.ok());
+  EXPECT_NE(inf_read.status().message().find("non-finite"),
+            std::string::npos)
+      << inf_read.status().message();
+  {
+    std::ofstream out(path);
+    out << "lat,lon,t\nnan,153.0,0\n";
+  }
+  EXPECT_FALSE(ReadGeoTraceCsv(path).ok());
+}
+
 TEST(CsvIoTest, MissingFileFails) {
   EXPECT_FALSE(ReadGeoTraceCsv("/nonexistent/nope.csv").ok());
   EXPECT_FALSE(ReadTrajectoryCsv("/nonexistent/nope.csv").ok());

@@ -505,6 +505,120 @@ TEST(FleetEngineTest, InlineModeCompressesSynchronously) {
   EXPECT_EQ(sink.keys().at(11), CompressAll(*reference, stream).keys);
 }
 
+TEST(FleetEngineTest, StatsSnapshotsAreMonotoneAndDrainVisible) {
+  // The Stats() contract: every cumulative counter and peak is monotone
+  // non-decreasing across snapshots, and a snapshot after Flush() (or
+  // Stats' own drain) reflects every record ingested before it — in both
+  // accounting modes, lazy (no budget) and eager (budget set).
+  const FleetDataset fleet = BuildFleetDataset(6, 0.05, 7400);
+  for (const std::size_t budget : {std::size_t{0}, std::size_t{1} << 20}) {
+    CollectingSink sink;
+    FleetEngineOptions options;
+    options.algorithm = ConfigFor(AlgorithmId::kBqs);
+    options.num_shards = 2;
+    options.block_capacity = 16;
+    // A one-deep ring with tiny blocks forces real backpressure, so the
+    // blocked-producer counter provably registers and stays visible.
+    options.max_pending_blocks = 1;
+    options.memory_budget_bytes = budget;
+    FleetEngine engine(options, sink);
+
+    FleetStats prev;
+    std::size_t fed = 0;
+    const std::size_t chunk = 200;
+    for (std::size_t i = 0; i < fleet.feed.size(); i += chunk) {
+      const std::size_t n = std::min(chunk, fleet.feed.size() - i);
+      engine.IngestBatch(
+          std::span<const FleetRecord>(fleet.feed.data() + i, n));
+      fed += n;
+      const FleetStats s = engine.Stats();
+      // Stats() drains, so the snapshot covers everything fed so far.
+      EXPECT_EQ(s.records_ingested, fed) << "budget " << budget;
+      EXPECT_GE(s.records_ingested, prev.records_ingested);
+      EXPECT_GE(s.key_points_emitted, prev.key_points_emitted);
+      EXPECT_GE(s.coalesced_runs, prev.coalesced_runs);
+      EXPECT_GE(s.blocks_dispatched, prev.blocks_dispatched);
+      EXPECT_GE(s.worker_wakes, prev.worker_wakes);
+      EXPECT_GE(s.backpressure_waits, prev.backpressure_waits);
+      EXPECT_GE(s.peak_queue_depth, prev.peak_queue_depth);
+      EXPECT_GE(s.peak_state_bytes, prev.peak_state_bytes);
+      EXPECT_GE(s.sessions_opened, prev.sessions_opened);
+      // Peaks dominate the current values they track.
+      EXPECT_GE(s.peak_state_bytes, s.state_bytes);
+      EXPECT_GE(s.peak_queue_depth, 1u);
+      prev = s;
+    }
+
+    engine.Flush();
+    const FleetStats flushed = engine.Stats();
+    EXPECT_EQ(flushed.records_ingested, fleet.feed.size());
+    // The shallow ring made the producer block; the waits survived into
+    // the post-Flush snapshot and never decreased along the way.
+    EXPECT_GT(flushed.backpressure_waits, 0u) << "budget " << budget;
+    EXPECT_GE(flushed.backpressure_waits, prev.backpressure_waits);
+
+    engine.FinishAll();
+    const FleetStats end = engine.Stats();
+    EXPECT_EQ(end.live_sessions, 0u);
+    EXPECT_EQ(end.state_bytes, 0u);
+    EXPECT_GE(end.peak_state_bytes, flushed.peak_state_bytes);
+    EXPECT_GE(end.key_points_emitted, flushed.key_points_emitted);
+    EXPECT_EQ(end.records_ingested + end.records_dropped,
+              fleet.feed.size());
+  }
+}
+
+TEST(FleetEngineTest, EvictedDeviceReappearsWithByteIdenticalSessions) {
+  // Budget eviction is not the end of a device: its next record opens a
+  // fresh session transparently. Each of the device's sessions must be
+  // byte-identical to compressing that session's records alone — the
+  // kEvicted -> reappear lifecycle the service layer promises.
+  const AlgorithmConfig config = ConfigFor(AlgorithmId::kBqs);
+  CollectingSink sink;
+  FleetEngineOptions options;
+  options.algorithm = config;
+  options.num_shards = 1;
+  // Holds device 1's small session comfortably, but not alongside a grown
+  // neighbor: feeding devices 2 and 3 must push device 1 (the LRU) out.
+  options.memory_budget_bytes = 2048;
+  FleetEngine engine(options, sink);
+
+  const Trajectory first = testing_util::SmoothWalk(7501, 40);
+  const Trajectory second = testing_util::SmoothWalk(7502, 40);
+  for (const TrackPoint& pt : first) engine.Ingest(1, pt);
+  for (DeviceId device = 2; device <= 3; ++device) {
+    const Trajectory pressure = testing_util::SmoothWalk(7500 + 10 * device,
+                                                         200);
+    for (const TrackPoint& pt : pressure) engine.Ingest(device, pt);
+  }
+  {
+    const auto ends = sink.ends();
+    ASSERT_TRUE(ends.contains(1));
+    EXPECT_EQ(ends.at(1), std::vector<SessionEndReason>{
+                              SessionEndReason::kEvicted});
+  }
+
+  // The device reappears and finishes normally.
+  for (const TrackPoint& pt : second) engine.Ingest(1, pt);
+  engine.FinishAll();
+  const FleetStats stats = engine.Stats();
+  EXPECT_GE(stats.sessions_evicted, 1u);
+  EXPECT_GE(stats.sessions_opened, 4u);  // device 1 twice, devices 2 and 3
+
+  const auto ends = sink.ends();
+  EXPECT_EQ(ends.at(1),
+            (std::vector<SessionEndReason>{SessionEndReason::kEvicted,
+                                           SessionEndReason::kFinished}));
+  // Session 1 closed with its full compressed output (eviction finalizes
+  // through the same FinishTo path), session 2 compressed from scratch.
+  auto reference = MakeStreamCompressor(config);
+  std::vector<KeyPoint> expected = CompressAll(*reference, first).keys;
+  reference->Reset();
+  const std::vector<KeyPoint> again = CompressAll(*reference, second).keys;
+  expected.insert(expected.end(), again.begin(), again.end());
+  EXPECT_EQ(sink.keys().at(1), expected);
+}
+
 TEST(FleetEngineTest, ShardRoutingIsStableAndInRange) {
   CollectingSink sink;
   FleetEngineOptions options;

@@ -166,6 +166,64 @@ TEST(SpscRingTest, WakesAreEdgeTriggeredNotPerEnqueue) {
   EXPECT_EQ(ring.producer_waits(), 0u);
 }
 
+TEST(SpscRingTest, PushUntilSucceedsImmediatelyWithSpace) {
+  SpscRing<int> ring(2);
+  // An already-expired deadline is irrelevant when a slot is free: the
+  // fast path never consults the clock.
+  const auto past = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(10);
+  EXPECT_TRUE(ring.PushUntil(1, past));
+  EXPECT_EQ(ring.producer_waits(), 0u);
+  int out = 0;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_EQ(out, 1);
+}
+
+TEST(SpscRingTest, PushUntilTimesOutOnFullRing) {
+  SpscRing<int> ring(1);
+  ASSERT_TRUE(ring.TryPush(7));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(5);
+  // No consumer: the bounded wait must give up at the deadline — this is
+  // the latency-budget edge the engine's shed path is built on.
+  EXPECT_FALSE(ring.PushUntil(8, deadline));
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+  EXPECT_GE(ring.producer_waits(), 1u);
+  // The refused item was dropped; the ring still drains cleanly.
+  int out = 0;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SpscRingTest, PushUntilSucceedsWhenConsumerPopsInTime) {
+  SpscRing<int> ring(1);
+  ASSERT_TRUE(ring.TryPush(1));
+  std::thread consumer([&] {
+    // Wait until the producer is actually parked, then free the slot.
+    while (ring.producer_waits() == 0) std::this_thread::yield();
+    int out = 0;
+    ASSERT_TRUE(ring.TryPop(out));
+  });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  EXPECT_TRUE(ring.PushUntil(2, deadline));  // woken well before deadline
+  consumer.join();
+  int out = 0;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(SpscRingTest, PushUntilRefusedAfterStop) {
+  SpscRing<int> ring(1);
+  ASSERT_TRUE(ring.TryPush(1));
+  ring.Stop();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  // Stop beats the deadline: the push returns false immediately.
+  EXPECT_FALSE(ring.PushUntil(2, deadline));
+}
+
 TEST(SpscRingTest, TwoThreadStress) {
   // 100k items through a tiny ring from a real producer thread: exercises
   // wrap, both sleep paths and both wake paths under scheduler noise.

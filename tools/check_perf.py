@@ -41,6 +41,17 @@ report families, dispatched on the document's `schema` field:
      bench binary separately enforces the absolute floor (shards<=1 >=
      min-seq-ratio x sequential); this gate catches relative regressions
      of any row against the committed baseline.
+  4. overload scenarios: every scenario row in the baseline's `overload`
+     array must be present in the fresh run (coverage), and each fresh row
+     must hold the limits it carries itself — p99_ms <= p99_limit_ms,
+     shed_rate <= shed_rate_limit, invariant_ok true. Limits are
+     self-describing (written by the bench into each row) so the gate
+     needs no hardcoded thresholds and stays meaningful across machines:
+     p99 limits are intentionally generous absolute bounds, shed-rate
+     limits are workload properties, and the accounting invariant is
+     machine-independent. The bench binary enforces the same limits at
+     run time; this re-gate catches a candidate JSON produced by a
+     tampered or older binary.
 
 Usage: check_perf.py <fresh.json> <baseline.json> [--tolerance 0.70]
                      [--no-normalize]
@@ -174,6 +185,41 @@ def check_throughput(fresh, baseline, args, failures):
                      args.tolerance, failures)
 
 
+def check_overload(fresh, baseline, failures):
+    """Coverage + self-limit gate over the fleet report's `overload` rows.
+    Returns the number of gated rows (counted into `compared`)."""
+    fresh_rows = {row["scenario"]: row for row in fresh.get("overload", [])}
+    base_rows = {row["scenario"]: row for row in baseline.get("overload", [])}
+    compared = 0
+    for name, _ in sorted(base_rows.items()):
+        row = fresh_rows.get(name)
+        if row is None:
+            failures.append(f"overload scenario '{name}': present in "
+                            "baseline but missing from the fresh run")
+            continue
+        compared += 1
+        p99 = row.get("p99_ms", float("inf"))
+        p99_limit = row.get("p99_limit_ms", 0.0)
+        shed_rate = row.get("shed_rate", float("inf"))
+        shed_limit = row.get("shed_rate_limit", 0.0)
+        invariant_ok = row.get("invariant_ok", False)
+        ok = p99 <= p99_limit and shed_rate <= shed_limit and invariant_ok
+        print(f"{'overload':>18s} / {name:<16s} "
+              f"p99 {p99:7.3f}/{p99_limit:.0f} ms  "
+              f"shed {shed_rate:5.3f}/{shed_limit:.2f}  "
+              f"{'ok' if ok else 'LIMIT BROKEN'}")
+        if p99 > p99_limit:
+            failures.append(f"overload '{name}': p99 ingest latency "
+                            f"{p99:.3f} ms over its limit {p99_limit:.3f}")
+        if shed_rate > shed_limit:
+            failures.append(f"overload '{name}': shed rate {shed_rate:.3f} "
+                            f"over its limit {shed_limit:.3f}")
+        if not invariant_ok:
+            failures.append(f"overload '{name}': record accounting broken "
+                            "(ingested + shed + dropped != fed)")
+    return compared
+
+
 def check_fleet(fresh, baseline, args, failures):
     if not fresh.get("all_byte_identical", False):
         failures.append(
@@ -204,8 +250,9 @@ def check_fleet(fresh, baseline, args, failures):
                     "row in both files; cannot normalize (use "
                     "--no-normalize only for same-machine runs)")
 
-    return gate_rows(fresh_rows, base_rows, calibration, calibration_keys,
-                     args.tolerance, failures)
+    compared = gate_rows(fresh_rows, base_rows, calibration,
+                         calibration_keys, args.tolerance, failures)
+    return compared + check_overload(fresh, baseline, failures)
 
 
 def main():

@@ -202,6 +202,46 @@ class LintHarness(unittest.TestCase):
         code, out = self.lint()
         self.assertEqual(code, 0, out)
 
+    # -- fault-injection-containment ---------------------------------------
+
+    def test_fault_injector_in_core_fails(self):
+        self.write("src/core/bounds.cc",
+                   "namespace bqs { class FaultInjector; }\n")
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("fault-injection-containment", out)
+        self.assertIn("src/core/bounds.cc:1", out)
+
+    def test_fault_injector_include_outside_allowlist_fails(self):
+        self.write("src/eval/runner.cc",
+                   '#include "service/fault_injector.h"\n')
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("fault-injection-containment", out)
+
+    def test_fault_site_token_fails(self):
+        self.write("src/storage/writer.cc",
+                   "int f(bqs::FaultSite s);\n")
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("fault-injection-containment", out)
+
+    def test_fault_injector_in_allowlisted_engine_passes(self):
+        self.write("src/service/fleet_engine.cc",
+                   '#include "service/fault_injector.h"\n'
+                   "namespace bqs { FaultInjector* fi = nullptr; }\n")
+        self.write("src/service/fault_injector.h",
+                   "namespace bqs { class FaultInjector {}; }\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    def test_fault_mention_in_comment_passes(self):
+        self.write("src/core/bounds.cc",
+                   "// see FaultInjector in service/fault_injector.h\n"
+                   "int x = 0;\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
     # -- config parsing ----------------------------------------------------
 
     def test_malformed_allowlist_is_exit_2(self):

@@ -27,6 +27,18 @@ cannot see:
       (e.g. geometry -> core) compiles fine — include paths are flat —
       but inverts the architecture; this rule catches it at lint time.
 
+  fault-injection-containment
+      service/fault_injector.h is a *test harness*: deterministic fault
+      schedules the overload tests and fuzzers drive through
+      FleetEngineOptions::fault_injector. Its hooks are allowed in
+      exactly the files that define and consume that option
+      (FAULT_INJECTION_ALLOWLIST); any other src/ file naming
+      FaultInjector/FaultSite or including the header is a violation.
+      Tests, fuzzers and benches live outside src/ and are unrestricted.
+      This keeps injected-fault surface area auditable: a fault hook
+      quietly sprouting in a compressor kernel would otherwise be
+      invisible until it misfired in production.
+
 Exit codes: 0 clean, 1 violations found, 2 configuration/usage error.
 """
 
@@ -84,6 +96,17 @@ BUDGET_TOKENS = {
 }
 
 SOURCE_EXTENSIONS = (".h", ".cc")
+
+# The only src/ files that may name the fault-injection harness: the
+# harness itself plus the engine that exposes the injection option.
+FAULT_INJECTION_ALLOWLIST = {
+    "src/service/fault_injector.h",
+    "src/service/fleet_engine.h",
+    "src/service/fleet_engine.cc",
+}
+FAULT_TOKEN_RE = re.compile(r"\b(?:FaultInjector|FaultSite)\b")
+FAULT_INCLUDE_RE = re.compile(
+    r'^\s*#\s*include\s+"service/fault_injector\.h"')
 
 
 def layer_closure():
@@ -327,6 +350,27 @@ def check_include_hygiene(files, violations):
                      f"DAG mirrors the CMake link graph"))
 
 
+def check_fault_injection_containment(files, violations):
+    for src in files:
+        if src.relpath in FAULT_INJECTION_ALLOWLIST:
+            continue
+        for idx, code in enumerate(src.code_lines):
+            raw = src.raw_lines[idx] if idx < len(src.raw_lines) else code
+            # Token hits come from comment-stripped code; the include hit
+            # needs the raw line (the stripper blanks the quoted path).
+            if not (FAULT_TOKEN_RE.search(code)
+                    or FAULT_INCLUDE_RE.match(raw)):
+                continue
+            violations.append(
+                ("fault-injection-containment", src.relpath, idx + 1,
+                 "fault-injection harness referenced outside its "
+                 "containment: only "
+                 f"{', '.join(sorted(FAULT_INJECTION_ALLOWLIST))} may name "
+                 "FaultInjector/FaultSite or include "
+                 "service/fault_injector.h (tests and fuzzers outside "
+                 "src/ are unrestricted)"))
+
+
 # ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
@@ -351,6 +395,7 @@ def run(root, allowlist_path, budget_path, out=sys.stdout):
     check_transcendentals(files, allowlist, violations)
     check_service_budgets(files, budgets, violations)
     check_include_hygiene(files, violations)
+    check_fault_injection_containment(files, violations)
 
     for rule, relpath, line, message in violations:
         print(f"{relpath}:{line}: [{rule}] {message}", file=out)
