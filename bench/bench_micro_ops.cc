@@ -31,6 +31,7 @@
 #include "common/math_utils.h"
 #include "common/op_counters.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/bounds.h"
 #include "core/bqs_compressor.h"
 #include "core/fbqs_compressor.h"
@@ -273,6 +274,10 @@ int Run(int argc, char** argv) {
   json.Key("schema").Value("bqs-bench-micro-v1");
   json.Key("scale").Value(scale);
   json.Key("reps").Value(reps);
+  // The SIMD tier the batch screen ran under, so the perf gate knows
+  // whether the per-row lane counters should show vector coverage (they
+  // are legitimately all-scalar under BQS_FORCE_SCALAR or on non-x86).
+  json.Key("simd_tier").Value(simd::TierName(simd::ActiveTier()));
 
   // -- classify ------------------------------------------------------------
   {
@@ -433,6 +438,12 @@ int Run(int argc, char** argv) {
           json.Key("significant_rebuilds")
               .Value(run->op_delta.significant_rebuilds);
           json.Key("kernel_fallbacks").Value(run->stats.kernel_fallbacks);
+          json.Key("batch_lanes4_points")
+              .Value(run->op_delta.batch_lanes4_points);
+          json.Key("batch_lanes2_points")
+              .Value(run->op_delta.batch_lanes2_points);
+          json.Key("batch_scalar_points")
+              .Value(run->op_delta.batch_scalar_points);
           json.EndObject();
         }
       }

@@ -1,19 +1,31 @@
 // Differential fuzzer for the per-point bound kernel: BoundKernel::kFast
 // (the PR 4 transcendental-free kernel) must produce byte-identical key
 // points to BoundKernel::kReference (the seed's atan2/hypot path) for
-// every options combination and every input stream. The kernel's guard-
-// band fallback makes this an invariant, not a statistical property, so
-// any divergence is a bug — the harness aborts on the first mismatch.
+// every options combination and every input stream, and the vectorized
+// batch screen must produce byte-identical output across SIMD tiers
+// (scalar / SSE2 / AVX2) for the same stream. The kernel's guard-band
+// fallback makes both invariants exact, not statistical, so any
+// divergence is a bug — the harness aborts on the first mismatch.
 //
 // Input bytes drive: the options cube (epsilon, metric, rotation,
 // bounds mode, trivial-include ablation, resolver choice and threshold,
-// BQS vs FBQS) and a bounded random-walk stream (steps and time deltas).
+// BQS vs FBQS) and one of three stream shapes aimed at the vector
+// kernel's edge cases:
+//   0  bounded random walk (the original mixed regime);
+//   1  stationary sliver run — a parked device jittering inside a small
+//      fraction of epsilon with rare escape jumps, the regime that lives
+//      entirely on the fused trivial-screen path;
+//   2  lane-boundary splits — straight includable runs broken by forced
+//      splits at byte-chosen periods, so splits land on every lane
+//      offset of the 2- and 4-wide groups and chunk tails of every
+//      residue get exercised.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "common/simd.h"
 #include "core/bqs_compressor.h"
 #include "core/fbqs_compressor.h"
 #include "core/options.h"
@@ -24,6 +36,7 @@
 namespace {
 
 using bqs_fuzz::FuzzInput;
+namespace simd = bqs::simd;
 
 constexpr std::size_t kMaxPoints = 512;
 
@@ -74,6 +87,82 @@ void ReportMismatch(const bqs::BqsOptions& options, bool use_fbqs,
   std::abort();
 }
 
+void ReportTierMismatch(simd::Tier tier, const bqs::BqsOptions& options,
+                        bool use_fbqs,
+                        const std::vector<bqs::TrackPoint>& points,
+                        const bqs::CompressedTrajectory& native,
+                        const bqs::CompressedTrajectory& forced) {
+  std::fprintf(stderr,
+               "tier mismatch vs %s: algo=%s eps=%.6f metric=%d rot=%d "
+               "trivial=%d points=%zu native_keys=%zu forced_keys=%zu\n",
+               simd::TierName(tier), use_fbqs ? "FBQS" : "BQS",
+               options.epsilon, static_cast<int>(options.metric),
+               options.data_centric_rotation ? 1 : 0,
+               options.paper_trivial_include ? 1 : 0, points.size(),
+               native.keys.size(), forced.keys.size());
+  std::abort();
+}
+
+// Stationary sliver run: jitter inside jitter_frac * epsilon of an
+// anchor, escaping by several epsilon every escape_every points. The
+// trivial screen carries the whole run; escapes retire the segment and
+// restart it with a fresh (empty-warm-up) origin.
+std::vector<bqs::TrackPoint> StationaryStream(FuzzInput& in, double epsilon) {
+  std::vector<bqs::TrackPoint> points;
+  const double jitter = epsilon * in.Range(0.01, 0.45);
+  const int escape_every = in.IntIn(9, 97);
+  bqs::TrackPoint current;
+  double anchor_x = 0.0;
+  double anchor_y = 0.0;
+  while (!in.empty() && points.size() < kMaxPoints) {
+    if (static_cast<int>(points.size() + 1) % escape_every == 0) {
+      anchor_x += epsilon * in.Range(2.0, 6.0);
+      anchor_y += epsilon * in.Step(6.0);
+    }
+    current.pos.x = anchor_x + in.Step(jitter);
+    current.pos.y = anchor_y + in.Step(jitter);
+    current.t += in.Range(0.0, 2.0);
+    points.push_back(current);
+  }
+  return points;
+}
+
+// Lane-boundary splits: straight includable steps, with a jump of
+// 3 * epsilon perpendicular to the run every run_len points. Odd
+// run_len values walk the split across every lane offset mod 2 and
+// mod 4, and whatever length the byte budget yields leaves unaligned
+// chunk tails behind each restart.
+std::vector<bqs::TrackPoint> LaneBoundaryStream(FuzzInput& in,
+                                                double epsilon) {
+  std::vector<bqs::TrackPoint> points;
+  const int run_len = in.IntIn(1, 19);
+  const double step = epsilon * in.Range(0.05, 0.45);
+  bqs::TrackPoint current;
+  while (!in.empty() && points.size() < kMaxPoints) {
+    if (static_cast<int>(points.size() + 1) % run_len == 0) {
+      current.pos.y += 3.0 * epsilon;
+    }
+    current.pos.x += step;
+    current.t += in.Range(0.0, 2.0);
+    points.push_back(current);
+  }
+  return points;
+}
+
+std::vector<bqs::TrackPoint> RandomWalkStream(FuzzInput& in, double epsilon) {
+  std::vector<bqs::TrackPoint> points;
+  bqs::TrackPoint current;
+  const double step_limit = epsilon * 4.0;
+  while (!in.empty() && points.size() < kMaxPoints) {
+    current.pos.x += in.Step(step_limit);
+    current.pos.y += in.Step(step_limit);
+    current.t += in.Range(0.0, 2.0);
+    current.velocity = {in.Step(16.0), in.Step(16.0)};
+    points.push_back(current);
+  }
+  return points;
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
@@ -98,19 +187,19 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
   options.adaptive_resolver_threshold = in.IntIn(2, 64);
   const bool use_fbqs = in.Bool();
 
-  // Bounded random walk: steps up to ~4x epsilon so streams mix trivially-
-  // included, prunable, and splitting points; occasional repeated or
-  // backward-in-time stamps probe the compressor's robustness too.
   std::vector<bqs::TrackPoint> points;
-  bqs::TrackPoint current;
-  current.t = 0.0;
-  const double step_limit = options.epsilon * 4.0;
-  while (!in.empty() && points.size() < kMaxPoints) {
-    current.pos.x += in.Step(step_limit);
-    current.pos.y += in.Step(step_limit);
-    current.t += in.Range(0.0, 2.0);
-    current.velocity = {in.Step(16.0), in.Step(16.0)};
-    points.push_back(current);
+  switch (in.IntIn(0, 2)) {
+    case 1:
+      points = StationaryStream(in, options.epsilon);
+      break;
+    case 2:
+      points = LaneBoundaryStream(in, options.epsilon);
+      break;
+    default:
+      // Bounded random walk: steps up to ~4x epsilon so streams mix
+      // trivially-included, prunable, and splitting points.
+      points = RandomWalkStream(in, options.epsilon);
+      break;
   }
 
   bqs::BqsOptions fast_options = options;
@@ -125,6 +214,23 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
 
   if (!(fast.keys == reference.keys)) {
     ReportMismatch(options, use_fbqs, points, fast, reference);
+  }
+
+  // Cross-tier sweep: the fast kernel's output must not depend on which
+  // SIMD tier ran the batch screen. Each forced tier is clamped to what
+  // the CPU supports, so on non-AVX2 hosts some of these degenerate to
+  // re-running the same tier — harmless. (A forced tier outranks the
+  // BQS_FORCE_SCALAR env knob, so under the CI forced-scalar job the
+  // native run above is scalar while this sweep still drives the
+  // hardware tiers — the differential holds in both directions.)
+  for (const simd::Tier tier :
+       {simd::Tier::kScalar, simd::Tier::kSse2, simd::Tier::kAvx2}) {
+    const simd::ScopedForceTier guard(tier);
+    const bqs::CompressedTrajectory forced =
+        RunOne(fast_options, use_fbqs, points);
+    if (!(forced.keys == fast.keys)) {
+      ReportTierMismatch(tier, options, use_fbqs, points, fast, forced);
+    }
   }
   return 0;
 }

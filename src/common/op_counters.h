@@ -15,6 +15,7 @@
 #define BQS_COMMON_OP_COUNTERS_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 namespace bqs {
@@ -31,6 +32,13 @@ struct Counters {
   std::atomic<uint64_t> sqrt_calls{0};
   /// Full QuadrantBound significant-point recomputations.
   std::atomic<uint64_t> significant_rebuilds{0};
+  /// Batch-kernel points decided by the 4-wide (AVX2) conclusive screen.
+  std::atomic<uint64_t> batch_lanes4_points{0};
+  /// Batch-kernel points decided by the 2-wide (SSE2) conclusive screen.
+  std::atomic<uint64_t> batch_lanes2_points{0};
+  /// Batch-kernel points decided on the per-point scalar path (warm-up,
+  /// inconclusive/fallback lanes, scalar tails, and the scalar tier).
+  std::atomic<uint64_t> batch_scalar_points{0};
 };
 
 inline Counters& Global() {
@@ -47,17 +55,38 @@ inline void CountSqrt(uint64_t n = 1) {
 inline void CountSignificantRebuild() {
   Global().significant_rebuilds.fetch_add(1, std::memory_order_relaxed);
 }
+/// Bulk-flushed once per batch (not per point) so the vector fast path
+/// never pays a per-point atomic.
+inline void CountBatchLanePoints(std::size_t lanes, uint64_t n) {
+  if (n == 0) return;
+  Counters& c = Global();
+  if (lanes >= 4) {
+    c.batch_lanes4_points.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    c.batch_lanes2_points.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+inline void CountBatchScalarPoints(uint64_t n) {
+  if (n == 0) return;
+  Global().batch_scalar_points.fetch_add(n, std::memory_order_relaxed);
+}
 
 /// Plain-value snapshot for before/after deltas in benches and tests.
 struct Snapshot {
   uint64_t atan2_calls = 0;
   uint64_t sqrt_calls = 0;
   uint64_t significant_rebuilds = 0;
+  uint64_t batch_lanes4_points = 0;
+  uint64_t batch_lanes2_points = 0;
+  uint64_t batch_scalar_points = 0;
 
   Snapshot Delta(const Snapshot& earlier) const {
     return {atan2_calls - earlier.atan2_calls,
             sqrt_calls - earlier.sqrt_calls,
-            significant_rebuilds - earlier.significant_rebuilds};
+            significant_rebuilds - earlier.significant_rebuilds,
+            batch_lanes4_points - earlier.batch_lanes4_points,
+            batch_lanes2_points - earlier.batch_lanes2_points,
+            batch_scalar_points - earlier.batch_scalar_points};
   }
 };
 
@@ -65,7 +94,10 @@ inline Snapshot Read() {
   const Counters& c = Global();
   return {c.atan2_calls.load(std::memory_order_relaxed),
           c.sqrt_calls.load(std::memory_order_relaxed),
-          c.significant_rebuilds.load(std::memory_order_relaxed)};
+          c.significant_rebuilds.load(std::memory_order_relaxed),
+          c.batch_lanes4_points.load(std::memory_order_relaxed),
+          c.batch_lanes2_points.load(std::memory_order_relaxed),
+          c.batch_scalar_points.load(std::memory_order_relaxed)};
 }
 
 }  // namespace ops

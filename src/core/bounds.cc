@@ -20,12 +20,6 @@ double PathDistance(Vec2 p, Vec2 end, DistanceMetric metric) {
   return PointDeviation(p, Vec2{0.0, 0.0}, end, metric);
 }
 
-// Third largest of four values (Theorem 5.5's corner term).
-double ThirdLargest(double a, double b, double c, double d) {
-  double v[4] = {a, b, c, d};
-  std::sort(v, v + 4);  // ascending: v[1] is the 3rd largest.
-  return v[1];
-}
 
 }  // namespace
 
@@ -105,7 +99,7 @@ DeviationBounds QuadrantDeviationBounds(
                          : std::max({dl1, dl2, du1, du2, dcn, dcf});  // (11)
     } else {
       bounds.lower = std::max({std::min(dl1, dl2), std::min(du1, du2),
-                               ThirdLargest(dc[0], dc[1], dc[2], dc[3])});
+                               detail::ThirdLargest(dc[0], dc[1], dc[2], dc[3])});
       bounds.upper = std::max({dc[0], dc[1], dc[2], dc[3]});  // (10)
     }
     if (bounds.lower > bounds.upper) bounds.lower = bounds.upper;
@@ -153,7 +147,7 @@ DeviationBounds QuadrantDeviationBounds(
     // min{d(u1), d(l2)}; by symmetry with Eq. (7) we implement the safe
     // reading min{d(u1), d(u2)} (see DESIGN.md, paper-faithfulness notes).
     bounds.lower = std::max({std::min(dl1, dl2), std::min(du1, du2),
-                             ThirdLargest(dc[0], dc[1], dc[2], dc[3]),
+                             detail::ThirdLargest(dc[0], dc[1], dc[2], dc[3]),
                              dpoints});
     bounds.upper = std::max({dc[0], dc[1], dc[2], dc[3]});  // Eq. (10)
   }
@@ -162,121 +156,6 @@ DeviationBounds QuadrantDeviationBounds(
   // floating-point inversion is collapsed conservatively.
   if (bounds.lower > bounds.upper) bounds.lower = bounds.upper;
   return bounds;
-}
-
-namespace {
-
-// Verdict of the fast wedge-membership test against one slack boundary:
-// +1 definitely inside, -1 definitely outside, 0 inside the guard band
-// (caller falls back). `t` is the signed cross product; `slack_sq` is the
-// square of the reference's relative slack for this pair. The reference
-// condition is t >= -slack: t >= 0 settles it; t < 0 reduces to
-// t^2 <= slack^2, tested with a relative band wide enough to absorb the
-// reference's hypot-vs-NormSq rounding (~1e-15 relative vs a 1e-10 band).
-int WedgeSide(double t, double slack_sq) {
-  if (t >= 0.0) return 1;
-  const double t2 = t * t;
-  if (t2 <= slack_sq * (1.0 - 1e-10)) return 1;
-  if (t2 >= slack_sq * (1.0 + 1e-10)) return -1;
-  return 0;
-}
-
-}  // namespace
-
-FastQuadrantBounds QuadrantFastBounds(const QuadrantBound& qb, Vec2 end,
-                                      bool end_in_quadrant,
-                                      DistanceMetric metric,
-                                      BoundsMode mode) {
-  const QuadrantBound::SignificantPoints& sig = qb.Significant();
-  FastQuadrantBounds out;
-
-  // Candidate values in the comparison domain. Line metric: the |cross|
-  // magnitude is computed with the same expression as the reference's
-  // PointToLineDistance numerator (end.Cross(p)), so the min/max
-  // compositions below select the same candidates the reference selects
-  // after its (monotone) division by |end|. Segment metric: squared
-  // distances from the same closest points the reference uses.
-  const bool line = metric == DistanceMetric::kPointToLine;
-  const Vec2 s{0.0, 0.0};
-  const auto value = [&](Vec2 p) {
-    return line ? std::fabs(end.Cross(p)) : PointToSegmentDistanceSq(p, s, end);
-  };
-
-  const double vl1 = value(sig.l1);
-  const double vl2 = value(sig.l2);
-  const double vu1 = value(sig.u1);
-  const double vu2 = value(sig.u2);
-  const double vc[4] = {value(sig.corners[0]), value(sig.corners[1]),
-                        value(sig.corners[2]), value(sig.corners[3])};
-  // near/far corners are bitwise copies of corner entries: reuse their
-  // already-computed values instead of re-evaluating.
-  const double vcn = vc[sig.near_corner_index];
-  const double vcf = vc[sig.far_corner_index];
-
-  if (mode == BoundsMode::kPaperEq8) {
-    if (end_in_quadrant) {
-      out.lower = std::max({std::min(vl1, vl2), std::min(vu1, vu2),
-                            std::max(vcn, vcf)});
-      out.upper = line ? std::max({vl1, vl2, vu1, vu2})
-                       : std::max({vl1, vl2, vu1, vu2, vcn, vcf});
-    } else {
-      out.lower = std::max({std::min(vl1, vl2), std::min(vu1, vu2),
-                            ThirdLargest(vc[0], vc[1], vc[2], vc[3])});
-      out.upper = std::max({vc[0], vc[1], vc[2], vc[3]});
-    }
-    if (out.lower > out.upper) out.lower = out.upper;
-    return out;
-  }
-
-  // Only the kSound compositions consume the extreme-point term.
-  const double vpoints =
-      std::max(value(sig.min_angle_point), value(sig.max_angle_point));
-
-  // In-wedge corners (see the reference composition). Only the in-quadrant
-  // upper bound consumes this term, so the band-sensitive test runs only
-  // when its verdict can matter.
-  double vwedge = 0.0;
-  if (end_in_quadrant) {
-    const Vec2 pmin = sig.min_angle_point;
-    const Vec2 pmax = sig.max_angle_point;
-    const double nmin = pmin.NormSq();
-    const double nmax = pmax.NormSq();
-    for (std::size_t i = 0; i < 4; ++i) {
-      const Vec2 c = sig.corners[i];
-      const double nc = c.NormSq();
-      const int side_min = WedgeSide(pmin.Cross(c), 1e-18 * nmin * nc);
-      const int side_max = WedgeSide(c.Cross(pmax), 1e-18 * nmax * nc);
-      if (side_min == 0 || side_max == 0) {
-        out.ok = false;
-        return out;
-      }
-      if (side_min > 0 && side_max > 0) vwedge = std::max(vwedge, vc[i]);
-    }
-  }
-
-  if (!line) {
-    double edge_lb = 0.0;
-    for (std::size_t i = 0; i < 4; ++i) {
-      edge_lb = std::max(edge_lb,
-                         SegmentToSegmentDistanceSq(
-                             sig.corners[i], sig.corners[(i + 1) % 4], s, end));
-    }
-    out.lower = std::max(edge_lb, vpoints);
-    out.upper = end_in_quadrant
-                    ? std::max({vl1, vl2, vu1, vu2, vcn, vcf, vpoints, vwedge})
-                    : std::max({vc[0], vc[1], vc[2], vc[3]});
-  } else if (end_in_quadrant) {
-    out.lower = std::max({std::min(vl1, vl2), std::min(vu1, vu2),
-                          std::max(vcn, vcf), vpoints});
-    out.upper = std::max({vl1, vl2, vu1, vu2, vcn, vcf, vpoints, vwedge});
-  } else {
-    out.lower = std::max({std::min(vl1, vl2), std::min(vu1, vu2),
-                          ThirdLargest(vc[0], vc[1], vc[2], vc[3]), vpoints});
-    out.upper = std::max({vc[0], vc[1], vc[2], vc[3]});
-  }
-
-  if (out.lower > out.upper) out.lower = out.upper;
-  return out;
 }
 
 DeviationBounds BoxDeviationBounds(const QuadrantBound& qb, Vec2 end,

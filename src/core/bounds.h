@@ -6,12 +6,30 @@
 #ifndef BQS_CORE_BOUNDS_H_
 #define BQS_CORE_BOUNDS_H_
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
 #include "core/options.h"
 #include "core/quadrant_bound.h"
 #include "geometry/line2.h"
 #include "geometry/vec2.h"
 
 namespace bqs {
+
+namespace detail {
+/// Third largest of four values (Theorem 5.5's corner term): the classic
+/// 4-element median network — second smallest = min(max of the pairwise
+/// minima, min of the pairwise maxima). Branch-free, same value a sort
+/// would select.
+inline double ThirdLargest(double a, double b, double c, double d) {
+  const double lo_ab = std::min(a, b);
+  const double hi_ab = std::max(a, b);
+  const double lo_cd = std::min(c, d);
+  const double hi_cd = std::max(c, d);
+  return std::min(std::max(lo_ab, lo_cd), std::min(hi_ab, hi_cd));
+}
+}  // namespace detail
 
 /// A lower/upper bound pair on the maximum deviation.
 struct DeviationBounds {
@@ -75,9 +93,99 @@ struct FastQuadrantBounds {
     ok = ok && other.ok;
   }
 };
-FastQuadrantBounds QuadrantFastBounds(const QuadrantBound& qb, Vec2 end,
-                                      bool end_in_quadrant,
-                                      DistanceMetric metric, BoundsMode mode);
+/// Inline: the conclusive fast path calls this a few times per assessed
+/// point, and keeping it visible to the caller's TU removes the hottest
+/// cross-TU call in the engine.
+inline FastQuadrantBounds QuadrantFastBounds(const QuadrantBound& qb,
+                                             Vec2 end, bool end_in_quadrant,
+                                             DistanceMetric metric,
+                                             BoundsMode mode) {
+  const QuadrantBound::SignificantPoints& sig = qb.Significant();
+  FastQuadrantBounds out;
+
+  // Candidate values in the comparison domain. Line metric: the |cross|
+  // magnitude is computed with the same expression as the reference's
+  // PointToLineDistance numerator (end.Cross(p)), so the min/max
+  // compositions below select the same candidates the reference selects
+  // after its (monotone) division by |end|. Segment metric: squared
+  // distances from the same closest points the reference uses.
+  const bool line = metric == DistanceMetric::kPointToLine;
+  const Vec2 s{0.0, 0.0};
+  const auto value = [&](Vec2 p) {
+    return line ? std::fabs(end.Cross(p)) : PointToSegmentDistanceSq(p, s, end);
+  };
+
+  const double vl1 = value(sig.l1);
+  const double vl2 = value(sig.l2);
+  const double vu1 = value(sig.u1);
+  const double vu2 = value(sig.u2);
+  const double vc[4] = {value(sig.corners[0]), value(sig.corners[1]),
+                        value(sig.corners[2]), value(sig.corners[3])};
+  // near/far corners are bitwise copies of corner entries: reuse their
+  // already-computed values instead of re-evaluating.
+  const double vcn = vc[sig.near_corner_index];
+  const double vcf = vc[sig.far_corner_index];
+
+  if (mode == BoundsMode::kPaperEq8) {
+    if (end_in_quadrant) {
+      out.lower = std::max({std::min(vl1, vl2), std::min(vu1, vu2),
+                            std::max(vcn, vcf)});
+      out.upper = line ? std::max({vl1, vl2, vu1, vu2})
+                       : std::max({vl1, vl2, vu1, vu2, vcn, vcf});
+    } else {
+      out.lower = std::max({std::min(vl1, vl2), std::min(vu1, vu2),
+                            detail::ThirdLargest(vc[0], vc[1], vc[2], vc[3])});
+      out.upper = std::max({vc[0], vc[1], vc[2], vc[3]});
+    }
+    if (out.lower > out.upper) out.lower = out.upper;
+    return out;
+  }
+
+  // Only the kSound compositions consume the extreme-point term.
+  const double vpoints =
+      std::max(value(sig.min_angle_point), value(sig.max_angle_point));
+
+  // In-wedge corners (see the reference composition). Only the in-quadrant
+  // upper bound consumes this term; the band-sensitive classification is
+  // end-independent and cached with the significant points.
+  double vwedge = 0.0;
+  if (end_in_quadrant) {
+    if (!sig.wedge_ok) {
+      out.ok = false;
+      return out;
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (sig.corner_in_wedge[i]) vwedge = std::max(vwedge, vc[i]);
+    }
+  }
+
+  if (!line) {
+    double edge_lb = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      edge_lb = std::max(edge_lb,
+                         SegmentToSegmentDistanceSq(
+                             sig.corners[i], sig.corners[(i + 1) % 4], s, end));
+    }
+    out.lower = std::max(edge_lb, vpoints);
+    out.upper = end_in_quadrant
+                    ? std::max({vl1, vl2, vu1, vu2, vcn, vcf, vpoints, vwedge})
+                    : std::max({vc[0], vc[1], vc[2], vc[3]});
+  } else if (end_in_quadrant) {
+    out.lower = std::max({std::min(vl1, vl2), std::min(vu1, vu2),
+                          std::max(vcn, vcf), vpoints});
+    out.upper = std::max({vl1, vl2, vu1, vu2, vcn, vcf, vpoints, vwedge});
+  } else {
+    out.lower = std::max({std::min(vl1, vl2), std::min(vu1, vu2),
+                          detail::ThirdLargest(vc[0], vc[1], vc[2], vc[3]),
+                          vpoints});
+    out.upper = std::max({vc[0], vc[1], vc[2], vc[3]});
+  }
+
+  // The bounds sandwich the true maximum, so lower <= upper must hold; any
+  // floating-point inversion is collapsed conservatively.
+  if (out.lower > out.upper) out.lower = out.upper;
+  return out;
+}
 
 /// Loose whole-box bounds of Theorem 5.2 (min/max corner distance). Used as
 /// a baseline in the bound-tightness ablation; the compressors use

@@ -1,6 +1,7 @@
 #include "core/quadrant_bound.h"
 
 #include <cmath>
+#include <cstddef>
 #include <limits>
 
 #include "common/op_counters.h"
@@ -39,15 +40,24 @@ void QuadrantBound::AddWithAngle(Vec2 p, double theta) {
   }
 }
 
-bool QuadrantBound::AddCross(Vec2 p) {
+bool QuadrantBound::AddCross(Vec2 p, bool* changed) {
   ++count_;
-  box_.Extend(p);
-  sig_valid_ = false;
+  // Geometry-change detection: a point inside the box that displaces
+  // neither extreme leaves every significant point bit-identical, so the
+  // cache (and the caller's derived state) can survive the add. The
+  // Contains pre-test is conservative for non-finite coordinates (they
+  // compare false and take the Extend path).
+  bool grew = count_ == 1 || !box_.Contains(p);
+  if (grew) box_.Extend(p);
   if (count_ == 1) {
     min_angle_point_ = p;
     max_angle_point_ = p;
+    sig_valid_ = false;
+    if (changed != nullptr) *changed = true;
     return false;
   }
+  const Vec2 old_min = min_angle_point_;
+  const Vec2 old_max = max_angle_point_;
   // Within one quadrant the angular spread is < pi/2, so cross sign is
   // angle order: cross(a, b) > 0 iff theta(b) > theta(a). min_angle_/
   // max_angle_ stay at their Reset() sentinels; the accessors derive
@@ -62,7 +72,11 @@ bool QuadrantBound::AddCross(Vec2 p) {
   // A bitwise-identical point is a pure tie for both kernels and skips
   // the band (stationary runs stay transcendental-free). Outside the
   // band, cross sign and the strict theta compare provably agree.
-  if (p == min_angle_point_ && p == max_angle_point_) return false;
+  if (p == min_angle_point_ && p == max_angle_point_) {
+    if (grew) sig_valid_ = false;
+    if (changed != nullptr) *changed = grew;
+    return false;
+  }
   const auto theta_of = [](Vec2 v) {
     ops::CountAtan2();
     return NormalizeAngle2Pi(std::atan2(v.y, v.x));
@@ -94,6 +108,10 @@ bool QuadrantBound::AddCross(Vec2 p) {
   } else if (cross_max > 0.0) {
     max_angle_point_ = p;
   }
+  const bool moved =
+      grew || !(min_angle_point_ == old_min) || !(max_angle_point_ == old_max);
+  if (moved) sig_valid_ = false;
+  if (changed != nullptr) *changed = moved;
   return deferred;
 }
 
@@ -111,14 +129,6 @@ double QuadrantBound::max_angle() const {
         std::atan2(max_angle_point_.y, max_angle_point_.x));
   }
   return max_angle_;
-}
-
-const QuadrantBound::SignificantPoints& QuadrantBound::Significant() const {
-  if (!sig_valid_) {
-    sig_cache_ = ComputeSignificant();
-    sig_valid_ = true;
-  }
-  return sig_cache_;
 }
 
 QuadrantBound::SignificantPoints QuadrantBound::ComputeSignificant() const {
@@ -167,6 +177,23 @@ QuadrantBound::SignificantPoints QuadrantBound::ComputeSignificant() const {
   } else {
     sig.u1 = max_angle_point_;
     sig.u2 = max_angle_point_;
+  }
+
+  // End-independent wedge classification (fast kernel; see FastWedgeSide).
+  // Hoisted here so neither the per-point composition nor the vector
+  // screen's marshalling redoes the eight cross products per use.
+  const double nmin = min_angle_point_.NormSq();
+  const double nmax = max_angle_point_.NormSq();
+  sig.wedge_ok = true;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Vec2 c = sig.corners[i];
+    const double nc = c.NormSq();
+    const int side_min =
+        FastWedgeSide(min_angle_point_.Cross(c), 1e-18 * nmin * nc);
+    const int side_max =
+        FastWedgeSide(c.Cross(max_angle_point_), 1e-18 * nmax * nc);
+    if (side_min == 0 || side_max == 0) sig.wedge_ok = false;
+    sig.corner_in_wedge[i] = side_min > 0 && side_max > 0;
   }
   return sig;
 }

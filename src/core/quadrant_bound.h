@@ -38,6 +38,25 @@
 
 namespace bqs {
 
+/// Verdict of the fast wedge-membership test against one slack boundary:
+/// +1 definitely inside, -1 definitely outside, 0 inside the guard band
+/// (caller falls back). `t` is the signed cross product; `slack_sq` is
+/// the square of the reference's relative slack for this pair. The
+/// reference condition is t >= -slack: t >= 0 settles it; t < 0 reduces
+/// to t^2 <= slack^2, tested with a relative band wide enough to absorb
+/// the reference's hypot-vs-NormSq rounding (~1e-15 relative vs a 1e-10
+/// band). The test is end-independent, which is what lets
+/// ComputeSignificant() classify the corners once per quadrant mutation
+/// (SignificantPoints::corner_in_wedge / wedge_ok) instead of the fast
+/// composition and the vector screen redoing it per point.
+inline int FastWedgeSide(double t, double slack_sq) {
+  if (t >= 0.0) return 1;
+  const double t2 = t * t;
+  if (t2 <= slack_sq * (1.0 - 1e-10)) return 1;
+  if (t2 >= slack_sq * (1.0 + 1e-10)) return -1;
+  return 0;
+}
+
 /// One quadrant's bounding state. Constant-size: a box, two angles, and a
 /// point count — this is what makes FBQS O(1) space.
 class QuadrantBound {
@@ -67,7 +86,13 @@ class QuadrantBound {
   /// rounding could order them differently and the reference's theta
   /// compare was replicated instead (the engine counts it as a kernel
   /// fallback); false on the pure cross-product path.
-  bool AddCross(Vec2 p);
+  ///
+  /// `changed`, when non-null, is set to whether the call changed the
+  /// bounding geometry (box or extreme points) at all. Interior points of
+  /// a well-covered quadrant leave it false, in which case the cached
+  /// significant points — and anything derived from them, like the vector
+  /// screen's marshalled candidate sets — remain valid.
+  bool AddCross(Vec2 p, bool* changed = nullptr);
 
   bool empty() const { return count_ == 0; }
   uint64_t count() const { return count_; }
@@ -99,12 +124,28 @@ class QuadrantBound {
     /// bound computation stays sound when a bounding ray grazes a box
     /// corner and the ray/box intersection degenerates numerically.
     Vec2 min_angle_point, max_angle_point;
+    /// End-independent wedge classification of the corners against the
+    /// angular extremes (fast kernel): corner_in_wedge[i] marks corners
+    /// strictly inside the wedge (their value joins the in-quadrant upper
+    /// bound); wedge_ok is false when any corner sits inside the guard
+    /// band of the wedge test, forcing in-quadrant ends to the reference
+    /// fallback. Cached here because the per-end fast composition would
+    /// otherwise redo eight cross products per point.
+    std::array<bool, 4> corner_in_wedge{};
+    bool wedge_ok = true;
   };
 
-  /// The significant points, cached: recomputed at most once per Add*()
-  /// and shared by every bounds query until the next point lands (the
-  /// fast kernel's per-push saving). Precondition: !empty().
-  const SignificantPoints& Significant() const;
+  /// The significant points, cached: recomputed at most once per
+  /// geometry-changing Add*() and shared by every bounds query until the
+  /// next such mutation (the fast kernel's per-push saving).
+  /// Precondition: !empty().
+  const SignificantPoints& Significant() const {
+    if (!sig_valid_) {
+      sig_cache_ = ComputeSignificant();
+      sig_valid_ = true;
+    }
+    return sig_cache_;
+  }
 
   /// Unconditionally recomputes the significant points (the seed's
   /// per-push cost; reference kernel and the cached-vs-recomputed micro

@@ -38,7 +38,8 @@ bool NearAxisSliver(Vec2 v) {
 /// sqrt-bearing scan would feed into its max, so the verdict matches the
 /// reference comparison outside the band by monotonicity.
 int SquaredDeviationVerdict(const TrackPoint* pts, std::size_t n, Vec2 a,
-                            Vec2 b, DistanceMetric metric, double eps) {
+                            Vec2 b, DistanceMetric metric, double eps,
+                            const simd::KernelTable& kernels) {
   constexpr double kBandLo = 1.0 - 1e-12;
   constexpr double kBandHi = 1.0 + 1e-12;
   double vmax = 0.0;
@@ -46,9 +47,11 @@ int SquaredDeviationVerdict(const TrackPoint* pts, std::size_t n, Vec2 a,
   if (metric == DistanceMetric::kPointToLine) {
     const Vec2 d = b - a;
     if (d == Vec2{0.0, 0.0}) return 0;  // degenerate: reference semantics.
-    for (std::size_t i = 0; i < n; ++i) {
-      vmax = std::max(vmax, std::fabs(d.Cross(pts[i].pos - a)));
-    }
+    // max over |d x (p - a)| through the active SIMD tier: max over fabs
+    // values is associative/commutative bitwise, so the lane-parallel
+    // reduction returns the same bits as the scalar scan.
+    vmax = kernels.max_abs_cross(reinterpret_cast<const unsigned char*>(pts),
+                                 sizeof(TrackPoint), n, a.x, a.y, d.x, d.y);
     vmax *= vmax;
     threshold = eps * eps * d.NormSq();
   } else {
@@ -69,7 +72,8 @@ SegmentEngine::SegmentEngine(const BqsOptions& options, bool exact_mode)
       exact_mode_(exact_mode),
       fast_kernel_(options.bound_kernel == BoundKernel::kFast),
       quadrants_{QuadrantBound(0), QuadrantBound(1), QuadrantBound(2),
-                 QuadrantBound(3)} {
+                 QuadrantBound(3)},
+      kernels_(&simd::KernelsFor(simd::ActiveTier())) {
   // Misconfiguration is a caller bug (BqsOptions::Validate() rejects it),
   // but nothing forces callers through Validate() and an out-of-range
   // warm-up length would index past the fixed warm-up buffer — so assert
@@ -80,6 +84,24 @@ SegmentEngine::SegmentEngine(const BqsOptions& options, bool exact_mode)
                                         BqsOptions::kMaxRotationWarmup);
   options_.adaptive_resolver_threshold =
       std::max(options_.adaptive_resolver_threshold, 1);
+  trivial_eps_sq_ = options_.epsilon * options_.epsilon;
+  // The vector conclusive screen mass-includes trivial points whose
+  // decision is a pure function of (rel_rot, quadrant state): the fast
+  // kernel's upper-bound test under the line metric, or the paper's
+  // unconditional trivial include (any kernel/metric). The segment metric
+  // without the paper rule keeps per-point directional state, so it stays
+  // on the scalar path.
+  screen_vector_ = kernels_->tier != simd::Tier::kScalar;
+  screen_enabled_ =
+      screen_vector_ &&
+      (options_.paper_trivial_include ||
+       (fast_kernel_ && options_.metric == DistanceMetric::kPointToLine));
+  screen_warmup_ok_ = screen_vector_ && fast_kernel_ &&
+                      options_.metric == DistanceMetric::kPointToLine;
+  // Screen a few vector-widths per call: enough lanes to amortize the
+  // dispatch-call overhead, few enough that a quadrant mutation (which
+  // invalidates screened-ahead verdicts) discards little work.
+  screen_group_ = 8 * kernels_->lanes;
   Reset();
 }
 
@@ -114,14 +136,23 @@ void SegmentEngine::Push(const TrackPoint& pt, std::vector<KeyPoint>* out) {
 
 void SegmentEngine::PushBatch(std::span<const TrackPoint> pts,
                               std::vector<KeyPoint>* out) {
+  PushView(PointView(pts), out);
+}
+
+void SegmentEngine::PushRecords(std::span<const FleetRecord> run,
+                                std::vector<KeyPoint>* out) {
+  PushView(PointView(run), out);
+}
+
+void SegmentEngine::PushView(PointView pts, std::vector<KeyPoint>* out) {
   if (pts.empty()) return;
   if (!have_first_) {
     have_first_ = true;
     const uint64_t index = next_index_++;
     ++stats_.points;
-    EmitKey(pts.front(), index, out);
-    StartSegment(pts.front(), index);
-    pts = pts.subspan(1);
+    EmitKey(pts[0], index, out);
+    StartSegment(pts[0], index);
+    pts = pts.Sub(1, pts.size() - 1);
     if (pts.empty()) return;
   }
   stats_.points += pts.size();
@@ -132,55 +163,219 @@ void SegmentEngine::PushBatch(std::span<const TrackPoint> pts,
   }
 }
 
-void SegmentEngine::PrepareBatch(std::span<const TrackPoint> pts) {
-  const std::size_t n = pts.size();
-  if (batch_rx_.size() < n) {
-    batch_rx_.resize(kBatchChunk);
-    batch_ry_.resize(kBatchChunk);
-    batch_nsq_.resize(kBatchChunk);
-  }
-  // Straight-line SoA transform: the origin subtraction, the cached-cos/sin
-  // rotation and |rel|^2 use the same expressions as the scalar path
-  // (Assess), so the prepared values are bit-identical to what Push would
+void SegmentEngine::PrepareBatch(PointView pts) {
+  if (!scratch_) scratch_ = std::make_unique<BatchScratch>();
+  // Straight-line SoA transform through the active tier's pre-rotation
+  // kernel: the origin subtraction, the cached-cos/sin rotation and
+  // |rel|^2 use the same expressions as the scalar path (Assess) on every
+  // tier, so the prepared values are bit-identical to what Push would
   // compute point by point.
   const Vec2 origin = segment_start_.pos;
-  for (std::size_t j = 0; j < n; ++j) {
-    const Vec2 rel = pts[j].pos - origin;
-    batch_nsq_[j] = rel.NormSq();
-    const Vec2 rot = ToRotatedFrame(rel);
-    batch_rx_[j] = rot.x;
-    batch_ry_[j] = rot.y;
-  }
+  kernels_->prepare_rotated(pts.base(), pts.stride(), pts.size(), origin.x,
+                            origin.y, rot_cos_, rot_sin_, scratch_->rx,
+                            scratch_->ry, scratch_->nsq);
 }
 
 template <bool kProbed>
-void SegmentEngine::RunBatch(std::span<const TrackPoint> pts,
-                             std::vector<KeyPoint>* out) {
+void SegmentEngine::RunBatch(PointView pts, std::vector<KeyPoint>* out) {
   std::size_t i = 0;
   const std::size_t n = pts.size();
+  // Lane accounting is accumulated locally and bulk-flushed once per
+  // batch so the fast path never touches an atomic per point.
+  uint64_t screened_points = 0;
+  uint64_t scalar_points = 0;
   while (i < n) {
     if (!rotation_established_) {
-      // Warm-up (or rotation disabled mid-establishment): the segment
-      // frame is still in flux, take the scalar path point by point.
+      if constexpr (!kProbed) {
+        // Pre-rotation chunks. Stationary runs spend their whole life
+        // here: trivial points never feed the warm-up buffer, so a
+        // parked device's segment never establishes a rotation — which
+        // makes this path, not the rotated screen, the volume carrier
+        // on stop-and-go streams.
+        const bool trivial_only_mode =
+            options_.paper_trivial_include || warmup_count_ == 0;
+        if (screen_vector_ && trivial_only_mode) {
+          // Trivial-only screen: the decision for a trivial lane is the
+          // trivial test itself (the paper rule, or an empty warm-up
+          // buffer), so the fused kernel computes it in one pass with no
+          // SoA stores and no separate screen call.
+          const std::size_t chunk = std::min(n - i, batch_fill_);
+          if (!scratch_) scratch_ = std::make_unique<BatchScratch>();
+          BatchScratch& s = *scratch_;
+          const PointView sub = pts.Sub(i, chunk);
+          const Vec2 origin = segment_start_.pos;
+          kernels_->prepare_trivial(sub.base(), sub.stride(), sub.size(),
+                                    origin.x, origin.y, trivial_eps_sq_,
+                                    s.screen);
+          const uint64_t seg_mark = segment_start_index_;
+          bool split = false;
+          std::size_t j = 0;
+          while (j < chunk) {
+            if (s.screen[j] != 0) {
+              // Run of trivial lanes: include in bulk. Trivial includes
+              // mutate no decision state on this path.
+              std::size_t k = j + 1;
+              while (k < chunk && s.screen[k] != 0) ++k;
+              const std::size_t m = k - j;
+              stats_.trivial_includes += m;
+              next_index_ += m;
+              prev_ = pts[i + k - 1];
+              prev_index_ = next_index_ - 1;
+              screened_points += m;
+              j = k;
+              continue;
+            }
+            ProcessPoint<kProbed>(pts[i + j], next_index_++, out, 0);
+            ++scalar_points;
+            ++j;
+            split = segment_start_index_ != seg_mark;
+            if (split || rotation_established_ ||
+                (!options_.paper_trivial_include && warmup_count_ != 0)) {
+              // The origin moved, the frame changed, or trivial lanes now
+              // need the warm-up verdict: the fused verdicts are stale.
+              break;
+            }
+          }
+          i += j;
+          // Same fill adaptation as the rotated loop; establishment is
+          // expected once per segment and does not shrink the window.
+          batch_fill_ =
+              split ? kBatchSeed : std::min(batch_fill_ * 4, kBatchChunk);
+          continue;
+        }
+        if (screen_vector_ && screen_warmup_ok_) {
+          // Warm-up screen: trivial lanes must pass the warm-up deviation
+          // verdict against the buffered candidates. The frame is still
+          // the identity rotation, so the prepared rx/ry are exactly the
+          // unrotated rel the verdict consumes.
+          const std::size_t chunk = std::min(n - i, batch_fill_);
+          PrepareBatch(pts.Sub(i, chunk));
+          BatchScratch& s = *scratch_;
+          const uint64_t seg_mark = segment_start_index_;
+          bool split = false;
+          std::size_t screened_until = 0;
+          std::size_t j = 0;
+          while (j < chunk) {
+            if (j >= screened_until && s.nsq[j] <= trivial_eps_sq_) {
+              if (s.state_epoch != quad_epoch_) MarshalWarmupScreen();
+              const std::size_t g = std::min(chunk - j, screen_group_);
+              kernels_->screen_lanes(s.state, s.rx + j, s.ry + j,
+                                     s.nsq + j, g, s.screen + j);
+              screened_until = j + g;
+            }
+            if (j < screened_until && s.screen[j] != 0) {
+              std::size_t k = j + 1;
+              while (k < screened_until && s.screen[k] != 0) ++k;
+              const std::size_t m = k - j;
+              // Replicated scalar effects: each lane passed the warm-up
+              // check and was a trivial include.
+              stats_.warmup_checks += m;
+              stats_.trivial_includes += m;
+              next_index_ += m;
+              prev_ = pts[i + k - 1];
+              prev_index_ = next_index_ - 1;
+              screened_points += m;
+              j = k;
+              continue;
+            }
+            const uint64_t epoch_mark = quad_epoch_;
+            ProcessPoint<kProbed>(pts[i + j], next_index_++, out, 0);
+            ++scalar_points;
+            ++j;
+            split = segment_start_index_ != seg_mark;
+            if (split || rotation_established_) {
+              // A split moved the origin; establishment changed the
+              // frame. The prepared values are stale either way.
+              break;
+            }
+            if (quad_epoch_ != epoch_mark) screened_until = j;
+          }
+          i += j;
+          batch_fill_ =
+              split ? kBatchSeed : std::min(batch_fill_ * 4, kBatchChunk);
+          continue;
+        }
+      }
+      // Probe runs and unscreenable configurations: the scalar path,
+      // point by point.
       ProcessPoint<kProbed>(pts[i], next_index_++, out, 0);
+      ++scalar_points;
       ++i;
       continue;
     }
     const std::size_t chunk = std::min(n - i, batch_fill_);
-    PrepareBatch(pts.subspan(i, chunk));
+    PrepareBatch(pts.Sub(i, chunk));
+    BatchScratch& s = *scratch_;
     const uint64_t seg_mark = segment_start_index_;
     bool stale = false;
     std::size_t j = 0;
-    for (; j < chunk; ++j) {
+    // Lanes in [0, screened_until) hold screen verdicts computed against
+    // the current quadrant state; a mutation invalidates the remainder.
+    std::size_t screened_until = 0;
+    while (j < chunk) {
+      if constexpr (!kProbed) {
+        if (screen_enabled_) {
+          // Lazy group screen, gated on lane j being trivial: streams
+          // with few trivial points never pay for the screen at all. A
+          // screened group still resolves its non-trivial lanes (verdict
+          // 2 under kQuadrant mode), so mixed trivial/non-trivial runs
+          // harvest vector decisions for both kinds.
+          if (j >= screened_until && s.nsq[j] <= trivial_eps_sq_) {
+            if (s.state_epoch != quad_epoch_) MarshalScreenState();
+            const std::size_t g = std::min(chunk - j, screen_group_);
+            kernels_->screen_lanes(s.state, s.rx + j, s.ry + j, s.nsq + j, g,
+                                   s.screen + j);
+            screened_until = j + g;
+          }
+          if (j < screened_until && s.screen[j] == 1) {
+            // Run of conclusively-included trivial lanes: apply the
+            // scalar per-lane effects in bulk. Trivial includes never
+            // mutate the quadrant/exact state, so the whole run only
+            // advances the stream cursor and the stats counter.
+            std::size_t k = j + 1;
+            while (k < screened_until && s.screen[k] == 1) ++k;
+            const std::size_t m = k - j;
+            stats_.trivial_includes += m;
+            next_index_ += m;
+            prev_ = pts[i + k - 1];
+            prev_index_ = next_index_ - 1;
+            screened_points += m;
+            j = k;
+            continue;
+          }
+          if (j < screened_until && s.screen[j] == 2) {
+            // Non-trivial conclusive include: the vector proof implies
+            // FastAssess would return kInclude, so skip the scalar bound
+            // composition and apply IncludeByUpper's effects directly.
+            // The quadrant add can mutate decision state, invalidating
+            // screened-ahead verdicts like any scalar-lane mutation.
+            const uint64_t epoch_mark = quad_epoch_;
+            ++stats_.upper_bound_includes;
+            IncludeNonTrivial(pts[i + j], Vec2{s.rx[j], s.ry[j]});
+            prev_ = pts[i + j];
+            prev_index_ = next_index_++;
+            ++screened_points;
+            ++j;
+            if (quad_epoch_ != epoch_mark) screened_until = j;
+            continue;
+          }
+        }
+      }
+      const uint64_t epoch_mark = quad_epoch_;
       ProcessPrepared<kProbed>(pts[i + j], next_index_++,
-                               Vec2{batch_rx_[j], batch_ry_[j]},
-                               batch_nsq_[j], out);
+                               Vec2{s.rx[j], s.ry[j]}, s.nsq[j], out);
+      ++scalar_points;
+      ++j;
       if (segment_start_index_ != seg_mark || !rotation_established_) {
         // A split moved the segment origin (and possibly reset the
         // rotation): the remaining prepared values are stale.
         stale = true;
-        ++j;
         break;
+      }
+      if (quad_epoch_ != epoch_mark) {
+        // The lane mutated the quadrant state: screened-ahead verdicts
+        // no longer reflect it.
+        screened_until = j;
       }
     }
     i += j;
@@ -188,8 +383,92 @@ void SegmentEngine::RunBatch(std::span<const TrackPoint> pts,
     // after a split so split-heavy streams discard little prepared work.
     // (A split on the chunk's last element is still a split — the flag,
     // not j == chunk, decides.)
-    batch_fill_ = stale ? kBatchSeed : std::min(batch_fill_ * 2, kBatchChunk);
+    batch_fill_ = stale ? kBatchSeed : std::min(batch_fill_ * 4, kBatchChunk);
   }
+  ops::CountBatchLanePoints(kernels_->lanes, screened_points);
+  ops::CountBatchScalarPoints(scalar_points);
+}
+
+void SegmentEngine::MarshalScreenState() {
+  simd::ScreenState& st = scratch_->state;
+  st.num_quads = 0;
+  st.eps_sq = trivial_eps_sq_;
+  st.mode = options_.paper_trivial_include ? simd::ScreenMode::kTrivialOnly
+                                           : simd::ScreenMode::kQuadrant;
+  if (st.mode == simd::ScreenMode::kQuadrant) {
+    // Per occupied quadrant, precompute the two candidate sets whose
+    // max |end x p| reproduces QuadrantFastBounds' upper bound for any
+    // end: the in-quadrant composition (intersections, angular extremes,
+    // near/far and wedge-interior corners — duplicates are harmless under
+    // max) and the out-of-quadrant corner composition. The wedge test is
+    // end-independent, so its guard band collapses to one flag: lanes
+    // whose end lands in a blocked quadrant are left to the scalar path,
+    // which re-runs the per-point test and takes the reference fallback
+    // exactly as an unscreened push would.
+    const bool paper = options_.bounds_mode == BoundsMode::kPaperEq8;
+    for (const QuadrantBound& q : quadrants_) {
+      if (q.empty()) continue;
+      const QuadrantBound::SignificantPoints& sig = q.Significant();
+      simd::ScreenQuadrant& sq = st.quads[st.num_quads++];
+      sq.parity = q.quadrant() & 1;
+      sq.wedge_blocked = false;
+      int count = 0;
+      const auto add_in = [&sq, &count](Vec2 p) {
+        sq.in_px[count] = p.x;
+        sq.in_py[count] = p.y;
+        ++count;
+      };
+      add_in(sig.l1);
+      add_in(sig.l2);
+      add_in(sig.u1);
+      add_in(sig.u2);
+      bool corner_in[4] = {false, false, false, false};
+      if (!paper) {
+        add_in(sig.min_angle_point);
+        add_in(sig.max_angle_point);
+        corner_in[sig.near_corner_index] = true;
+        corner_in[sig.far_corner_index] = true;
+        // Wedge classification comes cached with the significant points
+        // (end-independent; see ComputeSignificant), so the marshal and
+        // the per-point composition agree by construction.
+        sq.wedge_blocked = !sig.wedge_ok;
+        for (std::size_t k = 0; k < 4; ++k) {
+          if (sig.corner_in_wedge[k]) corner_in[k] = true;
+        }
+      }
+      for (std::size_t k = 0; k < 4; ++k) {
+        sq.out_px[k] = sig.corners[k].x;
+        sq.out_py[k] = sig.corners[k].y;
+        if (corner_in[k]) add_in(sig.corners[k]);
+      }
+      sq.in_count = count;
+    }
+  }
+  scratch_->state_epoch = quad_epoch_;
+}
+
+void SegmentEngine::MarshalWarmupScreen() {
+  static_assert(simd::kWarmupPointCap >= BqsOptions::kMaxRotationWarmup,
+                "screen warm-up capacity must cover the warm-up buffer");
+  simd::ScreenState& st = scratch_->state;
+  st.eps_sq = trivial_eps_sq_;
+  if (options_.paper_trivial_include || warmup_count_ == 0) {
+    // No warm-up check runs for these lanes scalar-side (the paper rule
+    // short-circuits before it; an empty buffer skips it), so the screen
+    // is the trivial test alone.
+    st.mode = simd::ScreenMode::kTrivialOnly;
+  } else {
+    st.mode = simd::ScreenMode::kWarmup;
+    st.warm_count = static_cast<int>(warmup_count_);
+    for (std::size_t k = 0; k < warmup_count_; ++k) {
+      // The same p - a subtraction SquaredDeviationVerdict's scan
+      // performs, hoisted out of the per-lane loop (end-independent).
+      const Vec2 q = warmup_[k].pos - segment_start_.pos;
+      st.warm_px[k] = q.x;
+      st.warm_py[k] = q.y;
+    }
+  }
+  scratch_->state_epoch = quad_epoch_;
 }
 
 void SegmentEngine::Finish(std::vector<KeyPoint>* out) {
@@ -266,7 +545,7 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
       if (fast_kernel_) {
         verdict = SquaredDeviationVerdict(warmup_.data(), warmup_count_,
                                           segment_start_.pos, pt.pos,
-                                          options_.metric, eps);
+                                          options_.metric, eps, *kernels_);
         if (verdict == 0) ++stats_.kernel_fallbacks;
       }
       if (verdict < 0) return Decision::kSplit;
@@ -278,6 +557,10 @@ SegmentEngine::Decision SegmentEngine::Assess(const TrackPoint& pt,
       ++stats_.trivial_includes;
       return Decision::kInclude;
     }
+    // The warm-up buffer is screen-visible state: growing it invalidates
+    // screened-ahead pre-rotation verdicts (they were computed against
+    // the smaller candidate set).
+    ++quad_epoch_;
     warmup_[warmup_count_++] = pt;
     if (exact_mode_) {
       // Warm-up points are segment-buffer points: they must be visible to
@@ -460,16 +743,24 @@ SegmentEngine::Decision SegmentEngine::ResolveInconclusive(
 }
 
 void SegmentEngine::AddToQuadrants(Vec2 rel_rot) {
+  // Every quadrant mutation funnels through here (or StartSegment's
+  // reset); the epoch bump below is what invalidates the vector screen's
+  // marshalled context and screened-ahead verdicts. The fast kernel skips
+  // the bump for adds that provably change no bounding geometry (interior
+  // points), which keeps screen state hot through dense traffic.
   // Hoisted classification (one per point): the fast kernel needs no angle
   // at all — sign tests pick the quadrant and AddCross tracks extremes by
   // cross products; the reference kernel computes its one atan2 here and
   // shares it between classification and the angular-extreme update.
   if (fast_kernel_) {
+    bool changed = false;
     if (quadrants_[static_cast<std::size_t>(FastClassify(rel_rot))].AddCross(
-            rel_rot)) {
+            rel_rot, &changed)) {
       ++stats_.kernel_fallbacks;  // extreme-tracking tie-band deferral.
     }
+    if (changed) ++quad_epoch_;
   } else {
+    ++quad_epoch_;
     ops::CountAtan2();
     const double theta = NormalizeAngle2Pi(std::atan2(rel_rot.y, rel_rot.x));
     quadrants_[static_cast<std::size_t>(ThetaQuadrant(theta))].AddWithAngle(
@@ -516,6 +807,7 @@ void SegmentEngine::DrainPendingHull() {
 }
 
 void SegmentEngine::StartSegment(const TrackPoint& pt, uint64_t index) {
+  ++quad_epoch_;  // quadrants reset below: stale screen state must die.
   segment_start_ = pt;
   segment_start_index_ = index;
   prev_ = pt;

@@ -24,11 +24,14 @@
 #define BQS_CORE_SEGMENT_STATE_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/simd.h"
 #include "core/bounds.h"
 #include "core/decision_stats.h"
 #include "core/options.h"
@@ -38,6 +41,44 @@
 
 namespace bqs {
 namespace internal {
+
+/// Borrowed view of track points embedded in a larger record array at a
+/// fixed byte stride (TrackPoint spans, or the `point` member of
+/// FleetRecord runs). This is what lets the fleet span-dispatch path hand
+/// per-device runs straight to the batch kernel without gathering them
+/// into a contiguous vector first: the SoA pre-rotation kernel reads the
+/// two leading coordinates through the stride directly.
+class PointView {
+ public:
+  explicit PointView(std::span<const TrackPoint> pts)
+      : base_(reinterpret_cast<const unsigned char*>(pts.data())),
+        stride_(sizeof(TrackPoint)),
+        size_(pts.size()) {}
+  explicit PointView(std::span<const FleetRecord> run)
+      : base_(reinterpret_cast<const unsigned char*>(run.data()) +
+              offsetof(FleetRecord, point)),
+        stride_(sizeof(FleetRecord)),
+        size_(run.size()) {}
+
+  const TrackPoint& operator[](std::size_t i) const {
+    return *reinterpret_cast<const TrackPoint*>(base_ + i * stride_);
+  }
+  PointView Sub(std::size_t offset, std::size_t count) const {
+    return PointView(base_ + offset * stride_, stride_, count);
+  }
+  const unsigned char* base() const { return base_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  PointView(const unsigned char* base, std::size_t stride, std::size_t size)
+      : base_(base), stride_(stride), size_(size) {}
+
+  const unsigned char* base_;
+  std::size_t stride_;
+  std::size_t size_;
+};
 
 /// Observation of one bound-based decision, for instrumentation (Fig. 3).
 struct BoundsProbe {
@@ -67,6 +108,11 @@ class SegmentEngine {
   /// precomputed values. This is the hot path CompressAll and the benches
   /// use.
   void PushBatch(std::span<const TrackPoint> pts, std::vector<KeyPoint>* out);
+  /// PushBatch over a fleet span run: the per-device records enter the
+  /// batch (and vector) kernel directly through a strided view — no
+  /// gather copy. Decisions are identical to pushing each record's point.
+  void PushRecords(std::span<const FleetRecord> run,
+                   std::vector<KeyPoint>* out);
   void Finish(std::vector<KeyPoint>* out);
 
   const DecisionStats& stats() const { return stats_; }
@@ -90,8 +136,28 @@ class SegmentEngine {
     probe_ = std::move(probe);
   }
 
+  /// SoA scratch + screen state for the batch kernel, 32-byte aligned so
+  /// the vector tiers can use full-width loads/stores on the lane arrays.
+  /// Allocated lazily on the first prepared chunk.
+  struct alignas(32) BatchScratch {
+    static constexpr std::size_t kCapacity = 128;
+    alignas(32) double rx[kCapacity];
+    alignas(32) double ry[kCapacity];
+    alignas(32) double nsq[kCapacity];
+    /// Per-lane conclusive-include verdicts from the vector screen.
+    unsigned char screen[kCapacity];
+    /// Marshalled per-quadrant screen context (see MarshalScreenState).
+    simd::ScreenState state;
+    /// quad_epoch_ value `state` was marshalled against; 0 = never.
+    uint64_t state_epoch = 0;
+  };
+
   // --- Introspection for tests -------------------------------------------
   bool rotation_established() const { return rotation_established_; }
+  /// SIMD tier the engine snapshotted at construction.
+  simd::Tier batch_tier() const { return kernels_->tier; }
+  /// Lazily-allocated batch scratch; null before the first prepared chunk.
+  const BatchScratch* batch_scratch() const { return scratch_.get(); }
   double rotation_angle() const { return rotation_angle_; }
   /// Flat-buffer size (brute-force resolver, or adaptive before its
   /// migration point); 0 once the hull owns the segment.
@@ -118,8 +184,10 @@ class SegmentEngine {
   template <bool kProbed>
   void ProcessPrepared(const TrackPoint& pt, uint64_t index, Vec2 rel_rot,
                        double rel_norm_sq, std::vector<KeyPoint>* out);
+  /// Shared PushBatch/PushRecords body over the strided view.
+  void PushView(PointView pts, std::vector<KeyPoint>* out);
   template <bool kProbed>
-  void RunBatch(std::span<const TrackPoint> pts, std::vector<KeyPoint>* out);
+  void RunBatch(PointView pts, std::vector<KeyPoint>* out);
   template <bool kProbed>
   Decision Assess(const TrackPoint& pt, uint64_t index);
   /// Assess() once the rotated frame and |rel|^2 are in hand (shared by the
@@ -159,14 +227,31 @@ class SegmentEngine {
                std::vector<KeyPoint>* out);
   /// rel mapped into the rotated quadrant frame; bit-identical to
   /// rel.Rotated(-rotation_angle_) but reuses the cached cos/sin instead of
-  /// re-deriving them per point.
+  /// re-deriving them per point. The exact-identity shortcut matches the
+  /// one in the vector prepare kernels (simd_lanes.h) so both paths emit
+  /// the same bits even where 1.0 * x + 0.0 * y would rewrite a signed
+  /// zero; it is the common case for every pre-rotation segment.
   Vec2 ToRotatedFrame(Vec2 rel) const {
+    if (rot_sin_ == 0.0 && rot_cos_ == 1.0) return rel;
     return {rot_cos_ * rel.x + rot_sin_ * rel.y,
             -rot_sin_ * rel.x + rot_cos_ * rel.y};
   }
   /// Fills the SoA scratch with the rotated frame and |rel|^2 of `pts`
-  /// against the current segment origin/rotation (tight branch-free loop).
-  void PrepareBatch(std::span<const TrackPoint> pts);
+  /// against the current segment origin/rotation, through the active
+  /// SIMD tier's pre-rotation kernel (the scalar tier runs the identical
+  /// expressions lane by lane).
+  void PrepareBatch(PointView pts);
+  /// Rebuilds the vector screen's per-quadrant context (candidate point
+  /// sets, wedge guard flags, parity) from the current quadrant state.
+  /// Called lazily when the screen observes a stale state_epoch; the
+  /// wedge test and candidate selection are end-independent, which is
+  /// what makes this a per-mutation (not per-point) cost.
+  void MarshalScreenState();
+  /// Rebuilds the vector screen's pre-rotation context: the trivial test
+  /// alone when the warm-up buffer is empty (or the paper rule is on),
+  /// else the buffered warm-up candidates relative to the segment start
+  /// so the screen can run the warm-up deviation verdict lane-parallel.
+  void MarshalWarmupScreen();
   /// Stages a buffered point for the hull. Hull maintenance is lazy: the
   /// point lands in a small pending batch (cap kHullDrainBatch, so space
   /// stays O(h)) and is only folded in when an exact resolve needs the
@@ -218,14 +303,42 @@ class SegmentEngine {
   /// ExactResolver::kBruteForce and kAdaptive before migration.
   std::vector<TrackPoint> buffer_;
 
-  /// SoA scratch for PushBatch (see PrepareBatch). Sized lazily; the fill
-  /// window starts at kBatchSeed after every split and doubles to
+  /// SoA scratch for PushBatch (see PrepareBatch and BatchScratch). The
+  /// fill window starts at kBatchSeed after every split and doubles to
   /// kBatchChunk while chunks run to completion, so split-heavy streams do
   /// not pay for discarded pre-rotation work.
-  static constexpr std::size_t kBatchChunk = 128;
-  static constexpr std::size_t kBatchSeed = 8;
-  std::vector<double> batch_rx_, batch_ry_, batch_nsq_;
+  static constexpr std::size_t kBatchChunk = BatchScratch::kCapacity;
+  static constexpr std::size_t kBatchSeed = 16;
+  std::unique_ptr<BatchScratch> scratch_;
   std::size_t batch_fill_ = kBatchSeed;
+
+  /// Kernel table snapshotted at construction (runtime CPUID dispatch +
+  /// the BQS_FORCE_SCALAR override; see common/simd.h).
+  const simd::KernelTable* kernels_;
+  /// True when the vector conclusive screen applies: a vector tier is
+  /// active and the decision for a trivial point is the pure function of
+  /// (rel_rot, quadrant state) the screen replicates — the fast kernel
+  /// under the line metric, or the paper's unconditional trivial include
+  /// under any kernel/metric.
+  bool screen_enabled_ = false;
+  /// A vector tier is active at all (necessary condition for any screen).
+  bool screen_vector_ = false;
+  /// The pre-rotation warm-up verdict is screenable: fast kernel under
+  /// the line metric (the vectorized verdict replicates exactly that
+  /// scalar path; the segment metric and the reference kernel stay
+  /// scalar). Trivial-only pre-rotation screening (empty warm-up buffer,
+  /// or the paper rule) needs only screen_vector_.
+  bool screen_warmup_ok_ = false;
+  /// Lanes screened per screen_lanes call; a small multiple of the vector
+  /// width, trading call overhead against re-screening after a mutation.
+  std::size_t screen_group_ = 0;
+  /// epsilon^2 with the same expression as the scalar trivial test.
+  double trivial_eps_sq_ = 0.0;
+  /// Monotone version of the decision state the screen depends on
+  /// (bumped by AddToQuadrants, StartSegment, and warm-up buffer growth);
+  /// screened-ahead verdicts and the marshalled screen context are valid
+  /// only while it is unchanged.
+  uint64_t quad_epoch_ = 0;
 
   std::function<void(const BoundsProbe&)> probe_;
 };

@@ -25,6 +25,25 @@ report families, dispatched on the document's `schema` field:
      while catching order-of-magnitude slips like a transcendental leaking
      back into the kernel hot path.
 
+  bqs-bench-micro-*
+  ------------------------------------------------------------------
+  Correctness-only gate over the micro report (ns/op numbers are too
+  machine-sensitive to gate cross-machine):
+  1. checksums: `all_checksums_match` and
+     `fast_kernel_transcendental_free` must be true.
+  2. coverage: every (stream, algorithm, kernel) push row in the
+     baseline must be present in the fresh run.
+  3. guard-band fallbacks: every fast-kernel row on the empirical
+     stream must report kernel_fallbacks == 0 — the guard band exists
+     for adversarial geometry, and real-data geometry landing in it
+     means the band (or the kernel) regressed.
+  4. vector coverage: on the empirical stream's fast-kernel BQS row,
+     the fraction of batch points decided by a vector lane
+     ((lanes4 + lanes2) / total) must be >= VECTOR_COVERAGE_FLOOR,
+     whenever the fresh run's `simd_tier` is not "scalar". Catches the
+     dispatch (or the screen gating) silently decaying to the scalar
+     path while byte-identity keeps all other gates green.
+
   bqs-bench-fleet-v2
   ------------------------------------------------------------------
   Same shape, fleet-flavoured:
@@ -64,7 +83,12 @@ import sys
 
 CALIBRATION_ALGORITHM = "BQS_bruteforce"
 FLEET_SCHEMA_PREFIX = "bqs-bench-fleet"
+MICRO_SCHEMA_PREFIX = "bqs-bench-micro"
 SEQUENTIAL_CONFIG = "sequential"
+# Empirical-stream floor on the fraction of batch points decided by a
+# vector lane (measured ~0.84 on the paper's merged workload; the floor
+# leaves room for dataset-scale wiggle, not for a path regression).
+VECTOR_COVERAGE_FLOOR = 0.75
 
 
 def throughput_rates(doc):
@@ -220,6 +244,55 @@ def check_overload(fresh, baseline, failures):
     return compared
 
 
+def check_micro(fresh, baseline, failures):
+    """Correctness gate over the micro report's push rows. Returns the
+    number of gated rows."""
+    if not fresh.get("all_checksums_match", False):
+        failures.append("micro: fast-kernel checksums diverged")
+    if not fresh.get("fast_kernel_transcendental_free", False):
+        failures.append("micro: fast kernel performed unaccounted "
+                        "transcendental calls")
+
+    def rows(doc):
+        return {(r["stream"], r["algorithm"], r["kernel"]): r
+                for r in doc.get("push", [])}
+
+    fresh_rows = rows(fresh)
+    base_rows = rows(baseline)
+    vector_tier = fresh.get("simd_tier", "scalar") != "scalar"
+    compared = 0
+    for key in sorted(base_rows):
+        row = fresh_rows.get(key)
+        if row is None:
+            failures.append(f"micro {key}: present in baseline but missing "
+                            "from the fresh run")
+            continue
+        compared += 1
+        stream, algorithm, kernel = key
+        fallbacks = row.get("kernel_fallbacks", 0)
+        status = "ok"
+        if kernel == "fast" and stream == "empirical" and fallbacks != 0:
+            failures.append(f"micro {key}: {fallbacks} guard-band fallbacks "
+                            "on the empirical stream (expected 0)")
+            status = "FALLBACKS"
+        coverage_note = ""
+        if kernel == "fast" and stream == "empirical" and algorithm == "BQS":
+            lanes = (row.get("batch_lanes4_points", 0) +
+                     row.get("batch_lanes2_points", 0))
+            total = lanes + row.get("batch_scalar_points", 0)
+            coverage = lanes / total if total else 0.0
+            coverage_note = f"  vector {coverage:5.3f}"
+            if vector_tier and coverage < VECTOR_COVERAGE_FLOOR:
+                failures.append(
+                    f"micro {key}: vector coverage {coverage:.3f} below "
+                    f"floor {VECTOR_COVERAGE_FLOOR:.2f} (lanes {lanes}, "
+                    f"total {total}) — batch screen decayed to scalar")
+                status = "COVERAGE"
+        print(f"{key[0]:>18s} / {algorithm:<5s}/{kernel:<9s} "
+              f"fallbacks {fallbacks:4d}{coverage_note}  {status}")
+    return compared
+
+
 def check_fleet(fresh, baseline, args, failures):
     if not fresh.get("all_byte_identical", False):
         failures.append(
@@ -286,6 +359,8 @@ def main():
 
     if fresh_schema.startswith(FLEET_SCHEMA_PREFIX):
         compared = check_fleet(fresh, baseline, args, failures)
+    elif fresh_schema.startswith(MICRO_SCHEMA_PREFIX):
+        compared = check_micro(fresh, baseline, failures)
     else:
         compared = check_throughput(fresh, baseline, args, failures)
 

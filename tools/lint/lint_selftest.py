@@ -242,6 +242,45 @@ class LintHarness(unittest.TestCase):
         code, out = self.lint()
         self.assertEqual(code, 0, out)
 
+    # -- intrinsics-containment --------------------------------------------
+
+    def test_intrinsic_token_in_core_fails(self):
+        self.write("src/core/bounds.cc",
+                   "__m256d v = _mm256_set1_pd(0.0);\n")
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("intrinsics-containment", out)
+        self.assertIn("src/core/bounds.cc:1", out)
+
+    def test_intrinsic_include_outside_allowlist_fails(self):
+        self.write("src/geometry/vec.cc", "#include <immintrin.h>\n")
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("intrinsics-containment", out)
+
+    def test_sse_header_outside_allowlist_fails(self):
+        self.write("src/common/simd.cc", "#include <emmintrin.h>\n")
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("intrinsics-containment", out)
+
+    def test_intrinsics_in_allowlisted_tier_pass(self):
+        self.write("src/common/simd_avx2.cc",
+                   "#include <immintrin.h>\n"
+                   "__m256d v = _mm256_setzero_pd();\n")
+        self.write("src/common/simd_sse2.cc",
+                   "#include <emmintrin.h>\n"
+                   "__m128d w = _mm_setzero_pd();\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    def test_intrinsic_mention_in_comment_passes(self):
+        self.write("src/core/bounds.cc",
+                   "// the _mm256_max_pd reduction lives in simd_avx2.cc\n"
+                   "int x = 0;\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
     # -- config parsing ----------------------------------------------------
 
     def test_malformed_allowlist_is_exit_2(self):

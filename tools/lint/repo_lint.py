@@ -39,6 +39,18 @@ cannot see:
       quietly sprouting in a compressor kernel would otherwise be
       invisible until it misfired in production.
 
+  intrinsics-containment
+      The SIMD dispatch layer (common/simd.h) promises the rest of the
+      repo sees only enums, POD structs and function pointers; the
+      intrinsics live in exactly two translation units, compiled with
+      the right -m flags and reached only through the runtime-dispatch
+      table (INTRINSICS_ALLOWLIST). Any other src/ file including an
+      x86 intrinsics header or naming an ``_mm*`` / ``__m128`` /
+      ``__m256`` token breaks that containment: it either compiles a
+      vector instruction into a TU that may run on a CPU without the
+      feature, or smuggles a second, unlinted copy of a kernel past the
+      byte-identity audit trail in simd_lanes.h.
+
 Exit codes: 0 clean, 1 violations found, 2 configuration/usage error.
 """
 
@@ -107,6 +119,18 @@ FAULT_INJECTION_ALLOWLIST = {
 FAULT_TOKEN_RE = re.compile(r"\b(?:FaultInjector|FaultSite)\b")
 FAULT_INCLUDE_RE = re.compile(
     r'^\s*#\s*include\s+"service/fault_injector\.h"')
+
+# The only src/ files that may touch x86 SIMD intrinsics: the two kernel
+# tiers behind the runtime-dispatch table in common/simd.h.
+INTRINSICS_ALLOWLIST = {
+    "src/common/simd_avx2.cc",
+    "src/common/simd_sse2.cc",
+}
+INTRINSIC_TOKEN_RE = re.compile(r"\b(?:_mm\w*|__m128[di]?|__m256[di]?)\b")
+INTRINSIC_INCLUDE_RE = re.compile(
+    r"^\s*#\s*include\s+<"
+    r"(?:immintrin|emmintrin|xmmintrin|smmintrin|tmmintrin|pmmintrin"
+    r"|nmmintrin|wmmintrin|ammintrin|x86intrin)\.h>")
 
 
 def layer_closure():
@@ -371,6 +395,27 @@ def check_fault_injection_containment(files, violations):
                  "src/ are unrestricted)"))
 
 
+def check_intrinsics_containment(files, violations):
+    for src in files:
+        if src.relpath in INTRINSICS_ALLOWLIST:
+            continue
+        for idx, code in enumerate(src.code_lines):
+            raw = src.raw_lines[idx] if idx < len(src.raw_lines) else code
+            # Token hits come from comment-stripped code; the include hit
+            # needs the raw line (the stripper leaves <...> paths alone,
+            # but matching raw keeps the two rules symmetric).
+            if not (INTRINSIC_TOKEN_RE.search(code)
+                    or INTRINSIC_INCLUDE_RE.match(raw)):
+                continue
+            violations.append(
+                ("intrinsics-containment", src.relpath, idx + 1,
+                 "SIMD intrinsics outside the dispatch layer: only "
+                 f"{', '.join(sorted(INTRINSICS_ALLOWLIST))} may include an "
+                 "x86 intrinsics header or use _mm*/__m128/__m256 tokens — "
+                 "add a lane op to the V wrapper structs and a width-generic "
+                 "body to common/simd_lanes.h instead"))
+
+
 # ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
@@ -396,6 +441,7 @@ def run(root, allowlist_path, budget_path, out=sys.stdout):
     check_service_budgets(files, budgets, violations)
     check_include_hygiene(files, violations)
     check_fault_injection_containment(files, violations)
+    check_intrinsics_containment(files, violations)
 
     for rule, relpath, line, message in violations:
         print(f"{relpath}:{line}: [{rule}] {message}", file=out)
