@@ -67,8 +67,9 @@ int main(int argc, char** argv) {
       total_fixes += trip.size();
       const CompressedTrajectory compressed = CompressAll(compressor, trip);
       const auto result = store.Append(compressed);
-      total_merged += result.segments_merged;
-      total_stored += result.segments_stored;
+      if (!result.ok()) continue;  // degenerate trip: nothing to store
+      total_merged += result.value().segments_merged;
+      total_stored += result.value().segments_stored;
     }
   }
 

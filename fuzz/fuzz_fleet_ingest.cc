@@ -31,7 +31,7 @@
 
 #include "eval/algorithms.h"
 #include "fuzz_input.h"
-#include "service/fault_injector.h"
+#include "common/fault_injector.h"
 #include "service/fleet_engine.h"
 #include "trajectory/compressor.h"
 #include "trajectory/point.h"

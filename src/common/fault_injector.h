@@ -1,21 +1,30 @@
-// Deterministic fault injection for the fleet service layer.
+// Deterministic fault injection for the fleet service layer and the
+// key-point WAL.
 //
 // Overload and failure paths (full rings, exhausted arenas, stalled
-// workers, mid-batch evictions) are nearly impossible to hit on cue from
-// the outside: they depend on scheduling, machine speed and queue depths.
-// A FaultInjector makes them reproducible: tests arm a site with a firing
+// workers, mid-batch evictions, torn writes, failed fsyncs) are nearly
+// impossible to hit on cue from the outside: they depend on scheduling,
+// machine speed, queue depths and the kernel's page cache. A
+// FaultInjector makes them reproducible: tests arm a site with a firing
 // probability and the engine consults ShouldFire() at that site's hook.
 // Every decision is a pure function of (seed, site, per-site call index) —
 // splitmix64 over an atomic counter — so a given seed replays the exact
 // same fault schedule on every run, machine and thread interleaving
 // (provided the per-site call sequence itself is deterministic, which the
-// engine's single-producer / per-shard-worker structure guarantees for a
-// fixed feed and shard count).
+// engine's single-producer / per-shard-worker structure — and the WAL's
+// internal append lock — guarantees for a fixed feed and shard count).
 //
-// The hooks are compiled into FleetEngine unconditionally — a null-check
-// per seal/acquire, nothing more — but the type is a test harness, not a
-// production feature: the repo lint's fault-injection-containment rule
-// keeps any other src/ code from reaching for it.
+// The file lived in src/service until the WAL landed; it is in common now
+// because storage sits below service in the layer DAG and both consume
+// the same deterministic schedule (a crash-point sweep that arms
+// kCrashAfterWrite and an overload test that arms kRingFull must replay
+// from the same (seed, site, call index) triple).
+//
+// The hooks are compiled into FleetEngine and KeyPointWal unconditionally
+// — a null-check per seal/acquire/write, nothing more — but the type is a
+// test harness, not a production feature: the repo lint's
+// fault-injection-containment rule keeps any other src/ code from
+// reaching for it.
 //
 // Thread contract: Arm() before the engine runs (or between drained
 // phases); ShouldFire() is called concurrently from producer and worker
@@ -23,8 +32,8 @@
 // fires, the worker parks in WaitStallReleased() until the test calls
 // ReleaseStalls() — release before Flush()/destruction or the drain will
 // (by design) never finish.
-#ifndef BQS_SERVICE_FAULT_INJECTOR_H_
-#define BQS_SERVICE_FAULT_INJECTOR_H_
+#ifndef BQS_COMMON_FAULT_INJECTOR_H_
+#define BQS_COMMON_FAULT_INJECTOR_H_
 
 #include <atomic>
 #include <condition_variable>
@@ -41,8 +50,23 @@ enum class FaultSite : uint8_t {
   kWorkerStall,     ///< Worker parks before processing its next command.
   kArenaExhausted,  ///< Producer's block Acquire is denied.
   kMidBatchEvict,   ///< Session force-evicted right after a dispatched run.
+
+  // --- key-point WAL sites (storage/keypoint_wal.cc) ---------------------
+  /// A record write stops short after param(site) bytes (param taken
+  /// modulo the record size), leaving a torn record on disk. The writer
+  /// reports an IoError and goes dead, exactly like a crashed process.
+  kWriteShortAtByte,
+  /// The durability sync (fsync/fdatasync) reports failure. Fsync-gate
+  /// semantics: the writer goes dead — after a failed fsync nothing about
+  /// the file's durable state can be trusted, so pretending to continue
+  /// would forge the ack contract.
+  kFsyncFail,
+  /// Process "crashes" immediately after a record write: the writer's
+  /// user-space buffer (bytes not yet written to the OS under kNone
+  /// batching) is discarded and the writer goes dead without flushing.
+  kCrashAfterWrite,
 };
-inline constexpr std::size_t kFaultSiteCount = 4;
+inline constexpr std::size_t kFaultSiteCount = 7;
 
 class FaultInjector {
  public:
@@ -54,15 +78,22 @@ class FaultInjector {
   /// Arms `site`: each ShouldFire(site) fires with `probability` (clamped
   /// to [0,1]), at most `max_fires` times total. Call before the engine
   /// consults the site (armed state is read without synchronization on
-  /// the hot path).
+  /// the hot path). `param` is a site-specific knob the firing hook reads
+  /// back through param(site) — kWriteShortAtByte uses it as the byte
+  /// offset at which the torn write stops, which is what lets a crash-
+  /// point sweep enumerate every offset deterministically.
   void Arm(FaultSite site, double probability,
-           uint64_t max_fires = UINT64_MAX) {
+           uint64_t max_fires = UINT64_MAX, uint64_t param = 0) {
     State& s = state_[Index(site)];
     s.probability = probability < 0.0 ? 0.0
                     : probability > 1.0 ? 1.0
                                         : probability;
     s.max_fires = max_fires;
+    s.param = param;
   }
+
+  /// The site's Arm() parameter (0 when never armed).
+  uint64_t param(FaultSite site) const { return state_[Index(site)].param; }
 
   /// The engine's hook: true when the armed site fires for this call.
   /// Deterministic: decision i for a site depends only on (seed, site, i).
@@ -126,6 +157,7 @@ class FaultInjector {
   struct State {
     double probability = 0.0;
     uint64_t max_fires = 0;
+    uint64_t param = 0;
     std::atomic<uint64_t> calls{0};
     std::atomic<uint64_t> fired{0};
   };
@@ -152,4 +184,4 @@ class FaultInjector {
 
 }  // namespace bqs
 
-#endif  // BQS_SERVICE_FAULT_INJECTOR_H_
+#endif  // BQS_COMMON_FAULT_INJECTOR_H_

@@ -1,0 +1,82 @@
+// LEB128 varint and zigzag codecs — the WAL's integer wire format.
+//
+// Unsigned values are base-128 encoded, 7 bits per byte, continuation bit
+// in the MSB, least-significant group first (protobuf/LevelDB layout).
+// Signed values go through zigzag first (0,-1,1,-2,... -> 0,1,2,3,...) so
+// small-magnitude deltas of either sign stay short — exactly the shape of
+// the WAL's delta-coded timestamps and quantized coordinates.
+//
+// Decoding is hardened for the recovery path: every decoder takes an
+// explicit end pointer, never reads past it, and rejects encodings longer
+// than 10 bytes or with set bits beyond the 64th — arbitrary bytes must
+// decode or fail cleanly, never overrun (the WAL fuzzer's core invariant).
+#ifndef BQS_COMMON_VARINT_H_
+#define BQS_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bqs {
+namespace varint {
+
+/// Longest possible encoding of a uint64 (ceil(64 / 7) bytes).
+inline constexpr std::size_t kMaxBytes = 10;
+
+/// Zigzag: interleaves signed values into unsigned so small magnitudes of
+/// either sign encode short.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);  // arithmetic shift: 0 or ~0
+}
+
+inline int64_t ZigZagDecode(uint64_t u) {
+  return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+/// Appends the LEB128 encoding of `v` to `out`.
+inline void PutU64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, ZigZagEncode(v));
+}
+
+/// Decodes one LEB128 value from [*pos, end). On success advances *pos
+/// past the encoding and returns true; on truncation or a malformed
+/// encoding (length > 10 bytes, or bits beyond 64) leaves *pos unchanged
+/// and returns false.
+inline bool GetU64(const uint8_t** pos, const uint8_t* end, uint64_t* v) {
+  const uint8_t* p = *pos;
+  uint64_t result = 0;
+  for (std::size_t shift = 0; shift < 70 && p < end; shift += 7) {
+    const uint64_t byte = *p++;
+    if (shift == 63 && (byte & 0xfe) != 0) {
+      return false;  // 10th byte may only contribute the 64th bit
+    }
+    result |= (byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      *v = result;
+      return true;
+    }
+  }
+  return false;  // ran off `end`, or an 11th continuation byte
+}
+
+inline bool GetI64(const uint8_t** pos, const uint8_t* end, int64_t* v) {
+  uint64_t u = 0;
+  if (!GetU64(pos, end, &u)) return false;
+  *v = ZigZagDecode(u);
+  return true;
+}
+
+}  // namespace varint
+}  // namespace bqs
+
+#endif  // BQS_COMMON_VARINT_H_

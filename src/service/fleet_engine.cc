@@ -4,7 +4,8 @@
 #include <chrono>
 #include <utility>
 
-#include "service/fault_injector.h"
+#include "common/fault_injector.h"
+#include "storage/keypoint_wal.h"
 
 namespace bqs {
 
@@ -48,6 +49,8 @@ FleetEngine::FleetEngine(const FleetEngineOptions& options, FleetSink& sink)
       options_.block_capacity, 16, std::size_t{1} << 20);
   options_.max_pending_blocks =
       std::max<std::size_t>(options_.max_pending_blocks, 1);
+  options_.wal_checkpoint_points =
+      std::max<std::size_t>(options_.wal_checkpoint_points, 1);
   eager_accounting_ = options_.memory_budget_bytes > 0;
   if (eager_accounting_) {
     per_shard_budget_ = std::max<std::size_t>(
@@ -285,6 +288,8 @@ void FleetEngine::InlineDispatch(std::span<const FleetRecord> records) {
     if (j == records.size()) {
       Session& session = SessionFor(shard, first_device);
       shard.sink.set_device(first_device);
+      shard.sink.set_stage(
+          options_.wal != nullptr ? &session.staged : nullptr);
       session.compressor->PushRunTo(records, shard.gather, shard.sink);
       ++shard.counters.coalesced_runs;
       shard.counters.records_ingested += records.size();
@@ -447,6 +452,9 @@ FleetStats FleetEngine::Stats() {
     total.shed_arena += shard.shed.arena;
     total.sessions_degraded += c.sessions_degraded;
     total.sessions_recovered += c.sessions_recovered;
+    total.wal_checkpoints += c.wal_checkpoints;
+    total.wal_points += c.wal_points;
+    total.wal_append_failures += c.wal_append_failures;
     total.faults_injected += shard.shed.faults + c.faults_injected;
     total.max_error_bound = std::max(total.max_error_bound,
                                      c.max_error_bound);
@@ -469,6 +477,19 @@ FleetStats FleetEngine::Stats() {
     }
   }
   return total;
+}
+
+void FleetEngine::CheckpointWal() {
+  if (options_.wal == nullptr) return;
+  SealAll();
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    AssumeProducer(shard);  // single-producer API contract
+    WaitIdle(shard);        // grants shard.worker_role (idle protocol)
+    for (auto& [device, session] : shard.sessions) {
+      CheckpointSession(shard, device, session);
+    }
+  }
 }
 
 void FleetEngine::WorkerLoop(Shard& shard) {
@@ -562,6 +583,7 @@ void FleetEngine::DispatchRun(Shard& shard, DeviceId device,
                               std::span<const TrackPoint> points) {
   Session& session = SessionFor(shard, device);
   shard.sink.set_device(device);
+  shard.sink.set_stage(options_.wal != nullptr ? &session.staged : nullptr);
   session.compressor->PushBatchTo(points, shard.sink);
   ++shard.counters.coalesced_runs;
   shard.counters.records_ingested += points.size();
@@ -613,6 +635,10 @@ void FleetEngine::AfterRun(Shard& shard, Session& session, DeviceId device,
   // session-age watermark in Stats() works without the idle machinery.
   session.last_t = last_t;
   NoteStreamTime(shard, last_t);
+  if (options_.wal != nullptr &&
+      session.staged.size() >= options_.wal_checkpoint_points) {
+    CheckpointSession(shard, device, session);
+  }
   if (!eager_accounting_) return;  // the lazy fast path: no StateBytes calls
   if (session.last_active != 0) shard.lru.erase(session.last_active);
   session.last_active = ++shard.activity_clock;
@@ -649,7 +675,13 @@ void FleetEngine::CloseSession(Shard& shard, DeviceId device,
   auto it = shard.sessions.find(device);
   Session& session = it->second;
   shard.sink.set_device(device);
+  shard.sink.set_stage(options_.wal != nullptr ? &session.staged : nullptr);
   session.compressor->FinishTo(shard.sink);
+  // The closing key points are staged now: make the whole session durable
+  // before it disappears. Every close reason takes this path, so finish,
+  // idle sweep and memory eviction all checkpoint.
+  CheckpointSession(shard, device, session);
+  shard.sink.set_stage(nullptr);  // the staging buffer dies with `session`
   if (const DecisionStats* stats = session.compressor->decision_stats()) {
     AccumulateDecisionStats(shard.counters.decisions, *stats);
   }
@@ -691,6 +723,24 @@ void FleetEngine::CloseSession(Shard& shard, DeviceId device,
     shard.pool.push_back(std::move(session.compressor));
   }
   shard.sessions.erase(it);
+}
+
+void FleetEngine::CheckpointSession(Shard& shard, DeviceId device,
+                                    Session& session) {
+  if (options_.wal == nullptr || session.staged.empty()) return;
+  const Result<WalAppendAck> ack =
+      options_.wal->Append(device, session.staged);
+  if (ack.ok()) {
+    ++shard.counters.wal_checkpoints;
+    shard.counters.wal_points += session.staged.size();
+  } else {
+    // The WAL refused (typically its fsync gate tripped). The points were
+    // already delivered to the sink — the log just has a hole, which the
+    // failure counter reports. Dropping the staged batch instead of
+    // retrying keeps a dead WAL from turning into per-run overhead.
+    ++shard.counters.wal_append_failures;
+  }
+  session.staged.clear();
 }
 
 void FleetEngine::EnforceBudget(Shard& shard) {
@@ -741,7 +791,12 @@ void FleetEngine::ReseatSession(Shard& shard, DeviceId device,
   // new rung's epsilon. The old compressor is destroyed outright — this
   // is the step that actually returns heap to the budget.
   shard.sink.set_device(device);
+  shard.sink.set_stage(options_.wal != nullptr ? &session.staged : nullptr);
   session.compressor->FinishTo(shard.sink);
+  // A reseat closes the compressed segment under the old bound — a
+  // durability edge like any close: checkpoint what the old compressor
+  // emitted before the stream continues under the new epsilon.
+  CheckpointSession(shard, device, session);
   if (const DecisionStats* stats = session.compressor->decision_stats()) {
     AccumulateDecisionStats(shard.counters.decisions, *stats);
   }

@@ -107,7 +107,8 @@
 
 namespace bqs {
 
-class FaultInjector;  // service/fault_injector.h (test harness; see lint)
+class FaultInjector;  // common/fault_injector.h (test harness; see lint)
+class KeyPointWal;    // storage/keypoint_wal.h
 
 /// Why a device session was closed.
 enum class SessionEndReason {
@@ -198,8 +199,25 @@ struct FleetEngineOptions {
 
   /// Deterministic fault injection for tests; nullptr in production (the
   /// hooks then cost one pointer check). Must outlive the engine. See
-  /// service/fault_injector.h; the repo lint confines use to tests.
+  /// common/fault_injector.h; the repo lint confines use to tests.
   FaultInjector* fault_injector = nullptr;
+
+  /// Optional durability sink: an opened KeyPointWal the engine checkpoints
+  /// emitted key points into (nullptr = no WAL; must outlive the engine).
+  /// Each session stages its emitted points and appends them as one WAL
+  /// checkpoint when the staged count reaches wal_checkpoint_points, when
+  /// the session closes (finish/idle/evict), and when an eps-ladder reseat
+  /// closes its compressed segment — so every lifecycle edge that finalizes
+  /// output also makes it durable. The WAL is crash insurance, not the data
+  /// path: an append failure (e.g. the WAL's fsync gate tripped) is counted
+  /// in FleetStats::wal_append_failures and ingest continues; the sink
+  /// still receives everything.
+  KeyPointWal* wal = nullptr;
+
+  /// Staged key points per session that trigger a WAL checkpoint between
+  /// lifecycle edges. Smaller = tighter crash-loss window, more WAL
+  /// records. Clamped to >= 1.
+  std::size_t wal_checkpoint_points = 256;
 };
 
 /// Aggregate engine counters. Snapshot via FleetEngine::Stats(), which
@@ -255,6 +273,13 @@ struct FleetStats {
   /// Oldest live session's age in stream-time seconds, relative to the
   /// newest record its shard has seen, as observed at drain points.
   double max_session_age_seconds = 0.0;
+
+  // --- WAL checkpointing (all zero without FleetEngineOptions::wal) ------
+  uint64_t wal_checkpoints = 0;       ///< Acked WAL appends.
+  uint64_t wal_points = 0;            ///< Key points inside acked appends.
+  /// Appends the WAL refused (dead writer, I/O error). The affected points
+  /// were delivered to the sink but are NOT durable in the log.
+  uint64_t wal_append_failures = 0;
 
   /// Accounted footprint of live sessions (StateBytes + base charge).
   std::size_t state_bytes = 0;
@@ -329,6 +354,14 @@ class FleetEngine {
   /// monotone non-decreasing across snapshots.
   FleetStats Stats();
 
+  /// Drains in-flight work, then appends every live session's staged key
+  /// points to the WAL as one checkpoint per session — the fleet-wide
+  /// durability barrier (periodic snapshots, pre-shutdown flush). After it
+  /// returns, every key point emitted by records that happened-before this
+  /// call is either in the WAL (per its durability policy) or counted in
+  /// wal_append_failures. No-op without a configured WAL.
+  void CheckpointWal();
+
   const FleetEngineOptions& options() const { return options_; }
   /// Logical shard count: 1 in inline mode, num_shards otherwise.
   std::size_t num_shards() const { return shards_.size(); }
@@ -356,6 +389,10 @@ class FleetEngine {
     /// Eps-coarsening rung: 0 = base epsilon, k = eps_ladder[k-1] scale.
     /// Non-zero sessions run a re-minted compressor and are never pooled.
     uint32_t eps_level = 0;
+    /// Key points emitted since the last WAL checkpoint (WAL mode only).
+    /// Dropped, not checkpointed, if the engine is destroyed with the
+    /// session live — same contract as the sink's closing key points.
+    std::vector<KeyPoint> staged;
   };
 
   /// KeyPointSink forwarding to the FleetSink under the device id currently
@@ -364,15 +401,22 @@ class FleetEngine {
    public:
     explicit ShardSink(FleetSink& fleet) : fleet_(fleet) {}
     void set_device(DeviceId device) { device_ = device; }
+    /// WAL staging buffer of the session being dispatched (nullptr = no
+    /// WAL). Rebound alongside set_device at every dispatch — the pointer
+    /// is only valid for the duration of one compressor call, since the
+    /// session table may rehash between dispatches.
+    void set_stage(std::vector<KeyPoint>* stage) { stage_ = stage; }
     uint64_t emitted() const { return emitted_; }
     void Emit(const KeyPoint& key) override {
       ++emitted_;
+      if (stage_ != nullptr) stage_->push_back(key);
       fleet_.OnKeyPoint(device_, key);
     }
 
    private:
     FleetSink& fleet_;
     DeviceId device_ = 0;
+    std::vector<KeyPoint>* stage_ = nullptr;
     uint64_t emitted_ = 0;
   };
 
@@ -545,6 +589,11 @@ class FleetEngine {
                 double last_t) REQUIRES(shard.worker_role);
   void NoteStreamTime(Shard& shard, double t) REQUIRES(shard.worker_role);
   void CloseSession(Shard& shard, DeviceId device, SessionEndReason reason)
+      REQUIRES(shard.worker_role);
+  /// Appends `session`'s staged key points to the WAL as one checkpoint
+  /// (no-op when empty or WAL-less). Failures count, never propagate —
+  /// the WAL is insurance, not the data path.
+  void CheckpointSession(Shard& shard, DeviceId device, Session& session)
       REQUIRES(shard.worker_role);
   void EnforceBudget(Shard& shard) REQUIRES(shard.worker_role);
   void CloseIdleSessions(Shard& shard) REQUIRES(shard.worker_role);

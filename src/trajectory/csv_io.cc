@@ -1,6 +1,7 @@
 #include "trajectory/csv_io.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -157,6 +158,58 @@ Status WriteCompressedCsv(const CompressedTrajectory& compressed,
   }
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
+}
+
+Result<CompressedTrajectory> ReadCompressedCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  CompressedTrajectory compressed;
+  std::string line;
+  bool first = true;
+  std::size_t line_no = 0;
+  // getline delivers the final row whether or not the file ends in a
+  // newline, so a foreign file trimmed by another tool round-trips too.
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    if (first && LooksLikeHeader(line)) {
+      first = false;
+      continue;
+    }
+    first = false;
+    const auto fields = Split(line, ',');
+    if (fields.size() < 4) {
+      return Status::Corruption(
+          StrPrintf("%s:%zu: expected 4 fields", path.c_str(), line_no));
+    }
+    const std::string index_text(Trim(fields[0]));
+    uint64_t index = 0;
+    bool index_ok = !index_text.empty() && index_text.size() <= 19;
+    for (char ch : index_text) {
+      if (ch < '0' || ch > '9') {
+        index_ok = false;
+        break;
+      }
+      index = index * 10 + static_cast<uint64_t>(ch - '0');
+    }
+    if (!index_ok) {
+      return Status::Corruption(StrPrintf("%s:%zu: bad index field '%s'",
+                                          path.c_str(), line_no,
+                                          index_text.c_str()));
+    }
+    const auto x = ParseField(path, line_no, "x", fields[1]);
+    const auto y = ParseField(path, line_no, "y", fields[2]);
+    const auto t = ParseField(path, line_no, "t", fields[3]);
+    if (!x.ok()) return x.status();
+    if (!y.ok()) return y.status();
+    if (!t.ok()) return t.status();
+    KeyPoint key;
+    key.index = index;
+    key.point.pos = {x.value(), y.value()};
+    key.point.t = t.value();
+    compressed.keys.push_back(key);
+  }
+  return compressed;
 }
 
 }  // namespace bqs

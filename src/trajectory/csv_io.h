@@ -34,6 +34,14 @@ Result<Trajectory> ReadTrajectoryCsv(const std::string& path);
 Status WriteCompressedCsv(const CompressedTrajectory& compressed,
                           const std::string& path);
 
+/// Reads a CompressedTrajectory written by WriteCompressedCsv — the
+/// writer/reader round trip the durability tests rely on. Tolerant of a
+/// missing trailing newline on the last row and of a missing header;
+/// malformed rows (bad index, non-finite values, too few fields) fail with
+/// a located Corruption status like the other readers. Velocities are not
+/// stored in this format and come back zero.
+Result<CompressedTrajectory> ReadCompressedCsv(const std::string& path);
+
 }  // namespace bqs
 
 #endif  // BQS_TRAJECTORY_CSV_IO_H_

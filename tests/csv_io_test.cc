@@ -170,5 +170,85 @@ TEST(CsvIoTest, CompressedCsvWrites) {
   EXPECT_EQ(row.substr(0, 2), "7,");
 }
 
+TEST(CsvIoTest, CompressedCsvRoundTrips) {
+  // Writer -> reader round trip at the writer's printed precision (x/y at
+  // 1e-4, t at 1e-3). Velocities are not stored and come back zero.
+  CompressedTrajectory c;
+  c.keys.push_back(KeyPoint{TrackPoint{{1.5, -2.25}, 3.125, {9, 9}}, 0});
+  c.keys.push_back(KeyPoint{TrackPoint{{-100.0625, 50.5}, 60.75, {}}, 13});
+  c.keys.push_back(
+      KeyPoint{TrackPoint{{4096.875, -0.125}, 3600.0, {}}, 4000000000u});
+  const std::string path = TempPath("comp_rt.csv");
+  ASSERT_TRUE(WriteCompressedCsv(c, path).ok());
+  const auto read = ReadCompressedCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read.value().keys.size(), c.keys.size());
+  for (std::size_t i = 0; i < c.keys.size(); ++i) {
+    EXPECT_EQ(read.value().keys[i].index, c.keys[i].index) << i;
+    EXPECT_NEAR(read.value().keys[i].point.pos.x, c.keys[i].point.pos.x,
+                5e-5) << i;
+    EXPECT_NEAR(read.value().keys[i].point.pos.y, c.keys[i].point.pos.y,
+                5e-5) << i;
+    EXPECT_NEAR(read.value().keys[i].point.t, c.keys[i].point.t, 5e-4) << i;
+    EXPECT_EQ(read.value().keys[i].point.velocity.x, 0.0) << i;
+  }
+}
+
+TEST(CsvIoTest, CompressedCsvReaderToleratesForeignFormatting) {
+  // No header and no trailing newline — a file trimmed by another tool
+  // must still round trip.
+  const std::string path = TempPath("comp_foreign.csv");
+  {
+    std::ofstream out(path);
+    out << "0,1.5,2.5,3.5\n12,-4.0,5.0,6.0";  // note: no final '\n'
+  }
+  const auto read = ReadCompressedCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read.value().keys.size(), 2u);
+  EXPECT_EQ(read.value().keys[1].index, 12u);
+  EXPECT_NEAR(read.value().keys[1].point.pos.x, -4.0, 1e-9);
+  EXPECT_NEAR(read.value().keys[1].point.t, 6.0, 1e-9);
+}
+
+TEST(CsvIoTest, CompressedCsvReaderRejectsMalformedRows) {
+  const std::string path = TempPath("comp_bad.csv");
+  // Non-numeric index, with a located error message.
+  {
+    std::ofstream out(path);
+    out << "index,x,y,t\nseven,1,2,3\n";
+  }
+  const auto bad_index = ReadCompressedCsv(path);
+  ASSERT_FALSE(bad_index.ok());
+  EXPECT_EQ(bad_index.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(bad_index.status().message().find(":2:"), std::string::npos)
+      << bad_index.status().message();
+  // Negative index (the sign makes it non-digit).
+  {
+    std::ofstream out(path);
+    out << "index,x,y,t\n-1,1,2,3\n";
+  }
+  EXPECT_FALSE(ReadCompressedCsv(path).ok());
+  // Index too long to be a uint64.
+  {
+    std::ofstream out(path);
+    out << "index,x,y,t\n99999999999999999999999,1,2,3\n";
+  }
+  EXPECT_FALSE(ReadCompressedCsv(path).ok());
+  // Too few fields.
+  {
+    std::ofstream out(path);
+    out << "index,x,y,t\n1,2,3\n";
+  }
+  EXPECT_FALSE(ReadCompressedCsv(path).ok());
+  // Non-finite coordinate.
+  {
+    std::ofstream out(path);
+    out << "index,x,y,t\n1,inf,2,3\n";
+  }
+  EXPECT_FALSE(ReadCompressedCsv(path).ok());
+  // Missing file.
+  EXPECT_FALSE(ReadCompressedCsv("/nonexistent/nope.csv").ok());
+}
+
 }  // namespace
 }  // namespace bqs

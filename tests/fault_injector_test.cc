@@ -3,7 +3,7 @@
 // fire schedule is a pure function of (seed, site, call index), so a seed
 // replays the exact same fault sequence on every run — plus the max_fires
 // cap, probability clamping, and the worker-stall gate.
-#include "service/fault_injector.h"
+#include "common/fault_injector.h"
 
 #include <atomic>
 #include <thread>

@@ -6,7 +6,7 @@
 // The accounting invariant every scenario pins: after FinishAll(), every
 // fed record is exactly one of ingested, shed, or dropped — shedding is
 // loud and fully accounted, never silent.
-#include "service/fault_injector.h"
+#include "common/fault_injector.h"
 #include "service/fleet_engine.h"
 
 #include <algorithm>

@@ -118,7 +118,8 @@ TEST(IntegrationTest, EndToEndDevicePipeline) {
 
   TrajectoryStore store;
   const auto append = store.Append(compressed);
-  EXPECT_EQ(append.segments_in, compressed.size() - 1);
+  ASSERT_TRUE(append.ok()) << append.status().ToString();
+  EXPECT_EQ(append.value().segments_in, compressed.size() - 1);
   EXPECT_GT(store.segment_count(), 0u);
 
   const std::size_t before = store.segment_count();

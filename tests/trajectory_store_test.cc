@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
 #include "trajectory/deviation.h"
 
@@ -40,9 +42,10 @@ TEST(TrajectoryStoreTest, AppendStoresSegments) {
   TrajectoryStore store;
   const auto result =
       store.Append(MakeCompressed({{0, 0}, {100, 0}, {200, 50}}));
-  EXPECT_EQ(result.segments_in, 2u);
-  EXPECT_EQ(result.segments_stored, 2u);
-  EXPECT_EQ(result.segments_merged, 0u);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().segments_in, 2u);
+  EXPECT_EQ(result.value().segments_stored, 2u);
+  EXPECT_EQ(result.value().segments_merged, 0u);
   EXPECT_EQ(store.segment_count(), 2u);
   EXPECT_EQ(store.visit_total(), 2u);
   EXPECT_GT(store.StorageBytes(), 0.0);
@@ -53,14 +56,16 @@ TEST(TrajectoryStoreTest, RepeatTripMergesInsteadOfStoring) {
   TrajectoryStoreOptions options;
   options.merge_tolerance = 15.0;
   TrajectoryStore store(options);
-  store.Append(MakeCompressed({{0, 0}, {500, 0}, {500, 400}}));
+  ASSERT_TRUE(
+      store.Append(MakeCompressed({{0, 0}, {500, 0}, {500, 400}})).ok());
   const std::size_t before = store.segment_count();
 
   // Same trip again with ~5 m GPS wobble.
   const auto result = store.Append(
       MakeCompressed({{3, 4}, {504, -3}, {498, 405}}, 86400.0));
-  EXPECT_EQ(result.segments_merged, 2u);
-  EXPECT_EQ(result.segments_stored, 0u);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().segments_merged, 2u);
+  EXPECT_EQ(result.value().segments_stored, 0u);
   EXPECT_EQ(store.segment_count(), before);
   // Visits accumulate on the stored segments.
   uint64_t max_visits = 0;
@@ -72,17 +77,18 @@ TEST(TrajectoryStoreTest, RepeatTripMergesInsteadOfStoring) {
 
 TEST(TrajectoryStoreTest, DifferentTripStoresNewSegments) {
   TrajectoryStore store;
-  store.Append(MakeCompressed({{0, 0}, {500, 0}}));
+  ASSERT_TRUE(store.Append(MakeCompressed({{0, 0}, {500, 0}})).ok());
   const auto result =
       store.Append(MakeCompressed({{0, 200}, {500, 200}}, 86400.0));
-  EXPECT_EQ(result.segments_merged, 0u);
-  EXPECT_EQ(result.segments_stored, 1u);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().segments_merged, 0u);
+  EXPECT_EQ(result.value().segments_stored, 1u);
   EXPECT_EQ(store.segment_count(), 2u);
 }
 
 TEST(TrajectoryStoreTest, FindSimilarRespectsTolerance) {
   TrajectoryStore store;
-  store.Append(MakeCompressed({{0, 0}, {100, 0}}));
+  ASSERT_TRUE(store.Append(MakeCompressed({{0, 0}, {100, 0}})).ok());
   EXPECT_EQ(store.FindSimilar({0, 5}, {100, 5}, 10.0).size(), 1u);
   EXPECT_TRUE(store.FindSimilar({0, 50}, {100, 50}, 10.0).empty());
 }
@@ -107,7 +113,7 @@ TEST(TrajectoryStoreTest, AgeingDropsPointsAndStaysBounded) {
   for (std::size_t i = 0; i < keys.size(); ++i) {
     c.keys.push_back(KeyPoint{original_keys[i], i});
   }
-  store.Append(c);
+  ASSERT_TRUE(store.Append(c).ok());
   const std::size_t before = store.segment_count();
 
   const std::size_t dropped = store.Age(40.0);
@@ -143,7 +149,7 @@ TEST(TrajectoryStoreTest, AgeingIsIdempotentAtSameTolerance) {
         TrackPoint{{i * 30.0, rng.Uniform(-10.0, 10.0)}, i * 60.0, {}},
         static_cast<uint64_t>(i)});
   }
-  store.Append(c);
+  ASSERT_TRUE(store.Append(c).ok());
   store.Age(50.0);
   const std::size_t after_first = store.segment_count();
   const std::size_t dropped_again = store.Age(50.0);
@@ -160,19 +166,46 @@ TEST(TrajectoryStoreTest, StorageBytesShrinkWithAgeing) {
         TrackPoint{{i * 20.0, rng.Uniform(-5.0, 5.0)}, i * 60.0, {}},
         static_cast<uint64_t>(i)});
   }
-  store.Append(c);
+  ASSERT_TRUE(store.Append(c).ok());
   const double before = store.StorageBytes();
   store.Age(30.0);
   EXPECT_LT(store.StorageBytes(), before);
 }
 
-TEST(TrajectoryStoreTest, TinyInputsAreSafe) {
+TEST(TrajectoryStoreTest, TinyInputsAreRejectedNotClamped) {
+  // Appending nothing used to silently succeed with an all-zero result;
+  // now it is an error the caller can see, and the store stays untouched.
   TrajectoryStore store;
   const auto r1 = store.Append(CompressedTrajectory{});
-  EXPECT_EQ(r1.segments_in, 0u);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
   const auto r2 = store.Append(MakeCompressed({{1, 1}}));
-  EXPECT_EQ(r2.segments_in, 0u);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.segment_count(), 0u);
+  EXPECT_EQ(store.visit_total(), 0u);
   EXPECT_EQ(store.Age(100.0), 0u);
+}
+
+TEST(TrajectoryStoreTest, NonFiniteKeyPointsAreRejected) {
+  TrajectoryStore store;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  CompressedTrajectory bad_pos = MakeCompressed({{0, 0}, {100, 0}});
+  bad_pos.keys[1].point.pos.x = nan;
+  const auto r1 = store.Append(bad_pos);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  CompressedTrajectory bad_t = MakeCompressed({{0, 0}, {100, 0}});
+  bad_t.keys[0].point.t = inf;
+  ASSERT_FALSE(store.Append(bad_t).ok());
+
+  // The error path must leave no partial state behind.
+  EXPECT_EQ(store.segment_count(), 0u);
+  EXPECT_EQ(store.visit_total(), 0u);
+  EXPECT_TRUE(store.FindSimilar({0, 0}, {100, 0}, 50.0).empty());
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+// LEB128 varint + zigzag: round trips, encoding lengths, and the hardened
+// decode path (truncation, overlong encodings, overflow bits) the WAL
+// recovery fuzzer leans on.
+#include "common/varint.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bqs {
+namespace {
+
+const uint8_t* Bytes(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+TEST(VarintTest, UnsignedRoundTrip) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             300,
+                             16383,
+                             16384,
+                             (uint64_t{1} << 35) - 1,
+                             uint64_t{1} << 35,
+                             std::numeric_limits<uint64_t>::max() - 1,
+                             std::numeric_limits<uint64_t>::max()};
+  for (const uint64_t v : values) {
+    std::string buf;
+    varint::PutU64(&buf, v);
+    ASSERT_LE(buf.size(), varint::kMaxBytes);
+    const uint8_t* p = Bytes(buf);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(varint::GetU64(&p, Bytes(buf) + buf.size(), &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(p, Bytes(buf) + buf.size()) << "decode must consume exactly";
+  }
+}
+
+TEST(VarintTest, SignedRoundTripThroughZigZag) {
+  const int64_t values[] = {0,
+                            -1,
+                            1,
+                            -64,
+                            64,
+                            -12345678,
+                            12345678,
+                            std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  for (const int64_t v : values) {
+    std::string buf;
+    varint::PutI64(&buf, v);
+    const uint8_t* p = Bytes(buf);
+    int64_t decoded = 0;
+    ASSERT_TRUE(varint::GetI64(&p, Bytes(buf) + buf.size(), &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, ZigZagKeepsSmallMagnitudesShort) {
+  // The property the WAL's delta coding buys its density from.
+  for (const int64_t v : {-63, -1, 0, 1, 63}) {
+    std::string buf;
+    varint::PutI64(&buf, v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+  }
+  EXPECT_EQ(varint::ZigZagEncode(0), 0u);
+  EXPECT_EQ(varint::ZigZagEncode(-1), 1u);
+  EXPECT_EQ(varint::ZigZagEncode(1), 2u);
+  EXPECT_EQ(varint::ZigZagEncode(-2), 3u);
+}
+
+TEST(VarintTest, EncodingLengths) {
+  const struct {
+    uint64_t value;
+    std::size_t bytes;
+  } cases[] = {{0, 1},           {127, 1},
+               {128, 2},         {16383, 2},
+               {16384, 3},       {(uint64_t{1} << 63) - 1, 9},
+               {uint64_t{1} << 63, 10}};
+  for (const auto& c : cases) {
+    std::string buf;
+    varint::PutU64(&buf, c.value);
+    EXPECT_EQ(buf.size(), c.bytes) << c.value;
+  }
+}
+
+TEST(VarintTest, TruncatedInputFailsAndLeavesPosUnchanged) {
+  std::string buf;
+  varint::PutU64(&buf, uint64_t{1} << 40);  // multi-byte encoding
+  for (std::size_t keep = 0; keep < buf.size(); ++keep) {
+    const uint8_t* p = Bytes(buf);
+    uint64_t v = 0;
+    EXPECT_FALSE(varint::GetU64(&p, Bytes(buf) + keep, &v)) << keep;
+    EXPECT_EQ(p, Bytes(buf)) << "failed decode must not advance";
+  }
+}
+
+TEST(VarintTest, RejectsOverlongAndOverflowingEncodings) {
+  // 11 continuation bytes: longer than any valid uint64 encoding.
+  std::string overlong(11, static_cast<char>(0x80));
+  overlong.push_back(0x01);
+  const uint8_t* p = Bytes(overlong);
+  uint64_t v = 0;
+  EXPECT_FALSE(varint::GetU64(&p, Bytes(overlong) + overlong.size(), &v));
+
+  // 10 bytes whose final byte carries bits beyond the 64th.
+  std::string overflow(9, static_cast<char>(0x80));
+  overflow.push_back(0x02);  // would set bit 64
+  p = Bytes(overflow);
+  EXPECT_FALSE(varint::GetU64(&p, Bytes(overflow) + overflow.size(), &v));
+
+  // The canonical max encoding is still accepted.
+  std::string max_enc(9, static_cast<char>(0xff));
+  max_enc.push_back(0x01);
+  p = Bytes(max_enc);
+  ASSERT_TRUE(varint::GetU64(&p, Bytes(max_enc) + max_enc.size(), &v));
+  EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(VarintTest, DecodesConsecutiveValuesFromOneBuffer) {
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 100; ++i) {
+    values.push_back(i * i * 37 + i);
+    varint::PutU64(&buf, values.back());
+  }
+  const uint8_t* p = Bytes(buf);
+  const uint8_t* end = Bytes(buf) + buf.size();
+  for (const uint64_t expected : values) {
+    uint64_t v = 0;
+    ASSERT_TRUE(varint::GetU64(&p, end, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_EQ(p, end);
+}
+
+}  // namespace
+}  // namespace bqs

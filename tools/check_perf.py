@@ -72,6 +72,23 @@ report families, dispatched on the document's `schema` field:
      run time; this re-gate catches a candidate JSON produced by a
      tampered or older binary.
 
+  bqs-bench-wal-v1
+  ------------------------------------------------------------------
+  Durability-subsystem gate (bench_wal). Append/recover rates are
+  reported but never gated — fsync throughput measures the runner's
+  disk, not the code. What IS gated is machine-independent:
+  1. exactness: `all_recovered_exact` must be true, and every policy
+     row must report recovered_exact and recovery_clean — a WAL that
+     benches fast but drops acked data is not a WAL.
+  2. coverage: every policy row in the baseline must be present.
+  3. density: the workload is derived from a fixed seed, so
+     bytes_per_point is deterministic; a fresh value more than 5% above
+     the baseline means the delta+zigzag+varint codec got less dense.
+     (Same-scale runs only; the scale check catches the rest.)
+  4. workload identity: each row's `points` must equal the baseline's —
+     if the generator drifted, the density gate would be comparing
+     different workloads and silently pass.
+
 Usage: check_perf.py <fresh.json> <baseline.json> [--tolerance 0.70]
                      [--no-normalize]
 Exit codes: 0 ok, 1 regression/divergence, 2 usage or parse error.
@@ -84,6 +101,11 @@ import sys
 CALIBRATION_ALGORITHM = "BQS_bruteforce"
 FLEET_SCHEMA_PREFIX = "bqs-bench-fleet"
 MICRO_SCHEMA_PREFIX = "bqs-bench-micro"
+WAL_SCHEMA_PREFIX = "bqs-bench-wal"
+# Ceiling on fresh/baseline bytes_per_point: the workload is seeded, so
+# density is deterministic and 5% headroom is purely for format evolution
+# landing together with a refreshed baseline.
+WAL_DENSITY_SLACK = 1.05
 SEQUENTIAL_CONFIG = "sequential"
 # Empirical-stream floor on the fraction of batch points decided by a
 # vector lane (measured ~0.84 on the paper's merged workload; the floor
@@ -293,6 +315,52 @@ def check_micro(fresh, baseline, failures):
     return compared
 
 
+def check_wal(fresh, baseline, failures):
+    """Exactness + density gate over the WAL report's policy rows.
+    Returns the number of gated rows."""
+    if not fresh.get("all_recovered_exact", False):
+        failures.append("wal: a policy's recovery was not bit-exact")
+
+    fresh_rows = {row["name"]: row for row in fresh.get("policies", [])}
+    base_rows = {row["name"]: row for row in baseline.get("policies", [])}
+    compared = 0
+    for name, base_row in sorted(base_rows.items()):
+        row = fresh_rows.get(name)
+        if row is None:
+            failures.append(f"wal policy '{name}': present in baseline but "
+                            "missing from the fresh run")
+            continue
+        compared += 1
+        status = "ok"
+        if not row.get("recovered_exact", False):
+            failures.append(f"wal policy '{name}': recovery not bit-exact")
+            status = "NOT EXACT"
+        if not row.get("recovery_clean", False):
+            failures.append(f"wal policy '{name}': recovery report not "
+                            "clean (acked data was lost)")
+            status = "NOT CLEAN"
+        points = row.get("points", 0)
+        base_points = base_row.get("points", 0)
+        if points != base_points:
+            failures.append(f"wal policy '{name}': workload drifted "
+                            f"({points} points vs baseline {base_points}) — "
+                            "density comparison would be meaningless")
+            status = "DRIFT"
+        density = row.get("bytes_per_point", 0.0)
+        base_density = base_row.get("bytes_per_point", 0.0)
+        if base_density > 0 and density > base_density * WAL_DENSITY_SLACK:
+            failures.append(f"wal policy '{name}': bytes_per_point "
+                            f"{density:.2f} above baseline {base_density:.2f}"
+                            f" x {WAL_DENSITY_SLACK} — codec got less dense")
+            status = "DENSITY"
+        print(f"{'wal':>18s} / {name:<18s} "
+              f"append {row.get('append_points_per_sec', 0.0) / 1e6:8.2f} "
+              f"M pts/s  recover "
+              f"{row.get('recover_points_per_sec', 0.0) / 1e6:8.2f} M pts/s"
+              f"  {density:5.2f} B/pt  {status}")
+    return compared
+
+
 def check_fleet(fresh, baseline, args, failures):
     if not fresh.get("all_byte_identical", False):
         failures.append(
@@ -361,6 +429,8 @@ def main():
         compared = check_fleet(fresh, baseline, args, failures)
     elif fresh_schema.startswith(MICRO_SCHEMA_PREFIX):
         compared = check_micro(fresh, baseline, failures)
+    elif fresh_schema.startswith(WAL_SCHEMA_PREFIX):
+        compared = check_wal(fresh, baseline, failures)
     else:
         compared = check_throughput(fresh, baseline, args, failures)
 

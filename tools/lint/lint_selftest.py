@@ -191,6 +191,14 @@ class LintHarness(unittest.TestCase):
         code, out = self.lint()
         self.assertEqual(code, 0, out)
 
+    def test_service_may_include_storage(self):
+        # The fleet engine owns a WAL sink; service -> storage is a real
+        # link edge in CMake and must be a legal include direction.
+        self.write("src/service/fleet.cc",
+                   '#include "storage/keypoint_wal.h"\n')
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
     def test_sibling_include_fails(self):
         self.write("src/baselines/dp.cc", '#include "simulation/vehicle.h"\n')
         code, out = self.lint()
@@ -214,7 +222,7 @@ class LintHarness(unittest.TestCase):
 
     def test_fault_injector_include_outside_allowlist_fails(self):
         self.write("src/eval/runner.cc",
-                   '#include "service/fault_injector.h"\n')
+                   '#include "common/fault_injector.h"\n')
         code, out = self.lint()
         self.assertEqual(code, 1, out)
         self.assertIn("fault-injection-containment", out)
@@ -226,18 +234,72 @@ class LintHarness(unittest.TestCase):
         self.assertEqual(code, 1, out)
         self.assertIn("fault-injection-containment", out)
 
-    def test_fault_injector_in_allowlisted_engine_passes(self):
+    def test_fault_injector_in_allowlisted_consumers_passes(self):
         self.write("src/service/fleet_engine.cc",
-                   '#include "service/fault_injector.h"\n'
+                   '#include "common/fault_injector.h"\n'
                    "namespace bqs { FaultInjector* fi = nullptr; }\n")
-        self.write("src/service/fault_injector.h",
+        self.write("src/storage/keypoint_wal.cc",
+                   '#include "common/fault_injector.h"\n'
+                   "namespace bqs { FaultInjector* wal_fi = nullptr; }\n")
+        self.write("src/common/fault_injector.h",
                    "namespace bqs { class FaultInjector {}; }\n")
         code, out = self.lint()
         self.assertEqual(code, 0, out)
 
     def test_fault_mention_in_comment_passes(self):
         self.write("src/core/bounds.cc",
-                   "// see FaultInjector in service/fault_injector.h\n"
+                   "// see FaultInjector in common/fault_injector.h\n"
+                   "int x = 0;\n")
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    # -- file-io-containment -----------------------------------------------
+
+    def test_ofstream_outside_storage_fails(self):
+        self.write("src/core/bounds.cc",
+                   "#include <fstream>\n"
+                   'std::ofstream out("dump.txt");\n')
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("file-io-containment", out)
+        self.assertIn("src/core/bounds.cc:2", out)
+
+    def test_fopen_in_service_fails(self):
+        self.write("src/service/fleet.cc",
+                   'void Dump() { (void)fopen("x", "w"); }\n')
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("file-io-containment", out)
+
+    def test_posix_write_outside_storage_fails(self):
+        self.write("src/eval/runner.cc",
+                   "void f(int fd) { ::write(fd, 0, 0); }\n")
+        code, out = self.lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("file-io-containment", out)
+
+    def test_storage_layer_may_do_file_io(self):
+        self.write("src/storage/keypoint_wal.cc",
+                   "#include <filesystem>\n"
+                   "#include <fstream>\n"
+                   "void f(int fd) { fdatasync(fd); }\n"
+                   'std::ifstream in("wal-000001.log");\n')
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    def test_allowlisted_io_boundaries_pass(self):
+        self.write("src/trajectory/csv_io.cc",
+                   "#include <fstream>\n"
+                   'std::ofstream out("t.csv");\n')
+        self.write("src/eval/table.cc",
+                   "#include <fstream>\n"
+                   'std::ofstream out("report.md");\n')
+        code, out = self.lint()
+        self.assertEqual(code, 0, out)
+
+    def test_file_io_mention_in_comment_passes(self):
+        self.write("src/core/bounds.cc",
+                   "// persisted via std::ofstream in the storage layer\n"
                    "int x = 0;\n")
         code, out = self.lint()
         self.assertEqual(code, 0, out)

@@ -28,16 +28,27 @@ cannot see:
       but inverts the architecture; this rule catches it at lint time.
 
   fault-injection-containment
-      service/fault_injector.h is a *test harness*: deterministic fault
+      common/fault_injector.h is a *test harness*: deterministic fault
       schedules the overload tests and fuzzers drive through
-      FleetEngineOptions::fault_injector. Its hooks are allowed in
-      exactly the files that define and consume that option
+      FleetEngineOptions::fault_injector and
+      KeyPointWalOptions::fault_injector. Its hooks are allowed in
+      exactly the files that define and consume those options
       (FAULT_INJECTION_ALLOWLIST); any other src/ file naming
       FaultInjector/FaultSite or including the header is a violation.
       Tests, fuzzers and benches live outside src/ and are unrestricted.
       This keeps injected-fault surface area auditable: a fault hook
       quietly sprouting in a compressor kernel would otherwise be
       invisible until it misfired in production.
+
+  file-io-containment
+      Durable state has exactly one home: src/storage (the WAL and its
+      recovery path), where every write is CRC-framed, fsync-gated and
+      crash-sweep tested. Any other src/ file opening file descriptors
+      or streams is either a debugging leftover or a second persistence
+      path that dodges those guarantees. The two historical exceptions
+      are pinned in FILE_IO_ALLOWLIST: csv_io.cc (the documented CSV
+      import/export boundary) and eval/table.cc (report emission, not
+      state). Tests/benches/fuzzers live outside src/ and may do I/O.
 
   intrinsics-containment
       The SIMD dispatch layer (common/simd.h) promises the rest of the
@@ -95,7 +106,7 @@ LAYER_DEPS = {
     "simulation": {"trajectory"},
     "storage": {"baselines"},
     "eval": {"core", "baselines", "simulation"},
-    "service": {"eval"},
+    "service": {"eval", "storage"},
 }
 
 # Tokens budgeted by service_alloc_budget.txt. Order matters only for
@@ -110,15 +121,29 @@ BUDGET_TOKENS = {
 SOURCE_EXTENSIONS = (".h", ".cc")
 
 # The only src/ files that may name the fault-injection harness: the
-# harness itself plus the engine that exposes the injection option.
+# harness itself plus the two components that expose an injection option
+# (the fleet engine and the key-point WAL writer).
 FAULT_INJECTION_ALLOWLIST = {
-    "src/service/fault_injector.h",
+    "src/common/fault_injector.h",
     "src/service/fleet_engine.h",
     "src/service/fleet_engine.cc",
+    "src/storage/keypoint_wal.h",
+    "src/storage/keypoint_wal.cc",
 }
 FAULT_TOKEN_RE = re.compile(r"\b(?:FaultInjector|FaultSite)\b")
 FAULT_INCLUDE_RE = re.compile(
-    r'^\s*#\s*include\s+"service/fault_injector\.h"')
+    r'^\s*#\s*include\s+"common/fault_injector\.h"')
+
+# File I/O belongs to the storage layer; these two files are the pinned
+# exceptions (import/export boundary and report emission).
+FILE_IO_ALLOWLIST = {
+    "src/trajectory/csv_io.cc",
+    "src/eval/table.cc",
+}
+FILE_IO_LAYER_PREFIX = "src/storage/"
+FILE_IO_TOKEN_RE = re.compile(
+    r"\b(?:std::(?:o|i)?fstream|std::filesystem|fopen|freopen|fsync"
+    r"|fdatasync)\b|::(?:open|creat|write|pwrite)\s*\(")
 
 # The only src/ files that may touch x86 SIMD intrinsics: the two kernel
 # tiers behind the runtime-dispatch table in common/simd.h.
@@ -391,8 +416,26 @@ def check_fault_injection_containment(files, violations):
                  "containment: only "
                  f"{', '.join(sorted(FAULT_INJECTION_ALLOWLIST))} may name "
                  "FaultInjector/FaultSite or include "
-                 "service/fault_injector.h (tests and fuzzers outside "
+                 "common/fault_injector.h (tests and fuzzers outside "
                  "src/ are unrestricted)"))
+
+
+def check_file_io_containment(files, violations):
+    for src in files:
+        if (src.relpath in FILE_IO_ALLOWLIST
+                or src.relpath.startswith(FILE_IO_LAYER_PREFIX)):
+            continue
+        for idx, code in enumerate(src.code_lines):
+            if not FILE_IO_TOKEN_RE.search(code):
+                continue
+            raw = src.raw_lines[idx] if idx < len(src.raw_lines) else code
+            violations.append(
+                ("file-io-containment", src.relpath, idx + 1,
+                 f"file I/O outside the storage layer: '{raw.strip()}' — "
+                 "durable state goes through src/storage (CRC-framed, "
+                 "fsync-gated, crash-sweep tested); if this is a new "
+                 "import/export boundary, pin it in FILE_IO_ALLOWLIST in "
+                 "tools/lint/repo_lint.py where a reviewer sees it"))
 
 
 def check_intrinsics_containment(files, violations):
@@ -441,6 +484,7 @@ def run(root, allowlist_path, budget_path, out=sys.stdout):
     check_service_budgets(files, budgets, violations)
     check_include_hygiene(files, violations)
     check_fault_injection_containment(files, violations)
+    check_file_io_containment(files, violations)
     check_intrinsics_containment(files, violations)
 
     for rule, relpath, line, message in violations:
