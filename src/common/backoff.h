@@ -1,0 +1,117 @@
+// Deterministic retry with jittered exponential backoff — the I/O retry
+// discipline for the compaction pipeline.
+//
+// Transient storage failures (EINTR-adjacent hiccups, a rename racing a
+// scanner, a disk that reports full until a reaper frees space) are worth
+// a few bounded retries before giving up; unbounded or wall-clock-driven
+// retries are not, because they make failure schedules unreproducible.
+// This policy is deterministic end to end: the delay for attempt k is a
+// pure function of (policy, seed, k) — exponential growth capped at
+// max_delay_us, with the top `jitter` fraction randomized through the
+// repo's seeded Rng — so a test that replays a fault schedule sees the
+// exact same retry timeline every run.
+//
+// Nothing here actually sleeps unless asked to: the sleep hook is
+// injected, tests pass a recorder (or nothing), and production callers
+// pass a real sleeper. Retrying is capped by attempts, never by time, so
+// a retry loop can be stepped through a fault injector deterministically.
+#ifndef BQS_COMMON_BACKOFF_H_
+#define BQS_COMMON_BACKOFF_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace bqs {
+
+/// Shape of a retry schedule. Delays grow base * 2^k capped at max, and
+/// the top `jitter` fraction of each delay is randomized (0 = fully
+/// deterministic ladder, 1 = full-jitter).
+struct BackoffPolicy {
+  /// Total tries, including the first (1 = no retry).
+  uint32_t max_attempts = 4;
+  /// Delay after the first failed attempt, microseconds.
+  uint64_t base_delay_us = 100;
+  /// Cap applied before jitter.
+  uint64_t max_delay_us = 50000;
+  /// Fraction of each delay randomized, clamped to [0, 1].
+  double jitter = 0.5;
+};
+
+/// Sleep hook: receives the jittered delay in microseconds. Null-state
+/// hooks (default) skip sleeping entirely — correct for tests and for the
+/// synchronous compaction path, where the retry *sequence* matters and
+/// wall-clock pauses would only slow the suite.
+using BackoffSleepFn = void (*)(uint64_t micros, void* ctx);
+
+/// One retry schedule instance. Not thread-safe; make one per operation
+/// (cheap) or per owning thread.
+class Backoff {
+ public:
+  Backoff(const BackoffPolicy& policy, uint64_t seed,
+          BackoffSleepFn sleep = nullptr, void* sleep_ctx = nullptr)
+      : policy_(policy),
+        rng_(seed),
+        sleep_(sleep),
+        sleep_ctx_(sleep_ctx) {}
+
+  /// Jittered delay after failed attempt k (k = 0 for the first failure).
+  /// Consumes rng state: call in attempt order to replay a schedule.
+  uint64_t DelayForAttempt(uint32_t k) {
+    uint64_t delay = policy_.base_delay_us;
+    for (uint32_t i = 0; i < k && delay < policy_.max_delay_us; ++i) {
+      delay *= 2;
+    }
+    if (delay > policy_.max_delay_us) delay = policy_.max_delay_us;
+    const double j = policy_.jitter < 0.0   ? 0.0
+                     : policy_.jitter > 1.0 ? 1.0
+                                            : policy_.jitter;
+    if (j <= 0.0 || delay == 0) return delay;
+    const double fixed = static_cast<double>(delay) * (1.0 - j);
+    const double spread = static_cast<double>(delay) * j;
+    return static_cast<uint64_t>(fixed + rng_.Uniform(0.0, spread));
+  }
+
+  /// Runs `op` (a callable returning Status) up to max_attempts times,
+  /// sleeping the jittered delay between failures. Returns the first OK
+  /// status, or the *last* failure once attempts are exhausted. Every
+  /// non-OK status is treated as retryable — callers that can classify
+  /// terminal errors should return early inside `op` by succeeding with a
+  /// side channel, or simply accept the bounded extra attempts (the
+  /// compactor does the latter: its ops are idempotent).
+  template <typename Op>
+  Status Run(Op&& op) {
+    Status last;
+    for (uint32_t k = 0; k < policy_.max_attempts; ++k) {
+      last = op();
+      ++attempts_;
+      if (last.ok()) return last;
+      if (k + 1 < policy_.max_attempts) {
+        const uint64_t d = DelayForAttempt(k);
+        slept_us_ += d;
+        if (sleep_ != nullptr) sleep_(d, sleep_ctx_);
+      }
+    }
+    return last;
+  }
+
+  /// Attempts made across all Run() calls on this instance.
+  uint64_t attempts() const { return attempts_; }
+
+  /// Total delay scheduled (whether or not a sleep hook consumed it).
+  uint64_t slept_us() const { return slept_us_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  BackoffSleepFn sleep_;
+  void* sleep_ctx_;
+  uint64_t attempts_ = 0;
+  uint64_t slept_us_ = 0;
+};
+
+}  // namespace bqs
+
+#endif  // BQS_COMMON_BACKOFF_H_

@@ -65,8 +65,24 @@ enum class FaultSite : uint8_t {
   /// user-space buffer (bytes not yet written to the OS under kNone
   /// batching) is discarded and the writer goes dead without flushing.
   kCrashAfterWrite,
+
+  // --- compaction sites (storage/compaction.cc) --------------------------
+  /// The compactor "crashes" at state-machine transition param(site): the
+  /// in-flight compaction aborts mid-step, leaving whatever temp files /
+  /// half-published state exists on disk for recovery to sort out. The
+  /// crash-point sweep arms this with param = 0, 1, 2, ... to kill the
+  /// pipeline at every transition in turn.
+  kCompactionCrashAt,
+  /// The atomic rename (block or manifest publication) reports failure.
+  /// Retried under the backoff policy; persistent failure degrades the
+  /// compactor, never the WAL ingest path.
+  kRenameFail,
+  /// A write/fsync reports ENOSPC (disk full). In the WAL this trips the
+  /// fsync gate (fail-stop); in the compactor it is retried and then
+  /// degrades to WAL-only mode (degrade-and-continue).
+  kEnospc,
 };
-inline constexpr std::size_t kFaultSiteCount = 7;
+inline constexpr std::size_t kFaultSiteCount = 10;
 
 class FaultInjector {
  public:

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/fault_injector.h"
+#include "storage/compaction.h"
 #include "storage/keypoint_wal.h"
 
 namespace bqs {
@@ -455,6 +456,8 @@ FleetStats FleetEngine::Stats() {
     total.wal_checkpoints += c.wal_checkpoints;
     total.wal_points += c.wal_points;
     total.wal_append_failures += c.wal_append_failures;
+    total.wal_failures_io += c.wal_failures_io;
+    total.wal_failures_writer_dead += c.wal_failures_writer_dead;
     total.faults_injected += shard.shed.faults + c.faults_injected;
     total.max_error_bound = std::max(total.max_error_bound,
                                      c.max_error_bound);
@@ -476,6 +479,14 @@ FleetStats FleetEngine::Stats() {
       }
     }
   }
+  total.compaction_runs = compaction_runs_;
+  total.compaction_failures = compaction_failures_;
+  if (options_.wal != nullptr) {
+    total.storage_healthy = !options_.wal->dead();
+    if (options_.compactor != nullptr && options_.compactor->degraded()) {
+      total.storage_healthy = false;
+    }
+  }
   return total;
 }
 
@@ -488,6 +499,19 @@ void FleetEngine::CheckpointWal() {
     WaitIdle(shard);        // grants shard.worker_role (idle protocol)
     for (auto& [device, session] : shard.sessions) {
       CheckpointSession(shard, device, session);
+    }
+  }
+  // The checkpoint barrier is the compaction trigger: every staged point
+  // is in the WAL now, so draining sealed segments into blocks moves a
+  // maximal prefix. Skipped outright when degraded — WAL-only mode; the
+  // error already lives in the compactor's stats and storage_healthy.
+  if (options_.compactor != nullptr && !options_.compactor->degraded()) {
+    const Status st =
+        options_.compactor->CompactOnce(options_.wal->current_segment_index());
+    if (st.ok()) {
+      ++compaction_runs_;
+    } else {
+      ++compaction_failures_;
     }
   }
 }
@@ -728,6 +752,7 @@ void FleetEngine::CloseSession(Shard& shard, DeviceId device,
 void FleetEngine::CheckpointSession(Shard& shard, DeviceId device,
                                     Session& session) {
   if (options_.wal == nullptr || session.staged.empty()) return;
+  const bool was_dead = options_.wal->dead();
   const Result<WalAppendAck> ack =
       options_.wal->Append(device, session.staged);
   if (ack.ok()) {
@@ -737,8 +762,15 @@ void FleetEngine::CheckpointSession(Shard& shard, DeviceId device,
     // The WAL refused (typically its fsync gate tripped). The points were
     // already delivered to the sink — the log just has a hole, which the
     // failure counter reports. Dropping the staged batch instead of
-    // retrying keeps a dead WAL from turning into per-run overhead.
+    // retrying keeps a dead WAL from turning into per-run overhead. The
+    // reason split: the append that hit the error itself vs refusals by a
+    // writer already known dead.
     ++shard.counters.wal_append_failures;
+    if (was_dead) {
+      ++shard.counters.wal_failures_writer_dead;
+    } else {
+      ++shard.counters.wal_failures_io;
+    }
   }
   session.staged.clear();
 }

@@ -109,6 +109,7 @@ namespace bqs {
 
 class FaultInjector;  // common/fault_injector.h (test harness; see lint)
 class KeyPointWal;    // storage/keypoint_wal.h
+class Compactor;      // storage/compaction.h
 
 /// Why a device session was closed.
 enum class SessionEndReason {
@@ -218,6 +219,14 @@ struct FleetEngineOptions {
   /// lifecycle edges. Smaller = tighter crash-loss window, more WAL
   /// records. Clamped to >= 1.
   std::size_t wal_checkpoint_points = 256;
+
+  /// Optional compaction driver (requires `wal`; must outlive the engine).
+  /// After every CheckpointWal() barrier the engine runs one compaction
+  /// over the WAL's sealed segments (the active segment is never touched).
+  /// A degraded compactor — persistent ENOSPC — is skipped entirely: the
+  /// engine falls back to WAL-only durability, keeps ingesting, and
+  /// reports storage_healthy = false. Never on the ingest path.
+  Compactor* compactor = nullptr;
 };
 
 /// Aggregate engine counters. Snapshot via FleetEngine::Stats(), which
@@ -278,8 +287,24 @@ struct FleetStats {
   uint64_t wal_checkpoints = 0;       ///< Acked WAL appends.
   uint64_t wal_points = 0;            ///< Key points inside acked appends.
   /// Appends the WAL refused (dead writer, I/O error). The affected points
-  /// were delivered to the sink but are NOT durable in the log.
+  /// were delivered to the sink but are NOT durable in the log. Split by
+  /// reason below: exactly one append trips the fsync gate (_io), every
+  /// later refusal is the already-dead writer (_writer_dead).
   uint64_t wal_append_failures = 0;
+  uint64_t wal_failures_io = 0;          ///< The append that hit the error.
+  uint64_t wal_failures_writer_dead = 0; ///< Refused by a dead writer.
+
+  // --- compaction (all zero without FleetEngineOptions::compactor) -------
+  uint64_t compaction_runs = 0;      ///< CompactOnce calls that succeeded.
+  uint64_t compaction_failures = 0;  ///< ...that failed (or found the
+                                     ///< compactor already degraded).
+
+  /// False as soon as the durability substrate is impaired: the WAL's
+  /// fsync gate tripped, or the compactor degraded on persistent ENOSPC.
+  /// Ingest and the sink keep working either way — this flag is how a
+  /// monitor learns new data stopped being (fully) durable. True when no
+  /// WAL is configured (nothing was promised, nothing is impaired).
+  bool storage_healthy = true;
 
   /// Accounted footprint of live sessions (StateBytes + base charge).
   std::size_t state_bytes = 0;
@@ -625,6 +650,9 @@ class FleetEngine {
   /// flag the shed paths set. Producer-thread only.
   uint64_t shed_batches_ = 0;
   bool batch_shed_ = false;
+  /// Compaction outcomes (driven from CheckpointWal on the caller thread).
+  uint64_t compaction_runs_ = 0;
+  uint64_t compaction_failures_ = 0;
 };
 
 }  // namespace bqs

@@ -186,8 +186,9 @@ Status KeyPointWal::AppendLocked(DeviceId device,
       // ack in flight the same way).
       ++stats_.faults_injected;
       buffer_.clear();
-      MarkDeadLocked();
-      return Status::IoError("injected crash after write");
+      const Status st = Status::IoError("injected crash after write");
+      MarkDeadLocked(st);
+      return st;
     }
   }
 
@@ -265,14 +266,15 @@ Status KeyPointWal::FlushLocked() {
         unsynced_bytes_ += cut;
       }
       buffer_.clear();
-      MarkDeadLocked();
-      return Status::IoError("injected short write after " +
-                             std::to_string(cut) + " bytes");
+      const Status dead_st = Status::IoError("injected short write after " +
+                                             std::to_string(cut) + " bytes");
+      MarkDeadLocked(dead_st);
+      return dead_st;
     }
   }
   const Status st = WriteFully(buffer_.data(), buffer_.size());
   if (!st.ok()) {
-    MarkDeadLocked();
+    MarkDeadLocked(st);
     return st;
   }
   segment_written_ += buffer_.size();
@@ -286,13 +288,14 @@ Status KeyPointWal::SyncLocked() {
   if (FaultInjector* const injector = options_.fault_injector) {
     if (injector->ShouldFire(FaultSite::kFsyncFail)) {
       ++stats_.faults_injected;
-      MarkDeadLocked();
-      return Status::IoError("injected fsync failure");
+      const Status st = Status::IoError("injected fsync failure");
+      MarkDeadLocked(st);
+      return st;
     }
   }
   if (fd_ >= 0 && ::fdatasync(fd_) != 0) {
     const Status st = ErrnoError("fdatasync");
-    MarkDeadLocked();
+    MarkDeadLocked(st);
     return st;
   }
   unsynced_bytes_ = 0;
@@ -314,12 +317,15 @@ Status KeyPointWal::WriteFully(const char* data, std::size_t size) {
   return Status::OK();
 }
 
-void KeyPointWal::MarkDeadLocked() {
+void KeyPointWal::MarkDeadLocked(const Status& cause) {
   // The fsync gate: after a failed (or injected-failed) write or sync the
   // durable state is unknowable, so the writer never acks again. The
   // descriptor is closed without sync — trusting it further would be the
   // exact mistake the gate exists to prevent.
   dead_ = true;
+  stats_.last_error_code =
+      cause.ok() ? StatusCode::kIoError : cause.code();
+  stats_.last_error = cause.message();
   if (fd_ >= 0) {
     (void)::close(fd_);
     fd_ = -1;
@@ -361,6 +367,11 @@ uint64_t KeyPointWal::next_seq() const {
   return next_seq_;
 }
 
+uint64_t KeyPointWal::current_segment_index() const {
+  MutexLock lock(mu_);
+  return segment_index_;
+}
+
 KeyPointWalStats KeyPointWal::stats() const {
   MutexLock lock(mu_);
   return stats_;
@@ -368,7 +379,8 @@ KeyPointWalStats KeyPointWal::stats() const {
 
 // --- recovery -------------------------------------------------------------
 
-Result<std::vector<WalSegmentFile>> ListWalSegments(const std::string& dir) {
+Result<std::vector<WalSegmentFile>> ListWalSegments(
+    const std::string& dir, std::vector<std::string>* ignored) {
   std::error_code ec;
   std::filesystem::directory_iterator it(dir, ec);
   if (ec) {
@@ -381,17 +393,37 @@ Result<std::vector<WalSegmentFile>> ListWalSegments(const std::string& dir) {
   const std::filesystem::directory_iterator end;
   while (it != end) {
     const std::filesystem::directory_entry& entry = *it;
+    const std::string name = entry.path().filename().string();
     uint64_t index = 0;
-    if (ParseSegmentFileName(entry.path().filename().string(), &index)) {
+    if (ParseSegmentFileName(name, &index)) {
       out.push_back(WalSegmentFile{index, entry.path().string()});
+    } else if (ignored != nullptr && name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // Debris of a crashed atomic publication sharing the directory.
+      ignored->push_back(entry.path().string());
     }
     it.increment(ec);
     if (ec) return Status::IoError("list " + dir + ": " + ec.message());
   }
+  // Index order; ties (e.g. "wal-1.log" vs "wal-000001.log") broken by
+  // path so the winner is the same on every filesystem.
   std::sort(out.begin(), out.end(),
             [](const WalSegmentFile& a, const WalSegmentFile& b) {
-              return a.index < b.index;
+              return a.index != b.index ? a.index < b.index : a.path < b.path;
             });
+  // Duplicate indices carry the same records twice (a copy, a hard link, a
+  // renamed zero-pad); replaying both would double-count. Keep the first
+  // per index, quarantine the rest.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    if (w > 0 && out[r].index == out[w - 1].index) {
+      if (ignored != nullptr) ignored->push_back(std::move(out[r].path));
+      continue;
+    }
+    if (w != r) out[w] = std::move(out[r]);
+    ++w;
+  }
+  out.resize(w);
   return out;
 }
 

@@ -120,6 +120,16 @@ struct KeyPointWalStats {
   uint64_t flushes = 0;               ///< write(2) batches handed to the OS.
   uint64_t syncs = 0;                 ///< Successful fdatasync calls.
   uint64_t faults_injected = 0;       ///< Injector firings the writer obeyed.
+  /// What killed the writer, when dead: the fsync-gate cause, recorded at
+  /// the moment of death so a monitor sees *why* without scraping append
+  /// errors. kOk/empty while healthy.
+  StatusCode last_error_code = StatusCode::kOk;
+  std::string last_error;
+
+  /// True while the fsync gate has not tripped (the snapshot-side view of
+  /// KeyPointWal::dead(), so one stats() call answers "is it fine and if
+  /// not, why not").
+  bool healthy() const { return last_error_code == StatusCode::kOk; }
 };
 
 /// What an acked Append() promises, in replayable terms: the sequence the
@@ -171,6 +181,10 @@ class KeyPointWal {
   bool dead() const;
   /// Sequence the next acked Append() will carry.
   uint64_t next_seq() const;
+  /// 1-based index of the segment currently being appended to (0 before
+  /// Open()). The compactor's bound: passing this to CompactOnce() drains
+  /// every *sealed* segment and leaves the active one alone.
+  uint64_t current_segment_index() const;
   KeyPointWalStats stats() const;
   const KeyPointWalOptions& options() const { return options_; }
 
@@ -184,7 +198,7 @@ class KeyPointWal {
   /// fdatasync (kFsyncFail hook). Precondition: buffer already flushed.
   Status SyncLocked() REQUIRES(mu_);
   Status WriteFully(const char* data, std::size_t size) REQUIRES(mu_);
-  void MarkDeadLocked() REQUIRES(mu_);
+  void MarkDeadLocked(const Status& cause) REQUIRES(mu_);
 
   const KeyPointWalOptions options_;
 
@@ -258,9 +272,16 @@ struct WalSegmentFile {
   std::string path;
 };
 
-/// Segment files under `dir`, sorted by index. Non-matching names are
-/// ignored. NotFound when the directory does not exist.
-Result<std::vector<WalSegmentFile>> ListWalSegments(const std::string& dir);
+/// Segment files under `dir`, sorted by index. Foreign names are ignored
+/// silently; two dirty-directory shapes are quarantined *deterministically*
+/// and reported through `ignored` (when non-null):
+///   * stale "*.tmp" files — debris of a crashed atomic publication;
+///   * duplicate segment indices ("wal-1.log" vs "wal-000001.log" both
+///     parse to 1): the lexicographically smallest path wins, the rest are
+///     ignored — replaying both would double every record in them.
+/// NotFound when the directory does not exist.
+Result<std::vector<WalSegmentFile>> ListWalSegments(
+    const std::string& dir, std::vector<std::string>* ignored = nullptr);
 
 class WalReader {
  public:

@@ -1,0 +1,116 @@
+// Backoff: the deterministic retry schedule the compaction pipeline runs
+// every I/O step under. The properties that matter: delays replay exactly
+// from the seed, the exponential ladder caps, Run() retries exactly
+// max_attempts times and reports the last failure, and the sleep hook
+// sees every scheduled delay.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/backoff.h"
+
+namespace bqs {
+namespace {
+
+TEST(BackoffTest, ZeroJitterLadderIsExactAndCapped) {
+  BackoffPolicy policy;
+  policy.base_delay_us = 100;
+  policy.max_delay_us = 1000;
+  policy.jitter = 0.0;
+  Backoff backoff(policy, /*seed=*/1);
+  EXPECT_EQ(backoff.DelayForAttempt(0), 100u);
+  EXPECT_EQ(backoff.DelayForAttempt(1), 200u);
+  EXPECT_EQ(backoff.DelayForAttempt(2), 400u);
+  EXPECT_EQ(backoff.DelayForAttempt(3), 800u);
+  EXPECT_EQ(backoff.DelayForAttempt(4), 1000u);   // capped
+  EXPECT_EQ(backoff.DelayForAttempt(40), 1000u);  // stays capped, no UB
+}
+
+TEST(BackoffTest, JitteredDelaysReplayFromSeed) {
+  BackoffPolicy policy;  // default jitter = 0.5
+  std::vector<uint64_t> first, second;
+  {
+    Backoff backoff(policy, /*seed=*/42);
+    for (uint32_t k = 0; k < 8; ++k) first.push_back(backoff.DelayForAttempt(k));
+  }
+  {
+    Backoff backoff(policy, /*seed=*/42);
+    for (uint32_t k = 0; k < 8; ++k) second.push_back(backoff.DelayForAttempt(k));
+  }
+  EXPECT_EQ(first, second);
+  // Jitter stays inside [fixed, full delay].
+  Backoff backoff(policy, /*seed=*/7);
+  for (uint32_t k = 0; k < 12; ++k) {
+    uint64_t full = policy.base_delay_us;
+    for (uint32_t i = 0; i < k && full < policy.max_delay_us; ++i) full *= 2;
+    if (full > policy.max_delay_us) full = policy.max_delay_us;
+    const uint64_t d = backoff.DelayForAttempt(k);
+    EXPECT_GE(d, full - full / 2);
+    EXPECT_LE(d, full);
+  }
+}
+
+TEST(BackoffTest, RunRetriesUntilSuccess) {
+  BackoffPolicy policy;
+  policy.max_attempts = 5;
+  Backoff backoff(policy, /*seed=*/3);
+  int calls = 0;
+  const Status st = backoff.Run([&]() -> Status {
+    ++calls;
+    return calls < 3 ? Status::IoError("transient") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(backoff.attempts(), 3u);
+}
+
+TEST(BackoffTest, RunExhaustsAndReturnsLastFailure) {
+  BackoffPolicy policy;
+  policy.max_attempts = 4;
+  Backoff backoff(policy, /*seed=*/3);
+  int calls = 0;
+  const Status st = backoff.Run([&]() -> Status {
+    ++calls;
+    return Status::IoError("failure " + std::to_string(calls));
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "failure 4");  // the LAST failure, not the first
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(backoff.attempts(), 4u);
+}
+
+TEST(BackoffTest, SleepHookSeesEveryScheduledDelay) {
+  BackoffPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter = 0.0;
+  policy.base_delay_us = 10;
+  policy.max_delay_us = 1000;
+  std::vector<uint64_t> slept;
+  const BackoffSleepFn recorder = [](uint64_t micros, void* ctx) {
+    static_cast<std::vector<uint64_t>*>(ctx)->push_back(micros);
+  };
+  Backoff backoff(policy, /*seed=*/1, recorder, &slept);
+  (void)backoff.Run([]() -> Status { return Status::IoError("always"); });
+  // Three sleeps between four attempts; none after the last.
+  EXPECT_EQ(slept, (std::vector<uint64_t>{10, 20, 40}));
+  EXPECT_EQ(backoff.slept_us(), 70u);
+}
+
+TEST(BackoffTest, SingleAttemptPolicyNeverSleeps) {
+  BackoffPolicy policy;
+  policy.max_attempts = 1;
+  Backoff backoff(policy, /*seed=*/1);
+  int calls = 0;
+  const Status st = backoff.Run([&]() -> Status {
+    ++calls;
+    return Status::IoError("no retry");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(backoff.slept_us(), 0u);
+}
+
+}  // namespace
+}  // namespace bqs

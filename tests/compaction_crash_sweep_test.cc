@@ -1,0 +1,200 @@
+// Crash sweep for the compaction state machine: kill the compactor at
+// EVERY state transition (kCompactionCrashAt param = transition ordinal)
+// and at every manifest truncation offset, then prove recovery returns
+// the exact acked prefix — no duplicates, no losses — and that a restarted
+// compactor finishes the job.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "storage/compaction.h"
+#include "storage/keypoint_wal.h"
+#include "storage/manifest.h"
+
+namespace bqs {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<KeyPoint> MakeKeys(uint64_t start_index, int n, double t0) {
+  std::vector<KeyPoint> keys;
+  for (int i = 0; i < n; ++i) {
+    KeyPoint k;
+    k.index = start_index + static_cast<uint64_t>(i);
+    k.point.t = t0 + i * 2.0;
+    k.point.pos = {t0 + i * 7.5, -t0 + i * 1.25};
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+/// Builds the template WAL once: multiple sealed segments, two devices.
+void BuildTemplateWal(const std::string& dir) {
+  KeyPointWalOptions options;
+  options.dir = dir;
+  options.segment_bytes = 256;
+  KeyPointWal wal(options);
+  ASSERT_TRUE(wal.Open().ok());
+  for (int c = 0; c < 8; ++c) {
+    ASSERT_TRUE(wal.Append(1 + static_cast<DeviceId>(c % 2),
+                           MakeKeys(static_cast<uint64_t>(c) * 10, 4,
+                                    25.0 * c))
+                    .ok());
+  }
+  ASSERT_TRUE(wal.Close().ok());
+}
+
+void CopyDir(const std::string& from, const std::string& to) {
+  std::filesystem::remove_all(to);
+  std::filesystem::create_directories(to);
+  std::filesystem::copy(from, to,
+                        std::filesystem::copy_options::recursive);
+}
+
+/// The invariant every crash point must preserve: RecoverStore returns the
+/// acked checkpoints exactly once each, in seq order.
+void ExpectExactRecovery(const std::string& wal_dir,
+                         const std::string& block_dir,
+                         const std::vector<wal::WalCheckpoint>& acked,
+                         const std::string& context) {
+  Result<StoreRecovery> r = RecoverStore(wal_dir, block_dir);
+  ASSERT_TRUE(r.ok()) << context << ": " << r.status().message();
+  const std::vector<wal::WalCheckpoint>& got = r.value().wal.checkpoints;
+  std::set<uint64_t> seqs;
+  for (const wal::WalCheckpoint& c : got) {
+    EXPECT_TRUE(seqs.insert(c.seq).second)
+        << context << ": duplicate seq " << c.seq;
+  }
+  ASSERT_EQ(got.size(), acked.size()) << context;
+  for (std::size_t i = 0; i < acked.size(); ++i) {
+    EXPECT_TRUE(got[i] == acked[i]) << context << ": checkpoint " << i;
+  }
+}
+
+TEST(CompactionCrashSweepTest, EveryTransitionRecoversTheExactAckedPrefix) {
+  const std::string tmpl = FreshDir("crash_sweep_template");
+  BuildTemplateWal(tmpl);
+  Result<WalRecovery> baseline = WalReader::Recover(tmpl);
+  ASSERT_TRUE(baseline.ok());
+  const std::vector<wal::WalCheckpoint>& acked = baseline.value().checkpoints;
+  ASSERT_EQ(acked.size(), 8u);
+
+  bool completed = false;
+  uint64_t crashes = 0;
+  const uint64_t kSweepCap = 64;  // far above the real transition count
+  for (uint64_t t = 0; t < kSweepCap && !completed; ++t) {
+    const std::string wal_dir =
+        FreshDir("crash_sweep_wal_" + std::to_string(t));
+    const std::string block_dir =
+        FreshDir("crash_sweep_blk_" + std::to_string(t));
+    CopyDir(tmpl, wal_dir);
+    const std::string context = "crash at transition " + std::to_string(t);
+
+    FaultInjector injector(/*seed=*/11);
+    injector.Arm(FaultSite::kCompactionCrashAt, /*probability=*/1.0,
+                 /*max_fires=*/1, /*param=*/t);
+    CompactionOptions options;
+    options.wal_dir = wal_dir;
+    options.block_dir = block_dir;
+    options.fault_injector = &injector;
+    {
+      Compactor compactor(options);
+      const Status st = compactor.CompactOnce();
+      if (st.ok()) {
+        // The crash point lies beyond the last transition: sweep is done.
+        completed = true;
+        EXPECT_EQ(compactor.stats().runs_completed, 1u);
+      } else {
+        ++crashes;
+        EXPECT_EQ(compactor.stats().runs_crashed, 1u) << context;
+        EXPECT_EQ(compactor.stats().runs_failed, 0u) << context;
+        EXPECT_FALSE(compactor.degraded()) << context;  // crash ≠ ENOSPC
+      }
+    }
+
+    // Whatever state the death left behind, recovery is exact...
+    ExpectExactRecovery(wal_dir, block_dir, acked, context);
+
+    // ...and a restarted compactor finishes the drain, after which
+    // recovery is exact again, off blocks alone.
+    CompactionOptions clean = options;
+    clean.fault_injector = nullptr;
+    Compactor restarted(clean);
+    ASSERT_TRUE(restarted.CompactOnce().ok()) << context;
+    ExpectExactRecovery(wal_dir, block_dir, acked, context + " + restart");
+    Result<StoreRecovery> drained = RecoverStore(wal_dir, block_dir);
+    ASSERT_TRUE(drained.ok());
+    EXPECT_EQ(drained.value().report.checkpoints_from_wal, 0u) << context;
+    EXPECT_EQ(drained.value().wal.next_seq, acked.back().seq + 1) << context;
+  }
+  ASSERT_TRUE(completed) << "sweep never reached a crash-free run";
+  // The machine really has many distinct transitions: T0/T1, block
+  // publication gates, manifest gates, one per segment delete.
+  EXPECT_GE(crashes, 8u);
+}
+
+TEST(CompactionCrashSweepTest, EveryManifestTruncationFallsBackExactly) {
+  const std::string wal_dir = FreshDir("manifest_trunc_wal");
+  const std::string block_dir = FreshDir("manifest_trunc_blk");
+  BuildTemplateWal(wal_dir);
+  Result<WalRecovery> baseline = WalReader::Recover(wal_dir);
+  ASSERT_TRUE(baseline.ok());
+  const std::vector<wal::WalCheckpoint>& acked = baseline.value().checkpoints;
+
+  CompactionOptions options;
+  options.wal_dir = wal_dir;
+  options.block_dir = block_dir;
+  Compactor compactor(options);
+  ASSERT_TRUE(compactor.CompactOnce().ok());
+  // The WAL is fully drained: recovery below leans on blocks alone.
+  ASSERT_EQ(compactor.stats().segments_deleted,
+            compactor.stats().segments_consumed);
+
+  std::string manifest_bytes;
+  {
+    std::ifstream in(block_dir + "/MANIFEST", std::ios::binary);
+    ASSERT_TRUE(in.good());
+    manifest_bytes.assign(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(manifest_bytes.size(), 16u);
+
+  for (std::size_t cut = 0; cut < manifest_bytes.size(); ++cut) {
+    {
+      std::ofstream out(block_dir + "/MANIFEST",
+                        std::ios::binary | std::ios::trunc);
+      out.write(manifest_bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    const std::string context = "manifest truncated to " +
+                                std::to_string(cut) + " bytes";
+    Result<StoreRecovery> r = RecoverStore(wal_dir, block_dir);
+    ASSERT_TRUE(r.ok()) << context;
+    EXPECT_TRUE(r.value().report.manifest_corrupt) << context;
+    ExpectExactRecovery(wal_dir, block_dir, acked, context);
+  }
+
+  // Restore the intact manifest: recovery is clean again.
+  {
+    std::ofstream out(block_dir + "/MANIFEST",
+                      std::ios::binary | std::ios::trunc);
+    out.write(manifest_bytes.data(),
+              static_cast<std::streamsize>(manifest_bytes.size()));
+  }
+  Result<StoreRecovery> r = RecoverStore(wal_dir, block_dir);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().report.clean());
+  ExpectExactRecovery(wal_dir, block_dir, acked, "restored manifest");
+}
+
+}  // namespace
+}  // namespace bqs

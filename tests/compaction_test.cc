@@ -1,0 +1,481 @@
+// Compaction functional tests: WAL segments drain into columnar blocks
+// behind an atomic manifest, recovery off blocks ∪ WAL tail is exact,
+// failures degrade (ENOSPC) or retry (rename) per policy, and range
+// queries answer off the compressed blocks decoding only what matches.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "storage/compaction.h"
+#include "storage/keypoint_wal.h"
+#include "storage/manifest.h"
+
+namespace bqs {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<KeyPoint> MakeKeys(uint64_t start_index, int n, double t0,
+                               double x0, double y0) {
+  std::vector<KeyPoint> keys;
+  for (int i = 0; i < n; ++i) {
+    KeyPoint k;
+    k.index = start_index + static_cast<uint64_t>(i);
+    k.point.t = t0 + i * 5.0;
+    k.point.pos = {x0 + i * 3.25, y0 - i * 2.5};
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+/// Fills `dir` with a multi-segment WAL (2 devices, forced rotations) and
+/// returns every key appended, in append order per device.
+void BuildWal(const std::string& dir,
+              std::vector<std::vector<KeyPoint>>* appended = nullptr) {
+  KeyPointWalOptions options;
+  options.dir = dir;
+  options.segment_bytes = 256;  // rotate every append or two
+  KeyPointWal wal(options);
+  ASSERT_TRUE(wal.Open().ok());
+  for (int c = 0; c < 6; ++c) {
+    const DeviceId device = 1 + static_cast<DeviceId>(c % 2);
+    const std::vector<KeyPoint> keys =
+        MakeKeys(static_cast<uint64_t>(c) * 10, 4, 100.0 * c,
+                 device == 1 ? 0.0 : 5000.0, device == 1 ? 0.0 : -5000.0);
+    ASSERT_TRUE(wal.Append(device, keys).ok());
+    if (appended != nullptr) appended->push_back(keys);
+  }
+  ASSERT_TRUE(wal.Close().ok());
+}
+
+/// The ground truth the union must reproduce: a plain WAL recovery taken
+/// before any compaction ran.
+std::vector<wal::WalCheckpoint> AckedCheckpoints(const std::string& dir) {
+  Result<WalRecovery> r = WalReader::Recover(dir);
+  EXPECT_TRUE(r.ok());
+  return std::move(r.value().checkpoints);
+}
+
+void ExpectExactRecovery(const std::string& wal_dir,
+                         const std::string& block_dir,
+                         const std::vector<wal::WalCheckpoint>& acked) {
+  Result<StoreRecovery> r = RecoverStore(wal_dir, block_dir);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  const std::vector<wal::WalCheckpoint>& got = r.value().wal.checkpoints;
+  ASSERT_EQ(got.size(), acked.size());
+  for (std::size_t i = 0; i < acked.size(); ++i) {
+    EXPECT_TRUE(got[i] == acked[i]) << "checkpoint " << i;
+  }
+}
+
+std::size_t CountFiles(const std::string& dir, const std::string& suffix) {
+  std::size_t n = 0;
+  if (!std::filesystem::exists(dir)) return 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(CompactionTest, CompactsEverythingAndRecoveryIsExact) {
+  const std::string wal_dir = FreshDir("compact_basic_wal");
+  const std::string block_dir = FreshDir("compact_basic_blk");
+  BuildWal(wal_dir);
+  const std::vector<wal::WalCheckpoint> acked = AckedCheckpoints(wal_dir);
+  ASSERT_GE(acked.size(), 6u);
+
+  CompactionOptions options;
+  options.wal_dir = wal_dir;
+  options.block_dir = block_dir;
+  Compactor compactor(options);
+  ASSERT_TRUE(compactor.CompactOnce().ok());
+
+  const CompactionStats stats = compactor.stats();
+  EXPECT_EQ(stats.runs_completed, 1u);
+  EXPECT_EQ(stats.checkpoints_compacted, acked.size());
+  EXPECT_GT(stats.segments_consumed, 1u);  // the WAL really rotated
+  EXPECT_EQ(stats.segments_deleted, stats.segments_consumed);
+  EXPECT_EQ(stats.block_files_written, 1u);
+  EXPECT_GE(stats.blocks_written, 2u);  // one run per device at least
+
+  // The WAL directory is drained; the block directory is published.
+  EXPECT_EQ(CountFiles(wal_dir, ".log"), 0u);
+  EXPECT_EQ(CountFiles(block_dir, ".bqb"), 1u);
+  EXPECT_EQ(CountFiles(block_dir, ".tmp"), 0u);
+  Manifest manifest;
+  ASSERT_TRUE(ReadManifest(block_dir, &manifest).ok());
+  EXPECT_EQ(manifest.last_applied_seq, acked.back().seq);
+
+  ExpectExactRecovery(wal_dir, block_dir, acked);
+  Result<StoreRecovery> r = RecoverStore(wal_dir, block_dir);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().report.clean());
+  EXPECT_EQ(r.value().report.checkpoints_from_wal, 0u);
+  EXPECT_EQ(r.value().wal.next_seq, acked.back().seq + 1);
+}
+
+TEST(CompactionTest, RespectsSegmentBoundAndCompactsIncrementally) {
+  const std::string wal_dir = FreshDir("compact_incr_wal");
+  const std::string block_dir = FreshDir("compact_incr_blk");
+
+  KeyPointWalOptions wal_options;
+  wal_options.dir = wal_dir;
+  wal_options.segment_bytes = 256;
+  KeyPointWal wal(wal_options);
+  ASSERT_TRUE(wal.Open().ok());
+  for (int c = 0; c < 6; ++c) {
+    ASSERT_TRUE(
+        wal.Append(1, MakeKeys(static_cast<uint64_t>(c) * 100, 16,
+                               100.0 * c, 0.0, 0.0))
+            .ok());
+  }
+
+  // Ground truth so far: everything acked before any compaction ran.
+  std::vector<wal::WalCheckpoint> acked = AckedCheckpoints(wal_dir);
+  ASSERT_EQ(acked.size(), 6u);
+
+  CompactionOptions options;
+  options.wal_dir = wal_dir;
+  options.block_dir = block_dir;
+  Compactor compactor(options);
+  // Compact only the sealed segments; the active one stays.
+  const uint64_t active = wal.current_segment_index();
+  ASSERT_GT(active, 1u);  // the WAL really rotated
+  ASSERT_TRUE(compactor.CompactOnce(active).ok());
+  EXPECT_EQ(compactor.stats().block_files_written, 1u);
+  EXPECT_GE(CountFiles(wal_dir, ".log"), 1u);  // active segment survives
+  EXPECT_TRUE(
+      std::filesystem::exists(wal_dir + "/wal-00000" +
+                              std::to_string(active) + ".log"));
+
+  // More appends, close, compact the rest: a second block file appears and
+  // the union is still the exact acked prefix.
+  for (int c = 4; c < 7; ++c) {
+    ASSERT_TRUE(
+        wal.Append(2, MakeKeys(static_cast<uint64_t>(c) * 10, 3,
+                               100.0 * c, 9000.0, 9000.0))
+            .ok());
+  }
+  ASSERT_TRUE(wal.Close().ok());
+  // The remaining WAL tail overlaps the first six; union by seq.
+  for (const wal::WalCheckpoint& c : AckedCheckpoints(wal_dir)) {
+    if (c.seq > acked.back().seq) acked.push_back(c);
+  }
+  ASSERT_EQ(acked.size(), 9u);
+
+  ASSERT_TRUE(compactor.CompactOnce().ok());
+  EXPECT_EQ(CountFiles(wal_dir, ".log"), 0u);
+  EXPECT_EQ(CountFiles(block_dir, ".bqb"), 2u);
+  ExpectExactRecovery(wal_dir, block_dir, acked);
+
+  // A third run with nothing to do is a successful no-op.
+  ASSERT_TRUE(compactor.CompactOnce().ok());
+  EXPECT_EQ(compactor.stats().runs_completed, 3u);
+  EXPECT_EQ(CountFiles(block_dir, ".bqb"), 2u);
+}
+
+TEST(CompactionTest, QuarantinesStaleTempAndOrphanBlocks) {
+  const std::string wal_dir = FreshDir("compact_debris_wal");
+  const std::string block_dir = FreshDir("compact_debris_blk");
+  BuildWal(wal_dir);
+  const std::vector<wal::WalCheckpoint> acked = AckedCheckpoints(wal_dir);
+
+  std::filesystem::create_directories(block_dir);
+  {
+    std::ofstream tmp(block_dir + "/" + BlockTempFileName(5),
+                      std::ios::binary);
+    tmp << "half-written block file";
+    std::ofstream mtmp(block_dir + "/MANIFEST.tmp", std::ios::binary);
+    mtmp << "half-written manifest";
+    std::ofstream orphan(block_dir + "/" + BlockFileName(5),
+                         std::ios::binary);
+    orphan << "published but never referenced";
+  }
+
+  CompactionOptions options;
+  options.wal_dir = wal_dir;
+  options.block_dir = block_dir;
+  Compactor compactor(options);
+  ASSERT_TRUE(compactor.CompactOnce().ok());
+  const CompactionStats stats = compactor.stats();
+  EXPECT_EQ(stats.orphan_tmp_removed, 2u);
+  EXPECT_EQ(stats.orphan_blocks_removed, 1u);
+  EXPECT_EQ(CountFiles(block_dir, ".tmp"), 0u);
+  EXPECT_EQ(CountFiles(block_dir, ".bqb"), 1u);  // only the real one
+  ExpectExactRecovery(wal_dir, block_dir, acked);
+}
+
+TEST(CompactionTest, PersistentEnospcDegradesAndResetRecovers) {
+  const std::string wal_dir = FreshDir("compact_enospc_wal");
+  const std::string block_dir = FreshDir("compact_enospc_blk");
+  BuildWal(wal_dir);
+  const std::vector<wal::WalCheckpoint> acked = AckedCheckpoints(wal_dir);
+
+  FaultInjector injector(/*seed=*/7);
+  injector.Arm(FaultSite::kEnospc, /*probability=*/1.0);  // persistent
+
+  CompactionOptions options;
+  options.wal_dir = wal_dir;
+  options.block_dir = block_dir;
+  options.fault_injector = &injector;
+  Compactor compactor(options);
+
+  const Status st = compactor.CompactOnce();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(IsEnospc(st)) << st.message();
+  EXPECT_TRUE(compactor.degraded());
+  {
+    const CompactionStats stats = compactor.stats();
+    EXPECT_EQ(stats.runs_failed, 1u);
+    EXPECT_EQ(stats.enospc_events, 1u);
+    EXPECT_EQ(stats.last_error_code, StatusCode::kIoError);
+    // Exhausted the whole retry budget before degrading.
+    EXPECT_EQ(stats.io_retries, options.backoff.max_attempts - 1);
+  }
+  // Degrade-and-continue: the WAL is untouched, recovery still exact, and
+  // further runs are fast no-op errors that do not touch disk.
+  EXPECT_GT(CountFiles(wal_dir, ".log"), 0u);
+  ExpectExactRecovery(wal_dir, block_dir, acked);
+  ASSERT_FALSE(compactor.CompactOnce().ok());
+  EXPECT_EQ(compactor.stats().runs_started, 1u);  // degraded runs don't start
+
+  // Space comes back: disarm, re-arm the compactor, and it drains fully.
+  injector.Arm(FaultSite::kEnospc, /*probability=*/0.0);
+  compactor.ResetDegraded();
+  EXPECT_FALSE(compactor.degraded());
+  ASSERT_TRUE(compactor.CompactOnce().ok());
+  EXPECT_EQ(CountFiles(wal_dir, ".log"), 0u);
+  ExpectExactRecovery(wal_dir, block_dir, acked);
+}
+
+TEST(CompactionTest, RenameFailuresRetryUnderBackoffAndSucceed) {
+  const std::string wal_dir = FreshDir("compact_rename_wal");
+  const std::string block_dir = FreshDir("compact_rename_blk");
+  BuildWal(wal_dir);
+  const std::vector<wal::WalCheckpoint> acked = AckedCheckpoints(wal_dir);
+
+  FaultInjector injector(/*seed=*/7);
+  injector.Arm(FaultSite::kRenameFail, /*probability=*/1.0, /*max_fires=*/2);
+
+  CompactionOptions options;
+  options.wal_dir = wal_dir;
+  options.block_dir = block_dir;
+  options.fault_injector = &injector;
+  Compactor compactor(options);
+
+  ASSERT_TRUE(compactor.CompactOnce().ok());
+  const CompactionStats stats = compactor.stats();
+  EXPECT_EQ(stats.runs_completed, 1u);
+  EXPECT_EQ(stats.io_retries, 2u);  // two injected failures, then success
+  EXPECT_EQ(stats.runs_failed, 0u);
+  EXPECT_EQ(CountFiles(block_dir, ".tmp"), 0u);  // retries left no debris
+  ExpectExactRecovery(wal_dir, block_dir, acked);
+}
+
+TEST(CompactionTest, CorruptManifestFallbackRecoversExactly) {
+  const std::string wal_dir = FreshDir("compact_fallback_wal");
+  const std::string block_dir = FreshDir("compact_fallback_blk");
+  BuildWal(wal_dir);
+  const std::vector<wal::WalCheckpoint> acked = AckedCheckpoints(wal_dir);
+
+  CompactionOptions options;
+  options.wal_dir = wal_dir;
+  options.block_dir = block_dir;
+  Compactor compactor(options);
+  ASSERT_TRUE(compactor.CompactOnce().ok());
+
+  // Trash the manifest: recovery falls back to scanning published block
+  // files and still reproduces the exact acked prefix.
+  {
+    std::ofstream out(block_dir + "/MANIFEST",
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  Result<StoreRecovery> r = RecoverStore(wal_dir, block_dir);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().report.manifest_corrupt);
+  EXPECT_FALSE(r.value().report.clean());
+  ASSERT_EQ(r.value().wal.checkpoints.size(), acked.size());
+  for (std::size_t i = 0; i < acked.size(); ++i) {
+    EXPECT_TRUE(r.value().wal.checkpoints[i] == acked[i]);
+  }
+
+  // A compactor refuses to run over a corrupt manifest (it cannot trust
+  // the watermark), and does NOT degrade — this is not disk-full.
+  Compactor again(options);
+  ASSERT_FALSE(again.CompactOnce().ok());
+  EXPECT_FALSE(again.degraded());
+}
+
+TEST(WalSegmentListingTest, QuarantinesDuplicatesAndTempsDeterministically) {
+  const std::string dir = FreshDir("wal_dirty_dir");
+  std::filesystem::create_directories(dir);
+  const auto touch = [&](const std::string& name, const std::string& body) {
+    std::ofstream out(dir + "/" + name, std::ios::binary);
+    out << body;
+  };
+  touch("wal-000001.log", "a");
+  touch("wal-1.log", "duplicate of 1");  // same index, different spelling
+  touch("wal-000002.log", "b");
+  touch("wal-000002.log.tmp", "stale temp");
+  touch("notes.txt", "foreign");
+
+  for (int round = 0; round < 3; ++round) {  // deterministic across calls
+    std::vector<std::string> ignored;
+    Result<std::vector<WalSegmentFile>> listed = ListWalSegments(dir, &ignored);
+    ASSERT_TRUE(listed.ok());
+    ASSERT_EQ(listed.value().size(), 2u);
+    EXPECT_EQ(listed.value()[0].index, 1u);
+    // Lexicographically smallest path wins the duplicate index.
+    EXPECT_EQ(listed.value()[0].path, dir + "/wal-000001.log");
+    EXPECT_EQ(listed.value()[1].index, 2u);
+    std::sort(ignored.begin(), ignored.end());
+    ASSERT_EQ(ignored.size(), 2u);
+    EXPECT_EQ(ignored[0], dir + "/wal-000002.log.tmp");
+    EXPECT_EQ(ignored[1], dir + "/wal-1.log");
+  }
+  // The no-out-param overload still dedupes (foreign/tmp just unreported).
+  Result<std::vector<WalSegmentFile>> listed = ListWalSegments(dir);
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.value().size(), 2u);
+}
+
+TEST(WalHealthTest, StatsReportCauseOfDeath) {
+  const std::string dir = FreshDir("wal_health");
+  FaultInjector injector(/*seed=*/3);
+  injector.Arm(FaultSite::kFsyncFail, /*probability=*/1.0, /*max_fires=*/1);
+  KeyPointWalOptions options;
+  options.dir = dir;
+  options.durability = WalDurability::kFsyncEveryBatch;
+  options.fault_injector = &injector;
+  KeyPointWal wal(options);
+  ASSERT_TRUE(wal.Open().ok());
+  EXPECT_TRUE(wal.stats().healthy());
+
+  ASSERT_FALSE(wal.Append(1, MakeKeys(0, 3, 0.0, 0.0, 0.0)).ok());
+  EXPECT_TRUE(wal.dead());
+  const KeyPointWalStats stats = wal.stats();
+  EXPECT_FALSE(stats.healthy());
+  EXPECT_EQ(stats.last_error_code, StatusCode::kIoError);
+  EXPECT_NE(stats.last_error.find("fsync"), std::string::npos);
+}
+
+// --- range queries off compressed blocks ----------------------------------
+
+TEST(BlockStoreTest, RangeQueryPrunesAndHonorsQuantumBound) {
+  const std::string wal_dir = FreshDir("blockstore_wal");
+  const std::string block_dir = FreshDir("blockstore_blk");
+
+  // Two far-apart clusters so pruning is observable; small blocks so each
+  // cluster spans several.
+  KeyPointWalOptions wal_options;
+  wal_options.dir = wal_dir;
+  KeyPointWal wal(wal_options);
+  ASSERT_TRUE(wal.Open().ok());
+  std::vector<KeyPoint> originals;
+  for (int c = 0; c < 8; ++c) {
+    const DeviceId device = 1 + static_cast<DeviceId>(c % 2);
+    const double x0 = device == 1 ? 0.0 : 100000.0;
+    const double y0 = device == 1 ? 0.0 : 100000.0;
+    const std::vector<KeyPoint> keys =
+        MakeKeys(static_cast<uint64_t>(c) * 10, 5, 50.0 * c, x0, y0);
+    originals.insert(originals.end(), keys.begin(), keys.end());
+    ASSERT_TRUE(wal.Append(device, keys).ok());
+  }
+  ASSERT_TRUE(wal.Close().ok());
+
+  CompactionOptions options;
+  options.wal_dir = wal_dir;
+  options.block_dir = block_dir;
+  options.max_points_per_block = 5;  // one block per checkpoint here
+  Compactor compactor(options);
+  ASSERT_TRUE(compactor.CompactOnce().ok());
+  ASSERT_GE(compactor.stats().blocks_written, 8u);
+
+  Result<BlockStore> opened = BlockStore::Open(block_dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  const BlockStore& store = opened.value();
+  EXPECT_EQ(store.block_count(), compactor.stats().blocks_written);
+
+  const wal::WalQuantization quant = store.manifest().quant;
+  const Vec2 center{10.0, -10.0};
+  const double radius = 60.0;
+  const double t_min = 0.0, t_max = 200.0;
+
+  std::vector<KeyPoint> got;
+  RangeQueryStats qstats;
+  ASSERT_TRUE(store.Query(center, radius, t_min, t_max, &got, &qstats).ok());
+
+  // Brute-force expectation over the quantized originals (what storage
+  // holds): each within quantum/2 per axis of the raw input.
+  std::size_t expected = 0;
+  for (const KeyPoint& k : originals) {
+    const KeyPoint q = wal::Dequantize(wal::Quantize(k, quant), quant);
+    EXPECT_LE(std::abs(q.point.t - k.point.t), quant.time_quantum / 2 + 1e-12);
+    EXPECT_LE(std::abs(q.point.pos.x - k.point.pos.x),
+              quant.coord_quantum / 2 + 1e-12);
+    EXPECT_LE(std::abs(q.point.pos.y - k.point.pos.y),
+              quant.coord_quantum / 2 + 1e-12);
+    if (q.point.t >= t_min && q.point.t <= t_max &&
+        Distance(q.point.pos, center) <= radius) {
+      ++expected;
+    }
+  }
+  ASSERT_GT(expected, 0u);
+  EXPECT_EQ(got.size(), expected);
+  EXPECT_EQ(qstats.points_returned, expected);
+  for (const KeyPoint& k : got) {
+    EXPECT_LE(Distance(k.point.pos, center), radius);
+    EXPECT_GE(k.point.t, t_min);
+    EXPECT_LE(k.point.t, t_max);
+  }
+
+  // Pruning really pruned: the far cluster's blocks were never decoded.
+  EXPECT_EQ(qstats.blocks_total, store.block_count());
+  EXPECT_LT(qstats.blocks_decoded, qstats.blocks_total);
+  EXPECT_LE(qstats.blocks_decoded, qstats.grid_candidates);
+
+  // A query over empty space decodes nothing at all.
+  std::vector<KeyPoint> none;
+  RangeQueryStats far_stats;
+  ASSERT_TRUE(store
+                  .Query(Vec2{-50000.0, 50000.0}, 100.0, t_min, t_max, &none,
+                         &far_stats)
+                  .ok());
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(far_stats.blocks_decoded, 0u);
+
+  // A time window that misses everything prunes by time span alone.
+  RangeQueryStats late_stats;
+  ASSERT_TRUE(
+      store.Query(center, radius, 1e6, 2e6, &none, &late_stats).ok());
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(late_stats.blocks_decoded, 0u);
+}
+
+TEST(BlockStoreTest, OpenReportsNotFoundWithoutManifest) {
+  const std::string dir = FreshDir("blockstore_empty");
+  std::filesystem::create_directories(dir);
+  Result<BlockStore> opened = BlockStore::Open(dir);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace bqs

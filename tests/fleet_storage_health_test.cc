@@ -1,0 +1,229 @@
+// Fleet-level storage health: a killed WAL writer is observable within
+// one checkpoint cycle (failure-reason counters + storage_healthy), the
+// engine drives compaction from the CheckpointWal barrier, and a degraded
+// compactor (persistent ENOSPC) drops the engine to WAL-only mode without
+// ever failing ingest.
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "service/fleet_engine.h"
+#include "simulation/datasets.h"
+#include "storage/compaction.h"
+#include "storage/keypoint_wal.h"
+#include "storage/manifest.h"
+
+namespace bqs {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+class CountingSink final : public FleetSink {
+ public:
+  void OnKeyPoint(DeviceId device, const KeyPoint&) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++per_device_[device];
+  }
+  void OnSessionEnd(DeviceId, SessionEndReason) override {}
+  std::size_t devices() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return per_device_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<DeviceId, std::size_t> per_device_;
+};
+
+FleetEngineOptions BaseOptions() {
+  FleetEngineOptions options;
+  options.algorithm.id = AlgorithmId::kFbqs;
+  options.algorithm.epsilon = 8.0;
+  options.num_shards = 0;  // inline: deterministic counter observation
+  options.wal_checkpoint_points = 8;
+  return options;
+}
+
+TEST(FleetStorageHealthTest, KilledWriterObservableWithinOneCheckpoint) {
+  const FleetDataset fleet = BuildFleetDataset(4, 0.05, 5151);
+  FaultInjector injector(/*seed=*/5);
+  injector.Arm(FaultSite::kFsyncFail, /*probability=*/1.0, /*max_fires=*/1);
+
+  KeyPointWalOptions wal_options;
+  wal_options.dir = FreshDir("health_killed_writer");
+  wal_options.durability = WalDurability::kFsyncEveryBatch;
+  wal_options.fault_injector = &injector;
+  KeyPointWal wal(wal_options);
+  ASSERT_TRUE(wal.Open().ok());
+
+  CountingSink sink;
+  FleetEngineOptions options = BaseOptions();
+  options.wal = &wal;
+  FleetEngine engine(options, sink);
+
+  // Healthy before anything fails.
+  EXPECT_TRUE(engine.Stats().storage_healthy);
+
+  // Feed half, force a durability barrier: the injected fsync failure
+  // kills the writer and the very next stats snapshot says so.
+  const std::size_t half = fleet.feed.size() / 2;
+  engine.IngestBatch(
+      std::span<const FleetRecord>(fleet.feed.data(), half));
+  engine.CheckpointWal();
+  {
+    const FleetStats stats = engine.Stats();
+    EXPECT_FALSE(stats.storage_healthy);
+    EXPECT_GE(stats.wal_append_failures, 1u);
+    EXPECT_EQ(stats.wal_failures_io, 1u);  // the append that hit the fault
+    EXPECT_EQ(stats.wal_append_failures,
+              stats.wal_failures_io + stats.wal_failures_writer_dead);
+  }
+  EXPECT_TRUE(wal.dead());
+  EXPECT_FALSE(wal.stats().healthy());
+  EXPECT_FALSE(wal.stats().last_error.empty());
+
+  // Ingest never fails: the WAL is crash insurance, not the data path.
+  engine.IngestBatch(std::span<const FleetRecord>(
+      fleet.feed.data() + half, fleet.feed.size() - half));
+  engine.CheckpointWal();
+  engine.FinishAll();
+  const FleetStats stats = engine.Stats();
+  EXPECT_GT(stats.key_points_emitted, 0u);
+  EXPECT_GT(sink.devices(), 0u);
+  // Later failures classify as writer-dead, not fresh I/O errors.
+  EXPECT_EQ(stats.wal_failures_io, 1u);
+  EXPECT_GE(stats.wal_failures_writer_dead, 1u);
+  EXPECT_FALSE(stats.storage_healthy);
+}
+
+TEST(FleetStorageHealthTest, CheckpointBarrierDrivesCompaction) {
+  const FleetDataset fleet = BuildFleetDataset(4, 0.05, 5252);
+  KeyPointWalOptions wal_options;
+  wal_options.dir = FreshDir("health_compact_wal");
+  wal_options.segment_bytes = 512;  // force sealed segments
+  KeyPointWal wal(wal_options);
+  ASSERT_TRUE(wal.Open().ok());
+
+  const std::string block_dir = FreshDir("health_compact_blk");
+  CompactionOptions copts;
+  copts.wal_dir = wal_options.dir;
+  copts.block_dir = block_dir;
+  Compactor compactor(copts);
+
+  CountingSink sink;
+  FleetEngineOptions options = BaseOptions();
+  options.wal = &wal;
+  options.compactor = &compactor;
+  {
+    FleetEngine engine(options, sink);
+    engine.IngestBatch(fleet.feed);
+    engine.CheckpointWal();
+    const FleetStats stats = engine.Stats();
+    EXPECT_EQ(stats.compaction_runs, 1u);
+    EXPECT_EQ(stats.compaction_failures, 0u);
+    EXPECT_TRUE(stats.storage_healthy);
+    engine.FinishAll();
+  }
+  ASSERT_TRUE(wal.Close().ok());
+
+  // The barrier really drained sealed segments into published blocks, and
+  // blocks ∪ WAL tail carries every checkpointed point exactly once.
+  EXPECT_GT(compactor.stats().segments_consumed, 0u);
+  Manifest manifest;
+  ASSERT_TRUE(ReadManifest(block_dir, &manifest).ok());
+  Result<StoreRecovery> r = RecoverStore(wal_options.dir, block_dir);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().report.checkpoints_from_blocks, 0u);
+  uint64_t recovered_points = 0;
+  for (const wal::WalCheckpoint& c : r.value().wal.checkpoints) {
+    recovered_points += c.points.size();
+  }
+  EXPECT_EQ(recovered_points, wal.stats().points_appended);
+}
+
+TEST(FleetStorageHealthTest, DegradedCompactorFallsBackToWalOnly) {
+  const FleetDataset fleet = BuildFleetDataset(4, 0.05, 5353);
+  KeyPointWalOptions wal_options;
+  wal_options.dir = FreshDir("health_degraded_wal");
+  wal_options.segment_bytes = 256;
+  KeyPointWal wal(wal_options);
+  ASSERT_TRUE(wal.Open().ok());
+  // Pre-seed sealed segments so the first barrier has blocks to publish —
+  // otherwise compaction is a no-op and never touches the full disk.
+  for (int c = 0; c < 6; ++c) {
+    std::vector<KeyPoint> keys;
+    for (int i = 0; i < 16; ++i) {
+      KeyPoint k;
+      k.index = static_cast<uint64_t>(c) * 100 + static_cast<uint64_t>(i);
+      k.point.t = 10.0 * c + i;
+      k.point.pos = {1.0 * i, -1.0 * i};
+      keys.push_back(k);
+    }
+    ASSERT_TRUE(wal.Append(99, keys).ok());
+  }
+  ASSERT_GT(wal.current_segment_index(), 1u);  // rotation really happened
+
+  FaultInjector injector(/*seed=*/5);
+  injector.Arm(FaultSite::kEnospc, /*probability=*/1.0);  // disk stays full
+  const std::string block_dir = FreshDir("health_degraded_blk");
+  CompactionOptions copts;
+  copts.wal_dir = wal_options.dir;
+  copts.block_dir = block_dir;
+  copts.fault_injector = &injector;
+  Compactor compactor(copts);
+
+  CountingSink sink;
+  FleetEngineOptions options = BaseOptions();
+  options.wal = &wal;
+  options.compactor = &compactor;
+  FleetEngine engine(options, sink);
+
+  const std::size_t half = fleet.feed.size() / 2;
+  engine.IngestBatch(
+      std::span<const FleetRecord>(fleet.feed.data(), half));
+  engine.CheckpointWal();
+  {
+    const FleetStats stats = engine.Stats();
+    EXPECT_EQ(stats.compaction_failures, 1u);
+    EXPECT_EQ(stats.compaction_runs, 0u);
+    EXPECT_FALSE(stats.storage_healthy);  // WAL-only mode
+    // But the WAL itself is fine — appends keep succeeding.
+    EXPECT_EQ(stats.wal_append_failures, 0u);
+  }
+  EXPECT_TRUE(compactor.degraded());
+  EXPECT_FALSE(wal.dead());
+
+  // Further barriers skip the degraded compactor entirely: the failure
+  // counter is frozen and ingest keeps flowing.
+  engine.IngestBatch(std::span<const FleetRecord>(
+      fleet.feed.data() + half, fleet.feed.size() - half));
+  engine.CheckpointWal();
+  engine.FinishAll();
+  const FleetStats stats = engine.Stats();
+  EXPECT_EQ(stats.compaction_failures, 1u);
+  EXPECT_EQ(stats.compaction_runs, 0u);
+  EXPECT_GT(stats.key_points_emitted, 0u);
+  EXPECT_EQ(stats.wal_append_failures, 0u);
+  EXPECT_FALSE(stats.storage_healthy);
+
+  // Space returns: reset + disarm, the next barrier compacts, and health
+  // recovers — degradation is a mode, not a terminal state.
+  injector.Arm(FaultSite::kEnospc, /*probability=*/0.0);
+  compactor.ResetDegraded();
+  engine.CheckpointWal();
+  const FleetStats healed = engine.Stats();
+  EXPECT_EQ(healed.compaction_runs, 1u);
+  EXPECT_TRUE(healed.storage_healthy);
+}
+
+}  // namespace
+}  // namespace bqs

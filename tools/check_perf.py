@@ -89,6 +89,21 @@ report families, dispatched on the document's `schema` field:
      if the generator drifted, the density gate would be comparing
      different workloads and silently pass.
 
+  bqs-bench-compaction-v1
+  ------------------------------------------------------------------
+  Compaction-pipeline gate (bench_compaction). Drain/recover rates and
+  query latencies are reported but never gated (disk + machine). Gated,
+  all machine-independent for the seeded workload:
+  1. exactness: `recovery_exact`, `recovery_clean` and `queries_match`
+     must all be true — RecoverStore reproduced the acked prefix bit
+     for bit and every block-pruned range query agreed with the
+     brute-force scan.
+  2. workload identity: `points` must equal the baseline's.
+  3. density: block `bytes_per_point` no more than 5% above baseline —
+     the columnar delta codec got less dense.
+  4. pruning power: `avg_decoded_block_fraction` no more than 10% above
+     baseline — the bbox/grid prune decayed toward decode-everything.
+
 Usage: check_perf.py <fresh.json> <baseline.json> [--tolerance 0.70]
                      [--no-normalize]
 Exit codes: 0 ok, 1 regression/divergence, 2 usage or parse error.
@@ -102,10 +117,15 @@ CALIBRATION_ALGORITHM = "BQS_bruteforce"
 FLEET_SCHEMA_PREFIX = "bqs-bench-fleet"
 MICRO_SCHEMA_PREFIX = "bqs-bench-micro"
 WAL_SCHEMA_PREFIX = "bqs-bench-wal"
+COMPACTION_SCHEMA_PREFIX = "bqs-bench-compaction"
 # Ceiling on fresh/baseline bytes_per_point: the workload is seeded, so
 # density is deterministic and 5% headroom is purely for format evolution
 # landing together with a refreshed baseline.
 WAL_DENSITY_SLACK = 1.05
+# Ceiling on fresh/baseline avg_decoded_block_fraction: chunking and grid
+# sizing are deterministic, so pruning power is too; 10% headroom covers
+# block-layout evolution landing with a refreshed baseline.
+COMPACTION_PRUNE_SLACK = 1.10
 SEQUENTIAL_CONFIG = "sequential"
 # Empirical-stream floor on the fraction of batch points decided by a
 # vector lane (measured ~0.84 on the paper's merged workload; the floor
@@ -361,6 +381,52 @@ def check_wal(fresh, baseline, failures):
     return compared
 
 
+def check_compaction(fresh, baseline, failures):
+    """Exactness + density + pruning gate over the compaction report.
+    Returns the number of gated fields."""
+    compared = 0
+    status = "ok"
+    for flag in ("recovery_exact", "recovery_clean", "queries_match"):
+        compared += 1
+        if not fresh.get(flag, False):
+            failures.append(f"compaction: {flag} is false — the pipeline "
+                            "perturbed acked data")
+            status = "NOT EXACT"
+
+    points = fresh.get("points", 0)
+    base_points = baseline.get("points", 0)
+    compared += 1
+    if points != base_points:
+        failures.append(f"compaction: workload drifted ({points} points vs "
+                        f"baseline {base_points}) — density and pruning "
+                        "comparisons would be meaningless")
+        status = "DRIFT"
+
+    density = fresh.get("bytes_per_point", 0.0)
+    base_density = baseline.get("bytes_per_point", 0.0)
+    compared += 1
+    if base_density > 0 and density > base_density * WAL_DENSITY_SLACK:
+        failures.append(f"compaction: bytes_per_point {density:.2f} above "
+                        f"baseline {base_density:.2f} x {WAL_DENSITY_SLACK} "
+                        "— columnar codec got less dense")
+        status = "DENSITY"
+
+    frac = fresh.get("avg_decoded_block_fraction", 1.0)
+    base_frac = baseline.get("avg_decoded_block_fraction", 0.0)
+    compared += 1
+    if base_frac > 0 and frac > base_frac * COMPACTION_PRUNE_SLACK:
+        failures.append(f"compaction: avg_decoded_block_fraction {frac:.3f} "
+                        f"above baseline {base_frac:.3f} x "
+                        f"{COMPACTION_PRUNE_SLACK} — bbox pruning decayed")
+        status = "PRUNING"
+
+    print(f"{'compaction':>18s} / {'pipeline':<18s} "
+          f"compact {fresh.get('compact_points_per_sec', 0.0) / 1e6:8.2f} "
+          f"M pts/s  {density:5.2f} B/pt  "
+          f"decoded {frac:5.3f}  {status}")
+    return compared
+
+
 def check_fleet(fresh, baseline, args, failures):
     if not fresh.get("all_byte_identical", False):
         failures.append(
@@ -431,6 +497,8 @@ def main():
         compared = check_micro(fresh, baseline, failures)
     elif fresh_schema.startswith(WAL_SCHEMA_PREFIX):
         compared = check_wal(fresh, baseline, failures)
+    elif fresh_schema.startswith(COMPACTION_SCHEMA_PREFIX):
+        compared = check_compaction(fresh, baseline, failures)
     else:
         compared = check_throughput(fresh, baseline, args, failures)
 

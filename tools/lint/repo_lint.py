@@ -121,14 +121,19 @@ BUDGET_TOKENS = {
 SOURCE_EXTENSIONS = (".h", ".cc")
 
 # The only src/ files that may name the fault-injection harness: the
-# harness itself plus the two components that expose an injection option
-# (the fleet engine and the key-point WAL writer).
+# harness itself plus the components that expose an injection option
+# (the fleet engine, the key-point WAL writer, and the compaction
+# pipeline with its manifest I/O).
 FAULT_INJECTION_ALLOWLIST = {
     "src/common/fault_injector.h",
     "src/service/fleet_engine.h",
     "src/service/fleet_engine.cc",
+    "src/storage/compaction.h",
+    "src/storage/compaction.cc",
     "src/storage/keypoint_wal.h",
     "src/storage/keypoint_wal.cc",
+    "src/storage/manifest.h",
+    "src/storage/manifest.cc",
 }
 FAULT_TOKEN_RE = re.compile(r"\b(?:FaultInjector|FaultSite)\b")
 FAULT_INCLUDE_RE = re.compile(
